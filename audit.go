@@ -1,0 +1,86 @@
+package coursenav
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/audit"
+	"repro/internal/degree"
+	"repro/internal/term"
+)
+
+// AuditGroup is one requirement group's standing in an audit.
+type AuditGroup struct {
+	Name       string   `json:"name"`
+	Needed     int      `json:"needed"`
+	Filled     int      `json:"filled"`
+	Applied    []string `json:"applied,omitempty"`
+	Candidates []string `json:"candidates,omitempty"`
+}
+
+// AuditReport is a degree-progress report (see Navigator.Audit).
+type AuditReport struct {
+	Groups           []AuditGroup `json:"groups"`
+	Surplus          []string     `json:"surplus,omitempty"`
+	RemainingSlots   int          `json:"remainingSlots"`
+	Complete         bool         `json:"complete"`
+	ElectableNow     []string     `json:"electableNow,omitempty"`
+	Reachable        bool         `json:"reachable"`
+	MinPerTermNeeded int          `json:"minPerTermNeeded,omitempty"`
+
+	inner audit.Report
+}
+
+// Write renders the report as an advising summary.
+func (r AuditReport) Write(w io.Writer) error { return audit.Write(w, r.inner) }
+
+// Audit reports the student's progress toward a degree goal (one built
+// with GoalDegree): per-group fill with an optimal assignment of the
+// completed courses to slots, surplus courses, what is electable in
+// nowTerm that makes progress, and — when deadline is non-empty —
+// whether the degree is still reachable by then taking at most
+// maxPerTerm courses per semester.
+func (n *Navigator) Audit(completed []string, g Goal, nowTerm, deadline string, maxPerTerm int) (AuditReport, error) {
+	req, ok := g.inner.(*degree.Requirement)
+	if !ok {
+		return AuditReport{}, fmt.Errorf("coursenav: Audit requires a degree goal (GoalDegree); got %s", g)
+	}
+	x, err := n.cat.SetOf(completed...)
+	if err != nil {
+		return AuditReport{}, err
+	}
+	var opt audit.Options
+	opt.MaxPerTerm = maxPerTerm
+	if nowTerm != "" {
+		opt.Now, err = term.Parse(term.TwoSeason, nowTerm)
+		if err != nil {
+			return AuditReport{}, err
+		}
+	}
+	if deadline != "" {
+		opt.Deadline, err = term.Parse(term.TwoSeason, deadline)
+		if err != nil {
+			return AuditReport{}, err
+		}
+	}
+	rep, err := audit.Run(n.cat, req, x, opt)
+	if err != nil {
+		return AuditReport{}, err
+	}
+	out := AuditReport{
+		Surplus:          rep.Surplus,
+		RemainingSlots:   rep.RemainingSlots,
+		Complete:         rep.Complete,
+		ElectableNow:     rep.ElectableNow,
+		Reachable:        rep.Reachable,
+		MinPerTermNeeded: rep.MinPerTermNeeded,
+		inner:            rep,
+	}
+	for _, gp := range rep.Groups {
+		out.Groups = append(out.Groups, AuditGroup{
+			Name: gp.Name, Needed: gp.Needed, Filled: gp.Filled,
+			Applied: gp.Applied, Candidates: gp.Candidates,
+		})
+	}
+	return out, nil
+}

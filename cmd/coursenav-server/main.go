@@ -1,0 +1,79 @@
+// Command coursenav-server runs CourseNavigator's front-end service
+// (paper §3) as an HTTP/JSON API.
+//
+// Usage:
+//
+//	coursenav-server [-addr :8080] [-catalog file.json]
+//	                 [-node-budget 500000] [-history-years 4]
+//
+// Without -catalog the embedded Brandeis-like evaluation dataset is
+// served. See internal/server for the endpoint reference; a quick check:
+//
+//	curl localhost:8080/api/catalog
+//	curl -X POST localhost:8080/api/explore/ranked -d '{
+//	  "query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3},
+//	  "goal":{"courses":["COSI 11A","COSI 21A"]},"ranking":"time","k":3}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	catalogPath := flag.String("catalog", "", "catalog JSON file (default: embedded dataset)")
+	nodeBudget := flag.Int("node-budget", server.DefaultNodeBudget, "per-request learning-graph node budget")
+	histYears := flag.Int("history-years", 4, "synthetic offering-history length for reliability ranking")
+	seed := flag.Int64("seed", 1, "history synthesis seed")
+	flag.Parse()
+
+	var nav *coursenav.Navigator
+	if *catalogPath != "" {
+		f, err := os.Open(*catalogPath)
+		if err != nil {
+			log.Fatalf("coursenav-server: %v", err)
+		}
+		nav2, err := coursenav.NewFromJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("coursenav-server: %v", err)
+		}
+		nav = nav2
+	} else {
+		nav, _ = coursenav.Brandeis()
+	}
+	if err := nav.UseSyntheticHistory(*histYears, *seed); err != nil {
+		log.Fatalf("coursenav-server: history: %v", err)
+	}
+	if unreachable, never := nav.Lint(); len(unreachable)+len(never) > 0 {
+		log.Printf("warning: catalog lint: unreachable=%v never-offered=%v", unreachable, never)
+	}
+
+	s := server.New(nav)
+	s.NodeBudget = *nodeBudget
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(s),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("coursenav-server: %d courses, listening on %s", nav.NumCourses(), *addr)
+	if err := httpServer.ListenAndServe(); err != nil {
+		log.Fatalf("coursenav-server: %v", err)
+	}
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		began := time.Now()
+		next.ServeHTTP(w, r)
+		log.Println(fmt.Sprintf("%s %s (%v)", r.Method, r.URL.Path, time.Since(began).Round(time.Microsecond)))
+	})
+}

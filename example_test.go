@@ -1,0 +1,90 @@
+package coursenav_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+)
+
+// The examples below run against the embedded evaluation dataset and are
+// verified by `go test`; their outputs double as the paper's worked
+// numbers for the 4-semester window.
+
+func ExampleNavigator_FeasibleNow() {
+	nav, _ := coursenav.Brandeis()
+	options, _ := nav.FeasibleNow([]string{"COSI 11A"}, "Spring 2014")
+	fmt.Println(strings.Join(options, ", "))
+	// Output: COSI 2A, COSI 12B, COSI 21A, COSI 33B
+}
+
+func ExampleNavigator_GoalPathsCount() {
+	nav, major := coursenav.Brandeis()
+	sum, _ := nav.GoalPathsCount(coursenav.Query{
+		Start: "Fall 2013", End: "Fall 2015", MaxPerTerm: 3,
+	}, major)
+	fmt.Printf("%d generated paths, %d reach the CS major\n", sum.Paths, sum.GoalPaths)
+	// Output: 1679 generated paths, 117 reach the CS major
+}
+
+func ExampleNavigator_TopK() {
+	nav, major := coursenav.Brandeis()
+	paths, _, _ := nav.TopK(coursenav.Query{
+		Start: "Fall 2013", End: "Fall 2015", MaxPerTerm: 3,
+	}, major, "time", 1)
+	fmt.Printf("shortest plan takes %.0f semesters:\n%s\n", paths[0].Value, paths[0])
+	// Output:
+	// shortest plan takes 4 semesters:
+	// Fall 2013: {COSI 2A, COSI 11A, COSI 29A} → Spring 2014: {COSI 12B, COSI 21A, COSI 33B} → Fall 2014: {COSI 30A, COSI 65A, COSI 120A} → Spring 2015: {COSI 21B, COSI 31A, COSI 119A}
+}
+
+func ExampleNavigator_Audit() {
+	nav, major := coursenav.Brandeis()
+	rep, _ := nav.Audit([]string{"COSI 11A", "COSI 29A", "COSI 2A"}, major, "", "", 3)
+	for _, g := range rep.Groups {
+		fmt.Printf("%s: %d/%d\n", g.Name, g.Filled, g.Needed)
+	}
+	fmt.Printf("%d slots remaining\n", rep.RemainingSlots)
+	// Output:
+	// core: 2/7
+	// elective: 1/5
+	// 9 slots remaining
+}
+
+func ExampleNavigator_CompareSelections() {
+	nav, major := coursenav.Brandeis()
+	impacts, _ := nav.CompareSelections(coursenav.Query{
+		Completed:  []string{"COSI 11A", "COSI 29A"},
+		Start:      "Spring 2014",
+		End:        "Spring 2016",
+		MaxPerTerm: 3,
+	}, major)
+	best := impacts[0]
+	fmt.Printf("best move: {%s} keeps %d paths to the major\n",
+		strings.Join(best.Courses, ", "), best.GoalPaths)
+	// Output: best move: {COSI 12B, COSI 21A, COSI 33B} keeps 35539 paths to the major
+}
+
+func ExampleNavigator_ValidatePlans() {
+	nav, major := coursenav.Brandeis()
+	plan := `student: ambitious
+Fall 2013: COSI 11A, COSI 29A, COSI 2A
+Spring 2014: COSI 12B, COSI 21A, COSI 33B
+Fall 2014: COSI 30A, COSI 127B, COSI 25A
+Spring 2015: COSI 21B, COSI 31A, COSI 119A
+`
+	results, _ := nav.ValidatePlans(strings.NewReader(plan), 3, major)
+	r := results[0]
+	fmt.Printf("%s: valid=%v reaches major=%v\n", r.Student, r.Err == "", r.GoalMet)
+	// Output: ambitious: valid=true reaches major=true
+}
+
+func ExampleNavigator_GoalExpr() {
+	nav, _ := coursenav.Brandeis()
+	goal, _ := nav.GoalExpr("COSI 127B or COSI 101A")
+	sum, _ := nav.GoalPathsCount(coursenav.Query{
+		Start: "Fall 2013", End: "Spring 2015", MaxPerTerm: 2,
+	}, goal)
+	fmt.Printf("paths to a data-systems course: %d\n", sum.GoalPaths)
+	// Output: paths to a data-systems course: 96
+}

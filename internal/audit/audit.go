@@ -1,0 +1,210 @@
+// Package audit produces degree-progress reports: how much of a counted
+// degree requirement a student's completed courses fill, what remains,
+// what is electable right now that makes progress, and whether the goal
+// is still reachable by a deadline.
+//
+// It composes the reproduction's primitives — requirement slot
+// assignment (internal/degree), option sets (internal/catalog) and the
+// goal-driven pruning bound (internal/explore) — into the advising
+// artefact registrar tools like the paper's references [1, 2]
+// ("Degree Navigator") produce, and which CourseNavigator's interactive
+// exploration is designed to replace with full path enumeration.
+package audit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/degree"
+	"repro/internal/explore"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+// GroupProgress is one requirement group's standing.
+type GroupProgress struct {
+	// Name is the group label ("core", "elective").
+	Name string
+	// Needed and Filled count slots.
+	Needed, Filled int
+	// Applied lists the completed courses assigned to this group.
+	Applied []string
+	// Candidates lists not-yet-completed courses that could fill the
+	// group's open slots, in catalog order.
+	Candidates []string
+}
+
+// Done reports whether the group is fully satisfied.
+func (g GroupProgress) Done() bool { return g.Filled >= g.Needed }
+
+// Report is a full degree audit.
+type Report struct {
+	// Groups is per-group progress in requirement order.
+	Groups []GroupProgress
+	// Surplus lists completed requirement-relevant courses that no group
+	// needed (beyond its count).
+	Surplus []string
+	// RemainingSlots is the total number of unfilled slots (the paper's
+	// left_i for the requirement).
+	RemainingSlots int
+	// Complete reports whether the requirement is fully satisfied.
+	Complete bool
+	// ElectableNow lists courses offered in the audit semester, with
+	// prerequisites met, that fill an open slot.
+	ElectableNow []string
+	// Reachable reports whether the requirement can still be completed by
+	// the deadline under the per-semester limit (time-based and
+	// course-availability feasibility, §4.2); true when no deadline was
+	// given.
+	Reachable bool
+	// MinPerTermNeeded is the minimum courses per semester required from
+	// the audit semester on to finish by the deadline (0 when no deadline
+	// given or unreachable).
+	MinPerTermNeeded int
+}
+
+// Options configures an audit.
+type Options struct {
+	// Now is the audit semester, used for ElectableNow. Zero skips it.
+	Now term.Term
+	// Deadline, when non-zero, triggers the reachability analysis with
+	// MaxPerTerm as the per-semester limit.
+	Deadline   term.Term
+	MaxPerTerm int
+}
+
+// Run audits completed against the requirement.
+func Run(cat *catalog.Catalog, req *degree.Requirement, completed bitset.Set, opt Options) (Report, error) {
+	if cat == nil || req == nil {
+		return Report{}, fmt.Errorf("audit: nil catalog or requirement")
+	}
+	assigned := req.Assign(completed)
+	groups := req.Groups()
+	rep := Report{Groups: make([]GroupProgress, len(groups))}
+	for gi, g := range groups {
+		rep.Groups[gi] = GroupProgress{Name: g.Name, Needed: g.Count}
+		if rep.Groups[gi].Name == "" {
+			rep.Groups[gi].Name = fmt.Sprintf("group %d", gi+1)
+		}
+	}
+	for ci, gi := range assigned {
+		rep.Groups[gi].Filled++
+		rep.Groups[gi].Applied = append(rep.Groups[gi].Applied, cat.ID(ci))
+	}
+	for gi := range rep.Groups {
+		sort.Strings(rep.Groups[gi].Applied)
+	}
+	// Surplus: relevant completed courses not assigned anywhere.
+	completed.Intersect(req.Relevant()).ForEach(func(ci int) {
+		if _, ok := assigned[ci]; !ok {
+			rep.Surplus = append(rep.Surplus, cat.ID(ci))
+		}
+	})
+	for gi := range rep.Groups {
+		g := groups[gi]
+		if rep.Groups[gi].Filled < g.Count {
+			g.Courses.Diff(completed).ForEach(func(ci int) {
+				rep.Groups[gi].Candidates = append(rep.Groups[gi].Candidates, cat.ID(ci))
+			})
+		}
+	}
+	rep.RemainingSlots = req.Remaining(completed)
+	rep.Complete = rep.RemainingSlots == 0
+	if !opt.Now.IsZero() {
+		options := cat.Options(completed, opt.Now)
+		base := rep.RemainingSlots
+		options.ForEach(func(ci int) {
+			with := completed.Clone()
+			with.Add(ci)
+			if req.Remaining(with) < base {
+				rep.ElectableNow = append(rep.ElectableNow, cat.ID(ci))
+			}
+		})
+	}
+	rep.Reachable = true
+	if !opt.Deadline.IsZero() && !rep.Complete {
+		if opt.Now.IsZero() {
+			return Report{}, fmt.Errorf("audit: Deadline requires Now")
+		}
+		st := status.New(cat, opt.Now, completed)
+		for _, p := range explore.PaperPruners(cat, req, opt.MaxPerTerm) {
+			prune, minTake := p.Check(st, opt.Deadline)
+			if prune {
+				rep.Reachable = false
+				rep.MinPerTermNeeded = 0
+				break
+			}
+			if minTake > rep.MinPerTermNeeded {
+				rep.MinPerTermNeeded = minTake
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Write renders the report as an advising summary.
+func Write(w io.Writer, rep Report) error {
+	for _, g := range rep.Groups {
+		mark := " "
+		if g.Done() {
+			mark = "✓"
+		}
+		if _, err := fmt.Fprintf(w, "[%s] %s: %d/%d", mark, g.Name, g.Filled, g.Needed); err != nil {
+			return err
+		}
+		if len(g.Applied) > 0 {
+			if _, err := fmt.Fprintf(w, "  (%s)", strings.Join(g.Applied, ", ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if !g.Done() && len(g.Candidates) > 0 {
+			show := g.Candidates
+			const maxShow = 8
+			more := ""
+			if len(show) > maxShow {
+				more = fmt.Sprintf(", +%d more", len(show)-maxShow)
+				show = show[:maxShow]
+			}
+			if _, err := fmt.Fprintf(w, "      still eligible: %s%s\n", strings.Join(show, ", "), more); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rep.Surplus) > 0 {
+		if _, err := fmt.Fprintf(w, "surplus (no open slot): %s\n", strings.Join(rep.Surplus, ", ")); err != nil {
+			return err
+		}
+	}
+	switch {
+	case rep.Complete:
+		_, err := fmt.Fprintln(w, "requirement COMPLETE")
+		return err
+	default:
+		if _, err := fmt.Fprintf(w, "%d slots remaining", rep.RemainingSlots); err != nil {
+			return err
+		}
+		if len(rep.ElectableNow) > 0 {
+			if _, err := fmt.Fprintf(w, "; electable now: %s", strings.Join(rep.ElectableNow, ", ")); err != nil {
+				return err
+			}
+		}
+		if !rep.Reachable {
+			if _, err := fmt.Fprint(w, "; NOT reachable by the deadline"); err != nil {
+				return err
+			}
+		} else if rep.MinPerTermNeeded > 0 {
+			if _, err := fmt.Fprintf(w, "; need ≥%d courses/semester to finish in time", rep.MinPerTermNeeded); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+}

@@ -1,0 +1,178 @@
+package audit
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/brandeis"
+	"repro/internal/catalog"
+	"repro/internal/degree"
+	"repro/internal/term"
+)
+
+func setup(t *testing.T) (*catalog.Catalog, *degree.Requirement) {
+	t.Helper()
+	cat := brandeis.Catalog()
+	major, err := brandeis.Major(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, major
+}
+
+func TestRunEmptyTranscript(t *testing.T) {
+	cat, major := setup(t)
+	rep, err := Run(cat, major, bitset.New(cat.Len()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete || rep.RemainingSlots != 12 {
+		t.Errorf("empty audit: complete=%v remaining=%d", rep.Complete, rep.RemainingSlots)
+	}
+	if len(rep.Groups) != 2 || rep.Groups[0].Filled != 0 {
+		t.Errorf("groups = %+v", rep.Groups)
+	}
+	if len(rep.Groups[0].Candidates) != 7 || len(rep.Groups[1].Candidates) != 31 {
+		t.Errorf("candidates = %d/%d", len(rep.Groups[0].Candidates), len(rep.Groups[1].Candidates))
+	}
+}
+
+func TestRunPartialProgress(t *testing.T) {
+	cat, major := setup(t)
+	done := cat.MustSetOf("COSI 11A", "COSI 29A", "COSI 2A", "COSI 33B")
+	rep, err := Run(cat, major, done, Options{Now: term.TwoSeason.MustTerm(2014, term.Fall)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, elect := rep.Groups[0], rep.Groups[1]
+	if core.Filled != 2 || elect.Filled != 2 {
+		t.Errorf("filled = %d core, %d elect", core.Filled, elect.Filled)
+	}
+	if got := append([]string{}, core.Applied...); !reflect.DeepEqual(got, []string{"COSI 11A", "COSI 29A"}) {
+		t.Errorf("core applied = %v", got)
+	}
+	if rep.RemainingSlots != 8 {
+		t.Errorf("remaining = %d", rep.RemainingSlots)
+	}
+	// Everything electable in Fall 2014 makes progress here (all courses
+	// are core or elective); the list must be non-empty and sorted by
+	// catalog order.
+	if len(rep.ElectableNow) == 0 {
+		t.Error("no electable-now courses")
+	}
+	for _, id := range rep.ElectableNow {
+		if _, ok := cat.Index(id); !ok {
+			t.Errorf("unknown electable %q", id)
+		}
+	}
+}
+
+func TestRunCompletedDegree(t *testing.T) {
+	cat, major := setup(t)
+	done := cat.MustSetOf(append(brandeis.CoreCourses(),
+		"COSI 2A", "COSI 33B", "COSI 114A", "COSI 127B", "COSI 25A")...)
+	rep, err := Run(cat, major, done, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.RemainingSlots != 0 {
+		t.Errorf("complete=%v remaining=%d", rep.Complete, rep.RemainingSlots)
+	}
+	for _, g := range rep.Groups {
+		if !g.Done() {
+			t.Errorf("group %s not done: %d/%d", g.Name, g.Filled, g.Needed)
+		}
+		if len(g.Candidates) != 0 {
+			t.Errorf("done group %s still lists candidates", g.Name)
+		}
+	}
+}
+
+func TestRunSurplus(t *testing.T) {
+	cat, major := setup(t)
+	// Six electives: one is surplus (only 5 slots).
+	done := cat.MustSetOf("COSI 2A", "COSI 33B", "COSI 114A", "COSI 127B", "COSI 25A", "COSI 65A")
+	rep, err := Run(cat, major, done, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Surplus) != 1 {
+		t.Errorf("surplus = %v, want exactly one", rep.Surplus)
+	}
+	if rep.Groups[1].Filled != 5 {
+		t.Errorf("elective filled = %d", rep.Groups[1].Filled)
+	}
+}
+
+func TestRunReachability(t *testing.T) {
+	cat, major := setup(t)
+	now := term.TwoSeason.MustTerm(2014, term.Fall)
+	deadline := brandeis.EndTerm()
+	// Far too little done with 2 semesters of course-taking left: the
+	// time-based bound fails.
+	rep, err := Run(cat, major, bitset.New(cat.Len()), Options{
+		Now: now, Deadline: deadline, MaxPerTerm: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reachable {
+		t.Error("12 slots in 2 semesters at m=3 reported reachable")
+	}
+	// A student far along is still on track and must take ≥2/semester.
+	done := cat.MustSetOf("COSI 11A", "COSI 29A", "COSI 12B", "COSI 21A",
+		"COSI 2A", "COSI 33B", "COSI 114A", "COSI 127B")
+	rep2, err := Run(cat, major, done, Options{Now: now, Deadline: deadline, MaxPerTerm: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Reachable {
+		t.Error("feasible finish reported unreachable")
+	}
+	if rep2.MinPerTermNeeded < 1 {
+		t.Errorf("MinPerTermNeeded = %d, want ≥1", rep2.MinPerTermNeeded)
+	}
+	// Deadline without Now is an error.
+	if _, err := Run(cat, major, done, Options{Deadline: deadline}); err == nil {
+		t.Error("Deadline without Now accepted")
+	}
+	if _, err := Run(nil, major, done, Options{}); err == nil {
+		t.Error("nil catalog accepted")
+	}
+}
+
+func TestWrite(t *testing.T) {
+	cat, major := setup(t)
+	done := cat.MustSetOf("COSI 11A", "COSI 29A", "COSI 2A", "COSI 33B")
+	rep, err := Run(cat, major, done, Options{
+		Now:      term.TwoSeason.MustTerm(2014, term.Fall),
+		Deadline: brandeis.EndTerm(), MaxPerTerm: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"core: 2/7", "elective: 2/5", "slots remaining", "still eligible"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Complete report prints the completion line.
+	full := cat.MustSetOf(append(brandeis.CoreCourses(),
+		"COSI 2A", "COSI 33B", "COSI 114A", "COSI 127B", "COSI 25A")...)
+	rep2, _ := Run(cat, major, full, Options{})
+	buf.Reset()
+	if err := Write(&buf, rep2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "COMPLETE") {
+		t.Errorf("complete report:\n%s", buf.String())
+	}
+}

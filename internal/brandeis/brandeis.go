@@ -1,0 +1,179 @@
+// Package brandeis embeds the reproduction's stand-in for the paper's
+// evaluation dataset: 38 Computer Science courses "offered at Brandeis
+// University and the class schedules of the academic period ending in
+// Fall '15" (paper §5.1).
+//
+// The real registrar extract is not public, so this catalog is synthetic
+// but structurally faithful (DESIGN.md §4): 38 courses, a realistic
+// prerequisite lattice (intro → core → electives, max chain depth 3), a
+// two-season schedule over Fall 2011 – Fall 2015, a CS-major requirement
+// of 7 core courses plus 5 electives, and student-reported workloads.
+// Every experiment driver and benchmark in this repository draws its data
+// from here.
+package brandeis
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/degree"
+	"repro/internal/expr"
+	"repro/internal/term"
+)
+
+// mustParse parses a prerequisite string; "" parses to the no-prerequisite
+// tautology. The embedded table is validated by tests, so a parse failure
+// is a programming error.
+func mustParse(src string) expr.Expr { return expr.MustParse(src) }
+
+// MaxPerTerm is the paper's experimental setting m = 3 ("the maximum
+// number of courses he can take per semester is three").
+const MaxPerTerm = 3
+
+// EndTerm returns Fall 2015, the end of the evaluated academic period.
+func EndTerm() term.Term { return term.TwoSeason.MustTerm(2015, term.Fall) }
+
+// FirstTerm returns Fall 2011, the start of the published schedule.
+func FirstTerm() term.Term { return term.TwoSeason.MustTerm(2011, term.Fall) }
+
+// StartForSemesters returns the start semester for a d-semester
+// exploration ending at Fall '15, as in Table 2 ("different academic
+// periods starting from 4 and up until 7 semesters"): the start is d
+// course-taking semesters before the end (6 semesters ⇒ Fall '12, the
+// §5.2 period).
+func StartForSemesters(d int) term.Term { return EndTerm().Add(-d) }
+
+// courseDef is the embedded course table. Offering patterns: "FS" = every
+// fall and spring, "F" = fall only, "S" = spring only, "F-odd"/"F-even" and
+// "S-odd"/"S-even" = alternating years (by calendar-year parity).
+type courseDef struct {
+	id, title, prereq, pattern string
+	workload                   float64
+	core                       bool
+}
+
+var courseDefs = []courseDef{
+	// Introductory layer (no prerequisites).
+	{"COSI 2A", "Introduction to Computers", "", "FS", 6, false},
+	{"COSI 11A", "Programming in Java and C", "", "F", 9, true},
+	{"COSI 29A", "Discrete Structures", "", "F", 8, true},
+	// Core layer.
+	{"COSI 12B", "Advanced Programming Techniques", "COSI 11A", "S", 10, true},
+	{"COSI 21A", "Data Structures and Algorithms", "COSI 11A", "FS", 12, true},
+	{"COSI 21B", "Structure and Interpretation of Computer Programs", "COSI 21A", "S", 11, true},
+	{"COSI 30A", "Introduction to the Theory of Computation", "COSI 29A", "F", 11, true},
+	{"COSI 31A", "Computer Structures and Organization", "COSI 21A", "S", 10, true},
+	// Systems electives.
+	{"COSI 105A", "Software Engineering", "COSI 12B and COSI 21A", "S-odd", 11, false},
+	{"COSI 107A", "Computer Security", "COSI 21A", "F-even", 10, false},
+	{"COSI 127B", "Database Management Systems", "COSI 21A", "F", 10, false},
+	{"COSI 128A", "Advanced Database Systems", "COSI 127B", "S-even", 11, false},
+	{"COSI 131A", "Operating Systems", "COSI 31A", "F", 12, false},
+	{"COSI 146A", "Distributed Systems", "COSI 131A or COSI 127B", "S-odd", 12, false},
+	{"COSI 147A", "Networking and Mobile Computing", "COSI 21A", "S-even", 10, false},
+	// Theory electives.
+	{"COSI 111A", "Topics in Computational Complexity", "COSI 30A", "S-odd", 12, false},
+	{"COSI 112A", "Modal Logic", "COSI 30A", "S-even", 9, false},
+	{"COSI 130A", "Formal Languages", "COSI 30A", "S-even", 10, false},
+	{"COSI 190A", "Introduction to Programming Language Theory", "COSI 21B or COSI 30A", "F-odd", 12, false},
+	// AI / data electives.
+	{"COSI 101A", "Fundamentals of Artificial Intelligence", "COSI 21A and COSI 29A", "F", 11, false},
+	{"COSI 114A", "Fundamentals of Computational Linguistics", "COSI 29A and COSI 21A", "S", 9, false},
+	{"COSI 123A", "Statistical Machine Learning", "COSI 101A", "S-even", 12, false},
+	{"COSI 125A", "Social Network Analysis", "COSI 101A", "S-odd", 9, false},
+	{"COSI 126A", "Data Mining", "COSI 101A or COSI 127B", "S-even", 11, false},
+	{"COSI 132A", "Information Retrieval", "COSI 21A", "F-even", 9, false},
+	{"COSI 133A", "Graph Mining", "COSI 127B", "F-odd", 10, false},
+	{"COSI 134A", "Statistical Approaches to Natural Language Processing", "COSI 114A", "F-even", 11, false},
+	{"COSI 136A", "Automated Speech Recognition", "COSI 114A", "F-odd", 10, false},
+	{"COSI 140A", "Natural Language Annotation for Machine Learning", "COSI 114A", "S-odd", 8, false},
+	// Applications / interfaces electives.
+	{"COSI 25A", "Human-Computer Interaction", "COSI 12B or COSI 21A", "F", 8, false},
+	{"COSI 33B", "Internet and Society", "", "S", 6, false},
+	{"COSI 45A", "Programming Languages Survey", "COSI 12B", "F-odd", 10, false},
+	{"COSI 65A", "Introduction to Multimedia", "COSI 12B", "F-even", 7, false},
+	{"COSI 116A", "Information Visualization", "COSI 21A", "S-odd", 9, false},
+	{"COSI 118A", "Computer-Supported Cooperative Work", "COSI 25A or COSI 21A", "S-even", 8, false},
+	{"COSI 119A", "Autonomous Robotics", "COSI 21A", "S-odd", 11, false},
+	{"COSI 120A", "Software Entrepreneurship", "COSI 12B", "F-even", 8, false},
+	{"COSI 155B", "Computer Graphics", "COSI 21A", "F-odd", 11, false},
+}
+
+// expandPattern converts a pattern code to explicit offerings within
+// [FirstTerm, EndTerm].
+func expandPattern(pattern string) []term.Term {
+	var out []term.Term
+	for t := FirstTerm(); !t.After(EndTerm()); t = t.Next() {
+		season := t.Season()
+		odd := t.Year()%2 == 1
+		keep := false
+		switch pattern {
+		case "FS":
+			keep = true
+		case "F":
+			keep = season == term.Fall
+		case "S":
+			keep = season == term.Spring
+		case "F-odd":
+			keep = season == term.Fall && odd
+		case "F-even":
+			keep = season == term.Fall && !odd
+		case "S-odd":
+			keep = season == term.Spring && odd
+		case "S-even":
+			keep = season == term.Spring && !odd
+		default:
+			panic("brandeis: unknown schedule pattern " + pattern)
+		}
+		if keep {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Catalog builds the embedded 38-course catalog.
+func Catalog() *catalog.Catalog {
+	b := catalog.NewBuilder(term.TwoSeason)
+	for _, d := range courseDefs {
+		var q = d.prereq
+		b.Add(catalog.Course{
+			ID:       d.id,
+			Title:    d.title,
+			Prereq:   mustParse(q),
+			Offered:  expandPattern(d.pattern),
+			Workload: d.workload,
+		})
+	}
+	return b.MustBuild()
+}
+
+// CoreCourses returns the 7 core-course IDs of the CS major.
+func CoreCourses() []string {
+	var out []string
+	for _, d := range courseDefs {
+		if d.core {
+			out = append(out, d.id)
+		}
+	}
+	return out
+}
+
+// ElectiveCourses returns the 31 elective-eligible course IDs (every
+// non-core course).
+func ElectiveCourses() []string {
+	var out []string
+	for _, d := range courseDefs {
+		if !d.core {
+			out = append(out, d.id)
+		}
+	}
+	return out
+}
+
+// Major returns the CS-major goal of §5.1: "7 core courses and 5 elective
+// courses".
+func Major(cat *catalog.Catalog) (*degree.Requirement, error) {
+	return degree.NewRequirement(cat,
+		degree.GroupSpec{Name: "core", Count: 7, Courses: CoreCourses()},
+		degree.GroupSpec{Name: "elective", Count: 5, Courses: ElectiveCourses()},
+	)
+}

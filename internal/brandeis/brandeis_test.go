@@ -1,0 +1,138 @@
+package brandeis
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/explore"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if got := cat.Len(); got != 38 {
+		t.Fatalf("catalog has %d courses, want 38 (paper §5.1)", got)
+	}
+	if got := len(CoreCourses()); got != 7 {
+		t.Errorf("core courses = %d, want 7", got)
+	}
+	if got := len(ElectiveCourses()); got != 31 {
+		t.Errorf("elective courses = %d, want 31", got)
+	}
+	if u := cat.Unreachable(); len(u) != 0 {
+		t.Errorf("unreachable courses: %v", u)
+	}
+	if n := cat.NeverOffered(); len(n) != 0 {
+		t.Errorf("never-offered courses: %v", n)
+	}
+	if !cat.FirstTerm().Equal(FirstTerm()) || !cat.LastTerm().Equal(EndTerm()) {
+		t.Errorf("schedule window %v..%v", cat.FirstTerm(), cat.LastTerm())
+	}
+	for i := 0; i < cat.Len(); i++ {
+		if cat.Course(i).Workload <= 0 {
+			t.Errorf("course %s has no workload", cat.ID(i))
+		}
+		if cat.Course(i).Title == "" {
+			t.Errorf("course %s has no title", cat.ID(i))
+		}
+	}
+}
+
+func TestStartForSemesters(t *testing.T) {
+	if got := StartForSemesters(6); !got.Equal(term.TwoSeason.MustTerm(2012, term.Fall)) {
+		t.Errorf("6-semester start = %v, want Fall '12 (paper §5.2)", got)
+	}
+	if got := StartForSemesters(4); !got.Equal(term.TwoSeason.MustTerm(2013, term.Fall)) {
+		t.Errorf("4-semester start = %v, want Fall '13", got)
+	}
+}
+
+func TestMajorRequirement(t *testing.T) {
+	cat := Catalog()
+	major, err := Major(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if major.TotalSlots() != 12 {
+		t.Errorf("TotalSlots = %d, want 12", major.TotalSlots())
+	}
+	// All 38 courses satisfy the major.
+	all := bitset.New(cat.Len())
+	for i := 0; i < cat.Len(); i++ {
+		all.Add(i)
+	}
+	if !major.Satisfied(all) {
+		t.Error("completing everything does not satisfy the major")
+	}
+	// Core alone is insufficient.
+	core, err := cat.SetOf(CoreCourses()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if major.Satisfied(core) {
+		t.Error("7 core courses alone satisfy the major")
+	}
+	if got := major.Remaining(core); got != 5 {
+		t.Errorf("Remaining(core) = %d, want 5 electives", got)
+	}
+}
+
+// TestMajorFeasibleInFourSemesters verifies the Table 2 setting: a student
+// with no completed courses starting 4 semesters before Fall '15 can reach
+// the CS major with m = 3.
+func TestMajorFeasibleInFourSemesters(t *testing.T) {
+	cat := Catalog()
+	major, err := Major(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := status.New(cat, StartForSemesters(4), bitset.New(cat.Len()))
+	res, err := explore.GoalCount(cat, start, EndTerm(), major,
+		explore.PaperPruners(cat, major, MaxPerTerm), explore.Options{MaxPerTerm: MaxPerTerm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoalPaths == 0 {
+		t.Fatal("no goal paths in 4 semesters; Table 2 is unreproducible")
+	}
+}
+
+// TestScaleRegression pins the exact path counts of the tuned dataset so
+// accidental catalog edits that change every experiment are caught here
+// rather than in EXPERIMENTS.md diffs.
+func TestScaleRegression(t *testing.T) {
+	cat := Catalog()
+	major, err := Major(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := EndTerm()
+	opt := explore.Options{MaxPerTerm: MaxPerTerm}
+	cases := []struct {
+		d                   int
+		wantPaths, wantGoal int64
+	}{
+		{4, 1679, 117},
+		{5, 6716, 468},
+	}
+	for _, c := range cases {
+		startStatus := status.New(cat, StartForSemesters(c.d), bitset.New(cat.Len()))
+		res, err := explore.GoalCount(cat, startStatus, end, major,
+			explore.PaperPruners(cat, major, MaxPerTerm), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Paths != c.wantPaths || res.GoalPaths != c.wantGoal {
+			t.Errorf("d=%d: paths=%d goal=%d, want %d/%d",
+				c.d, res.Paths, res.GoalPaths, c.wantPaths, c.wantGoal)
+		}
+	}
+	dl, err := explore.DeadlineCount(cat, status.New(cat, StartForSemesters(4), bitset.New(cat.Len())), end, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.Paths != 117030 {
+		t.Errorf("deadline d=4 paths = %d, want 117030", dl.Paths)
+	}
+}

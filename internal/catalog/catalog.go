@@ -1,0 +1,366 @@
+// Package catalog models the registrar data CourseNavigator explores: the
+// course set C, each course's prerequisite condition Q and schedule S, and
+// the derived queries the path-generation algorithms issue in their inner
+// loops (which courses are offered in a semester, which of those a student
+// with completed set X may take).
+//
+// A Catalog assigns every course a dense index so that course sets are
+// bitsets and prerequisite conditions are compiled DNF clause sets
+// (see internal/expr and internal/bitset).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/expr"
+	"repro/internal/term"
+)
+
+// Course describes one course as provided by the registrar back-end.
+type Course struct {
+	// ID is the registrar identifier, e.g. "COSI 11A". Unique per catalog.
+	ID string
+	// Title is the human-readable course title.
+	Title string
+	// Prereq is the prerequisite condition Q. nil means no prerequisite.
+	Prereq expr.Expr
+	// Offered lists the semesters the course is offered (the schedule S).
+	Offered []term.Term
+	// Workload is the estimated weekly effort in hours, the paper's w(c),
+	// as reported by past students. Zero means unknown.
+	Workload float64
+}
+
+// Catalog is an immutable, indexed course catalog. Build one with Builder.
+type Catalog struct {
+	cal      *term.Calendar
+	courses  []Course
+	byID     map[string]int
+	compiled []expr.Compiled
+	// offered maps a term ordinal to the set of courses offered that term.
+	offered map[int]bitset.Set
+	// prefix[i] is the union of offerings in all recorded terms with
+	// ordinal >= i, used by availability pruning; see OfferedFrom.
+	minOrd, maxOrd int
+	suffix         []bitset.Set
+}
+
+// Builder accumulates courses and produces a validated Catalog.
+type Builder struct {
+	cal     *term.Calendar
+	courses []Course
+	seen    map[string]int
+	err     error
+}
+
+// NewBuilder returns a Builder for catalogs over the given academic
+// calendar.
+func NewBuilder(cal *term.Calendar) *Builder {
+	return &Builder{cal: cal, seen: map[string]int{}}
+}
+
+// Add appends a course. Errors (duplicate ID, foreign-calendar offerings)
+// are deferred to Build.
+func (b *Builder) Add(c Course) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if c.ID == "" {
+		b.err = fmt.Errorf("catalog: course with empty ID")
+		return b
+	}
+	if _, dup := b.seen[c.ID]; dup {
+		b.err = fmt.Errorf("catalog: duplicate course %q", c.ID)
+		return b
+	}
+	for _, t := range c.Offered {
+		if t.IsZero() || t.Calendar() != b.cal {
+			b.err = fmt.Errorf("catalog: course %q offered in term from a different calendar", c.ID)
+			return b
+		}
+	}
+	if c.Prereq == nil {
+		c.Prereq = expr.True{}
+	}
+	c.Offered = append([]term.Term(nil), c.Offered...)
+	sort.Slice(c.Offered, func(i, j int) bool { return c.Offered[i].Before(c.Offered[j]) })
+	b.seen[c.ID] = len(b.courses)
+	b.courses = append(b.courses, c)
+	return b
+}
+
+// Build validates the accumulated courses and returns the Catalog. Every
+// prerequisite must reference only courses in the catalog.
+func (b *Builder) Build() (*Catalog, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.courses) == 0 {
+		return nil, fmt.Errorf("catalog: no courses")
+	}
+	n := len(b.courses)
+	cat := &Catalog{
+		cal:      b.cal,
+		courses:  append([]Course(nil), b.courses...),
+		byID:     make(map[string]int, n),
+		compiled: make([]expr.Compiled, n),
+		offered:  map[int]bitset.Set{},
+		minOrd:   -1,
+		maxOrd:   -1,
+	}
+	for i, c := range cat.courses {
+		cat.byID[c.ID] = i
+	}
+	index := func(id string) (int, error) {
+		i, ok := cat.byID[id]
+		if !ok {
+			return 0, fmt.Errorf("catalog: prerequisite references unknown course %q", id)
+		}
+		return i, nil
+	}
+	for i, c := range cat.courses {
+		comp, err := expr.Compile(c.Prereq, n, index)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: course %q: %v", c.ID, err)
+		}
+		cat.compiled[i] = comp
+		for _, t := range c.Offered {
+			o := t.Ordinal()
+			s, ok := cat.offered[o]
+			if !ok {
+				s = bitset.New(n)
+				cat.offered[o] = s
+			}
+			s.Add(i)
+			cat.offered[o] = s
+			if cat.minOrd < 0 || o < cat.minOrd {
+				cat.minOrd = o
+			}
+			if o > cat.maxOrd {
+				cat.maxOrd = o
+			}
+		}
+	}
+	cat.buildSuffix()
+	return cat, nil
+}
+
+// buildSuffix precomputes, for every recorded ordinal o, the union of all
+// offerings at ordinals >= o.
+func (c *Catalog) buildSuffix() {
+	if c.minOrd < 0 {
+		return
+	}
+	n := len(c.courses)
+	width := c.maxOrd - c.minOrd + 1
+	c.suffix = make([]bitset.Set, width+1)
+	c.suffix[width] = bitset.New(n)
+	for i := width - 1; i >= 0; i-- {
+		u := c.suffix[i+1].Clone()
+		if s, ok := c.offered[c.minOrd+i]; ok {
+			u.UnionInPlace(s)
+		}
+		c.suffix[i] = u
+	}
+}
+
+// MustBuild is Build but panics on error; intended for embedded datasets
+// and tests.
+func (b *Builder) MustBuild() *Catalog {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Calendar returns the academic calendar the catalog's schedule uses.
+func (c *Catalog) Calendar() *term.Calendar { return c.cal }
+
+// Len returns the number of courses.
+func (c *Catalog) Len() int { return len(c.courses) }
+
+// Course returns the course at dense index i.
+func (c *Catalog) Course(i int) Course { return c.courses[i] }
+
+// Index returns the dense index of a course ID.
+func (c *Catalog) Index(id string) (int, bool) {
+	i, ok := c.byID[id]
+	return i, ok
+}
+
+// MustIndex is Index but panics when the ID is unknown.
+func (c *Catalog) MustIndex(id string) int {
+	i, ok := c.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("catalog: unknown course %q", id))
+	}
+	return i
+}
+
+// ID returns the course ID at dense index i.
+func (c *Catalog) ID(i int) string { return c.courses[i].ID }
+
+// IDs converts a course bitset to sorted course IDs.
+func (c *Catalog) IDs(s bitset.Set) []string {
+	out := make([]string, 0, s.Len())
+	s.ForEach(func(i int) { out = append(out, c.courses[i].ID) })
+	return out
+}
+
+// SetOf builds a course bitset from IDs, failing on unknown IDs.
+func (c *Catalog) SetOf(ids ...string) (bitset.Set, error) {
+	s := bitset.New(len(c.courses))
+	for _, id := range ids {
+		i, ok := c.byID[id]
+		if !ok {
+			return bitset.Set{}, fmt.Errorf("catalog: unknown course %q", id)
+		}
+		s.Add(i)
+	}
+	return s, nil
+}
+
+// MustSetOf is SetOf but panics on unknown IDs.
+func (c *Catalog) MustSetOf(ids ...string) bitset.Set {
+	s, err := c.SetOf(ids...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Compiled returns the compiled prerequisite condition of course i.
+func (c *Catalog) Compiled(i int) expr.Compiled { return c.compiled[i] }
+
+// PrereqSatisfied reports whether completed set x satisfies course i's
+// prerequisite condition.
+func (c *Catalog) PrereqSatisfied(i int, x bitset.Set) bool {
+	return c.compiled[i].Satisfied(x)
+}
+
+// OfferedIn returns the set of courses offered in term t. The returned set
+// must not be mutated.
+func (c *Catalog) OfferedIn(t term.Term) bitset.Set {
+	if s, ok := c.offered[t.Ordinal()]; ok {
+		return s
+	}
+	return bitset.Set{}
+}
+
+// OfferedFrom returns the union of course offerings over every term in
+// [from, to] (inclusive). The returned set must not be mutated. This is the
+// C_offered quantity of the course-availability pruning strategy.
+func (c *Catalog) OfferedFrom(from, to term.Term) bitset.Set {
+	if c.minOrd < 0 || from.After(to) {
+		return bitset.Set{}
+	}
+	lo, hi := from.Ordinal(), to.Ordinal()
+	if hi < c.minOrd || lo > c.maxOrd {
+		return bitset.Set{}
+	}
+	if lo < c.minOrd {
+		lo = c.minOrd
+	}
+	if hi >= c.maxOrd {
+		// Suffix union from lo covers everything to the end of the schedule.
+		return c.suffix[lo-c.minOrd]
+	}
+	// Rare general case: accumulate term by term.
+	n := len(c.courses)
+	u := bitset.New(n)
+	for o := lo; o <= hi; o++ {
+		if s, ok := c.offered[o]; ok {
+			u.UnionInPlace(s)
+		}
+	}
+	return u
+}
+
+// FirstTerm returns the earliest term with any offering, or a zero Term if
+// the schedule is empty.
+func (c *Catalog) FirstTerm() term.Term {
+	return c.termAt(c.minOrd)
+}
+
+// LastTerm returns the latest term with any offering, or a zero Term if the
+// schedule is empty.
+func (c *Catalog) LastTerm() term.Term {
+	return c.termAt(c.maxOrd)
+}
+
+func (c *Catalog) termAt(ord int) term.Term {
+	if ord < 0 {
+		return term.Term{}
+	}
+	// Reconstruct a Term with the catalog's calendar at the given ordinal.
+	base := c.cal.MustTerm(ord/c.cal.TermsPerYear(), c.cal.Seasons()[ord%c.cal.TermsPerYear()])
+	return base
+}
+
+// Options computes the paper's course-option set Y for a student with
+// completed courses x in semester t:
+//
+//	Y = { c ∈ C − x | Q_c(x) ∧ t ∈ S_c }
+//
+// The result is a fresh set the caller may mutate.
+func (c *Catalog) Options(x bitset.Set, t term.Term) bitset.Set {
+	avail := c.OfferedIn(t).Diff(x)
+	if avail.Empty() {
+		return avail
+	}
+	// Drop offered courses whose prerequisites x does not satisfy.
+	avail.ForEach(func(i int) {
+		if !c.compiled[i].Satisfied(x) {
+			avail.Remove(i)
+		}
+	})
+	return avail
+}
+
+// Unreachable returns the IDs of courses that can never be taken regardless
+// of schedule: courses whose prerequisite condition is unsatisfiable even if
+// the student completed every other reachable course. It is a lint for
+// registrar data (e.g. mutually-recursive prerequisites).
+func (c *Catalog) Unreachable() []string {
+	n := len(c.courses)
+	reach := bitset.New(n)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !reach.Contains(i) && c.compiled[i].Satisfied(reach) {
+				reach.Add(i)
+				changed = true
+			}
+		}
+	}
+	var out []string
+	for i := 0; i < n; i++ {
+		if !reach.Contains(i) {
+			out = append(out, c.courses[i].ID)
+		}
+	}
+	return out
+}
+
+// NeverOffered returns the IDs of courses with an empty schedule.
+func (c *Catalog) NeverOffered() []string {
+	var out []string
+	for _, course := range c.courses {
+		if len(course.Offered) == 0 {
+			out = append(out, course.ID)
+		}
+	}
+	return out
+}
+
+// Workloads returns the per-index workload vector w.
+func (c *Catalog) Workloads() []float64 {
+	out := make([]float64, len(c.courses))
+	for i, course := range c.courses {
+		out[i] = course.Workload
+	}
+	return out
+}

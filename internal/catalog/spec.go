@@ -1,0 +1,87 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/expr"
+	"repro/internal/term"
+)
+
+// CourseSpec is the serialisable form of a Course, as produced by the
+// registrar parsers and consumed by the HTTP service and CLI. Prereq uses
+// the textual prerequisite language of internal/expr; Offered uses term
+// labels ("Fall 2011").
+type CourseSpec struct {
+	ID       string   `json:"id"`
+	Title    string   `json:"title,omitempty"`
+	Prereq   string   `json:"prereq,omitempty"`
+	Offered  []string `json:"offered"`
+	Workload float64  `json:"workload,omitempty"`
+}
+
+// FromSpecs builds a Catalog from serialised course specs.
+func FromSpecs(cal *term.Calendar, specs []CourseSpec) (*Catalog, error) {
+	b := NewBuilder(cal)
+	for _, sp := range specs {
+		q, err := expr.Parse(sp.Prereq)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: course %q: %v", sp.ID, err)
+		}
+		offered := make([]term.Term, 0, len(sp.Offered))
+		for _, lbl := range sp.Offered {
+			t, err := term.Parse(cal, lbl)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: course %q: %v", sp.ID, err)
+			}
+			offered = append(offered, t)
+		}
+		b.Add(Course{
+			ID:       sp.ID,
+			Title:    sp.Title,
+			Prereq:   q,
+			Offered:  offered,
+			Workload: sp.Workload,
+		})
+	}
+	return b.Build()
+}
+
+// Specs returns the serialisable form of every course, in dense-index
+// order.
+func (c *Catalog) Specs() []CourseSpec {
+	out := make([]CourseSpec, len(c.courses))
+	for i, course := range c.courses {
+		sp := CourseSpec{
+			ID:       course.ID,
+			Title:    course.Title,
+			Workload: course.Workload,
+			Offered:  make([]string, len(course.Offered)),
+		}
+		if _, isTrue := course.Prereq.(expr.True); !isTrue {
+			sp.Prereq = course.Prereq.String()
+		}
+		for j, t := range course.Offered {
+			sp.Offered[j] = t.Label()
+		}
+		out[i] = sp
+	}
+	return out
+}
+
+// WriteJSON serialises the catalog as a JSON array of course specs.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Specs())
+}
+
+// ReadJSON builds a catalog from a JSON array of course specs.
+func ReadJSON(cal *term.Calendar, r io.Reader) (*Catalog, error) {
+	var specs []CourseSpec
+	if err := json.NewDecoder(r).Decode(&specs); err != nil {
+		return nil, fmt.Errorf("catalog: decoding specs: %v", err)
+	}
+	return FromSpecs(cal, specs)
+}

@@ -1,0 +1,111 @@
+// Package combin enumerates the course combinations Algorithm 1 explores:
+// all subsets W of the option set Y with 1 ≤ |W| ≤ m (line 7-9 of the
+// paper's pseudocode).
+//
+// Enumeration order is deterministic — ascending subset size, then
+// lexicographic by course index — so exploration output is reproducible
+// and tests can assert exact graphs.
+package combin
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/bitset"
+)
+
+// ForEachCombination calls fn with every combination of the members of y
+// of size 1..maxSize, in ascending-size lexicographic order. The slice
+// passed to fn is reused between calls; fn must copy it to retain it.
+// Enumeration stops early if fn returns false. maxSize ≤ 0 means no limit.
+func ForEachCombination(y bitset.Set, maxSize int, fn func(comb []int) bool) {
+	members := y.Members()
+	n := len(members)
+	if n == 0 {
+		return
+	}
+	if maxSize <= 0 || maxSize > n {
+		maxSize = n
+	}
+	idx := make([]int, maxSize)
+	comb := make([]int, maxSize)
+	for k := 1; k <= maxSize; k++ {
+		// Initial combination 0,1,...,k-1.
+		for i := 0; i < k; i++ {
+			idx[i] = i
+		}
+		for {
+			for i := 0; i < k; i++ {
+				comb[i] = members[idx[i]]
+			}
+			if !fn(comb[:k]) {
+				return
+			}
+			// Advance to the next k-combination.
+			i := k - 1
+			for i >= 0 && idx[i] == n-k+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < k; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+	}
+}
+
+// Subsets returns every non-empty subset of y with size at most maxSize as
+// independent bitsets, in enumeration order. Intended for tests and small
+// sets; the exploration hot path uses ForEachCombination.
+func Subsets(y bitset.Set, maxSize int, capacity int) []bitset.Set {
+	var out []bitset.Set
+	ForEachCombination(y, maxSize, func(comb []int) bool {
+		out = append(out, bitset.FromMembers(capacity, comb...))
+		return true
+	})
+	return out
+}
+
+// Count returns the number of combinations ForEachCombination will
+// enumerate: Σ_{i=1..m} C(|y|, i) — the per-node branching factor formula
+// of paper §4.3. It saturates at math.MaxInt64 on overflow.
+func Count(n, maxSize int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if maxSize <= 0 || maxSize > n {
+		maxSize = n
+	}
+	var total int64
+	for k := 1; k <= maxSize; k++ {
+		c := Binomial(n, k)
+		if c == math.MaxInt64 || total > math.MaxInt64-c {
+			return math.MaxInt64
+		}
+		total += c
+	}
+	return total
+}
+
+// Binomial returns C(n, k), saturating at math.MaxInt64 on overflow.
+func Binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := big.NewInt(1)
+	tmp := new(big.Int)
+	for i := 1; i <= k; i++ {
+		res.Mul(res, tmp.SetInt64(int64(n-k+i)))
+		res.Quo(res, tmp.SetInt64(int64(i)))
+	}
+	if !res.IsInt64() {
+		return math.MaxInt64
+	}
+	return res.Int64()
+}

@@ -1,0 +1,163 @@
+// Package datagen generates parameterised synthetic course catalogs for
+// benchmarks that scale beyond the fixed 38-course evaluation dataset
+// (internal/brandeis): wider catalogs, deeper prerequisite chains, denser
+// or sparser schedules. Generation is layered — an intro layer without
+// prerequisites, then layers whose prerequisites draw on earlier layers —
+// which matches how real curricula are structured and guarantees every
+// course is reachable.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/degree"
+	"repro/internal/expr"
+	"repro/internal/term"
+)
+
+// Params configures catalog generation. The zero value is invalid; start
+// from Default.
+type Params struct {
+	// Courses is the catalog size.
+	Courses int
+	// IntroFraction is the fraction of courses with no prerequisites.
+	IntroFraction float64
+	// Layers is the prerequisite-lattice depth (including the intro layer).
+	Layers int
+	// OrProb is the probability a prerequisite condition is a disjunction
+	// of two courses instead of a single course; conjunctions of two are
+	// used with the same probability.
+	OrProb float64
+	// Terms is the schedule-window length in semesters.
+	Terms int
+	// OfferProb is the per-(course, term) offering probability; seasonal
+	// patterns emerge by thresholding per-course season affinity.
+	OfferProb float64
+	// Seed drives all randomness; equal Params generate equal catalogs.
+	Seed int64
+}
+
+// Default returns parameters roughly matching the Brandeis evaluation
+// dataset's shape.
+func Default() Params {
+	return Params{
+		Courses:       38,
+		IntroFraction: 0.1,
+		Layers:        4,
+		OrProb:        0.2,
+		Terms:         9,
+		OfferProb:     0.55,
+		Seed:          1,
+	}
+}
+
+// Generate builds the catalog described by p. The schedule window starts
+// at Fall 2011.
+func Generate(p Params) (*catalog.Catalog, error) {
+	switch {
+	case p.Courses < 2:
+		return nil, fmt.Errorf("datagen: need at least 2 courses, got %d", p.Courses)
+	case p.Layers < 2:
+		return nil, fmt.Errorf("datagen: need at least 2 layers, got %d", p.Layers)
+	case p.Terms < 2:
+		return nil, fmt.Errorf("datagen: need at least 2 terms, got %d", p.Terms)
+	case p.IntroFraction <= 0 || p.IntroFraction > 1:
+		return nil, fmt.Errorf("datagen: IntroFraction %g out of (0,1]", p.IntroFraction)
+	case p.OfferProb <= 0 || p.OfferProb > 1:
+		return nil, fmt.Errorf("datagen: OfferProb %g out of (0,1]", p.OfferProb)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	intro := int(float64(p.Courses)*p.IntroFraction + 0.5)
+	if intro < 1 {
+		intro = 1
+	}
+	// Assign layers: intro courses to layer 0, the rest spread over
+	// layers 1..Layers-1.
+	layerOf := make([]int, p.Courses)
+	for i := range layerOf {
+		if i < intro {
+			layerOf[i] = 0
+		} else {
+			layerOf[i] = 1 + (i-intro)*(p.Layers-1)/(p.Courses-intro)
+		}
+	}
+	first := term.TwoSeason.MustTerm(2011, term.Fall)
+	last := first.Add(p.Terms - 1)
+	b := catalog.NewBuilder(term.TwoSeason)
+	for i := 0; i < p.Courses; i++ {
+		id := fmt.Sprintf("GEN %d%c", i/4+1, 'A'+i%4)
+		var q expr.Expr = expr.True{}
+		if layerOf[i] > 0 {
+			// Pick prerequisites from strictly earlier layers.
+			pick := func() expr.Expr {
+				for {
+					j := rng.Intn(i)
+					if layerOf[j] < layerOf[i] {
+						return expr.Course{ID: fmt.Sprintf("GEN %d%c", j/4+1, 'A'+j%4)}
+					}
+				}
+			}
+			switch r := rng.Float64(); {
+			case r < p.OrProb:
+				q = expr.NewOr(pick(), pick())
+			case r < 2*p.OrProb:
+				q = expr.NewAnd(pick(), pick())
+			default:
+				q = pick()
+			}
+		}
+		// Seasonal affinity: a third fall-leaning, a third spring-leaning,
+		// a third even.
+		affinity := rng.Intn(3)
+		var offered []term.Term
+		for t := first; !t.After(last); t = t.Next() {
+			pr := p.OfferProb
+			switch {
+			case affinity == 0 && t.Season() != term.Fall:
+				pr *= 0.3
+			case affinity == 1 && t.Season() != term.Spring:
+				pr *= 0.3
+			}
+			if rng.Float64() < pr {
+				offered = append(offered, t)
+			}
+		}
+		if len(offered) == 0 {
+			// Guarantee at least one offering so the course is reachable.
+			offered = append(offered, first.Add(rng.Intn(p.Terms)))
+		}
+		b.Add(catalog.Course{
+			ID:       id,
+			Title:    fmt.Sprintf("Generated Course %d (layer %d)", i, layerOf[i]),
+			Prereq:   q,
+			Offered:  offered,
+			Workload: 6 + rng.Float64()*8,
+		})
+	}
+	return b.Build()
+}
+
+// GenerateRequirement builds a degree requirement over a generated
+// catalog: coreCount courses sampled from the lower layers (by index
+// order, deterministic given the catalog) plus electiveCount drawn from
+// the remainder.
+func GenerateRequirement(cat *catalog.Catalog, coreCount, electiveCount int) (*degree.Requirement, error) {
+	n := cat.Len()
+	if coreCount+electiveCount > n {
+		return nil, fmt.Errorf("datagen: requirement %d+%d exceeds catalog of %d", coreCount, electiveCount, n)
+	}
+	var core, elective []string
+	for i := 0; i < n; i++ {
+		if i < coreCount {
+			core = append(core, cat.ID(i))
+		} else {
+			elective = append(elective, cat.ID(i))
+		}
+	}
+	return degree.NewRequirement(cat,
+		degree.GroupSpec{Name: "core", Count: coreCount, Courses: core},
+		degree.GroupSpec{Name: "elective", Count: electiveCount, Courses: elective},
+	)
+}

@@ -1,0 +1,118 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/explore"
+	"repro/internal/status"
+)
+
+func TestGenerateDefault(t *testing.T) {
+	cat, err := Generate(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 38 {
+		t.Errorf("Len = %d", cat.Len())
+	}
+	if u := cat.Unreachable(); len(u) != 0 {
+		t.Errorf("unreachable: %v", u)
+	}
+	if n := cat.NeverOffered(); len(n) != 0 {
+		t.Errorf("never offered: %v", n)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		ca, cb := a.Course(i), b.Course(i)
+		if ca.ID != cb.ID || ca.Prereq.String() != cb.Prereq.String() ||
+			len(ca.Offered) != len(cb.Offered) || ca.Workload != cb.Workload {
+			t.Fatalf("course %d differs across equal-seed generations", i)
+		}
+	}
+	p := Default()
+	p.Seed = 99
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if a.Course(i).Prereq.String() != c.Course(i).Prereq.String() ||
+			len(a.Course(i).Offered) != len(c.Course(i).Offered) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds generated identical catalogs")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Params{
+		{},
+		{Courses: 1, Layers: 2, Terms: 4, IntroFraction: 0.2, OfferProb: 0.5},
+		{Courses: 10, Layers: 1, Terms: 4, IntroFraction: 0.2, OfferProb: 0.5},
+		{Courses: 10, Layers: 2, Terms: 1, IntroFraction: 0.2, OfferProb: 0.5},
+		{Courses: 10, Layers: 2, Terms: 4, IntroFraction: 0, OfferProb: 0.5},
+		{Courses: 10, Layers: 2, Terms: 4, IntroFraction: 0.2, OfferProb: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGeneratedCatalogExplores(t *testing.T) {
+	p := Default()
+	p.Courses = 16
+	p.Terms = 6
+	cat, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := status.New(cat, cat.FirstTerm(), bitset.New(cat.Len()))
+	res, err := explore.DeadlineCount(cat, start, cat.FirstTerm().Add(3), explore.Options{MaxPerTerm: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paths == 0 {
+		t.Error("generated catalog produced no learning paths")
+	}
+}
+
+func TestGenerateRequirement(t *testing.T) {
+	cat, err := Generate(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := GenerateRequirement(cat, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalSlots() != 8 {
+		t.Errorf("TotalSlots = %d", r.TotalSlots())
+	}
+	all := bitset.New(cat.Len())
+	for i := 0; i < cat.Len(); i++ {
+		all.Add(i)
+	}
+	if !r.Satisfied(all) {
+		t.Error("full catalog does not satisfy generated requirement")
+	}
+	if _, err := GenerateRequirement(cat, 30, 30); err == nil {
+		t.Error("oversized requirement accepted")
+	}
+}

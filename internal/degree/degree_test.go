@@ -1,0 +1,350 @@
+package degree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/term"
+)
+
+// testCatalog builds a 10-course catalog c0..c9, all offered Fall 2011, no
+// prerequisites (prereqs are irrelevant to goal logic).
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	f11 := term.TwoSeason.MustTerm(2011, term.Fall)
+	b := catalog.NewBuilder(term.TwoSeason)
+	for _, id := range []string{"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9"} {
+		b.Add(catalog.Course{ID: id, Offered: []term.Term{f11}})
+	}
+	cat, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestCourseSetGoal(t *testing.T) {
+	cat := testCatalog(t)
+	g, err := NewCourseSet(cat, "c1", "c2", "c3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Satisfied(cat.MustSetOf("c1", "c2")) {
+		t.Error("satisfied by partial set")
+	}
+	if !g.Satisfied(cat.MustSetOf("c1", "c2", "c3", "c9")) {
+		t.Error("not satisfied by superset")
+	}
+	if got := g.Remaining(cat.MustSetOf("c1")); got != 2 {
+		t.Errorf("Remaining = %d, want 2", got)
+	}
+	if got := g.Remaining(cat.MustSetOf("c1", "c2", "c3")); got != 0 {
+		t.Errorf("Remaining at goal = %d", got)
+	}
+	if !g.Relevant().Equal(cat.MustSetOf("c1", "c2", "c3")) {
+		t.Error("Relevant wrong")
+	}
+	if !strings.Contains(g.String(), "c2") {
+		t.Errorf("String = %q", g.String())
+	}
+	if _, err := NewCourseSet(cat, "nope"); err == nil {
+		t.Error("unknown course accepted")
+	}
+}
+
+func TestExprGoal(t *testing.T) {
+	cat := testCatalog(t)
+	g, err := NewExpr(cat, "(c0 and c1) or (c2 and c3 and c4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Satisfied(cat.MustSetOf("c0", "c1")) {
+		t.Error("first clause not recognised")
+	}
+	if !g.Satisfied(cat.MustSetOf("c2", "c3", "c4")) {
+		t.Error("second clause not recognised")
+	}
+	if g.Satisfied(cat.MustSetOf("c0", "c2")) {
+		t.Error("partial clauses satisfied")
+	}
+	if got := g.Remaining(cat.MustSetOf("c0")); got != 1 {
+		t.Errorf("Remaining = %d, want 1", got)
+	}
+	if got := g.Remaining(bitset.New(10)); got != 2 {
+		t.Errorf("Remaining empty = %d, want 2", got)
+	}
+	if !g.Relevant().Equal(cat.MustSetOf("c0", "c1", "c2", "c3", "c4")) {
+		t.Error("Relevant wrong")
+	}
+	if _, err := NewExpr(cat, "((("); err == nil {
+		t.Error("bad expression accepted")
+	}
+	if _, err := NewExpr(cat, "ghost99"); err == nil {
+		t.Error("unknown course accepted")
+	}
+}
+
+func TestRequirementDisjointGroups(t *testing.T) {
+	cat := testCatalog(t)
+	r, err := NewRequirement(cat,
+		GroupSpec{Name: "core", Count: 2, Courses: []string{"c0", "c1"}},
+		GroupSpec{Name: "elective", Count: 2, Courses: []string{"c2", "c3", "c4"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalSlots() != 4 {
+		t.Errorf("TotalSlots = %d", r.TotalSlots())
+	}
+	if got := r.Remaining(bitset.New(10)); got != 4 {
+		t.Errorf("Remaining empty = %d", got)
+	}
+	if got := r.Remaining(cat.MustSetOf("c0", "c2")); got != 2 {
+		t.Errorf("Remaining half = %d", got)
+	}
+	// Extra electives beyond the count don't help.
+	if got := r.Remaining(cat.MustSetOf("c2", "c3", "c4")); got != 2 {
+		t.Errorf("Remaining extra electives = %d", got)
+	}
+	if !r.Satisfied(cat.MustSetOf("c0", "c1", "c2", "c4")) {
+		t.Error("satisfying set rejected")
+	}
+	if r.Satisfied(cat.MustSetOf("c0", "c1", "c2")) {
+		t.Error("short set accepted")
+	}
+	// Irrelevant courses are ignored.
+	if got := r.Remaining(cat.MustSetOf("c8", "c9")); got != 4 {
+		t.Errorf("Remaining irrelevant = %d", got)
+	}
+	if len(r.Groups()) != 2 {
+		t.Error("Groups length")
+	}
+	if s := r.String(); !strings.Contains(s, "core") || !strings.Contains(s, "elective") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRequirementOverlappingGroups(t *testing.T) {
+	cat := testCatalog(t)
+	// c2 belongs to both groups; no double counting.
+	r, err := NewRequirement(cat,
+		GroupSpec{Name: "a", Count: 1, Courses: []string{"c0", "c2"}},
+		GroupSpec{Name: "b", Count: 1, Courses: []string{"c1", "c2"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c2 alone fills only one slot.
+	if got := r.Remaining(cat.MustSetOf("c2")); got != 1 {
+		t.Errorf("Remaining with shared course = %d, want 1", got)
+	}
+	if r.Satisfied(cat.MustSetOf("c2")) {
+		t.Error("double-counted shared course")
+	}
+	if !r.Satisfied(cat.MustSetOf("c2", "c0")) {
+		t.Error("optimal assignment missed: c2→b, c0→a")
+	}
+	if !r.Satisfied(cat.MustSetOf("c2", "c1")) {
+		t.Error("optimal assignment missed: c2→a, c1→b")
+	}
+}
+
+func TestRequirementAnonymousGroupString(t *testing.T) {
+	cat := testCatalog(t)
+	r, err := NewRequirement(cat, GroupSpec{Count: 1, Courses: []string{"c0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.String(), "group 1") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestRequirementErrors(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := NewRequirement(cat); err == nil {
+		t.Error("empty requirement accepted")
+	}
+	if _, err := NewRequirement(cat, GroupSpec{Count: 0, Courses: []string{"c0"}}); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := NewRequirement(cat, GroupSpec{Count: 3, Courses: []string{"c0"}}); err == nil {
+		t.Error("count beyond pool accepted")
+	}
+	if _, err := NewRequirement(cat, GroupSpec{Count: 1, Courses: []string{"nope"}}); err == nil {
+		t.Error("unknown course accepted")
+	}
+}
+
+func TestRemainingMonotonicity(t *testing.T) {
+	// Remaining must be non-increasing as courses are added — the property
+	// pruning soundness rests on. Check on random requirement structures.
+	cat := testCatalog(t)
+	rng := rand.New(rand.NewSource(5))
+	ids := []string{"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9"}
+	for trial := 0; trial < 50; trial++ {
+		pick := func(k int) []string {
+			perm := rng.Perm(len(ids))
+			out := make([]string, k)
+			for i := 0; i < k; i++ {
+				out[i] = ids[perm[i]]
+			}
+			return out
+		}
+		r, err := NewRequirement(cat,
+			GroupSpec{Name: "g1", Count: 1 + rng.Intn(2), Courses: pick(3 + rng.Intn(3))},
+			GroupSpec{Name: "g2", Count: 1 + rng.Intn(3), Courses: pick(4 + rng.Intn(4))},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := bitset.New(10)
+		prev := r.Remaining(x)
+		order := rng.Perm(10)
+		for _, ci := range order {
+			x.Add(ci)
+			cur := r.Remaining(x)
+			if cur > prev {
+				t.Fatalf("Remaining increased %d→%d after adding c%d (%s)", prev, cur, ci, r)
+			}
+			if prev-cur > 1 {
+				t.Fatalf("Remaining dropped by %d after one course", prev-cur)
+			}
+			prev = cur
+		}
+		if prev != 0 {
+			t.Fatalf("Remaining nonzero with all courses: %d", prev)
+		}
+		if !r.Satisfied(x) {
+			t.Fatal("all courses don't satisfy requirement")
+		}
+	}
+}
+
+func TestSatisfiedIffRemainingZero(t *testing.T) {
+	cat := testCatalog(t)
+	r, err := NewRequirement(cat,
+		GroupSpec{Name: "a", Count: 2, Courses: []string{"c0", "c1", "c2"}},
+		GroupSpec{Name: "b", Count: 2, Courses: []string{"c2", "c3", "c4"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		x := bitset.New(10)
+		for i := 0; i < 10; i++ {
+			if rng.Intn(2) == 0 {
+				x.Add(i)
+			}
+		}
+		if r.Satisfied(x) != (r.Remaining(x) == 0) {
+			t.Fatalf("Satisfied and Remaining disagree on %v", x)
+		}
+	}
+}
+
+func TestAchievable(t *testing.T) {
+	cat := testCatalog(t)
+	g, _ := NewCourseSet(cat, "c0", "c1")
+	if !Achievable(g, cat.MustSetOf("c0", "c1", "c2")) {
+		t.Error("achievable goal reported unachievable")
+	}
+	if Achievable(g, cat.MustSetOf("c0")) {
+		t.Error("unachievable goal reported achievable")
+	}
+}
+
+func TestExprGoalString(t *testing.T) {
+	cat := testCatalog(t)
+	g, err := NewExpr(cat, "c0 and c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.String(); got != "satisfy c0 and c1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRequirementRelevantIsCopy(t *testing.T) {
+	cat := testCatalog(t)
+	r, err := NewRequirement(cat, GroupSpec{Name: "g", Count: 1, Courses: []string{"c0", "c1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := r.Relevant()
+	if !rel.Equal(cat.MustSetOf("c0", "c1")) {
+		t.Errorf("Relevant = %v", rel)
+	}
+	rel.Add(5)
+	if r.Relevant().Contains(5) {
+		t.Error("Relevant returned aliased storage")
+	}
+}
+
+func TestAssignDisjoint(t *testing.T) {
+	cat := testCatalog(t)
+	r, err := NewRequirement(cat,
+		GroupSpec{Name: "core", Count: 2, Courses: []string{"c0", "c1", "c2"}},
+		GroupSpec{Name: "elect", Count: 1, Courses: []string{"c3", "c4"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Assign(cat.MustSetOf("c0", "c1", "c2", "c3", "c9"))
+	// Two of {c0,c1,c2} fill core (the third is surplus), c3 fills elect,
+	// c9 is irrelevant.
+	coreFilled, electFilled := 0, 0
+	for ci, gi := range got {
+		switch gi {
+		case 0:
+			coreFilled++
+			if ci > 2 {
+				t.Errorf("course %d assigned to core", ci)
+			}
+		case 1:
+			electFilled++
+			if ci != 3 {
+				t.Errorf("course %d assigned to elect", ci)
+			}
+		}
+	}
+	if coreFilled != 2 || electFilled != 1 {
+		t.Errorf("filled = %d/%d, want 2/1 (assignment %v)", coreFilled, electFilled, got)
+	}
+}
+
+func TestAssignOverlappingMatchesRemaining(t *testing.T) {
+	cat := testCatalog(t)
+	r, err := NewRequirement(cat,
+		GroupSpec{Name: "a", Count: 1, Courses: []string{"c0", "c2"}},
+		GroupSpec{Name: "b", Count: 1, Courses: []string{"c1", "c2"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, have := range [][]string{{"c2"}, {"c2", "c0"}, {"c2", "c1"}, {"c0", "c1", "c2"}} {
+		x := cat.MustSetOf(have...)
+		assigned := r.Assign(x)
+		if len(assigned) != r.TotalSlots()-r.Remaining(x) {
+			t.Errorf("have %v: assignment size %d != matched %d",
+				have, len(assigned), r.TotalSlots()-r.Remaining(x))
+		}
+		// No group over-filled; every assignment valid.
+		fill := map[int]int{}
+		for ci, gi := range assigned {
+			if !r.Groups()[gi].Courses.Contains(ci) {
+				t.Errorf("course %d not in group %d", ci, gi)
+			}
+			fill[gi]++
+		}
+		for gi, n := range fill {
+			if n > r.Groups()[gi].Count {
+				t.Errorf("group %d over-filled: %d", gi, n)
+			}
+		}
+	}
+}

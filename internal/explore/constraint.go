@@ -1,0 +1,127 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/status"
+)
+
+// A Constraint restricts which course selections W the engine may emit
+// from a node (paper §3 lists student constraints — "maximum number of
+// courses to take per semester, courses to avoid" — of which the maximum
+// is Options.MaxPerTerm and the rest are Constraints). Constraints shape
+// the path universe itself: a selection rejected by any constraint exists
+// on no generated path, for all three algorithms.
+type Constraint interface {
+	// Allow reports whether selection w may be elected at status st.
+	Allow(st status.Status, w bitset.Set) bool
+	// String describes the constraint for logs and UIs.
+	String() string
+}
+
+// Avoid rejects any selection containing one of the given courses —
+// the paper's "courses to avoid".
+type Avoid struct {
+	cat     *catalog.Catalog
+	courses bitset.Set
+}
+
+// NewAvoid builds an Avoid constraint from course IDs.
+func NewAvoid(cat *catalog.Catalog, ids ...string) (*Avoid, error) {
+	s, err := cat.SetOf(ids...)
+	if err != nil {
+		return nil, err
+	}
+	return &Avoid{cat: cat, courses: s}, nil
+}
+
+// Allow implements Constraint.
+func (a *Avoid) Allow(_ status.Status, w bitset.Set) bool {
+	return !w.Intersects(a.courses)
+}
+
+// String implements Constraint.
+func (a *Avoid) String() string {
+	return fmt.Sprintf("avoid {%s}", strings.Join(a.cat.IDs(a.courses), ", "))
+}
+
+// MaxTermWorkload rejects selections whose summed workload w(c) exceeds
+// Hours — the per-semester analogue of §4.3.1's "paths whose workload
+// does not exceed a given threshold".
+type MaxTermWorkload struct {
+	// W is the per-course workload vector (Catalog.Workloads()).
+	W []float64
+	// Hours is the per-semester ceiling.
+	Hours float64
+}
+
+// Allow implements Constraint.
+func (m MaxTermWorkload) Allow(_ status.Status, w bitset.Set) bool {
+	var sum float64
+	w.ForEach(func(i int) {
+		if i < len(m.W) {
+			sum += m.W[i]
+		}
+	})
+	return sum <= m.Hours
+}
+
+// String implements Constraint.
+func (m MaxTermWorkload) String() string {
+	return fmt.Sprintf("≤ %.1f h/week per semester", m.Hours)
+}
+
+// MinPerTerm rejects non-empty selections smaller than Count — a
+// full-time-status floor. Empty selections (semesters off, per the
+// EmptyPolicy) are exempt: the floor applies when enrolling at all.
+type MinPerTerm struct {
+	Count int
+}
+
+// Allow implements Constraint.
+func (m MinPerTerm) Allow(_ status.Status, w bitset.Set) bool {
+	n := w.Len()
+	return n == 0 || n >= m.Count
+}
+
+// String implements Constraint.
+func (m MinPerTerm) String() string {
+	return fmt.Sprintf("≥ %d courses per enrolled semester", m.Count)
+}
+
+// TogetherOnly requires that whenever any course of the group is
+// selected, all of them are — modelling co-requisite lecture/lab pairs.
+type TogetherOnly struct {
+	cat   *catalog.Catalog
+	group bitset.Set
+}
+
+// NewTogetherOnly builds a co-requisite constraint over course IDs.
+func NewTogetherOnly(cat *catalog.Catalog, ids ...string) (*TogetherOnly, error) {
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("explore: co-requisite group needs at least 2 courses")
+	}
+	s, err := cat.SetOf(ids...)
+	if err != nil {
+		return nil, err
+	}
+	return &TogetherOnly{cat: cat, group: s}, nil
+}
+
+// Allow implements Constraint.
+func (t *TogetherOnly) Allow(st status.Status, w bitset.Set) bool {
+	if !w.Intersects(t.group) {
+		return true
+	}
+	// Every group member not already completed must be in this selection.
+	missing := t.group.Diff(st.Completed).Diff(w)
+	return missing.Empty()
+}
+
+// String implements Constraint.
+func (t *TogetherOnly) String() string {
+	return fmt.Sprintf("take together: {%s}", strings.Join(t.cat.IDs(t.group), ", "))
+}

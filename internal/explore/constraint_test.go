@@ -1,0 +1,140 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/degree"
+)
+
+func TestAvoidConstraint(t *testing.T) {
+	cat := fig3Catalog(t)
+	avoid, err := NewAvoid(cat, "29A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Deadline(cat, emptyStart(cat, f11), s13, Options{Constraints: []Constraint{avoid}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sig := range signatures(cat, res.Graph, false) {
+		if strings.Contains(sig, "29A") {
+			t.Errorf("avoided course elected on path %q", sig)
+		}
+	}
+	// Without the constraint 29A appears.
+	full, _ := Deadline(cat, emptyStart(cat, f11), s13, Options{})
+	if res.Paths >= full.Paths {
+		t.Error("avoid constraint did not shrink the path set")
+	}
+	if !strings.Contains(avoid.String(), "29A") {
+		t.Errorf("String = %q", avoid.String())
+	}
+	if _, err := NewAvoid(cat, "nope"); err == nil {
+		t.Error("unknown course accepted")
+	}
+}
+
+func TestMaxTermWorkloadConstraint(t *testing.T) {
+	cat := fig3Catalog(t) // workloads: 11A=8, 29A=10, 21A=12
+	c := MaxTermWorkload{W: cat.Workloads(), Hours: 11}
+	res, err := Deadline(cat, emptyStart(cat, f11), s13, Options{Constraints: []Constraint{c}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {11A,29A} (18h) is barred; singleton selections survive, and 21A
+	// (12h) is over the ceiling too.
+	for _, sig := range signatures(cat, res.Graph, false) {
+		if strings.Contains(sig, "11A,29A") || strings.Contains(sig, "21A") {
+			t.Errorf("over-ceiling selection on path %q", sig)
+		}
+	}
+	if !strings.Contains(c.String(), "11.0") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestMinPerTermConstraint(t *testing.T) {
+	cat := fig3Catalog(t)
+	c := MinPerTerm{Count: 2}
+	res, err := Deadline(cat, emptyStart(cat, f11), s13, Options{Constraints: []Constraint{c}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Graph.Paths(false) {
+		for _, eid := range p.Edges {
+			n := res.Graph.Edge(eid).Selection.Len()
+			if n != 0 && n < 2 {
+				t.Errorf("undersized selection of %d on a path", n)
+			}
+		}
+	}
+	// Empty transitions remain possible (semester off is exempt).
+	if res.Paths == 0 {
+		t.Error("floor of 2 erased every path")
+	}
+	if !strings.Contains(c.String(), "2") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestTogetherOnlyConstraint(t *testing.T) {
+	cat := fig3Catalog(t)
+	tog, err := NewTogetherOnly(cat, "11A", "29A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Deadline(cat, emptyStart(cat, f11), s13, Options{Constraints: []Constraint{tog}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Graph.Paths(false) {
+		for i, eid := range p.Edges {
+			sel := res.Graph.Edge(eid).Selection
+			st := res.Graph.Node(p.Nodes[i]).Status
+			if sel.Intersects(cat.MustSetOf("11A", "29A")) {
+				missing := cat.MustSetOf("11A", "29A").Diff(st.Completed).Diff(sel)
+				if !missing.Empty() {
+					t.Errorf("co-requisite group split: sel=%v done=%v",
+						cat.IDs(sel), cat.IDs(st.Completed))
+				}
+			}
+		}
+	}
+	if _, err := NewTogetherOnly(cat, "11A"); err == nil {
+		t.Error("singleton group accepted")
+	}
+	if _, err := NewTogetherOnly(cat, "11A", "nope"); err == nil {
+		t.Error("unknown course accepted")
+	}
+	if !strings.Contains(tog.String(), "11A") {
+		t.Errorf("String = %q", tog.String())
+	}
+}
+
+func TestConstraintsApplyToGoalAndRanked(t *testing.T) {
+	cat := fig3Catalog(t)
+	goal, _ := degree.NewCourseSet(cat, "11A", "21A")
+	avoid, _ := NewAvoid(cat, "29A")
+	opt := Options{MaxPerTerm: 2, Constraints: []Constraint{avoid}}
+	gres, err := Goal(cat, emptyStart(cat, f11), s13, goal, PaperPruners(cat, goal, 2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sig := range signatures(cat, gres.Graph, true) {
+		if strings.Contains(sig, "29A") {
+			t.Errorf("goal path elects avoided course: %q", sig)
+		}
+	}
+	if gres.GoalPaths == 0 {
+		t.Error("no goal paths despite a feasible avoid set")
+	}
+	// Counting agrees with materialisation under constraints.
+	cres, err := GoalCount(cat, emptyStart(cat, f11), s13, goal, PaperPruners(cat, goal, 2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Paths != gres.Paths || cres.GoalPaths != gres.GoalPaths {
+		t.Errorf("count %d/%d != materialize %d/%d", cres.Paths, cres.GoalPaths, gres.Paths, gres.GoalPaths)
+	}
+}

@@ -1,0 +1,255 @@
+// Package explore implements CourseNavigator's three learning-path
+// generation algorithms (paper §4):
+//
+//   - Deadline-driven (Algorithm 1): all learning paths from the student's
+//     current enrollment status to a given end semester.
+//   - Goal-driven (§4.2): the subset of those paths whose final status
+//     satisfies a goal requirement, generated with the time-based and
+//     course-availability pruning strategies.
+//   - Ranked (§4.3): the top-k goal-driven paths under a user-chosen
+//     ranking function, via best-first search.
+//
+// All three share one expansion engine; they differ in the goal predicate,
+// the active pruners, and the search order.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/combin"
+	"repro/internal/degree"
+	"repro/internal/graph"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+// EmptyPolicy controls when the engine emits an empty course selection
+// (W = {}), i.e. a semester in which the student takes nothing.
+type EmptyPolicy uint8
+
+const (
+	// EmptyWhenStuck emits the empty transition only when the option set Y
+	// is empty and some not-yet-completed course is offered in a later
+	// course-taking semester. This matches the paper's Figure 3, where the
+	// stuck node n4 advances (W = {}) but the fully-done node n6 stops.
+	EmptyWhenStuck EmptyPolicy = iota
+	// EmptyNever never emits empty transitions; stuck nodes terminate.
+	EmptyNever
+	// EmptyAlways emits the empty transition from every expandable node in
+	// addition to its course selections — a documented extension that lets
+	// students model semesters off even when courses are available.
+	EmptyAlways
+)
+
+// String returns the policy name.
+func (p EmptyPolicy) String() string {
+	switch p {
+	case EmptyWhenStuck:
+		return "when-stuck"
+	case EmptyNever:
+		return "never"
+	case EmptyAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("EmptyPolicy(%d)", uint8(p))
+	}
+}
+
+// Options configures an exploration run.
+type Options struct {
+	// MaxPerTerm is the paper's m: the most courses the student will take
+	// in one semester. 0 means unlimited.
+	MaxPerTerm int
+	// Empty selects the empty-selection policy; the zero value is the
+	// paper-faithful EmptyWhenStuck.
+	Empty EmptyPolicy
+	// MergeStatuses interns nodes with identical (semester, completed)
+	// pairs, turning the materialised tree into a DAG and memoising counts.
+	// This is the ablation of DESIGN.md §2; the paper's algorithm runs with
+	// it off.
+	MergeStatuses bool
+	// MaxNodes aborts materialisation with ErrGraphTooLarge once the graph
+	// reaches this many nodes, emulating the paper's out-of-memory rows in
+	// Table 2. 0 means unlimited.
+	MaxNodes int
+	// Constraints restrict electable selections (courses to avoid,
+	// per-semester workload ceilings, co-requisite groups, …); see
+	// Constraint. A rejected selection appears on no generated path.
+	Constraints []Constraint
+	// Workers, when >1, fans counting-mode runs out across that many
+	// goroutines (one per first-level subtree, semaphore-bounded). Tallies
+	// are exact. Ignored by materialising runs, the ranked algorithm, and
+	// memoised (MergeStatuses) counting, which stay serial.
+	Workers int
+	// MaxPathCost, when positive, makes the ranked algorithm return only
+	// paths whose total ranking cost is at most this threshold (§4.3.1's
+	// workload-threshold queries). Ignored by Deadline and Goal.
+	MaxPathCost float64
+	// MinTakeFilter suppresses course selections smaller than the
+	// time-based strategy's per-semester minimum at generation time,
+	// instead of generating the children and letting the strategy prune
+	// them on expansion as the paper's algorithm does. Path counts are
+	// unchanged (the skipped children are exactly the ones the child-side
+	// check cuts); node counts and the per-strategy prune split shift.
+	// Off by default for paper fidelity; an ablation benchmark compares.
+	MinTakeFilter bool
+}
+
+// ErrGraphTooLarge is returned when materialisation exceeds
+// Options.MaxNodes.
+var ErrGraphTooLarge = errors.New("explore: learning graph exceeds node budget")
+
+// Result reports an exploration run. Graph is nil for counting runs.
+type Result struct {
+	// Graph is the materialised learning graph (nil in counting mode).
+	Graph *graph.Graph
+	// Paths is the number of generated learning paths: maximal paths whose
+	// endpoint was not cut by a pruner. This is the "# of paths" quantity
+	// of the paper's Tables 1 and 2 for both algorithms.
+	Paths int64
+	// GoalPaths is the number of generated paths ending at a node that
+	// satisfies the goal (equal to Paths on runs where pruning removes
+	// every dead end; always 0 for deadline-driven runs).
+	GoalPaths int64
+	// Nodes and Edges count generated statuses and transitions, including
+	// ones later found to be dead ends.
+	Nodes, Edges int64
+	// PrunedTime and PrunedAvail count nodes cut by the time-based and
+	// course-availability strategies (paper Table 1's 82%/18% split).
+	PrunedTime, PrunedAvail int64
+	// Elapsed is the wall-clock generation time.
+	Elapsed time.Duration
+}
+
+// PrunedTotal returns the total nodes cut by pruning strategies.
+func (r Result) PrunedTotal() int64 { return r.PrunedTime + r.PrunedAvail }
+
+// engine is the shared expansion machinery.
+type engine struct {
+	cat     *catalog.Catalog
+	end     term.Term
+	opt     Options
+	goal    degree.Goal // nil for deadline-driven runs
+	pruners []Pruner
+
+	g      *graph.Graph // nil in counting mode
+	intern map[string]graph.NodeID
+	memo   map[string][2]int64 // counting mode with MergeStatuses
+	res    Result
+}
+
+func newEngine(cat *catalog.Catalog, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) *engine {
+	e := &engine{cat: cat, end: end, opt: opt, goal: goal, pruners: pruners}
+	if opt.MergeStatuses {
+		e.intern = map[string]graph.NodeID{}
+		e.memo = map[string][2]int64{}
+	}
+	return e
+}
+
+// nodeClass is the engine's classification of a status before expansion.
+type nodeClass uint8
+
+const (
+	classExpand   nodeClass = iota
+	classGoal               // status satisfies the goal: end node, counts as a path
+	classDeadline           // status is at the end semester: end node
+	classPruned             // a pruning strategy cut the node
+)
+
+// classify decides what to do at a status and, for expandable nodes, the
+// minimum selection size the time-based strategy imposes.
+func (e *engine) classify(st status.Status) (nodeClass, int) {
+	if e.goal != nil && e.goal.Satisfied(st.Completed) {
+		return classGoal, 0
+	}
+	if !st.Term.Before(e.end) {
+		return classDeadline, 0
+	}
+	minTake := 0
+	for _, p := range e.pruners {
+		prune, mt := p.Check(st, e.end)
+		if prune {
+			switch p.Name() {
+			case PrunerTimeName:
+				e.res.PrunedTime++
+			case PrunerAvailName:
+				e.res.PrunedAvail++
+			}
+			return classPruned, 0
+		}
+		if mt > minTake {
+			minTake = mt
+		}
+	}
+	return classExpand, minTake
+}
+
+// futureCourseExists reports whether a not-yet-completed course is offered
+// in any course-taking semester after st.Term (i.e. in (st.Term, end−1]).
+// It gates the EmptyWhenStuck transition: Figure 3's n6 stops because
+// everything is complete, while n4 advances to reach 11A in Fall '12.
+func (e *engine) futureCourseExists(st status.Status) bool {
+	lastTaking := e.end.Prev()
+	next := st.Term.Next()
+	if next.After(lastTaking) {
+		return false
+	}
+	return !e.cat.OfferedFrom(next, lastTaking).Diff(st.Completed).Empty()
+}
+
+// selections enumerates the course selections W out of st, honouring
+// MaxPerTerm, the time-based minimum, and the empty-selection policy. The
+// set passed to fn is freshly allocated and owned by the callee.
+func (e *engine) selections(st status.Status, minTake int, fn func(w bitset.Set) error) error {
+	n := e.cat.Len()
+	emitted := false
+	var err error
+	if !e.opt.MinTakeFilter {
+		minTake = 0
+	}
+	combin.ForEachCombination(st.Options, e.opt.MaxPerTerm, func(comb []int) bool {
+		if len(comb) < minTake {
+			return true
+		}
+		w := bitset.FromMembers(n, comb...)
+		if !e.allowed(st, w) {
+			return true
+		}
+		emitted = true
+		err = fn(w)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	emitEmpty := false
+	switch e.opt.Empty {
+	case EmptyAlways:
+		emitEmpty = minTake == 0
+	case EmptyWhenStuck:
+		emitEmpty = !emitted && minTake == 0 && e.futureCourseExists(st)
+	case EmptyNever:
+	}
+	if emitEmpty {
+		w := bitset.New(n)
+		if e.allowed(st, w) {
+			return fn(w)
+		}
+	}
+	return nil
+}
+
+// allowed applies the run's selection constraints.
+func (e *engine) allowed(st status.Status, w bitset.Set) bool {
+	for _, c := range e.opt.Constraints {
+		if !c.Allow(st, w) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,201 @@
+package explore
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/degree"
+	"repro/internal/graph"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+// Deadline runs Algorithm 1: it materialises the learning graph containing
+// every path from the start status to the end semester.
+func Deadline(cat *catalog.Catalog, start status.Status, end term.Term, opt Options) (Result, error) {
+	return run(cat, start, end, nil, nil, opt, true)
+}
+
+// DeadlineCount runs Algorithm 1 in counting mode: it streams over the
+// same search tree but materialises nothing, so Table-2-scale path counts
+// complete in constant memory (Result.Graph is nil).
+func DeadlineCount(cat *catalog.Catalog, start status.Status, end term.Term, opt Options) (Result, error) {
+	return run(cat, start, end, nil, nil, opt, false)
+}
+
+// Goal runs the goal-driven algorithm of §4.2.3: Algorithm 1 with goal
+// nodes as additional end nodes and the given pruning strategies cutting
+// hopeless subtrees. Pass PaperPruners for the paper's configuration or
+// nil for the "No Pruning" baseline of Table 1.
+func Goal(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) (Result, error) {
+	if goal == nil {
+		return Result{}, fmt.Errorf("explore: Goal requires a goal; use Deadline for unconstrained runs")
+	}
+	return run(cat, start, end, goal, pruners, opt, true)
+}
+
+// GoalCount is Goal in counting mode (no materialised graph).
+func GoalCount(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) (Result, error) {
+	if goal == nil {
+		return Result{}, fmt.Errorf("explore: GoalCount requires a goal")
+	}
+	return run(cat, start, end, goal, pruners, opt, false)
+}
+
+func validate(cat *catalog.Catalog, start status.Status, end term.Term, opt Options) error {
+	switch {
+	case cat == nil:
+		return fmt.Errorf("explore: nil catalog")
+	case start.Term.IsZero() || end.IsZero():
+		return fmt.Errorf("explore: zero start or end term")
+	case start.Term.Calendar() != cat.Calendar() || end.Calendar() != cat.Calendar():
+		return fmt.Errorf("explore: start/end term calendar differs from catalog calendar")
+	case !start.Term.Before(end):
+		return fmt.Errorf("explore: end semester %v is not after start %v", end, start.Term)
+	case opt.MaxPerTerm < 0:
+		return fmt.Errorf("explore: negative MaxPerTerm %d", opt.MaxPerTerm)
+	}
+	return nil
+}
+
+func run(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options, materialize bool) (Result, error) {
+	if err := validate(cat, start, end, opt); err != nil {
+		return Result{}, err
+	}
+	e := newEngine(cat, end, goal, pruners, opt)
+	began := time.Now()
+	var err error
+	if materialize {
+		err = e.materialize(start)
+	} else {
+		var counts [2]int64
+		if opt.Workers > 1 && !opt.MergeStatuses {
+			counts = e.countParallel(start, opt.Workers)
+		} else {
+			counts = e.count(start)
+		}
+		e.res.Paths = counts[0]
+		e.res.GoalPaths = counts[1]
+	}
+	e.res.Elapsed = time.Since(began)
+	if err != nil {
+		return e.res, err
+	}
+	return e.res, nil
+}
+
+// materialize builds the learning graph with an explicit worklist (the
+// paper's "for each node with outdegree = 0" loop). Children are pushed
+// LIFO, so expansion is depth-first; the result is order-independent.
+func (e *engine) materialize(start status.Status) error {
+	g := graph.New(start)
+	e.g = g
+	e.res.Graph = g
+	e.res.Nodes = 1
+	if e.intern != nil {
+		e.intern[start.Key()] = g.Root()
+	}
+	stack := []graph.NodeID{g.Root()}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st := g.Node(id).Status
+		class, minTake := e.classify(st)
+		switch class {
+		case classGoal:
+			g.MarkGoal(id)
+			e.res.Paths++
+			e.res.GoalPaths++
+			continue
+		case classDeadline:
+			e.res.Paths++
+			continue
+		case classPruned:
+			g.MarkPruned(id)
+			continue
+		}
+		childless := true
+		err := e.selections(st, minTake, func(w bitset.Set) error {
+			childless = false
+			child := st.Advance(e.cat, w)
+			if e.intern != nil {
+				if existing, ok := e.intern[child.Key()]; ok {
+					g.AddEdge(id, existing, w, 0)
+					e.res.Edges++
+					return nil
+				}
+			}
+			cid := g.AddNode(child)
+			e.res.Nodes++
+			if e.opt.MaxNodes > 0 && g.NumNodes() > e.opt.MaxNodes {
+				return fmt.Errorf("%w: %d nodes (budget %d)", ErrGraphTooLarge, g.NumNodes(), e.opt.MaxNodes)
+			}
+			if e.intern != nil {
+				e.intern[child.Key()] = cid
+			}
+			g.AddEdge(id, cid, w, 0)
+			e.res.Edges++
+			stack = append(stack, cid)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if childless {
+			// Natural dead end (e.g. Figure 3's n6): a generated path.
+			e.res.Paths++
+		}
+	}
+	if e.intern != nil {
+		// Interning makes the engine's incremental path tally meaningless
+		// (merged nodes sit on many paths); recount over the DAG.
+		e.res.Paths = g.CountPaths(false)
+		e.res.GoalPaths = g.CountPaths(true)
+	}
+	return nil
+}
+
+// count streams the search tree depth-first and returns
+// {generated paths, goal paths} from the given status, without
+// materialising nodes. With MergeStatuses it memoises by status identity,
+// which collapses the exponential tree to the DAG the interning ablation
+// builds.
+func (e *engine) count(st status.Status) [2]int64 {
+	var key string
+	if e.memo != nil {
+		key = st.Key()
+		if c, ok := e.memo[key]; ok {
+			return c
+		}
+	}
+	e.res.Nodes++
+	var out [2]int64
+	class, minTake := e.classify(st)
+	switch class {
+	case classGoal:
+		out = [2]int64{1, 1}
+	case classDeadline:
+		out = [2]int64{1, 0}
+	case classPruned:
+		out = [2]int64{0, 0}
+	default:
+		childless := true
+		_ = e.selections(st, minTake, func(w bitset.Set) error {
+			childless = false
+			e.res.Edges++
+			c := e.count(st.Advance(e.cat, w))
+			out[0] += c[0]
+			out[1] += c[1]
+			return nil
+		})
+		if childless {
+			out = [2]int64{1, 0}
+		}
+	}
+	if e.memo != nil {
+		e.memo[key] = out
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package explore
+
+import (
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/status"
+)
+
+// countParallel is the counting-mode engine fanned out across
+// Options.Workers goroutines. The tree is first expanded breadth-first —
+// serially, tallying any terminals — until the frontier holds enough
+// independent subtrees to balance the workers (or a depth limit is hit);
+// each frontier subtree then runs on an independent engine and the
+// partial tallies are reduced. The decomposition is exact: subtree path
+// counts do not depend on exploration order.
+func (e *engine) countParallel(start status.Status, workers int) [2]int64 {
+	const maxSplitDepth = 3
+	targetTasks := workers * 8
+
+	var total [2]int64
+	frontier := []status.Status{start}
+	for depth := 0; depth < maxSplitDepth && len(frontier) < targetTasks && len(frontier) > 0; depth++ {
+		var next []status.Status
+		for _, st := range frontier {
+			e.res.Nodes++
+			class, minTake := e.classify(st)
+			switch class {
+			case classGoal:
+				total[0]++
+				total[1]++
+				continue
+			case classDeadline:
+				total[0]++
+				continue
+			case classPruned:
+				continue
+			}
+			childless := true
+			_ = e.selections(st, minTake, func(w bitset.Set) error {
+				childless = false
+				e.res.Edges++
+				next = append(next, st.Advance(e.cat, w))
+				return nil
+			})
+			if childless {
+				total[0]++
+			}
+		}
+		frontier = next
+	}
+	if len(frontier) == 0 {
+		return total
+	}
+
+	type partial struct {
+		counts [2]int64
+		res    Result
+	}
+	parts := make([]partial, len(frontier))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, st := range frontier {
+		wg.Add(1)
+		go func(i int, st status.Status) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sub := newEngine(e.cat, e.end, e.goal, e.pruners, e.opt)
+			parts[i].counts = sub.count(st)
+			parts[i].res = sub.res
+		}(i, st)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		total[0] += p.counts[0]
+		total[1] += p.counts[1]
+		e.res.Nodes += p.res.Nodes
+		e.res.Edges += p.res.Edges
+		e.res.PrunedTime += p.res.PrunedTime
+		e.res.PrunedAvail += p.res.PrunedAvail
+	}
+	return total
+}

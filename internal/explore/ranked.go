@@ -1,0 +1,179 @@
+package explore
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/degree"
+	"repro/internal/graph"
+	"repro/internal/rank"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+// RankedPath is one of the top-k outputs of the ranked algorithm.
+type RankedPath struct {
+	// Path is the root→goal-node walk in RankedResult.Graph.
+	Path graph.Path
+	// Cost is the accumulated ranking cost (lower ranks higher).
+	Cost float64
+	// Value is the user-facing figure of merit (semesters, total hours,
+	// probability), via Ranker.PathValue.
+	Value float64
+}
+
+// RankedResult reports a ranked exploration run. Graph holds only the
+// explored frontier — best-first search typically touches a tiny fraction
+// of the full learning graph (paper Figure 4's interactive latencies rest
+// on this).
+type RankedResult struct {
+	// Paths lists up to k goal paths in rank order (best first). Fewer than
+	// k are returned when the goal graph has fewer goal paths.
+	Paths []RankedPath
+	// Graph is the explored portion of the learning graph.
+	Graph *graph.Graph
+	// Nodes, Edges, PrunedTime and PrunedAvail mirror Result.
+	Nodes, Edges            int64
+	PrunedTime, PrunedAvail int64
+	// Popped counts best-first queue pops (search effort).
+	Popped int64
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+}
+
+// frontierItem is a priority-queue entry: a generated node awaiting
+// classification/expansion, keyed by its A* priority f = g + h, where g
+// is the root-path cost and h the ranker's admissible remaining-cost
+// bound (zero when the ranker offers none, reducing to the paper's plain
+// best-first order).
+type frontierItem struct {
+	node graph.NodeID
+	cost float64 // g: accumulated path cost
+	pri  float64 // f = g + h
+	seq  int64   // LIFO tie-break: equal-f work proceeds depth-first
+}
+
+type frontier []frontierItem
+
+func (f frontier) Len() int { return len(f) }
+func (f frontier) Less(i, j int) bool {
+	if f[i].pri != f[j].pri {
+		return f[i].pri < f[j].pri
+	}
+	if f[i].cost != f[j].cost {
+		// Among equal priorities prefer larger g (deeper, closer to a
+		// goal), so unit-cost searches do not degenerate into BFS.
+		return f[i].cost > f[j].cost
+	}
+	return f[i].seq > f[j].seq
+}
+func (f frontier) Swap(i, j int)       { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x interface{}) { *f = append(*f, x.(frontierItem)) }
+func (f *frontier) Pop() interface{} {
+	old := *f
+	n := len(old)
+	it := old[n-1]
+	*f = old[:n-1]
+	return it
+}
+
+// Ranked runs the top-k algorithm of §4.3.2: best-first search over path
+// cost under the given ranking function, with the goal-driven pruning
+// strategies active, stopping as soon as k goal paths have been produced.
+// Lemma 2 (non-negative edge costs ⇒ subpath monotonicity) makes the first
+// k goal pops exactly the top-k paths.
+//
+// When Options.MaxPathCost is set, paths costlier than the threshold are
+// excluded (§4.3.1's "paths whose workload does not exceed a given
+// threshold"): any frontier entry whose admissible priority bound already
+// exceeds the threshold is discarded, so fewer than k paths may return.
+func Ranked(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, ranker rank.Ranker, k int, pruners []Pruner, opt Options) (RankedResult, error) {
+	var res RankedResult
+	if goal == nil {
+		return res, fmt.Errorf("explore: Ranked requires a goal")
+	}
+	if ranker == nil {
+		return res, fmt.Errorf("explore: Ranked requires a ranking function")
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("explore: k must be positive, got %d", k)
+	}
+	if opt.MergeStatuses {
+		return res, fmt.Errorf("explore: MergeStatuses is not supported by the ranked algorithm (merged nodes lose path identity)")
+	}
+	if err := validate(cat, start, end, opt); err != nil {
+		return res, err
+	}
+	e := newEngine(cat, end, goal, pruners, opt)
+	began := time.Now()
+
+	g := graph.New(start)
+	res.Graph = g
+	res.Nodes = 1
+
+	h := func(st status.Status) float64 {
+		left := goal.Remaining(st.Completed)
+		if left < 0 {
+			return 0 // unsatisfiable; the pruners cut these nodes
+		}
+		return ranker.Heuristic(left, opt.MaxPerTerm)
+	}
+	pq := &frontier{{node: g.Root(), cost: 0, pri: h(start), seq: 0}}
+	var seq int64
+	for pq.Len() > 0 && len(res.Paths) < k {
+		it := heap.Pop(pq).(frontierItem)
+		res.Popped++
+		st := g.Node(it.node).Status
+		class, minTake := e.classify(st)
+		switch class {
+		case classGoal:
+			g.MarkGoal(it.node)
+			res.Paths = append(res.Paths, RankedPath{
+				Path:  g.PathTo(it.node),
+				Cost:  it.cost,
+				Value: ranker.PathValue(it.cost),
+			})
+			continue
+		case classDeadline:
+			continue // reached the deadline without the goal: dead path
+		case classPruned:
+			g.MarkPruned(it.node)
+			continue
+		}
+		err := e.selections(st, minTake, func(w bitset.Set) error {
+			child := st.Advance(cat, w)
+			ec := ranker.EdgeCost(st, w)
+			if ec < 0 {
+				return fmt.Errorf("explore: ranking function %q returned negative edge cost %g", ranker.Name(), ec)
+			}
+			cid := g.AddNode(child)
+			res.Nodes++
+			if opt.MaxNodes > 0 && g.NumNodes() > opt.MaxNodes {
+				return fmt.Errorf("%w: %d nodes (budget %d)", ErrGraphTooLarge, g.NumNodes(), opt.MaxNodes)
+			}
+			g.AddEdge(it.node, cid, w, ec)
+			res.Edges++
+			seq++
+			gCost := it.cost + ec
+			pri := gCost + h(child)
+			if opt.MaxPathCost > 0 && pri > opt.MaxPathCost {
+				// The priority is a lower bound on any completion's cost;
+				// no path through this child can meet the threshold.
+				return nil
+			}
+			heap.Push(pq, frontierItem{node: cid, cost: gCost, pri: pri, seq: seq})
+			return nil
+		})
+		if err != nil {
+			res.Elapsed = time.Since(began)
+			res.PrunedTime, res.PrunedAvail = e.res.PrunedTime, e.res.PrunedAvail
+			return res, err
+		}
+	}
+	res.PrunedTime, res.PrunedAvail = e.res.PrunedTime, e.res.PrunedAvail
+	res.Elapsed = time.Since(began)
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/degree"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+// SelectionImpact scores one candidate selection for the current
+// semester by its downstream consequences.
+type SelectionImpact struct {
+	// Selection is the candidate course set W for the current semester.
+	Selection bitset.Set
+	// GoalPaths counts the goal-reaching paths that remain available
+	// after electing the selection.
+	GoalPaths int64
+	// Paths counts all remaining generated paths.
+	Paths int64
+	// NextOptions is the size of the option set Y one semester later.
+	NextOptions int
+}
+
+// CompareSelections answers the paper's motivating what-if query
+// ("which course selections increase my future course options and number
+// of possible paths to a CS major?", §1): it enumerates every selection
+// the student could make in the current semester — honouring MaxPerTerm,
+// the empty-selection policy and Options.Constraints — and, for each,
+// counts the goal paths from the resulting enrollment status. Results
+// are sorted by descending GoalPaths (ties: more next-semester options,
+// then smaller selections first).
+//
+// Counting uses status interning per candidate, so the total work is
+// bounded by the goal-driven DAG size rather than candidates × tree.
+func CompareSelections(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) ([]SelectionImpact, error) {
+	if goal == nil {
+		return nil, fmt.Errorf("explore: CompareSelections requires a goal")
+	}
+	if err := validate(cat, start, end, opt); err != nil {
+		return nil, err
+	}
+	e := newEngine(cat, end, goal, pruners, opt)
+	var out []SelectionImpact
+	err := e.selections(start, 0, func(w bitset.Set) error {
+		child := start.Advance(cat, w)
+		impact := SelectionImpact{Selection: w, NextOptions: child.Options.Len()}
+		if !child.Term.Before(end) {
+			// The child sits at the end semester: it is itself the path
+			// endpoint, a goal path iff the goal is now satisfied.
+			if goal.Satisfied(child.Completed) {
+				impact.GoalPaths, impact.Paths = 1, 1
+			} else {
+				impact.Paths = 1
+			}
+		} else {
+			countOpt := opt
+			countOpt.MergeStatuses = true
+			res, err := GoalCount(cat, child, end, goal, pruners, countOpt)
+			if err != nil {
+				return err
+			}
+			impact.GoalPaths, impact.Paths = res.GoalPaths, res.Paths
+		}
+		out = append(out, impact)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].GoalPaths != out[j].GoalPaths {
+			return out[i].GoalPaths > out[j].GoalPaths
+		}
+		if out[i].NextOptions != out[j].NextOptions {
+			return out[i].NextOptions > out[j].NextOptions
+		}
+		return out[i].Selection.Len() < out[j].Selection.Len()
+	})
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package expr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// idx maps "c0".."c9" to 0..9 for compile tests.
+func idx(id string) (int, error) {
+	var i int
+	if _, err := fmt.Sscanf(id, "c%d", &i); err != nil {
+		return 0, fmt.Errorf("unknown course %q", id)
+	}
+	return i, nil
+}
+
+func TestCompileLeafAndTrue(t *testing.T) {
+	c := MustCompile(MustParse("c0"), 10, idx)
+	if c.Always() {
+		t.Error("leaf compiled to tautology")
+	}
+	if c.NumClauses() != 1 {
+		t.Errorf("NumClauses = %d", c.NumClauses())
+	}
+	if c.Satisfied(bitset.New(10)) {
+		t.Error("satisfied by empty set")
+	}
+	if !c.Satisfied(bitset.FromMembers(10, 0)) {
+		t.Error("not satisfied by {c0}")
+	}
+	tt := MustCompile(True{}, 10, idx)
+	if !tt.Always() || !tt.Satisfied(bitset.New(10)) || tt.NumClauses() != 0 {
+		t.Error("True compile wrong")
+	}
+	if tt.MinAdditional(bitset.New(10)) != 0 {
+		t.Error("True MinAdditional != 0")
+	}
+}
+
+func TestCompileUnknownCourse(t *testing.T) {
+	if _, err := Compile(MustParse("nope"), 10, idx); err == nil {
+		t.Error("unknown course accepted")
+	}
+	if _, err := Compile(MustParse("c1 and nope"), 10, idx); err == nil {
+		t.Error("unknown course in And accepted")
+	}
+	if _, err := Compile(MustParse("c1 or nope"), 10, idx); err == nil {
+		t.Error("unknown course in Or accepted")
+	}
+}
+
+func TestCompileDNFCrossProduct(t *testing.T) {
+	// (c0 or c1) and (c2 or c3) -> 4 clauses.
+	c := MustCompile(MustParse("(c0 or c1) and (c2 or c3)"), 10, idx)
+	if c.NumClauses() != 4 {
+		t.Fatalf("NumClauses = %d, want 4", c.NumClauses())
+	}
+	for _, members := range [][]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}} {
+		if !c.Satisfied(bitset.FromMembers(10, members...)) {
+			t.Errorf("not satisfied by %v", members)
+		}
+	}
+	if c.Satisfied(bitset.FromMembers(10, 0, 1)) {
+		t.Error("satisfied by {c0,c1}")
+	}
+}
+
+func TestCompilePrunesRedundantClauses(t *testing.T) {
+	// c0 or (c0 and c1): second clause is a superset of the first.
+	c := MustCompile(MustParse("c0 or (c0 and c1)"), 10, idx)
+	if c.NumClauses() != 1 {
+		t.Errorf("NumClauses = %d, want 1", c.NumClauses())
+	}
+	// Duplicates collapse too.
+	d := MustCompile(MustParse("(c0 and c1) or (c1 and c0)"), 10, idx)
+	if d.NumClauses() != 1 {
+		t.Errorf("duplicate clauses = %d, want 1", d.NumClauses())
+	}
+}
+
+func TestCompileAndWithTautology(t *testing.T) {
+	c := MustCompile(NewAnd(True{}, Course{ID: "c1"}), 10, idx)
+	if c.Always() || c.NumClauses() != 1 {
+		t.Errorf("And(True, c1): always=%v clauses=%d", c.Always(), c.NumClauses())
+	}
+	all := MustCompile(And{Terms: []Expr{True{}, True{}}}, 10, idx)
+	if !all.Always() {
+		t.Error("And(True, True) not a tautology")
+	}
+}
+
+func TestCompileClauseBlowupGuard(t *testing.T) {
+	// Product of 13 binary ORs = 8192 clauses > MaxClauses.
+	terms := make([]Expr, 13)
+	for i := range terms {
+		terms[i] = NewOr(Course{ID: "c0"}, Course{ID: fmt.Sprintf("c%d", 1+i%9)})
+	}
+	if _, err := Compile(And{Terms: terms}, 10, idx); err == nil {
+		t.Error("DNF blow-up not detected")
+	}
+}
+
+func TestMinAdditional(t *testing.T) {
+	c := MustCompile(MustParse("(c0 and c1 and c2) or (c3 and c4)"), 10, idx)
+	cases := []struct {
+		have []int
+		want int
+	}{
+		{nil, 2},            // {c3,c4} is cheapest
+		{[]int{0, 1}, 1},    // finish first clause
+		{[]int{0, 1, 2}, 0}, // satisfied
+		{[]int{3}, 1},
+		{[]int{9}, 2},
+	}
+	for _, cse := range cases {
+		if got := c.MinAdditional(bitset.FromMembers(10, cse.have...)); got != cse.want {
+			t.Errorf("MinAdditional(%v) = %d, want %d", cse.have, got, cse.want)
+		}
+	}
+	var unsat Compiled
+	if got := unsat.MinAdditional(bitset.New(10)); got != -1 {
+		t.Errorf("unsat MinAdditional = %d, want -1", got)
+	}
+}
+
+func TestCompiledUnionAndClauses(t *testing.T) {
+	c := MustCompile(MustParse("(c0 and c1) or c5"), 10, idx)
+	u := c.Union()
+	if !u.Equal(bitset.FromMembers(10, 0, 1, 5)) {
+		t.Errorf("Union = %v", u)
+	}
+	cls := c.Clauses()
+	if len(cls) != 2 {
+		t.Fatalf("Clauses len = %d", len(cls))
+	}
+	// Mutating the returned clause must not affect the Compiled.
+	cls[0].Add(9)
+	if c.Satisfied(bitset.FromMembers(10, 9)) {
+		t.Error("Clauses returned aliased storage")
+	}
+}
+
+func TestCompiledMatchesEval(t *testing.T) {
+	// DNF satisfaction must agree with direct AST evaluation on all subsets.
+	exprs := []string{
+		"c0",
+		"c0 and c1",
+		"c0 or c1",
+		"(c0 or c1) and (c2 or c3)",
+		"c0 and (c1 or (c2 and c3)) or c4",
+		"((c0 and c1) or c2) and ((c3 and c4) or c5)",
+		"true",
+	}
+	for _, src := range exprs {
+		e := MustParse(src)
+		c := MustCompile(e, 6, idx)
+		for mask := 0; mask < 1<<6; mask++ {
+			x := bitset.New(6)
+			for i := 0; i < 6; i++ {
+				if mask&(1<<i) != 0 {
+					x.Add(i)
+				}
+			}
+			done := func(id string) bool {
+				i, err := idx(id)
+				return err == nil && x.Contains(i)
+			}
+			if e.Eval(done) != c.Satisfied(x) {
+				t.Fatalf("%q: Eval and Satisfied disagree on mask %06b", src, mask)
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package expr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func doneSet(ids ...string) func(string) bool {
+	m := map[string]bool{}
+	for _, id := range ids {
+		m[id] = true
+	}
+	return func(id string) bool { return m[id] }
+}
+
+func TestEvalLeafAndConstants(t *testing.T) {
+	if !(True{}).Eval(doneSet()) {
+		t.Error("True evaluated false")
+	}
+	c := Course{ID: "COSI 11A"}
+	if c.Eval(doneSet()) {
+		t.Error("unsatisfied leaf evaluated true")
+	}
+	if !c.Eval(doneSet("COSI 11A")) {
+		t.Error("satisfied leaf evaluated false")
+	}
+}
+
+func TestEvalAndOr(t *testing.T) {
+	a, b := Course{ID: "A"}, Course{ID: "B"}
+	and := NewAnd(a, b)
+	or := NewOr(a, b)
+	cases := []struct {
+		done            []string
+		wantAnd, wantOr bool
+	}{
+		{nil, false, false},
+		{[]string{"A"}, false, true},
+		{[]string{"B"}, false, true},
+		{[]string{"A", "B"}, true, true},
+	}
+	for _, c := range cases {
+		if got := and.Eval(doneSet(c.done...)); got != c.wantAnd {
+			t.Errorf("And.Eval(%v) = %v", c.done, got)
+		}
+		if got := or.Eval(doneSet(c.done...)); got != c.wantOr {
+			t.Errorf("Or.Eval(%v) = %v", c.done, got)
+		}
+	}
+}
+
+func TestConstructorsSimplify(t *testing.T) {
+	a, b, c := Course{ID: "A"}, Course{ID: "B"}, Course{ID: "C"}
+	if _, ok := NewAnd().(True); !ok {
+		t.Error("empty NewAnd not True")
+	}
+	if _, ok := NewOr().(True); !ok {
+		t.Error("empty NewOr not True")
+	}
+	if got := NewAnd(a); got != Expr(a) {
+		t.Errorf("singleton NewAnd = %v", got)
+	}
+	if _, ok := NewOr(a, True{}).(True); !ok {
+		t.Error("Or with True not simplified to True")
+	}
+	if got := NewAnd(a, True{}, b); got.String() != "A and B" {
+		t.Errorf("And dropping True = %q", got.String())
+	}
+	// Flattening.
+	nested := NewAnd(NewAnd(a, b), c)
+	if got := nested.String(); got != "A and B and C" {
+		t.Errorf("flattened And = %q", got)
+	}
+	nestedOr := NewOr(NewOr(a, b), c)
+	if got := nestedOr.String(); got != "A or B or C" {
+		t.Errorf("flattened Or = %q", got)
+	}
+}
+
+func TestStringPrecedence(t *testing.T) {
+	a, b, c := Course{ID: "A"}, Course{ID: "B"}, Course{ID: "C"}
+	e := NewAnd(a, NewOr(b, c))
+	if got := e.String(); got != "A and (B or C)" {
+		t.Errorf("String = %q", got)
+	}
+	e2 := NewOr(NewAnd(a, b), c)
+	if got := e2.String(); got != "A and B or C" {
+		t.Errorf("String = %q", got)
+	}
+	q := Course{ID: "weird (name)"}
+	if got := q.String(); got != `"weird (name)"` {
+		t.Errorf("quoted leaf = %q", got)
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	cases := map[string]string{
+		"":                                   "true",
+		"   ":                                "true",
+		"none":                               "true",
+		"TRUE":                               "true",
+		"COSI 11A":                           "COSI 11A",
+		"COSI 11A and COSI 29A":              "COSI 11A and COSI 29A",
+		"COSI 11A, COSI 29A":                 "COSI 11A and COSI 29A",
+		"COSI 11A or MATH 8A":                "COSI 11A or MATH 8A",
+		"COSI 11A AND (COSI 29A OR MATH 8A)": "COSI 11A and (COSI 29A or MATH 8A)",
+		"(A and B) or (C and D)":             "A and B or C and D",
+		"a1 & b2 | c3":                       "a1 and b2 or c3",
+		`"COSI 11A" and X`:                   "COSI 11A and X",
+		"COSI 11A; COSI 12B":                 "COSI 11A and COSI 12B",
+	}
+	for in, want := range cases {
+		e, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", in, err)
+			continue
+		}
+		if got := e.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseCourseWordMerging(t *testing.T) {
+	// A reference is at most dept + number; a third word does not merge and
+	// therefore fails to parse (no implicit conjunction).
+	if _, err := Parse("COSI 11A and MATH 8 A"); err == nil {
+		t.Error("three-word reference accepted")
+	}
+	got := Courses(MustParse("COSI 11A and PHYS 10B or CHEM 1"))
+	want := []string{"CHEM 1", "COSI 11A", "PHYS 10B"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Courses = %v, want %v", got, want)
+	}
+	// Two-word merge only applies to alpha + digit-bearing pairs.
+	got2 := Courses(MustParse("CS101 and Algorithms"))
+	want2 := []string{"Algorithms", "CS101"}
+	if !reflect.DeepEqual(got2, want2) {
+		t.Errorf("Courses = %v, want %v", got2, want2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"(A and B",
+		"A and",
+		"or A",
+		"A B C D", // three unmergeable words in a row
+		")",
+		"A )",
+		"A (B)",
+	} {
+		if e, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded as %q, want error", bad, e.String())
+		}
+	}
+}
+
+func TestParseUnexpectedTrailing(t *testing.T) {
+	if _, err := Parse("A or B C2 X9 Q"); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Generate random expressions, render, re-parse, and compare evaluation
+	// on random completed sets.
+	var gen func(rnd *quickRand, depth int) Expr
+	gen = func(rnd *quickRand, depth int) Expr {
+		if depth <= 0 || rnd.intn(4) == 0 {
+			return Course{ID: courseNames[rnd.intn(len(courseNames))]}
+		}
+		n := 2 + rnd.intn(2)
+		kids := make([]Expr, n)
+		for i := range kids {
+			kids[i] = gen(rnd, depth-1)
+		}
+		if rnd.intn(2) == 0 {
+			return NewAnd(kids...)
+		}
+		return NewOr(kids...)
+	}
+	rnd := &quickRand{state: 12345}
+	for trial := 0; trial < 300; trial++ {
+		e := gen(rnd, 3)
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", e.String(), err)
+		}
+		for mask := 0; mask < 1<<len(courseNames); mask++ {
+			done := func(id string) bool {
+				for i, nm := range courseNames {
+					if nm == id {
+						return mask&(1<<i) != 0
+					}
+				}
+				return false
+			}
+			if e.Eval(done) != back.Eval(done) {
+				t.Fatalf("round-trip changed semantics of %q (mask %b)", e.String(), mask)
+			}
+		}
+	}
+}
+
+var courseNames = []string{"COSI 11A", "COSI 29A", "MATH 8A", "X1"}
+
+// quickRand is a tiny deterministic PRNG so property tests are reproducible.
+type quickRand struct{ state uint64 }
+
+func (r *quickRand) intn(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(n))
+}
+
+func TestValidate(t *testing.T) {
+	e := MustParse("A1 and (B2 or C3)")
+	known := func(id string) bool { return id == "A1" || id == "B2" || id == "C3" }
+	if err := Validate(e, known); err != nil {
+		t.Errorf("Validate on known courses: %v", err)
+	}
+	if err := Validate(e, func(id string) bool { return id != "B2" }); err == nil {
+		t.Error("Validate missed unknown course")
+	} else if !strings.Contains(err.Error(), "B2") {
+		t.Errorf("Validate error %q does not name B2", err)
+	}
+	if err := Validate(True{}, func(string) bool { return false }); err != nil {
+		t.Errorf("Validate(True) = %v", err)
+	}
+}

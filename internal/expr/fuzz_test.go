@@ -1,0 +1,39 @@
+package expr
+
+import "testing"
+
+// FuzzParse checks that the prerequisite-expression parser never panics
+// and that accepted inputs round-trip: rendering and re-parsing is a
+// fixpoint after one iteration.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"COSI 11A",
+		"COSI 11A and COSI 29A",
+		"a or (b and c)",
+		`"weird (name)" and x1`,
+		"A1, B2; C3 | D4 & E5",
+		"true",
+		"(((",
+		"and and",
+		"a1 or",
+		"\"unterminated",
+		"🎓 101",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := e.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered form %q of %q does not re-parse: %v", rendered, input, err)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String not a fixpoint: %q → %q", rendered, again)
+		}
+	})
+}

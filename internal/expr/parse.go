@@ -1,0 +1,247 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the textual prerequisite language:
+//
+//	expr   := orExpr
+//	orExpr := andExpr { ("or" | "|") andExpr }
+//	andExpr:= atom { ("and" | "&" | ",") atom }
+//	atom   := "(" expr ")" | "true" | "none" | courseRef
+//
+// Course references are runs of letters, digits and interior spaces between
+// a department code and a number ("COSI 11A"), or quoted strings. The comma
+// conjunction matches registrar catalog style ("COSI 11a, COSI 29a").
+// Keywords are case-insensitive. An empty input parses as True (no
+// prerequisite).
+func Parse(input string) (Expr, error) {
+	p := &parser{toks: lex(input)}
+	if len(p.toks) == 0 {
+		return True{}, nil
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("expr: unexpected %q at end of %q", p.peek().text, input)
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error; for tests and embedded datasets.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind uint8
+
+const (
+	tokCourse tokKind = iota
+	tokAnd
+	tokOr
+	tokLParen
+	tokRParen
+	tokTrue
+)
+
+type token struct {
+	kind   tokKind
+	text   string
+	quoted bool
+}
+
+// lex splits the input into tokens. Course-name words are merged later by
+// the parser so that "COSI 11A" lexes as two words but parses as one
+// reference.
+func lex(input string) []token {
+	var toks []token
+	i := 0
+	rs := []rune(input)
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{kind: tokLParen, text: "("})
+			i++
+		case r == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")"})
+			i++
+		case r == ',' || r == '&' || r == ';':
+			toks = append(toks, token{kind: tokAnd, text: string(r)})
+			i++
+		case r == '|':
+			toks = append(toks, token{kind: tokOr, text: "|"})
+			i++
+		case r == '"':
+			j := i + 1
+			for j < len(rs) && rs[j] != '"' {
+				j++
+			}
+			toks = append(toks, token{kind: tokCourse, text: string(rs[i+1 : min(j, len(rs))]), quoted: true})
+			if j < len(rs) {
+				j++
+			}
+			i = j
+		default:
+			j := i
+			for j < len(rs) && isWordRune(rs[j]) {
+				j++
+			}
+			if j == i { // unknown rune: take it as a single-char word
+				j = i + 1
+			}
+			word := string(rs[i:j])
+			switch strings.ToLower(word) {
+			case "and":
+				toks = append(toks, token{kind: tokAnd, text: word})
+			case "or":
+				toks = append(toks, token{kind: tokOr, text: word})
+			case "true", "none":
+				toks = append(toks, token{kind: tokTrue, text: word})
+			default:
+				toks = append(toks, token{kind: tokCourse, text: word})
+			}
+			i = j
+		}
+	}
+	return toks
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_' || r == '.' || r == '/'
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool   { return p.pos >= len(p.toks) }
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{left}
+	for !p.eof() && p.peek().kind == tokOr {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	return NewOr(terms...), nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{left}
+	for !p.eof() && p.peek().kind == tokAnd {
+		p.advance()
+		right, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	return NewAnd(terms...), nil
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("expr: unexpected end of expression")
+	}
+	switch t := p.advance(); t.kind {
+	case tokLParen:
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("expr: missing closing parenthesis")
+		}
+		p.advance()
+		return e, nil
+	case tokTrue:
+		return True{}, nil
+	case tokCourse:
+		// Merge consecutive course words into one reference: "COSI 11A"
+		// lexes as ["COSI", "11A"]. A department word is all-letters; it is
+		// glued to the course-number word that follows. Quoted references
+		// are complete and never participate in merging.
+		if t.quoted {
+			return Course{ID: t.text}, nil
+		}
+		parts := []string{t.text}
+		for !p.eof() && p.peek().kind == tokCourse && !p.peek().quoted && wantsMerge(parts, p.peek().text) {
+			parts = append(parts, p.advance().text)
+		}
+		return Course{ID: strings.Join(parts, " ")}, nil
+	case tokRParen:
+		return nil, fmt.Errorf("expr: unexpected \")\"")
+	default:
+		return nil, fmt.Errorf("expr: unexpected %q", t.text)
+	}
+}
+
+// wantsMerge reports whether next should join the current course reference.
+// A reference is at most two words: an alphabetic department code followed
+// by an alphanumeric course number ("COSI" + "11A"). Single-word references
+// ("11A", "CS-101") never merge.
+func wantsMerge(parts []string, next string) bool {
+	if len(parts) != 1 {
+		return false
+	}
+	dept := parts[0]
+	if !isAlpha(dept) {
+		return false
+	}
+	return hasDigit(next)
+}
+
+func isAlpha(s string) bool {
+	for _, r := range s {
+		if !unicode.IsLetter(r) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func hasDigit(s string) bool {
+	for _, r := range s {
+		if unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,318 @@
+// Package graph implements the learning graph of paper §2: a directed
+// graph whose nodes are enrollment statuses and whose edges are semester
+// transitions labelled with the selected course set W.
+//
+// Algorithm 1 materialises a tree (each course selection creates a fresh
+// node; see Figure 3, where equivalent statuses n8/n9 stay distinct).
+// The optional status-interning ablation merges nodes with identical
+// (term, completed) pairs, producing a DAG; Graph supports both shapes:
+// path enumeration walks parent pointers for trees and does a DFS for
+// DAGs, and CountPaths uses dynamic programming that is exact for either.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/status"
+)
+
+// NodeID identifies a node within one Graph.
+type NodeID int32
+
+// EdgeID identifies an edge within one Graph.
+type EdgeID int32
+
+// None marks an absent node or edge reference.
+const None = -1
+
+// Node is one enrollment status plus adjacency.
+type Node struct {
+	// Status is the enrollment status the node represents.
+	Status status.Status
+	// Out lists outgoing edges in creation order.
+	Out []EdgeID
+	// In lists incoming edges; empty for the root, length >1 only when
+	// status interning merged nodes.
+	In []EdgeID
+	// Goal marks nodes whose status satisfies the exploration goal.
+	Goal bool
+	// Pruned marks nodes cut by a pruning strategy; pruned leaves are not
+	// path endpoints (the paths through them were never generated).
+	Pruned bool
+}
+
+// Edge is a semester transition labelled with the selected courses W.
+type Edge struct {
+	From, To NodeID
+	// Selection is the course set W elected in the source node's semester.
+	Selection bitset.Set
+	// Cost is the edge cost assigned by a ranking function; zero unless
+	// the ranked algorithm produced the graph.
+	Cost float64
+}
+
+// Graph is a learning graph rooted at the student's starting status.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+	root  NodeID
+}
+
+// New returns a graph containing only the root status.
+func New(root status.Status) *Graph {
+	g := &Graph{root: 0}
+	g.nodes = append(g.nodes, Node{Status: root})
+	return g
+}
+
+// Root returns the root node's ID.
+func (g *Graph) Root() NodeID { return g.root }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node with the given ID. The returned pointer is valid
+// until the next AddNode.
+func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id] }
+
+// Edge returns the edge with the given ID. The returned pointer is valid
+// until the next AddEdge.
+func (g *Graph) Edge(id EdgeID) *Edge { return &g.edges[id] }
+
+// AddNode appends a node for the given status and returns its ID.
+func (g *Graph) AddNode(st status.Status) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{Status: st})
+	return id
+}
+
+// AddEdge appends an edge from → to labelled with selection and links
+// adjacency on both endpoints.
+func (g *Graph) AddEdge(from, to NodeID, selection bitset.Set, cost float64) EdgeID {
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{From: from, To: to, Selection: selection, Cost: cost})
+	g.nodes[from].Out = append(g.nodes[from].Out, id)
+	g.nodes[to].In = append(g.nodes[to].In, id)
+	return id
+}
+
+// MarkGoal flags a node as satisfying the exploration goal.
+func (g *Graph) MarkGoal(id NodeID) { g.nodes[id].Goal = true }
+
+// MarkPruned flags a node as cut by a pruning strategy.
+func (g *Graph) MarkPruned(id NodeID) { g.nodes[id].Pruned = true }
+
+// Leaves returns the IDs of nodes with no outgoing edges, in ID order.
+func (g *Graph) Leaves() []NodeID {
+	var out []NodeID
+	for i := range g.nodes {
+		if len(g.nodes[i].Out) == 0 {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// GoalNodes returns the IDs of nodes marked as goals, in ID order.
+func (g *Graph) GoalNodes() []NodeID {
+	var out []NodeID
+	for i := range g.nodes {
+		if g.nodes[i].Goal {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Path is a root-to-node walk: Nodes[0] is the root and
+// Edges[i] connects Nodes[i] to Nodes[i+1].
+type Path struct {
+	Nodes []NodeID
+	Edges []EdgeID
+}
+
+// Len returns the number of edges (semesters) on the path.
+func (p Path) Len() int { return len(p.Edges) }
+
+// Cost sums the edge costs along the path.
+func (p Path) Cost(g *Graph) float64 {
+	var c float64
+	for _, e := range p.Edges {
+		c += g.edges[e].Cost
+	}
+	return c
+}
+
+// PathTo returns a root-to-id path. In a tree it is unique; in a merged
+// DAG the lexicographically first (by incoming-edge ID) is returned.
+func (g *Graph) PathTo(id NodeID) Path {
+	var revNodes []NodeID
+	var revEdges []EdgeID
+	cur := id
+	for {
+		revNodes = append(revNodes, cur)
+		n := &g.nodes[cur]
+		if len(n.In) == 0 {
+			break
+		}
+		e := n.In[0]
+		revEdges = append(revEdges, e)
+		cur = g.edges[e].From
+	}
+	// Reverse.
+	p := Path{
+		Nodes: make([]NodeID, len(revNodes)),
+		Edges: make([]EdgeID, len(revEdges)),
+	}
+	for i, n := range revNodes {
+		p.Nodes[len(revNodes)-1-i] = n
+	}
+	for i, e := range revEdges {
+		p.Edges[len(revEdges)-1-i] = e
+	}
+	return p
+}
+
+// ForEachPath enumerates every maximal path (root to leaf) by DFS, calling
+// fn for each. The Path passed to fn is reused; copy to retain. If goalOnly
+// is set, only paths ending at goal-marked nodes are reported (they may end
+// at internal nodes if exploration stopped there). Enumeration stops early
+// when fn returns false.
+func (g *Graph) ForEachPath(goalOnly bool, fn func(Path) bool) {
+	var nodes []NodeID
+	var edges []EdgeID
+	var dfs func(id NodeID) bool
+	dfs = func(id NodeID) bool {
+		nodes = append(nodes, id)
+		defer func() { nodes = nodes[:len(nodes)-1] }()
+		n := &g.nodes[id]
+		terminal := len(n.Out) == 0 && !n.Pruned
+		report := terminal
+		if goalOnly {
+			report = n.Goal
+		}
+		if report {
+			if !fn(Path{Nodes: nodes, Edges: edges}) {
+				return false
+			}
+		}
+		for _, e := range n.Out {
+			edges = append(edges, e)
+			ok := dfs(g.edges[e].To)
+			edges = edges[:len(edges)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(g.root)
+}
+
+// Paths collects every maximal (or goal-terminated) path. Use only when the
+// graph is known to be small; Table-2-scale graphs must use CountPaths.
+func (g *Graph) Paths(goalOnly bool) []Path {
+	var out []Path
+	g.ForEachPath(goalOnly, func(p Path) bool {
+		cp := Path{
+			Nodes: append([]NodeID(nil), p.Nodes...),
+			Edges: append([]EdgeID(nil), p.Edges...),
+		}
+		out = append(out, cp)
+		return true
+	})
+	return out
+}
+
+// CountPaths returns the number of maximal root→leaf paths (goalOnly: the
+// number of root→goal-node paths) without enumerating them, via memoised
+// DFS over the DAG. Saturates at math.MaxInt64.
+func (g *Graph) CountPaths(goalOnly bool) int64 {
+	memo := make([]int64, len(g.nodes))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var count func(id NodeID) int64
+	count = func(id NodeID) int64 {
+		if memo[id] >= 0 {
+			return memo[id]
+		}
+		n := &g.nodes[id]
+		var total int64
+		if goalOnly {
+			if n.Goal {
+				total = 1
+			}
+		} else if len(n.Out) == 0 && !n.Pruned {
+			total = 1
+		}
+		for _, e := range n.Out {
+			c := count(g.edges[e].To)
+			if total > math.MaxInt64-c {
+				total = math.MaxInt64
+			} else {
+				total += c
+			}
+		}
+		memo[id] = total
+		return total
+	}
+	return count(g.root)
+}
+
+// Depth returns the maximum number of edges on any root-to-leaf path.
+func (g *Graph) Depth() int {
+	memo := make([]int, len(g.nodes))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var depth func(id NodeID) int
+	depth = func(id NodeID) int {
+		if memo[id] >= 0 {
+			return memo[id]
+		}
+		best := 0
+		for _, e := range g.nodes[id].Out {
+			if d := depth(g.edges[e].To) + 1; d > best {
+				best = d
+			}
+		}
+		memo[id] = best
+		return best
+	}
+	return depth(g.root)
+}
+
+// Stats summarises a learning graph.
+type Stats struct {
+	Nodes, Edges int
+	Leaves       int
+	GoalNodes    int
+	Paths        int64
+	GoalPaths    int64
+	Depth        int
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		Leaves:    len(g.Leaves()),
+		GoalNodes: len(g.GoalNodes()),
+		Paths:     g.CountPaths(false),
+		GoalPaths: g.CountPaths(true),
+		Depth:     g.Depth(),
+	}
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d leaves=%d goals=%d paths=%d goalPaths=%d depth=%d",
+		s.Nodes, s.Edges, s.Leaves, s.GoalNodes, s.Paths, s.GoalPaths, s.Depth)
+}

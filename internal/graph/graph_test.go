@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+func st(ord int) status.Status {
+	return status.Status{
+		Term:      term.TwoSeason.MustTerm(2011+ord/2, term.TwoSeason.Seasons()[ord%2]),
+		Completed: bitset.New(4),
+	}
+}
+
+// buildFig3Shape builds a tree shaped like the paper's Figure 3:
+//
+//	root -> a, b, c; b -> d (goal); c -> e; e -> f (goal)
+func buildFig3Shape() (*Graph, map[string]NodeID) {
+	g := New(st(0))
+	ids := map[string]NodeID{"root": g.Root()}
+	add := func(name string, from NodeID, members ...int) NodeID {
+		n := g.AddNode(st(1))
+		g.AddEdge(from, n, bitset.FromMembers(4, members...), 1)
+		ids[name] = n
+		return n
+	}
+	a := add("a", g.Root(), 0)
+	_ = a
+	b := add("b", g.Root(), 1)
+	c := add("c", g.Root(), 0, 1)
+	d := add("d", b, 2)
+	g.MarkGoal(d)
+	e := add("e", c)
+	f := add("f", e, 3)
+	g.MarkGoal(f)
+	return g, ids
+}
+
+func TestBasicShape(t *testing.T) {
+	g, ids := buildFig3Shape()
+	if g.NumNodes() != 7 || g.NumEdges() != 6 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if got := len(g.Leaves()); got != 3 { // a, d, f
+		t.Errorf("leaves = %d, want 3", got)
+	}
+	goals := g.GoalNodes()
+	if len(goals) != 2 || goals[0] != ids["d"] || goals[1] != ids["f"] {
+		t.Errorf("goal nodes = %v", goals)
+	}
+	if g.Node(ids["d"]).Goal != true {
+		t.Error("goal flag lost")
+	}
+	if g.Edge(0).From != g.Root() {
+		t.Error("edge endpoints wrong")
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	g, ids := buildFig3Shape()
+	p := g.PathTo(ids["f"])
+	if p.Len() != 3 {
+		t.Fatalf("path len = %d, want 3", p.Len())
+	}
+	if p.Nodes[0] != g.Root() || p.Nodes[3] != ids["f"] {
+		t.Errorf("path nodes = %v", p.Nodes)
+	}
+	if got := p.Cost(g); got != 3 {
+		t.Errorf("path cost = %v, want 3", got)
+	}
+	root := g.PathTo(g.Root())
+	if root.Len() != 0 || len(root.Nodes) != 1 {
+		t.Errorf("root path = %+v", root)
+	}
+}
+
+func TestForEachPathAndPaths(t *testing.T) {
+	g, ids := buildFig3Shape()
+	all := g.Paths(false)
+	if len(all) != 3 {
+		t.Fatalf("maximal paths = %d, want 3", len(all))
+	}
+	// Paths end at a, d, f (DFS order by edge creation: a first).
+	if all[0].Nodes[len(all[0].Nodes)-1] != ids["a"] {
+		t.Errorf("first path ends at %d", all[0].Nodes[len(all[0].Nodes)-1])
+	}
+	goal := g.Paths(true)
+	if len(goal) != 2 {
+		t.Fatalf("goal paths = %d, want 2", len(goal))
+	}
+	for _, p := range goal {
+		last := p.Nodes[len(p.Nodes)-1]
+		if !g.Node(last).Goal {
+			t.Error("goal path ends at non-goal node")
+		}
+	}
+	// Early stop.
+	n := 0
+	g.ForEachPath(false, func(Path) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d paths", n)
+	}
+}
+
+func TestCountPathsMatchesEnumeration(t *testing.T) {
+	g, _ := buildFig3Shape()
+	if got := g.CountPaths(false); got != 3 {
+		t.Errorf("CountPaths = %d, want 3", got)
+	}
+	if got := g.CountPaths(true); got != 2 {
+		t.Errorf("CountPaths(goal) = %d, want 2", got)
+	}
+}
+
+func TestCountPathsOnMergedDAG(t *testing.T) {
+	// Diamond: root -> a, b; both -> c (merged); c -> leaf. 2 paths.
+	g := New(st(0))
+	a := g.AddNode(st(1))
+	b := g.AddNode(st(1))
+	c := g.AddNode(st(2))
+	leaf := g.AddNode(st(3))
+	g.AddEdge(g.Root(), a, bitset.FromMembers(4, 0), 1)
+	g.AddEdge(g.Root(), b, bitset.FromMembers(4, 1), 1)
+	g.AddEdge(a, c, bitset.FromMembers(4, 1), 1)
+	g.AddEdge(b, c, bitset.FromMembers(4, 0), 1)
+	g.AddEdge(c, leaf, bitset.FromMembers(4, 2), 1)
+	if got := g.CountPaths(false); got != 2 {
+		t.Errorf("diamond CountPaths = %d, want 2", got)
+	}
+	if got := len(g.Paths(false)); got != 2 {
+		t.Errorf("diamond Paths = %d, want 2", got)
+	}
+	if got := len(g.Node(c).In); got != 2 {
+		t.Errorf("merged node in-degree = %d", got)
+	}
+	// Wide DAG: counting must not overflow intermediate sums.
+	if g.CountPaths(false) >= math.MaxInt64 {
+		t.Error("unexpected saturation")
+	}
+}
+
+func TestDepthAndStats(t *testing.T) {
+	g, _ := buildFig3Shape()
+	if got := g.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	s := g.Stats()
+	if s.Nodes != 7 || s.Edges != 6 || s.Leaves != 3 || s.GoalNodes != 2 ||
+		s.Paths != 3 || s.GoalPaths != 2 || s.Depth != 3 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if str := s.String(); !strings.Contains(str, "nodes=7") || !strings.Contains(str, "goalPaths=2") {
+		t.Errorf("Stats.String = %q", str)
+	}
+}
+
+func TestSingleNodeGraph(t *testing.T) {
+	g := New(st(0))
+	if got := g.CountPaths(false); got != 1 {
+		t.Errorf("single-node CountPaths = %d, want 1", got)
+	}
+	if got := g.CountPaths(true); got != 0 {
+		t.Errorf("single-node goal CountPaths = %d, want 0", got)
+	}
+	if got := g.Depth(); got != 0 {
+		t.Errorf("Depth = %d", got)
+	}
+	paths := g.Paths(false)
+	if len(paths) != 1 || paths[0].Len() != 0 {
+		t.Errorf("paths = %+v", paths)
+	}
+}
+
+// TestRandomDAGCountMatchesEnumeration cross-checks CountPaths against
+// literal enumeration on random layered DAGs (the shape interning
+// produces), including goal-marked subsets.
+func TestRandomDAGCountMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		g := New(st(0))
+		layers := [][]NodeID{{g.Root()}}
+		depth := 2 + rng.Intn(3)
+		for d := 1; d <= depth; d++ {
+			width := 1 + rng.Intn(4)
+			var layer []NodeID
+			for i := 0; i < width; i++ {
+				id := g.AddNode(st(d))
+				if rng.Intn(4) == 0 {
+					g.MarkGoal(id)
+				}
+				// Connect from 1..3 random parents in the previous layer.
+				parents := rng.Intn(3) + 1
+				seen := map[NodeID]bool{}
+				for p := 0; p < parents; p++ {
+					from := layers[d-1][rng.Intn(len(layers[d-1]))]
+					if seen[from] {
+						continue
+					}
+					seen[from] = true
+					g.AddEdge(from, id, bitset.FromMembers(4, p), 1)
+				}
+				layer = append(layer, id)
+			}
+			layers = append(layers, layer)
+		}
+		// Orphan-free by construction (every node has ≥1 parent).
+		for _, goalOnly := range []bool{false, true} {
+			want := int64(len(g.Paths(goalOnly)))
+			if got := g.CountPaths(goalOnly); got != want {
+				t.Fatalf("trial %d goalOnly=%v: CountPaths=%d, enumeration=%d", trial, goalOnly, got, want)
+			}
+		}
+	}
+}

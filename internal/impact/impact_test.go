@@ -1,0 +1,193 @@
+package impact
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/degree"
+	"repro/internal/expr"
+	"repro/internal/term"
+	"repro/internal/transcript"
+)
+
+var (
+	f11 = term.TwoSeason.MustTerm(2011, term.Fall)
+	s12 = f11.Next()
+	f12 = s12.Next()
+	s13 = f12.Next()
+)
+
+// oldCatalog is the Figure 3 example; newCatalog is a revision that
+// cancels 21A's Spring '12 offering (moving it to Spring '13, outside
+// reach for the Fall '12 deadline) and adds a new course.
+func oldCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	return catalog.NewBuilder(term.TwoSeason).
+		Add(catalog.Course{ID: "11A", Offered: []term.Term{f11, f12}}).
+		Add(catalog.Course{ID: "29A", Offered: []term.Term{f11, f12}}).
+		Add(catalog.Course{ID: "21A", Prereq: expr.MustParse("11A"), Offered: []term.Term{s12}}).
+		MustBuild()
+}
+
+func newCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	return catalog.NewBuilder(term.TwoSeason).
+		Add(catalog.Course{ID: "11A", Offered: []term.Term{f11, f12}}).
+		Add(catalog.Course{ID: "29A", Offered: []term.Term{f11, f12}}).
+		Add(catalog.Course{ID: "21A", Prereq: expr.MustParse("11A"), Offered: []term.Term{s13}}).
+		Add(catalog.Course{ID: "99A", Offered: []term.Term{s12}}).
+		MustBuild()
+}
+
+func TestDiff(t *testing.T) {
+	changes := Diff(oldCatalog(t), newCatalog(t))
+	if len(changes) != 2 {
+		t.Fatalf("changes = %+v", changes)
+	}
+	c21 := changes[0]
+	if c21.Course != "21A" || len(c21.Added) != 1 || c21.Added[0] != "Spring 2013" ||
+		len(c21.Removed) != 1 || c21.Removed[0] != "Spring 2012" {
+		t.Errorf("21A change = %+v", c21)
+	}
+	if changes[1].Course != "99A" || !changes[1].New {
+		t.Errorf("99A change = %+v", changes[1])
+	}
+	// Reverse diff sees the drop.
+	rev := Diff(newCatalog(t), oldCatalog(t))
+	foundDrop := false
+	for _, c := range rev {
+		if c.Course == "99A" && c.Dropped {
+			foundDrop = true
+		}
+	}
+	if !foundDrop {
+		t.Errorf("reverse diff = %+v", rev)
+	}
+	// Prereq change detection.
+	alt := catalog.NewBuilder(term.TwoSeason).
+		Add(catalog.Course{ID: "11A", Offered: []term.Term{f11, f12}}).
+		Add(catalog.Course{ID: "29A", Prereq: expr.MustParse("11A"), Offered: []term.Term{f11, f12}}).
+		Add(catalog.Course{ID: "21A", Prereq: expr.MustParse("11A"), Offered: []term.Term{s12}}).
+		MustBuild()
+	pc := Diff(oldCatalog(t), alt)
+	if len(pc) != 1 || pc[0].Course != "29A" || !pc[0].PrereqChanged {
+		t.Errorf("prereq diff = %+v", pc)
+	}
+	// Identical catalogs: empty diff.
+	if d := Diff(oldCatalog(t), oldCatalog(t)); len(d) != 0 {
+		t.Errorf("self diff = %+v", d)
+	}
+}
+
+func goalFactory(ids ...string) func(cat *catalog.Catalog) (degree.Goal, error) {
+	return func(cat *catalog.Catalog) (degree.Goal, error) {
+		return degree.NewCourseSet(cat, ids...)
+	}
+}
+
+func TestCompareGoalSpace(t *testing.T) {
+	// Goal: all of 11A, 29A, 21A by Fall '12. The revision moves 21A out
+	// of reach: the goal becomes unreachable.
+	plan := transcript.Transcript{Student: "P1", Entries: []transcript.Entry{
+		{Term: f11, Courses: []string{"11A", "29A"}},
+		{Term: s12, Courses: []string{"21A"}},
+	}}
+	rep, err := Compare(oldCatalog(t), newCatalog(t), Analysis{
+		Start: f11, End: f12, MaxPerTerm: 3,
+		Goal:  goalFactory("11A", "29A", "21A"),
+		Plans: []transcript.Transcript{plan},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OldGoalPaths != 1 {
+		t.Errorf("old goal paths = %d, want 1", rep.OldGoalPaths)
+	}
+	if rep.NewGoalPaths != 0 || rep.StillReachable {
+		t.Errorf("new goal paths = %d reachable=%v, want goal lost", rep.NewGoalPaths, rep.StillReachable)
+	}
+	if len(rep.BrokenPlans) != 1 || rep.BrokenPlans[0].Student != "P1" {
+		t.Errorf("broken plans = %+v", rep.BrokenPlans)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"~ 21A", "+ 99A", "goal paths: 1 → 0", "no longer reachable", "broken plan P1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareSurvivingPlans(t *testing.T) {
+	// A goal untouched by the revision: plans survive, path count equal.
+	plan := transcript.Transcript{Student: "P2", Entries: []transcript.Entry{
+		{Term: f11, Courses: []string{"11A", "29A"}},
+	}}
+	rep, err := Compare(oldCatalog(t), newCatalog(t), Analysis{
+		Start: f11, End: s12, MaxPerTerm: 2,
+		Goal:  goalFactory("11A", "29A"),
+		Plans: []transcript.Transcript{plan},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BrokenPlans) != 0 {
+		t.Errorf("broken plans = %+v", rep.BrokenPlans)
+	}
+	if rep.OldGoalPaths != rep.NewGoalPaths {
+		t.Errorf("goal paths changed %d → %d for an untouched goal", rep.OldGoalPaths, rep.NewGoalPaths)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "survive") {
+		t.Errorf("report:\n%s", buf.String())
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	if _, err := Compare(nil, newCatalog(t), Analysis{}); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := Compare(oldCatalog(t), newCatalog(t), Analysis{}); err == nil {
+		t.Error("missing goal factory accepted")
+	}
+	bad := Analysis{
+		Start: f11, End: f12, MaxPerTerm: 2,
+		Goal: goalFactory("NOPE"),
+	}
+	if _, err := Compare(oldCatalog(t), newCatalog(t), bad); err == nil {
+		t.Error("bad goal factory accepted")
+	}
+	// Invalid-against-old plans are skipped, not blamed on the revision.
+	junk := transcript.Transcript{Student: "J", Entries: []transcript.Entry{
+		{Term: f11, Courses: []string{"21A"}}, // prereq unmet in both
+	}}
+	rep, err := Compare(oldCatalog(t), newCatalog(t), Analysis{
+		Start: f11, End: s12, MaxPerTerm: 2,
+		Goal:  goalFactory("11A"),
+		Plans: []transcript.Transcript{junk},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BrokenPlans) != 0 {
+		t.Errorf("never-valid plan reported broken: %+v", rep.BrokenPlans)
+	}
+}
+
+func TestWriteNoChanges(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Report{StillReachable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no schedule changes") {
+		t.Errorf("report:\n%s", buf.String())
+	}
+}

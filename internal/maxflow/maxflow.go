@@ -1,0 +1,174 @@
+// Package maxflow implements the Ford–Fulkerson maximum-flow algorithm on
+// small integer-capacity networks.
+//
+// CourseNavigator's time-based pruning strategy (paper §4.2.1, following
+// Parameswaran et al., TOIS 2011) computes left_i — the minimum number of
+// further courses a student must take to satisfy a degree requirement — by
+// matching courses to requirement slots; that matching is a max-flow
+// problem on a bipartite network built by internal/degree.
+package maxflow
+
+import "fmt"
+
+// Graph is a flow network with integer capacities. Nodes are dense indexes
+// [0, n). Parallel edges are allowed and are summed.
+type Graph struct {
+	n     int
+	edges []edge
+	adj   [][]int32 // node -> indexes into edges (both directions)
+}
+
+// edge i and edge i^1 are a residual pair: edges[i] is the forward edge,
+// edges[i^1] the reverse edge with zero initial capacity.
+type edge struct {
+	to  int32
+	cap int32
+}
+
+// New returns an empty flow network with n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("maxflow: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds a directed edge from u to v with the given capacity.
+// It panics on out-of-range nodes or negative capacity.
+func (g *Graph) AddEdge(u, v, capacity int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("maxflow: negative capacity %d", capacity))
+	}
+	g.adj[u] = append(g.adj[u], int32(len(g.edges)))
+	g.edges = append(g.edges, edge{to: int32(v), cap: int32(capacity)})
+	g.adj[v] = append(g.adj[v], int32(len(g.edges)))
+	g.edges = append(g.edges, edge{to: int32(u), cap: 0})
+}
+
+// MaxFlow computes the maximum s→t flow, consuming the graph's residual
+// capacities (call on a fresh graph or after Reset... the implementation
+// mutates capacities; build a new Graph per query, which is what the
+// pruning hot path does via degree.Matcher's pooled builder).
+//
+// The implementation is Ford–Fulkerson with BFS augmenting paths
+// (Edmonds–Karp), O(V·E²) worst case, far below a millisecond on the
+// course-sized networks this repository builds.
+func (g *Graph) MaxFlow(s, t int) int {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		panic(fmt.Sprintf("maxflow: terminals (%d,%d) out of range", s, t))
+	}
+	if s == t {
+		return 0
+	}
+	total := 0
+	parent := make([]int32, g.n) // edge index used to reach node, -1 unset
+	queue := make([]int32, 0, g.n)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = -2
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		found := false
+	bfs:
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, ei := range g.adj[u] {
+				e := g.edges[ei]
+				if e.cap > 0 && parent[e.to] == -1 {
+					parent[e.to] = ei
+					if int(e.to) == t {
+						found = true
+						break bfs
+					}
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if !found {
+			return total
+		}
+		// Find bottleneck.
+		bottleneck := int32(1<<31 - 1)
+		for v := int32(t); v != int32(s); {
+			ei := parent[v]
+			if g.edges[ei].cap < bottleneck {
+				bottleneck = g.edges[ei].cap
+			}
+			v = g.edges[ei^1].to
+		}
+		// Apply.
+		for v := int32(t); v != int32(s); {
+			ei := parent[v]
+			g.edges[ei].cap -= bottleneck
+			g.edges[ei^1].cap += bottleneck
+			v = g.edges[ei^1].to
+		}
+		total += int(bottleneck)
+	}
+}
+
+// MinCutReachable returns, after MaxFlow has run, the set of nodes
+// reachable from s in the residual network — the s-side of a minimum cut.
+func (g *Graph) MinCutReachable(s int) []bool {
+	seen := make([]bool, g.n)
+	seen[s] = true
+	stack := []int32{int32(s)}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range g.adj[u] {
+			e := g.edges[ei]
+			if e.cap > 0 && !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+// BipartiteMatch computes a maximum matching between left nodes [0, nl) and
+// right nodes [0, nr), where adj[l] lists the right nodes l may match.
+// It returns the matching size. This is the form degree-requirement slot
+// assignment takes.
+func BipartiteMatch(nl, nr int, adj func(l int) []int) int {
+	// Hopcroft–Karp style would be overkill; a Kuhn's-algorithm DFS keeps
+	// the code small and is fast at course scale.
+	matchR := make([]int, nr)
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	visited := make([]int, nr) // stamp per left node
+	for i := range visited {
+		visited[i] = -1
+	}
+	var try func(l, stamp int) bool
+	try = func(l, stamp int) bool {
+		for _, r := range adj(l) {
+			if r < 0 || r >= nr || visited[r] == stamp {
+				continue
+			}
+			visited[r] = stamp
+			if matchR[r] == -1 || try(matchR[r], stamp) {
+				matchR[r] = l
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for l := 0; l < nl; l++ {
+		if try(l, l) {
+			size++
+		}
+	}
+	return size
+}

@@ -1,0 +1,215 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 5)
+	if got := g.MaxFlow(0, 1); got != 5 {
+		t.Errorf("flow = %d, want 5", got)
+	}
+	if got := New(3).MaxFlow(0, 2); got != 0 {
+		t.Errorf("empty graph flow = %d", got)
+	}
+	g2 := New(2)
+	if got := g2.MaxFlow(1, 1); got != 0 {
+		t.Errorf("s==t flow = %d", got)
+	}
+}
+
+func TestParallelEdgesSum(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 1, 3)
+	if got := g.MaxFlow(0, 1); got != 5 {
+		t.Errorf("parallel flow = %d, want 5", got)
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS figure: max flow 23.
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Errorf("flow = %d, want 23", got)
+	}
+	// Min-cut: source side must contain s and not t.
+	cut := g.MinCutReachable(0)
+	if !cut[0] || cut[5] {
+		t.Error("min-cut sides wrong")
+	}
+}
+
+func TestBottleneckPath(t *testing.T) {
+	// Chain with a 1-capacity bottleneck.
+	g := New(4)
+	g.AddEdge(0, 1, 100)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 100)
+	if got := g.MaxFlow(0, 3); got != 1 {
+		t.Errorf("flow = %d, want 1", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 7)
+	g.AddEdge(2, 3, 7)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Errorf("flow = %d, want 0", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	assertPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("New(-1)", func() { New(-1) })
+	assertPanic("edge out of range", func() { New(2).AddEdge(0, 5, 1) })
+	assertPanic("negative capacity", func() { New(2).AddEdge(0, 1, -1) })
+	assertPanic("terminal out of range", func() { New(2).MaxFlow(0, 9) })
+}
+
+func TestFlowEqualsMinCutProperty(t *testing.T) {
+	// On random graphs, max-flow must equal the capacity across the
+	// returned min cut (max-flow min-cut theorem).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(6)
+		type e struct{ u, v, c int }
+		var edges []e
+		g := New(n)
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := rng.Intn(10)
+			edges = append(edges, e{u, v, c})
+			g.AddEdge(u, v, c)
+		}
+		s, t0 := 0, n-1
+		flow := g.MaxFlow(s, t0)
+		cut := g.MinCutReachable(s)
+		if !cut[s] {
+			t.Fatal("source not in its own cut side")
+		}
+		if cut[t0] {
+			t.Fatal("sink reachable after max flow")
+		}
+		capAcross := 0
+		for _, ed := range edges {
+			if cut[ed.u] && !cut[ed.v] {
+				capAcross += ed.c
+			}
+		}
+		if flow != capAcross {
+			t.Fatalf("trial %d: flow %d != cut capacity %d", trial, flow, capAcross)
+		}
+	}
+}
+
+func TestBipartiteMatchSimple(t *testing.T) {
+	// Perfect matching on a 3x3 with a cycle structure.
+	adj := [][]int{{0, 1}, {1, 2}, {2, 0}}
+	if got := BipartiteMatch(3, 3, func(l int) []int { return adj[l] }); got != 3 {
+		t.Errorf("matching = %d, want 3", got)
+	}
+	// Contention: two lefts want the same single right.
+	adj2 := [][]int{{0}, {0}}
+	if got := BipartiteMatch(2, 1, func(l int) []int { return adj2[l] }); got != 1 {
+		t.Errorf("matching = %d, want 1", got)
+	}
+	// Augmenting-path requirement: l0 must be re-routed.
+	adj3 := [][]int{{0, 1}, {0}}
+	if got := BipartiteMatch(2, 2, func(l int) []int { return adj3[l] }); got != 2 {
+		t.Errorf("matching = %d, want 2", got)
+	}
+	if got := BipartiteMatch(0, 5, func(int) []int { return nil }); got != 0 {
+		t.Errorf("empty matching = %d", got)
+	}
+	// Out-of-range right nodes are ignored.
+	if got := BipartiteMatch(1, 1, func(int) []int { return []int{-1, 7, 0} }); got != 1 {
+		t.Errorf("matching with junk adj = %d, want 1", got)
+	}
+}
+
+func TestBipartiteMatchAgainstFlow(t *testing.T) {
+	// Matching size must equal max-flow on the equivalent unit network.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		nl, nr := 1+rng.Intn(8), 1+rng.Intn(8)
+		adj := make([][]int, nl)
+		for l := range adj {
+			for r := 0; r < nr; r++ {
+				if rng.Intn(3) == 0 {
+					adj[l] = append(adj[l], r)
+				}
+			}
+		}
+		match := BipartiteMatch(nl, nr, func(l int) []int { return adj[l] })
+		// Flow network: 0 = source, 1..nl lefts, nl+1..nl+nr rights, last = sink.
+		g := New(nl + nr + 2)
+		src, sink := 0, nl+nr+1
+		for l := 0; l < nl; l++ {
+			g.AddEdge(src, 1+l, 1)
+			for _, r := range adj[l] {
+				g.AddEdge(1+l, 1+nl+r, 1)
+			}
+		}
+		for r := 0; r < nr; r++ {
+			g.AddEdge(1+nl+r, sink, 1)
+		}
+		if flow := g.MaxFlow(src, sink); flow != match {
+			t.Fatalf("trial %d: match %d != flow %d", trial, match, flow)
+		}
+	}
+}
+
+func BenchmarkMaxFlowCourseScale(b *testing.B) {
+	// Network shaped like a degree-requirement matcher: 38 courses, 2
+	// requirement groups, source and sink.
+	build := func() *Graph {
+		g := New(42)
+		for c := 0; c < 38; c++ {
+			g.AddEdge(0, 2+c, 1)
+			g.AddEdge(2+c, 40, 1)
+			if c%3 == 0 {
+				g.AddEdge(2+c, 41, 1)
+			}
+		}
+		g.AddEdge(40, 1, 7)
+		g.AddEdge(41, 1, 5)
+		return g
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := build()
+		if g.MaxFlow(0, 1) == 0 {
+			b.Fatal("zero flow")
+		}
+	}
+}
+
+func TestN(t *testing.T) {
+	if got := New(7).N(); got != 7 {
+		t.Errorf("N = %d", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package mining analyses corpora of student transcripts: course
+// popularity, co-enrollment, per-semester load, and popular learning
+// paths mined from a prefix tree of selection sequences.
+//
+// It reproduces the analysis layer of Learn2learn (Wei, Koutrika, Wu;
+// EDBT 2014), the related-work system the paper contrasts itself with
+// (§1): where CourseNavigator enumerates all *possible* paths forward,
+// Learn2learn visualises the *popular* paths students actually took.
+// Combining both — mining the §5.2 transcript corpus and overlaying it
+// on generated learning graphs — is what examples/popular-paths shows.
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/transcript"
+)
+
+// Corpus is an analysable set of transcripts over one catalog.
+type Corpus struct {
+	cat *catalog.Catalog
+	trs []transcript.Transcript
+}
+
+// NewCorpus builds a corpus. With validate set, every transcript must
+// Replay cleanly against the catalog's rules (maxPerTerm 0 = unlimited).
+func NewCorpus(cat *catalog.Catalog, trs []transcript.Transcript, validate bool, maxPerTerm int) (*Corpus, error) {
+	if len(trs) == 0 {
+		return nil, fmt.Errorf("mining: empty corpus")
+	}
+	if validate {
+		for _, tr := range trs {
+			if _, err := transcript.Replay(cat, tr, maxPerTerm); err != nil {
+				return nil, fmt.Errorf("mining: %v", err)
+			}
+		}
+	}
+	return &Corpus{cat: cat, trs: trs}, nil
+}
+
+// Size returns the number of transcripts.
+func (c *Corpus) Size() int { return len(c.trs) }
+
+// CourseCount is a course with its student count.
+type CourseCount struct {
+	Course string
+	Count  int
+}
+
+// Popularity returns every course taken by at least one student with the
+// number of students who took it, most popular first (ties by course ID).
+func (c *Corpus) Popularity() []CourseCount {
+	counts := map[string]int{}
+	for _, tr := range c.trs {
+		seen := map[string]bool{}
+		for _, id := range tr.Courses() {
+			if !seen[id] {
+				seen[id] = true
+				counts[id]++
+			}
+		}
+	}
+	out := make([]CourseCount, 0, len(counts))
+	for id, n := range counts {
+		out = append(out, CourseCount{Course: id, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Course < out[j].Course
+	})
+	return out
+}
+
+// PairCount is a same-semester course pair with its student count.
+type PairCount struct {
+	A, B  string
+	Count int
+}
+
+// CoEnrollment returns course pairs taken in the same semester by at
+// least minCount students, most frequent first.
+func (c *Corpus) CoEnrollment(minCount int) []PairCount {
+	counts := map[[2]string]int{}
+	for _, tr := range c.trs {
+		for _, e := range tr.Entries {
+			ids := append([]string(nil), e.Courses...)
+			sort.Strings(ids)
+			for i := 0; i < len(ids); i++ {
+				for j := i + 1; j < len(ids); j++ {
+					counts[[2]string{ids[i], ids[j]}]++
+				}
+			}
+		}
+	}
+	var out []PairCount
+	for pair, n := range counts {
+		if n >= minCount {
+			out = append(out, PairCount{A: pair[0], B: pair[1], Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// LoadProfile returns the average number of courses taken in each
+// relative semester (index 0 = each student's first semester).
+func (c *Corpus) LoadProfile() []float64 {
+	var sums []int
+	var counts []int
+	for _, tr := range c.trs {
+		for i, e := range tr.Entries {
+			if i >= len(sums) {
+				sums = append(sums, 0)
+				counts = append(counts, 0)
+			}
+			sums[i] += len(e.Courses)
+			counts[i]++
+		}
+	}
+	out := make([]float64, len(sums))
+	for i := range sums {
+		out[i] = float64(sums[i]) / float64(counts[i])
+	}
+	return out
+}
+
+// selectionKey normalises one semester's selection for prefix matching.
+func selectionKey(courses []string) string {
+	ids := append([]string(nil), courses...)
+	sort.Strings(ids)
+	return "{" + strings.Join(ids, ",") + "}"
+}
+
+// PathCount is a (possibly partial) path with the number of students who
+// followed it from their first semester.
+type PathCount struct {
+	// Selections holds one normalised selection per semester.
+	Selections []string
+	Count      int
+}
+
+// PopularPrefixes mines the prefix tree of selection sequences: every
+// selection-sequence prefix of at least depth 1 followed by at least
+// minCount students, deepest-then-most-popular first. This is the
+// "popular paths" view of Learn2learn: prefixes shared by many students
+// are the well-trodden beginnings of their studies.
+func (c *Corpus) PopularPrefixes(minCount int) []PathCount {
+	type node struct {
+		children map[string]*node
+		count    int
+	}
+	root := &node{children: map[string]*node{}}
+	for _, tr := range c.trs {
+		cur := root
+		for _, e := range tr.Entries {
+			key := selectionKey(e.Courses)
+			next := cur.children[key]
+			if next == nil {
+				next = &node{children: map[string]*node{}}
+				cur.children[key] = next
+			}
+			next.count++
+			cur = next
+		}
+	}
+	var out []PathCount
+	var walk func(n *node, prefix []string)
+	walk = func(n *node, prefix []string) {
+		for key, child := range n.children {
+			if child.count < minCount {
+				continue
+			}
+			p := append(append([]string(nil), prefix...), key)
+			out = append(out, PathCount{Selections: p, Count: child.count})
+			walk(child, p)
+		}
+	}
+	walk(root, nil)
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Selections) != len(out[j].Selections) {
+			return len(out[i].Selections) > len(out[j].Selections)
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return strings.Join(out[i].Selections, "/") < strings.Join(out[j].Selections, "/")
+	})
+	return out
+}
+
+// PopularPaths returns the complete selection sequences (whole
+// transcripts) shared by at least minCount students, most popular first.
+func (c *Corpus) PopularPaths(minCount int) []PathCount {
+	counts := map[string]int{}
+	for _, tr := range c.trs {
+		keys := make([]string, len(tr.Entries))
+		for i, e := range tr.Entries {
+			keys[i] = selectionKey(e.Courses)
+		}
+		counts[strings.Join(keys, "/")]++
+	}
+	var out []PathCount
+	for path, n := range counts {
+		if n >= minCount {
+			out = append(out, PathCount{Selections: strings.Split(path, "/"), Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return strings.Join(out[i].Selections, "/") < strings.Join(out[j].Selections, "/")
+	})
+	return out
+}
+
+// String renders a PathCount like "{A,B}/{C} ×12".
+func (p PathCount) String() string {
+	return fmt.Sprintf("%s ×%d", strings.Join(p.Selections, "/"), p.Count)
+}

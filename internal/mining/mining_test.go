@@ -1,0 +1,144 @@
+package mining
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/term"
+	"repro/internal/transcript"
+)
+
+var (
+	f11 = term.TwoSeason.MustTerm(2011, term.Fall)
+	s12 = f11.Next()
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	b := catalog.NewBuilder(term.TwoSeason)
+	for _, id := range []string{"A1", "B1", "C1"} {
+		b.Add(catalog.Course{ID: id, Offered: []term.Term{f11, s12}})
+	}
+	cat, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func tr(student string, sems ...[]string) transcript.Transcript {
+	t := transcript.Transcript{Student: student}
+	term := f11
+	for _, courses := range sems {
+		t.Entries = append(t.Entries, transcript.Entry{Term: term, Courses: courses})
+		term = term.Next()
+	}
+	return t
+}
+
+func corpus(t *testing.T) *Corpus {
+	t.Helper()
+	cat := testCatalog(t)
+	trs := []transcript.Transcript{
+		tr("S1", []string{"A1", "B1"}, []string{"C1"}),
+		tr("S2", []string{"A1", "B1"}, []string{"C1"}),
+		tr("S3", []string{"A1", "B1"}),
+		tr("S4", []string{"B1"}, []string{"A1"}),
+	}
+	c, err := NewCorpus(cat, trs, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCorpusValidation(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := NewCorpus(cat, nil, false, 0); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	// An invalid transcript (course not offered Fall '13) fails validation
+	// but passes with validate=false.
+	bad := transcript.Transcript{Student: "X", Entries: []transcript.Entry{
+		{Term: f11.Add(4), Courses: []string{"A1"}},
+	}}
+	if _, err := NewCorpus(cat, []transcript.Transcript{bad}, true, 0); err == nil {
+		t.Error("invalid transcript accepted with validation on")
+	}
+	if _, err := NewCorpus(cat, []transcript.Transcript{bad}, false, 0); err != nil {
+		t.Errorf("validation off still failed: %v", err)
+	}
+}
+
+func TestPopularity(t *testing.T) {
+	got := corpus(t).Popularity()
+	want := []CourseCount{{"A1", 4}, {"B1", 4}, {"C1", 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Popularity = %v, want %v", got, want)
+	}
+}
+
+func TestCoEnrollment(t *testing.T) {
+	got := corpus(t).CoEnrollment(2)
+	want := []PairCount{{A: "A1", B: "B1", Count: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CoEnrollment = %v, want %v", got, want)
+	}
+	if pairs := corpus(t).CoEnrollment(4); len(pairs) != 0 {
+		t.Errorf("minCount=4 pairs = %v", pairs)
+	}
+}
+
+func TestLoadProfile(t *testing.T) {
+	got := corpus(t).LoadProfile()
+	// Semester 1: (2+2+2+1)/4 = 1.75; semester 2: (1+1+1)/3 = 1.
+	if len(got) != 2 || got[0] != 1.75 || got[1] != 1 {
+		t.Errorf("LoadProfile = %v", got)
+	}
+}
+
+func TestPopularPrefixes(t *testing.T) {
+	got := corpus(t).PopularPrefixes(2)
+	// {A1,B1} followed by 3 students; {A1,B1}/{C1} by 2.
+	if len(got) != 2 {
+		t.Fatalf("prefixes = %v", got)
+	}
+	if got[0].String() != "{A1,B1}/{C1} ×2" {
+		t.Errorf("deepest prefix = %q", got[0])
+	}
+	if got[1].String() != "{A1,B1} ×3" {
+		t.Errorf("top prefix = %q", got[1])
+	}
+	// Selection keys normalise course order.
+	cat := testCatalog(t)
+	shuffled := []transcript.Transcript{
+		tr("S1", []string{"B1", "A1"}),
+		tr("S2", []string{"A1", "B1"}),
+	}
+	c2, err := NewCorpus(cat, shuffled, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c2.PopularPrefixes(2)
+	if len(p) != 1 || p[0].Count != 2 {
+		t.Errorf("normalised prefixes = %v", p)
+	}
+}
+
+func TestPopularPaths(t *testing.T) {
+	got := corpus(t).PopularPaths(2)
+	if len(got) != 1 || got[0].Count != 2 ||
+		!reflect.DeepEqual(got[0].Selections, []string{"{A1,B1}", "{C1}"}) {
+		t.Errorf("PopularPaths = %v", got)
+	}
+	if all := corpus(t).PopularPaths(1); len(all) != 3 {
+		t.Errorf("all paths = %v", all)
+	}
+}
+
+func TestSize(t *testing.T) {
+	if got := corpus(t).Size(); got != 4 {
+		t.Errorf("Size = %d", got)
+	}
+}

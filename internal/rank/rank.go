@@ -1,0 +1,188 @@
+// Package rank implements the three path-ranking functions of paper §4.3.1
+// — time, workload and reliability — behind a single Ranker interface the
+// ranked (top-k) exploration algorithm is agnostic to.
+//
+// A Ranker assigns a non-negative cost to each edge (a semester's course
+// selection); the cost of a path is the sum of its edge costs, and lower
+// cost ranks higher. Non-negativity gives the subpath-monotonicity that
+// Lemma 2's best-first optimality proof requires.
+//
+// The paper defines reliability multiplicatively (the product of offering
+// probabilities, higher is better). Reliability here works in negative log
+// space — cost = Σ −ln p — which converts the maximum-product objective
+// into the minimum-sum form shared by the other rankers while preserving
+// the ranking order exactly; PathValue converts a path cost back to the
+// paper's probability.
+package rank
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+// Ranker assigns edge costs for best-first exploration. Implementations
+// must return costs ≥ 0 so that path cost is monotone along subpaths.
+type Ranker interface {
+	// Name identifies the ranking function ("time", "workload",
+	// "reliability").
+	Name() string
+	// EdgeCost returns the cost of electing selection at status st (the
+	// transition covers st.Term).
+	EdgeCost(st status.Status, selection bitset.Set) float64
+	// PathValue converts an accumulated path cost into the user-facing
+	// figure of merit (semesters, hours/week total, probability).
+	PathValue(cost float64) float64
+	// Heuristic returns an admissible, consistent lower bound on the cost
+	// still to be paid when at least `left` more courses must be completed
+	// with at most maxPerTerm per semester (0 = unlimited). The ranked
+	// algorithm uses it as the A*-style priority term that keeps top-k
+	// search goal-directed; returning 0 is always sound. Admissibility
+	// (never overestimating) and consistency (dropping by at most one
+	// edge's cost per transition) preserve the Lemma 2 optimality of the
+	// first k goal pops.
+	Heuristic(left, maxPerTerm int) float64
+}
+
+// Time ranks paths by goal-completion time: every edge costs 1, so path
+// cost is the number of semesters (paper: "the length of the learning
+// path").
+type Time struct{}
+
+// Name implements Ranker.
+func (Time) Name() string { return "time" }
+
+// EdgeCost implements Ranker; each semester transition costs one.
+func (Time) EdgeCost(status.Status, bitset.Set) float64 { return 1 }
+
+// PathValue implements Ranker; the cost already is the semester count.
+func (Time) PathValue(cost float64) float64 { return cost }
+
+// Heuristic implements Ranker: at least ⌈left/m⌉ further semesters are
+// needed (1 when m is unlimited and work remains). Consistent: left drops
+// by at most m per semester, so the bound drops by at most the unit edge
+// cost.
+func (Time) Heuristic(left, maxPerTerm int) float64 {
+	if left <= 0 {
+		return 0
+	}
+	if maxPerTerm <= 0 {
+		return 1
+	}
+	return float64((left + maxPerTerm - 1) / maxPerTerm)
+}
+
+// Workload ranks paths by total effort: an edge costs the sum of the
+// selected courses' weekly-hours workloads w(c).
+type Workload struct {
+	// W is the per-course-index workload vector, typically
+	// Catalog.Workloads().
+	W []float64
+}
+
+// Name implements Ranker.
+func (Workload) Name() string { return "workload" }
+
+// EdgeCost implements Ranker.
+func (r Workload) EdgeCost(_ status.Status, selection bitset.Set) float64 {
+	var sum float64
+	selection.ForEach(func(i int) {
+		if i < len(r.W) {
+			sum += r.W[i]
+		}
+	})
+	return sum
+}
+
+// PathValue implements Ranker; the cost is total workload hours.
+func (Workload) PathValue(cost float64) float64 { return cost }
+
+// Heuristic implements Ranker: completing left more courses costs at
+// least left times the catalog's cheapest workload. Consistent: an edge
+// electing |W| courses costs at least |W|·min(W) and reduces left by at
+// most |W|.
+func (r Workload) Heuristic(left, maxPerTerm int) float64 {
+	if left <= 0 || len(r.W) == 0 {
+		return 0
+	}
+	min := r.W[0]
+	for _, w := range r.W[1:] {
+		if w < min {
+			min = w
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return float64(left) * min
+}
+
+// OfferingProb estimates the probability that a course is offered in a
+// semester (1.0 within the released schedule, historical frequency beyond
+// it). internal/sched provides the estimator used in the experiments.
+type OfferingProb func(courseIdx int, t term.Term) float64
+
+// Reliability ranks paths by the probability that every selected course is
+// actually offered, working in −ln space (see the package comment).
+type Reliability struct {
+	// Prob estimates per-(course, semester) offering probability. Values
+	// are clamped to [MinProb, 1] so a zero-probability offering yields a
+	// large-but-finite cost instead of +Inf.
+	Prob OfferingProb
+}
+
+// MinProb is the smallest probability Reliability distinguishes; lower
+// estimates are clamped so edge costs stay finite.
+const MinProb = 1e-9
+
+// Name implements Ranker.
+func (Reliability) Name() string { return "reliability" }
+
+// EdgeCost implements Ranker: Σ −ln p over the selected courses.
+func (r Reliability) EdgeCost(st status.Status, selection bitset.Set) float64 {
+	var sum float64
+	selection.ForEach(func(i int) {
+		p := r.Prob(i, st.Term)
+		if p > 1 {
+			p = 1
+		}
+		if p < MinProb {
+			p = MinProb
+		}
+		sum += -math.Log(p)
+	})
+	return sum
+}
+
+// PathValue implements Ranker: exp(−cost), the paper's path reliability
+// (product of course probabilities).
+func (Reliability) PathValue(cost float64) float64 { return math.Exp(-cost) }
+
+// Heuristic implements Ranker: future offering probabilities are at most
+// one, so zero is the only generally sound bound.
+func (Reliability) Heuristic(int, int) float64 { return 0 }
+
+// ByName returns the ranker registered under name. Workload needs the
+// catalog's workload vector; Reliability needs a probability estimator —
+// pass nil for the ones the name does not require.
+func ByName(name string, workloads []float64, prob OfferingProb) (Ranker, error) {
+	switch name {
+	case "time", "":
+		return Time{}, nil
+	case "workload":
+		if workloads == nil {
+			return nil, fmt.Errorf("rank: workload ranking needs a workload vector")
+		}
+		return Workload{W: workloads}, nil
+	case "reliability":
+		if prob == nil {
+			return nil, fmt.Errorf("rank: reliability ranking needs an offering-probability estimator")
+		}
+		return Reliability{Prob: prob}, nil
+	default:
+		return nil, fmt.Errorf("rank: unknown ranking function %q", name)
+	}
+}

@@ -1,0 +1,209 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+func st() status.Status {
+	return status.Status{Term: term.TwoSeason.MustTerm(2011, term.Fall)}
+}
+
+func TestTime(t *testing.T) {
+	r := Time{}
+	if r.Name() != "time" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if got := r.EdgeCost(st(), bitset.FromMembers(4, 0, 1)); got != 1 {
+		t.Errorf("EdgeCost = %g, want 1", got)
+	}
+	if got := r.EdgeCost(st(), bitset.New(4)); got != 1 {
+		t.Errorf("empty-selection EdgeCost = %g, want 1 (a semester passes)", got)
+	}
+	if got := r.PathValue(3); got != 3 {
+		t.Errorf("PathValue = %g", got)
+	}
+}
+
+func TestWorkload(t *testing.T) {
+	r := Workload{W: []float64{8, 10, 12}}
+	if r.Name() != "workload" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if got := r.EdgeCost(st(), bitset.FromMembers(3, 0, 2)); got != 20 {
+		t.Errorf("EdgeCost = %g, want 20", got)
+	}
+	if got := r.EdgeCost(st(), bitset.New(3)); got != 0 {
+		t.Errorf("empty EdgeCost = %g, want 0", got)
+	}
+	// Out-of-range indexes contribute nothing rather than panicking.
+	if got := r.EdgeCost(st(), bitset.FromMembers(10, 9)); got != 0 {
+		t.Errorf("out-of-range EdgeCost = %g", got)
+	}
+	if got := r.PathValue(42); got != 42 {
+		t.Errorf("PathValue = %g", got)
+	}
+}
+
+func TestReliability(t *testing.T) {
+	probs := map[int]float64{0: 1.0, 1: 0.5, 2: 0.25}
+	r := Reliability{Prob: func(ci int, _ term.Term) float64 { return probs[ci] }}
+	if r.Name() != "reliability" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	// Certain course costs nothing.
+	if got := r.EdgeCost(st(), bitset.FromMembers(3, 0)); got != 0 {
+		t.Errorf("p=1 EdgeCost = %g, want 0", got)
+	}
+	// cost({1,2}) = -ln(0.5) - ln(0.25); PathValue inverts to the product.
+	cost := r.EdgeCost(st(), bitset.FromMembers(3, 1, 2))
+	if math.Abs(r.PathValue(cost)-0.125) > 1e-12 {
+		t.Errorf("PathValue(EdgeCost) = %g, want 0.125", r.PathValue(cost))
+	}
+	// Zero probability clamps to a large finite cost.
+	rz := Reliability{Prob: func(int, term.Term) float64 { return 0 }}
+	got := rz.EdgeCost(st(), bitset.FromMembers(3, 0))
+	if math.IsInf(got, 1) || got <= 0 {
+		t.Errorf("clamped cost = %g, want large finite", got)
+	}
+	// Probability above 1 clamps to 1.
+	rh := Reliability{Prob: func(int, term.Term) float64 { return 7 }}
+	if got := rh.EdgeCost(st(), bitset.FromMembers(3, 0)); got != 0 {
+		t.Errorf("p>1 EdgeCost = %g, want 0", got)
+	}
+}
+
+func TestReliabilityOrderingMatchesProducts(t *testing.T) {
+	// Lower cost must always mean higher path probability.
+	r := Reliability{Prob: func(ci int, _ term.Term) float64 {
+		return []float64{0.9, 0.6, 0.3}[ci%3]
+	}}
+	a := r.EdgeCost(st(), bitset.FromMembers(3, 0))     // p=0.9
+	b := r.EdgeCost(st(), bitset.FromMembers(3, 1))     // p=0.6
+	ab := r.EdgeCost(st(), bitset.FromMembers(3, 0, 1)) // p=0.54
+	if !(a < b && b < ab) {
+		t.Errorf("cost ordering broken: %g %g %g", a, b, ab)
+	}
+	if math.Abs(r.PathValue(a+b)-0.54) > 1e-12 {
+		t.Errorf("additivity broken: %g", r.PathValue(a+b))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if r, err := ByName("time", nil, nil); err != nil || r.Name() != "time" {
+		t.Errorf("ByName(time) = %v, %v", r, err)
+	}
+	if r, err := ByName("", nil, nil); err != nil || r.Name() != "time" {
+		t.Errorf("ByName(\"\") = %v, %v", r, err)
+	}
+	if _, err := ByName("workload", nil, nil); err == nil {
+		t.Error("workload without vector accepted")
+	}
+	if r, err := ByName("workload", []float64{1}, nil); err != nil || r.Name() != "workload" {
+		t.Errorf("ByName(workload) = %v, %v", r, err)
+	}
+	if _, err := ByName("reliability", nil, nil); err == nil {
+		t.Error("reliability without estimator accepted")
+	}
+	prob := func(int, term.Term) float64 { return 1 }
+	if r, err := ByName("reliability", nil, prob); err != nil || r.Name() != "reliability" {
+		t.Errorf("ByName(reliability) = %v, %v", r, err)
+	}
+	if _, err := ByName("magic", nil, nil); err == nil {
+		t.Error("unknown ranker accepted")
+	}
+}
+
+func TestTimeHeuristic(t *testing.T) {
+	r := Time{}
+	cases := []struct {
+		left, m int
+		want    float64
+	}{
+		{0, 3, 0}, {-1, 3, 0},
+		{1, 3, 1}, {3, 3, 1}, {4, 3, 2}, {12, 3, 4},
+		{5, 0, 1}, // unlimited m: one semester still needed
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := r.Heuristic(c.left, c.m); got != c.want {
+			t.Errorf("Time.Heuristic(%d,%d) = %g, want %g", c.left, c.m, got, c.want)
+		}
+	}
+}
+
+func TestWorkloadHeuristic(t *testing.T) {
+	r := Workload{W: []float64{8, 5, 12}}
+	if got := r.Heuristic(3, 3); got != 15 { // 3 × min(8,5,12)
+		t.Errorf("Heuristic = %g, want 15", got)
+	}
+	if got := r.Heuristic(0, 3); got != 0 {
+		t.Errorf("left=0 Heuristic = %g", got)
+	}
+	if got := (Workload{}).Heuristic(3, 3); got != 0 {
+		t.Errorf("empty-vector Heuristic = %g", got)
+	}
+	if got := (Workload{W: []float64{-1, 4}}).Heuristic(3, 3); got != 0 {
+		t.Errorf("negative-min Heuristic = %g, want 0 (stay admissible)", got)
+	}
+}
+
+func TestReliabilityHeuristic(t *testing.T) {
+	r := Reliability{Prob: func(int, term.Term) float64 { return 0.5 }}
+	if got := r.Heuristic(7, 3); got != 0 {
+		t.Errorf("Reliability.Heuristic = %g, want 0", got)
+	}
+}
+
+func TestHeuristicAdmissibleAgainstEdgeCosts(t *testing.T) {
+	// On any split of `left` into per-semester batches of ≤ m courses, the
+	// heuristic must not exceed the true cost. Spot-check time with random
+	// splits.
+	r := Time{}
+	for left := 1; left <= 12; left++ {
+		for m := 1; m <= 4; m++ {
+			semesters := (left + m - 1) / m // the true minimum
+			if h := r.Heuristic(left, m); h > float64(semesters) {
+				t.Errorf("Time.Heuristic(%d,%d) = %g exceeds true minimum %d", left, m, h, semesters)
+			}
+		}
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	w, err := NewWeighted(
+		Component{Ranker: Time{}, Weight: 10},
+		Component{Ranker: Workload{W: []float64{8, 5}}, Weight: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Name(); got != "weighted(10×time+1×workload)" {
+		t.Errorf("Name = %q", got)
+	}
+	// Edge {0,1}: 10·1 + 1·(8+5) = 23.
+	if got := w.EdgeCost(st(), bitset.FromMembers(2, 0, 1)); got != 23 {
+		t.Errorf("EdgeCost = %g, want 23", got)
+	}
+	// Heuristic: 10·⌈left/m⌉ + 1·left·min = 10·1 + 2·5 = 20 for left=2, m=3.
+	if got := w.Heuristic(2, 3); got != 20 {
+		t.Errorf("Heuristic = %g, want 20", got)
+	}
+	if got := w.PathValue(23); got != 23 {
+		t.Errorf("PathValue = %g", got)
+	}
+	// Validation.
+	if _, err := NewWeighted(); err == nil {
+		t.Error("empty weighted accepted")
+	}
+	if _, err := NewWeighted(Component{Ranker: nil, Weight: 1}); err == nil {
+		t.Error("nil ranker accepted")
+	}
+	if _, err := NewWeighted(Component{Ranker: Time{}, Weight: -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package rank
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/status"
+)
+
+// Component is one criterion of a Weighted ranking with its weight.
+// Weights must be non-negative so the combined cost stays monotone.
+type Component struct {
+	Ranker Ranker
+	Weight float64
+}
+
+// Weighted combines several ranking functions linearly:
+// cost = Σ weightᵢ · costᵢ. It realises the paper's future-work item
+// "incorporating more complex ranking functions" (§6) without touching
+// the search: the combination is again a non-negative, monotone edge
+// cost, and its heuristic — the weighted sum of the component
+// heuristics — stays admissible and consistent, so Lemma 2's top-k
+// guarantee carries over unchanged.
+//
+// Components are combined on their native scales (semesters, hours,
+// −ln probability); choose weights accordingly, e.g.
+// {Time, 10} + {Workload, 1} treats one semester as worth ten weekly
+// hours.
+type Weighted struct {
+	Components []Component
+}
+
+// NewWeighted validates and builds a Weighted ranker.
+func NewWeighted(components ...Component) (Weighted, error) {
+	if len(components) == 0 {
+		return Weighted{}, fmt.Errorf("rank: weighted ranking needs at least one component")
+	}
+	for _, c := range components {
+		if c.Ranker == nil {
+			return Weighted{}, fmt.Errorf("rank: weighted component has nil ranker")
+		}
+		if c.Weight < 0 {
+			return Weighted{}, fmt.Errorf("rank: negative weight %g for %s breaks cost monotonicity", c.Weight, c.Ranker.Name())
+		}
+	}
+	return Weighted{Components: components}, nil
+}
+
+// Name implements Ranker, e.g. "weighted(2×time+1×workload)".
+func (w Weighted) Name() string {
+	parts := make([]string, len(w.Components))
+	for i, c := range w.Components {
+		parts[i] = fmt.Sprintf("%g×%s", c.Weight, c.Ranker.Name())
+	}
+	return "weighted(" + strings.Join(parts, "+") + ")"
+}
+
+// EdgeCost implements Ranker.
+func (w Weighted) EdgeCost(st status.Status, selection bitset.Set) float64 {
+	var sum float64
+	for _, c := range w.Components {
+		sum += c.Weight * c.Ranker.EdgeCost(st, selection)
+	}
+	return sum
+}
+
+// PathValue implements Ranker; the combined cost is its own figure of
+// merit (component values are not individually recoverable from a sum).
+func (Weighted) PathValue(cost float64) float64 { return cost }
+
+// Heuristic implements Ranker: the weighted sum of admissible,
+// consistent component heuristics is admissible and consistent.
+func (w Weighted) Heuristic(left, maxPerTerm int) float64 {
+	var sum float64
+	for _, c := range w.Components {
+		sum += c.Weight * c.Ranker.Heuristic(left, maxPerTerm)
+	}
+	return sum
+}

@@ -1,0 +1,58 @@
+package registrar
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+// FuzzParsePrereq checks the Prerequisite Parser never panics on
+// arbitrary catalog prose and that extracted conditions are well-formed
+// (render → re-parse).
+func FuzzParsePrereq(f *testing.F) {
+	for _, seed := range []string{
+		"No prerequisites. Offered every year.",
+		"Prerequisite: COSI 11a.",
+		"Prerequisites: COSI 11a and COSI 29a, or permission of the instructor.",
+		"Prerequisite: cosi 21a or equivalent; recommended cosi 29a.",
+		"Prerequisite:",
+		"Prerequisites: none",
+		"prerequisite: (((",
+		"Prerequisite: 11a, and, or",
+		"PREREQUISITE: A B C D E F",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, prose string) {
+		e, err := ParsePrereq(prose)
+		if err != nil {
+			return
+		}
+		if _, err := ParsePrereq("Prerequisite: " + e.String() + "."); err != nil {
+			// Rendering uses the expr grammar, which ParsePrereq feeds
+			// through the same pipeline; a clean extraction must stay clean.
+			t.Fatalf("extracted condition %q does not re-extract: %v", e.String(), err)
+		}
+	})
+}
+
+// FuzzParseCatalogDump checks the dump parser never panics and that
+// accepted dumps load into catalogs.
+func FuzzParseCatalogDump(f *testing.F) {
+	f.Add("course: COSI 11A\ntitle: X\ndescription: Intro. Usually offered every fall.\nworkload: 9\n")
+	f.Add("course: A 1\n\ncourse: B 2\ndescription: Prerequisite: A 1. Usually offered every semester.\n")
+	f.Add("# comment only\n")
+	f.Add("course: COSI 11A\nworkload: NaN\n")
+	first := term.TwoSeason.MustTerm(2012, term.Fall)
+	last := term.TwoSeason.MustTerm(2014, term.Fall)
+	f.Fuzz(func(t *testing.T, dump string) {
+		specs, err := ParseCatalogDump(strings.NewReader(dump), first, last)
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatal("nil error with zero specs")
+		}
+	})
+}

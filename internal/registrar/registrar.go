@@ -1,0 +1,338 @@
+// Package registrar reproduces CourseNavigator's back-end (paper §3,
+// Figure 2): the Prerequisite Parser, which derives each course's boolean
+// condition Q from free-form catalog prose, and the Schedule Parser, which
+// derives each course's offering set S from schedule records and
+// "usually offered" phrases.
+//
+// Input is the plain-text dump format documented per function; the output
+// is []catalog.CourseSpec ready for catalog.FromSpecs. The embedded
+// Brandeis-like dataset (internal/brandeis) ships pre-parsed, but
+// cmd/coursenav can ingest registrar dumps through this package, and the
+// integration tests run the full dump → catalog → explore pipeline.
+package registrar
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/term"
+)
+
+// courseRef matches registrar course references like "COSI 11a",
+// "MATH 8 a", "cosi 121b".
+var courseRef = regexp.MustCompile(`(?i)\b([A-Z]{2,5})\s*(\d{1,3})\s*([A-Z]?)\b`)
+
+// NormalizeCourseID canonicalises a course reference to "DEPT NUMLETTER"
+// form: "cosi 11a" → "COSI 11A". It returns ok=false when s is not a
+// course reference.
+func NormalizeCourseID(s string) (string, bool) {
+	m := courseRef.FindStringSubmatch(strings.TrimSpace(s))
+	if m == nil || m[0] != strings.TrimSpace(s) {
+		return "", false
+	}
+	return strings.ToUpper(m[1]) + " " + m[2] + strings.ToUpper(m[3]), true
+}
+
+// prereqIntro locates the prerequisite sentence inside course prose.
+var prereqIntro = regexp.MustCompile(`(?i)\bprerequisites?\b\s*:?\s*`)
+
+// noise phrases the Prerequisite Parser drops from the prerequisite
+// sentence before parsing (they do not constrain course completion).
+var noisePhrases = []string{
+	"or permission of the instructor",
+	"or instructor permission",
+	"or equivalent",
+	"or consent of the instructor",
+	"recommended",
+}
+
+// danglingConnectives matches connective debris left at either end of the
+// sentence after noise phrases are removed.
+var danglingConnectives = regexp.MustCompile(`(?i)^(?:\s|,|;|\band\b|\bor\b)+|(?:\s|,|;|\band\b|\bor\b)+$`)
+
+// reservedWords are expression-grammar keywords that the reference
+// matcher must never treat as department codes.
+var reservedWords = map[string]bool{"and": true, "or": true, "true": true, "none": true}
+
+// nonePhrases mean "no prerequisite".
+var nonePhrases = map[string]bool{"": true, "none": true, "n/a": true, "open to all": true}
+
+// ParsePrereq extracts the prerequisite condition from free-form course
+// prose. It finds the sentence introduced by "Prerequisite(s):", strips
+// advisory noise ("or permission of the instructor"), canonicalises course
+// references, maps commas between references to conjunction (registrar
+// style: "COSI 11a, COSI 29a" means both) and parses the result with the
+// internal/expr grammar. Prose without a prerequisite sentence yields the
+// no-prerequisite tautology.
+func ParsePrereq(prose string) (expr.Expr, error) {
+	loc := prereqIntro.FindStringIndex(prose)
+	if loc == nil {
+		return expr.True{}, nil
+	}
+	sentence := prose[loc[1]:]
+	// The sentence ends at the first period that is not inside a course
+	// number ("COSI 11a." ends it; decimals do not occur).
+	if i := strings.IndexAny(sentence, ".;\n"); i >= 0 {
+		sentence = sentence[:i]
+	}
+	s := strings.ToLower(sentence)
+	// Typographic quotes in prose would collide with the expression
+	// grammar's quoting; registrar references never need them.
+	s = strings.NewReplacer(`"`, " ", "\u201c", " ", "\u201d", " ").Replace(s)
+	for _, noise := range noisePhrases {
+		s = strings.ReplaceAll(s, noise, " ")
+	}
+	s = strings.TrimSpace(s)
+	if nonePhrases[strings.Trim(s, " .")] {
+		return expr.True{}, nil
+	}
+	// Canonicalise references so the expr parser sees clean two-word IDs.
+	// Connectives followed by digits ("or 2 semesters") are not references.
+	s = courseRef.ReplaceAllStringFunc(s, func(ref string) string {
+		m := courseRef.FindStringSubmatch(ref)
+		if m == nil || reservedWords[strings.ToLower(m[1])] {
+			return ref
+		}
+		id, ok := NormalizeCourseID(ref)
+		if !ok {
+			return ref
+		}
+		return `"` + id + `"`
+	})
+	// Drop leftover filler words that commonly precede references.
+	for _, filler := range []string{"courses", "course", "both", "either", "completion of", "a grade of c- or higher in"} {
+		s = strings.ReplaceAll(s, filler, " ")
+	}
+	// Noise removal can leave dangling connectives ("..., or "): trim them.
+	s = danglingConnectives.ReplaceAllString(s, "")
+	e, err := expr.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("registrar: cannot parse prerequisite sentence %q: %v", strings.TrimSpace(sentence), err)
+	}
+	return e, nil
+}
+
+// offeringPhrase matches "usually offered every ..." scheduling prose.
+var offeringPhrase = regexp.MustCompile(`(?i)(?:usually\s+)?offered\s+every\s+(semester|year|fall|spring|second\s+year)`)
+
+// ParseOfferingPhrase expands a catalog scheduling phrase over the window
+// [first, last]:
+//
+//	"offered every semester"    → every term
+//	"offered every fall"        → fall terms
+//	"offered every spring"      → spring terms
+//	"offered every year"        → fall terms (one offering per year)
+//	"offered every second year" → every other fall, starting with the
+//	                              first fall in the window
+//
+// ok=false means the prose contains no recognised phrase.
+func ParseOfferingPhrase(prose string, first, last term.Term) (offered []term.Term, ok bool) {
+	m := offeringPhrase.FindStringSubmatch(prose)
+	if m == nil {
+		return nil, false
+	}
+	kind := strings.Join(strings.Fields(strings.ToLower(m[1])), " ")
+	fallCount := 0
+	for t := first; !t.After(last); t = t.Next() {
+		keep := false
+		switch kind {
+		case "semester":
+			keep = true
+		case "fall", "year":
+			keep = t.Season() == term.Fall
+		case "spring":
+			keep = t.Season() == term.Spring
+		case "second year":
+			if t.Season() == term.Fall {
+				keep = fallCount%2 == 0
+				fallCount++
+			}
+		}
+		if keep {
+			offered = append(offered, t)
+		}
+	}
+	return offered, true
+}
+
+// ParseScheduleRecords parses a class-schedule dump: one "COURSE | TERM"
+// record per line ("COSI 11A | Fall 2011"), '#' comments and blank lines
+// ignored. It returns offerings per normalised course ID.
+func ParseScheduleRecords(r io.Reader, cal *term.Calendar) (map[string][]term.Term, error) {
+	out := map[string][]term.Term{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "|", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("registrar: schedule line %d: want \"COURSE | TERM\", got %q", lineNo, line)
+		}
+		id, ok := NormalizeCourseID(parts[0])
+		if !ok {
+			return nil, fmt.Errorf("registrar: schedule line %d: bad course reference %q", lineNo, parts[0])
+		}
+		t, err := term.Parse(cal, parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("registrar: schedule line %d: %v", lineNo, err)
+		}
+		out[id] = append(out[id], t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("registrar: reading schedule: %v", err)
+	}
+	return out, nil
+}
+
+// ParseCatalogDump parses a registrar catalog dump into course specs. The
+// format is block-per-course, keys "course:", "title:", "description:",
+// "workload:", blocks separated by blank lines:
+//
+//	course: COSI 21A
+//	title: Data Structures and Algorithms
+//	description: Stacks, queues, trees. Prerequisite: COSI 11a.
+//	  Usually offered every semester.
+//	workload: 12
+//
+// Prerequisites and "usually offered" schedules are extracted from the
+// description by the Prerequisite and Schedule parsers; explicit schedule
+// records (ParseScheduleRecords) may be merged on top via MergeSchedule.
+// Offerings from phrases are expanded over [first, last].
+func ParseCatalogDump(r io.Reader, first, last term.Term) ([]catalog.CourseSpec, error) {
+	if first.IsZero() || last.IsZero() || first.Calendar() != last.Calendar() {
+		return nil, fmt.Errorf("registrar: invalid schedule window")
+	}
+	var specs []catalog.CourseSpec
+	var cur *catalog.CourseSpec
+	var desc strings.Builder
+	var lastKey string
+
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		prose := desc.String()
+		q, err := ParsePrereq(prose)
+		if err != nil {
+			return fmt.Errorf("registrar: course %s: %v", cur.ID, err)
+		}
+		if _, isTrue := q.(expr.True); !isTrue {
+			cur.Prereq = q.String()
+		}
+		if offered, ok := ParseOfferingPhrase(prose, first, last); ok {
+			for _, t := range offered {
+				cur.Offered = append(cur.Offered, t.Label())
+			}
+		}
+		specs = append(specs, *cur)
+		cur = nil
+		desc.Reset()
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			lastKey = ""
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, found := strings.Cut(line, ":")
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		isContinuation := !found || strings.HasPrefix(raw, " ") || strings.HasPrefix(raw, "\t")
+		if isContinuation && lastKey == "description" {
+			desc.WriteByte(' ')
+			desc.WriteString(line)
+			continue
+		}
+		switch key {
+		case "course":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			id, ok := NormalizeCourseID(val)
+			if !ok {
+				return nil, fmt.Errorf("registrar: line %d: bad course id %q", lineNo, val)
+			}
+			cur = &catalog.CourseSpec{ID: id}
+			lastKey = "course"
+		case "title":
+			if cur == nil {
+				return nil, fmt.Errorf("registrar: line %d: %q before course:", lineNo, key)
+			}
+			cur.Title = val
+			lastKey = "title"
+		case "description":
+			if cur == nil {
+				return nil, fmt.Errorf("registrar: line %d: %q before course:", lineNo, key)
+			}
+			desc.WriteString(val)
+			lastKey = "description"
+		case "workload":
+			if cur == nil {
+				return nil, fmt.Errorf("registrar: line %d: %q before course:", lineNo, key)
+			}
+			w, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("registrar: line %d: bad workload %q", lineNo, val)
+			}
+			cur.Workload = w
+			lastKey = "workload"
+		default:
+			return nil, fmt.Errorf("registrar: line %d: unknown key %q", lineNo, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("registrar: reading catalog: %v", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("registrar: empty catalog dump")
+	}
+	return specs, nil
+}
+
+// MergeSchedule overlays explicit schedule records onto specs: a course
+// with records gets exactly those offerings (records are authoritative
+// over catalog phrases, matching how registrars publish final schedules).
+// Records for unknown courses are an error.
+func MergeSchedule(specs []catalog.CourseSpec, records map[string][]term.Term) error {
+	byID := map[string]int{}
+	for i, sp := range specs {
+		byID[sp.ID] = i
+	}
+	for id, offered := range records {
+		i, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("registrar: schedule record for unknown course %q", id)
+		}
+		labels := make([]string, len(offered))
+		for j, t := range offered {
+			labels[j] = t.Label()
+		}
+		specs[i].Offered = labels
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+// Package sched estimates course-offering probabilities for the
+// reliability ranking function (paper §4.3.1).
+//
+// The paper's rule: universities release final schedules only one or two
+// semesters ahead, so a course's offering probability is 1.0 inside the
+// released window and, beyond it, the frequency with which the course was
+// offered in historically comparable semesters (same season). This package
+// implements that estimator over a History of past offerings, plus a
+// seeded synthetic-history generator standing in for the registrar records
+// the paper used (see DESIGN.md §4, substitutions).
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/term"
+)
+
+// History records, per course index, which past terms the course was
+// offered in, over an observation window.
+type History struct {
+	cal         *term.Calendar
+	first, last term.Term
+	offered     map[int]map[int]bool // course -> term ordinal -> offered
+}
+
+// NewHistory returns an empty history covering [first, last].
+func NewHistory(first, last term.Term) (*History, error) {
+	if first.IsZero() || last.IsZero() || first.Calendar() != last.Calendar() {
+		return nil, fmt.Errorf("sched: invalid history window %v..%v", first, last)
+	}
+	if last.Before(first) {
+		return nil, fmt.Errorf("sched: history window ends before it starts")
+	}
+	return &History{
+		cal:     first.Calendar(),
+		first:   first,
+		last:    last,
+		offered: map[int]map[int]bool{},
+	}, nil
+}
+
+// Record marks course ci as offered in t. Terms outside the window are an
+// error so silent gaps cannot skew frequencies.
+func (h *History) Record(ci int, t term.Term) error {
+	if t.Calendar() != h.cal || t.Before(h.first) || t.After(h.last) {
+		return fmt.Errorf("sched: term %v outside history window %v..%v", t, h.first, h.last)
+	}
+	m := h.offered[ci]
+	if m == nil {
+		m = map[int]bool{}
+		h.offered[ci] = m
+	}
+	m[t.Ordinal()] = true
+	return nil
+}
+
+// Window returns the observation window.
+func (h *History) Window() (first, last term.Term) { return h.first, h.last }
+
+// Frequency returns the fraction of window terms with the given season in
+// which course ci was offered. It returns 0 when the window contains no
+// term of that season.
+func (h *History) Frequency(ci int, season term.Season) float64 {
+	total, hits := 0, 0
+	for t := h.first; !t.After(h.last); t = t.Next() {
+		if t.Season() != season {
+			continue
+		}
+		total++
+		if h.offered[ci][t.Ordinal()] {
+			hits++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// Estimator produces the paper's prob(c, s): probability 1 for semesters
+// whose final schedule is released, historical same-season frequency
+// beyond.
+type Estimator struct {
+	hist *History
+	// releasedThrough is the last semester with a final published schedule.
+	releasedThrough term.Term
+	// released reports whether the course is on the published schedule for
+	// a released term.
+	released func(ci int, t term.Term) bool
+}
+
+// NewEstimator builds an estimator. releasedThrough is the last semester
+// with a published schedule (the paper: "1-2 semesters ahead"); cat
+// supplies the published offerings inside that window.
+func NewEstimator(cat *catalog.Catalog, hist *History, releasedThrough term.Term) (*Estimator, error) {
+	if hist == nil {
+		return nil, fmt.Errorf("sched: nil history")
+	}
+	if releasedThrough.IsZero() || releasedThrough.Calendar() != hist.cal {
+		return nil, fmt.Errorf("sched: releasedThrough term invalid")
+	}
+	return &Estimator{
+		hist:            hist,
+		releasedThrough: releasedThrough,
+		released: func(ci int, t term.Term) bool {
+			return cat.OfferedIn(t).Contains(ci)
+		},
+	}, nil
+}
+
+// Prob returns the offering probability of course ci in semester t,
+// suitable for rank.Reliability.
+func (e *Estimator) Prob(ci int, t term.Term) float64 {
+	if !t.After(e.releasedThrough) {
+		if e.released(ci, t) {
+			return 1
+		}
+		return 0
+	}
+	return e.hist.Frequency(ci, t.Season())
+}
+
+// GenerateHistory synthesises a plausible offering history: each course
+// has a per-season base rate drawn from the catalog's published schedule
+// pattern (courses offered in a season keep being offered in that season
+// with high probability), perturbed by seeded noise. It stands in for the
+// multi-year registrar records the paper's reliability ranking consumed.
+func GenerateHistory(cat *catalog.Catalog, years int, seed int64) (*History, error) {
+	if years <= 0 {
+		return nil, fmt.Errorf("sched: years must be positive")
+	}
+	firstPub := cat.FirstTerm()
+	if firstPub.IsZero() {
+		return nil, fmt.Errorf("sched: catalog has no schedule to extrapolate")
+	}
+	cal := cat.Calendar()
+	last := firstPub.Prev()
+	first := last.Add(-(years*cal.TermsPerYear() - 1))
+	h, err := NewHistory(first, last)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Per-course per-season base rate from the published schedule.
+	for ci := 0; ci < cat.Len(); ci++ {
+		course := cat.Course(ci)
+		seasonSeen := map[term.Season]bool{}
+		for _, t := range course.Offered {
+			seasonSeen[t.Season()] = true
+		}
+		for t := first; !t.After(last); t = t.Next() {
+			base := 0.05 // rarely offered off-pattern
+			if seasonSeen[t.Season()] {
+				base = 0.85 // usually offered on-pattern
+			}
+			if rng.Float64() < base {
+				if err := h.Record(ci, t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return h, nil
+}
+
+// Project extends a catalog's schedule beyond the released window with
+// offerings predicted from history: for every term in
+// (releasedThrough, horizon], a course is projected as offered in the
+// seasons where its historical frequency is at least threshold. The
+// returned catalog is what exploration past the release should run on —
+// its projected offerings are exactly the ones whose Estimator
+// probability is below 1, giving the reliability ranking (paper §4.3.1)
+// something to discriminate.
+func Project(cat *catalog.Catalog, hist *History, releasedThrough, horizon term.Term, threshold float64) (*catalog.Catalog, error) {
+	if hist == nil {
+		return nil, fmt.Errorf("sched: nil history")
+	}
+	if releasedThrough.IsZero() || horizon.IsZero() || releasedThrough.Calendar() != cat.Calendar() || horizon.Calendar() != cat.Calendar() {
+		return nil, fmt.Errorf("sched: invalid projection window")
+	}
+	if !horizon.After(releasedThrough) {
+		return nil, fmt.Errorf("sched: horizon %v not beyond release %v", horizon, releasedThrough)
+	}
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("sched: threshold %g out of (0,1]", threshold)
+	}
+	b := catalog.NewBuilder(cat.Calendar())
+	for i := 0; i < cat.Len(); i++ {
+		course := cat.Course(i)
+		offered := append([]term.Term(nil), course.Offered...)
+		for t := releasedThrough.Next(); !t.After(horizon); t = t.Next() {
+			if hist.Frequency(i, t.Season()) >= threshold {
+				offered = append(offered, t)
+			}
+		}
+		course.Offered = offered
+		b.Add(course)
+	}
+	return b.Build()
+}

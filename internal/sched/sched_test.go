@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/term"
+)
+
+var (
+	f09 = term.TwoSeason.MustTerm(2009, term.Fall)
+	s11 = term.TwoSeason.MustTerm(2011, term.Spring)
+	f11 = term.TwoSeason.MustTerm(2011, term.Fall)
+	s12 = f11.Next()
+	f12 = s12.Next()
+)
+
+func testCat(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat, err := catalog.NewBuilder(term.TwoSeason).
+		Add(catalog.Course{ID: "A1", Offered: []term.Term{f11, f12}}). // fall pattern
+		Add(catalog.Course{ID: "B1", Offered: []term.Term{s12}}).      // spring pattern
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestNewHistoryValidation(t *testing.T) {
+	if _, err := NewHistory(term.Term{}, f11); err == nil {
+		t.Error("zero first accepted")
+	}
+	if _, err := NewHistory(f11, term.ThreeSeason.MustTerm(2012, term.Fall)); err == nil {
+		t.Error("cross-calendar window accepted")
+	}
+	if _, err := NewHistory(f11, f09); err == nil {
+		t.Error("reversed window accepted")
+	}
+	if _, err := NewHistory(f11, f11); err != nil {
+		t.Errorf("single-term window rejected: %v", err)
+	}
+}
+
+func TestRecordAndFrequency(t *testing.T) {
+	h, err := NewHistory(f09, s11) // Fall'09, Spring'10, Fall'10, Spring'11
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Course 0 offered both falls; course 1 offered one of two springs.
+	f10 := f09.Add(2)
+	s10 := f09.Next()
+	for _, rec := range []struct {
+		ci int
+		t  term.Term
+	}{{0, f09}, {0, f10}, {1, s10}} {
+		if err := h.Record(rec.ci, rec.t); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.Frequency(0, term.Fall); got != 1.0 {
+		t.Errorf("Frequency(0, Fall) = %g, want 1", got)
+	}
+	if got := h.Frequency(0, term.Spring); got != 0 {
+		t.Errorf("Frequency(0, Spring) = %g, want 0", got)
+	}
+	if got := h.Frequency(1, term.Spring); got != 0.5 {
+		t.Errorf("Frequency(1, Spring) = %g, want 0.5", got)
+	}
+	if got := h.Frequency(99, term.Fall); got != 0 {
+		t.Errorf("Frequency(unknown) = %g, want 0", got)
+	}
+	// Season absent from window.
+	if got := h.Frequency(0, term.Summer); got != 0 {
+		t.Errorf("Frequency(Summer) = %g, want 0", got)
+	}
+	// Out-of-window records are rejected.
+	if err := h.Record(0, f11); err == nil {
+		t.Error("out-of-window Record accepted")
+	}
+	first, last := h.Window()
+	if !first.Equal(f09) || !last.Equal(s11) {
+		t.Error("Window round-trip wrong")
+	}
+}
+
+func TestEstimatorReleasedVsHistorical(t *testing.T) {
+	cat := testCat(t)
+	h, _ := NewHistory(f09, s11)
+	// A1 offered in both historical falls, never in springs.
+	_ = h.Record(0, f09)
+	_ = h.Record(0, f09.Add(2))
+	// B1 offered in one of the two historical springs.
+	_ = h.Record(1, f09.Next())
+	est, err := NewEstimator(cat, h, s12) // schedule released through Spring'12
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the released window the published schedule is authoritative.
+	if got := est.Prob(0, f11); got != 1 {
+		t.Errorf("released offered prob = %g, want 1", got)
+	}
+	if got := est.Prob(1, f11); got != 0 {
+		t.Errorf("released not-offered prob = %g, want 0", got)
+	}
+	if got := est.Prob(1, s12); got != 1 {
+		t.Errorf("released spring prob = %g, want 1", got)
+	}
+	// Beyond the release, fall back to same-season frequency.
+	if got := est.Prob(0, f12); got != 1.0 {
+		t.Errorf("historical fall prob = %g, want 1.0", got)
+	}
+	if got := est.Prob(1, s12.Add(2)); got != 0.5 {
+		t.Errorf("historical spring prob = %g, want 0.5", got)
+	}
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	cat := testCat(t)
+	h, _ := NewHistory(f09, s11)
+	if _, err := NewEstimator(cat, nil, s12); err == nil {
+		t.Error("nil history accepted")
+	}
+	if _, err := NewEstimator(cat, h, term.Term{}); err == nil {
+		t.Error("zero releasedThrough accepted")
+	}
+	if _, err := NewEstimator(cat, h, term.ThreeSeason.MustTerm(2012, term.Fall)); err == nil {
+		t.Error("cross-calendar releasedThrough accepted")
+	}
+}
+
+func TestGenerateHistory(t *testing.T) {
+	cat := testCat(t)
+	h, err := GenerateHistory(cat, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := h.Window()
+	if !last.Equal(f11.Prev()) {
+		t.Errorf("history last = %v, want just before first published term", last)
+	}
+	if got := last.Sub(first) + 1; got != 8 {
+		t.Errorf("window size = %d terms, want 8 (4 years)", got)
+	}
+	// On-pattern seasons must come out far likelier than off-pattern.
+	fallFreqA := h.Frequency(0, term.Fall)
+	springFreqA := h.Frequency(0, term.Spring)
+	if fallFreqA <= springFreqA {
+		t.Errorf("on-pattern freq %g <= off-pattern %g", fallFreqA, springFreqA)
+	}
+	// Determinism by seed.
+	h2, _ := GenerateHistory(cat, 4, 1)
+	for _, season := range []term.Season{term.Fall, term.Spring} {
+		for ci := 0; ci < 2; ci++ {
+			if h.Frequency(ci, season) != h2.Frequency(ci, season) {
+				t.Error("same seed produced different histories")
+			}
+		}
+	}
+	h3, _ := GenerateHistory(cat, 4, 2)
+	diff := false
+	for _, season := range []term.Season{term.Fall, term.Spring} {
+		for ci := 0; ci < 2; ci++ {
+			if h.Frequency(ci, season) != h3.Frequency(ci, season) {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Log("warning: different seeds produced identical histories (possible but unlikely)")
+	}
+	if _, err := GenerateHistory(cat, 0, 1); err == nil {
+		t.Error("zero years accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	cat := testCat(t)
+	h, _ := NewHistory(f09, s11)
+	// A1 offered in both historical falls; B1 in one of two springs.
+	_ = h.Record(0, f09)
+	_ = h.Record(0, f09.Add(2))
+	_ = h.Record(1, f09.Next())
+	released := cat.LastTerm() // Fall 2012
+	horizon := released.Add(2) // Fall 2013
+	proj, err := Project(cat, h, released, horizon, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A1 (fall frequency 1.0 ≥ 0.75) gains a Fall 2013 offering; B1
+	// (spring frequency 0.5 < 0.75) gains nothing.
+	if !proj.OfferedIn(horizon).Contains(0) {
+		t.Error("A1 not projected into Fall 2013")
+	}
+	if proj.OfferedIn(released.Next()).Contains(1) {
+		t.Error("B1 projected despite low frequency")
+	}
+	// Published offerings are retained.
+	if !proj.OfferedIn(f11).Contains(0) {
+		t.Error("published offering lost")
+	}
+	// With a lower threshold B1's spring projection appears.
+	proj2, err := Project(cat, h, released, horizon, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proj2.OfferedIn(released.Next()).Contains(1) {
+		t.Error("B1 not projected at threshold 0.5")
+	}
+	// Validation.
+	if _, err := Project(cat, nil, released, horizon, 0.5); err == nil {
+		t.Error("nil history accepted")
+	}
+	if _, err := Project(cat, h, released, released, 0.5); err == nil {
+		t.Error("horizon not beyond release accepted")
+	}
+	if _, err := Project(cat, h, released, horizon, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := Project(cat, h, term.Term{}, horizon, 0.5); err == nil {
+		t.Error("zero release accepted")
+	}
+}

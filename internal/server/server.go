@@ -1,0 +1,451 @@
+// Package server implements CourseNavigator's front-end service (paper
+// §3, Figure 2) as a JSON-over-HTTP API on the public coursenav façade.
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness probe
+//	GET  /api/catalog             all courses
+//	GET  /api/courses/{id}        one course
+//	GET  /api/options             current option set Y
+//	                              (?term=Fall 2013&completed=COSI 11A,...)
+//	POST /api/explore/deadline    deadline-driven paths  {query}
+//	POST /api/explore/goal        goal-driven paths      {query, goal}
+//	POST /api/explore/ranked      top-k ranked paths     {query, goal,
+//	                              ranking, k}
+//	POST /api/audit               degree-progress report {completed, goal,
+//	                              now, deadline, maxPerTerm}
+//	POST /api/explore/whatif      rank this semester's selections by the
+//	                              goal paths each preserves {query, goal}
+//	GET  /api/stats               aggregated usage statistics
+//	GET  /                        embedded single-page visualizer
+//
+// The exploration endpoints guard interactivity with a node budget: a
+// query whose learning graph would exceed the budget fails with 422
+// rather than exhausting server memory — the condition the paper's
+// Table 2 reports as "N/A" for long academic periods.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/explore"
+	"repro/internal/usage"
+)
+
+// DefaultNodeBudget bounds materialised graphs per request.
+const DefaultNodeBudget = 500_000
+
+// DefaultMaxResponseNodes bounds the number of graph nodes serialised in
+// a response.
+const DefaultMaxResponseNodes = 2_000
+
+// Server wires a Navigator into an http.Handler.
+type Server struct {
+	nav *coursenav.Navigator
+	mux *http.ServeMux
+	// NodeBudget and MaxResponseNodes override the defaults when positive.
+	NodeBudget       int
+	MaxResponseNodes int
+	// Usage records every API call for the /api/stats aggregate (§6's
+	// "collect and analyze usage logs").
+	Usage *usage.Log
+}
+
+// New returns a Server for the given navigator.
+func New(nav *coursenav.Navigator) *Server {
+	s := &Server{
+		nav:              nav,
+		NodeBudget:       DefaultNodeBudget,
+		MaxResponseNodes: DefaultMaxResponseNodes,
+		Usage:            usage.NewLog(4096),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /api/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /api/courses/{id}", s.handleCourse)
+	mux.HandleFunc("GET /api/options", s.handleOptions)
+	mux.HandleFunc("POST /api/explore/deadline", s.handleDeadline)
+	mux.HandleFunc("POST /api/explore/goal", s.handleGoal)
+	mux.HandleFunc("POST /api/explore/ranked", s.handleRanked)
+	mux.HandleFunc("POST /api/audit", s.handleAudit)
+	mux.HandleFunc("POST /api/explore/whatif", s.handleWhatIf)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /{$}", s.handleUI)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler, recording every request in the
+// usage log.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	began := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	s.Usage.Record(usage.Event{
+		When:     time.Now(),
+		Endpoint: r.Method + " " + r.URL.Path,
+		Window:   rec.window,
+		Paths:    rec.paths,
+		Duration: time.Since(began),
+		Status:   rec.status,
+	})
+}
+
+// statusRecorder captures the response status and lets handlers annotate
+// the usage event with exploration details.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	window string
+	paths  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// annotate attaches exploration details to the request's usage event.
+func annotate(w http.ResponseWriter, qs QuerySpec, paths int64) {
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.window = qs.Start + " → " + qs.End
+		rec.paths = paths
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Usage.Snapshot())
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.nav.Courses())
+}
+
+func (s *Server) handleCourse(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c, ok := s.nav.Course(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown course %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, c)
+}
+
+func (s *Server) handleOptions(w http.ResponseWriter, r *http.Request) {
+	termLabel := r.URL.Query().Get("term")
+	if termLabel == "" {
+		writeErr(w, http.StatusBadRequest, "missing ?term=")
+		return
+	}
+	var completed []string
+	if raw := r.URL.Query().Get("completed"); raw != "" {
+		for _, c := range strings.Split(raw, ",") {
+			completed = append(completed, strings.TrimSpace(c))
+		}
+	}
+	opts, err := s.nav.FeasibleNow(completed, termLabel)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"options": opts})
+}
+
+// GoalSpec selects one goal form; exactly one field may be set.
+type GoalSpec struct {
+	// Courses: complete all of these.
+	Courses []string `json:"courses,omitempty"`
+	// Expr: satisfy this boolean expression.
+	Expr string `json:"expr,omitempty"`
+	// Degree: counted requirement groups.
+	Degree []coursenav.DegreeGroup `json:"degree,omitempty"`
+}
+
+func (s *Server) buildGoal(spec GoalSpec) (coursenav.Goal, error) {
+	set := 0
+	if len(spec.Courses) > 0 {
+		set++
+	}
+	if spec.Expr != "" {
+		set++
+	}
+	if len(spec.Degree) > 0 {
+		set++
+	}
+	if set != 1 {
+		return coursenav.Goal{}, fmt.Errorf("goal must set exactly one of courses, expr, degree")
+	}
+	switch {
+	case len(spec.Courses) > 0:
+		return s.nav.GoalCourses(spec.Courses...)
+	case spec.Expr != "":
+		return s.nav.GoalExpr(spec.Expr)
+	default:
+		return s.nav.GoalDegree(spec.Degree...)
+	}
+}
+
+// QuerySpec is the request form of coursenav.Query.
+type QuerySpec struct {
+	Completed  []string `json:"completed,omitempty"`
+	Start      string   `json:"start"`
+	End        string   `json:"end"`
+	MaxPerTerm int      `json:"maxPerTerm,omitempty"`
+	// Avoid lists courses no generated path may elect.
+	Avoid []string `json:"avoid,omitempty"`
+	// MaxTermWorkload caps per-semester workload hours.
+	MaxTermWorkload float64 `json:"maxTermWorkload,omitempty"`
+	// MinPerTerm floors courses per enrolled semester.
+	MinPerTerm int `json:"minPerTerm,omitempty"`
+	// MaxPathCost restricts ranked results to paths within this cost.
+	MaxPathCost float64 `json:"maxPathCost,omitempty"`
+	// CountOnly skips graph materialisation and returns tallies only,
+	// allowing Table-2-scale queries.
+	CountOnly bool `json:"countOnly,omitempty"`
+}
+
+func (s *Server) query(qs QuerySpec) coursenav.Query {
+	return coursenav.Query{
+		Completed:       qs.Completed,
+		Start:           qs.Start,
+		End:             qs.End,
+		MaxPerTerm:      qs.MaxPerTerm,
+		Avoid:           qs.Avoid,
+		MaxTermWorkload: qs.MaxTermWorkload,
+		MinPerTerm:      qs.MinPerTerm,
+		MaxPathCost:     qs.MaxPathCost,
+		MaxNodes:        s.NodeBudget,
+	}
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// exploreResponse is the body of the deadline and goal endpoints.
+type exploreResponse struct {
+	Summary   summaryBody     `json:"summary"`
+	Graph     json.RawMessage `json:"graph,omitempty"`
+	Truncated bool            `json:"truncated,omitempty"`
+}
+
+type summaryBody struct {
+	Paths       int64   `json:"paths"`
+	GoalPaths   int64   `json:"goalPaths"`
+	Nodes       int64   `json:"nodes"`
+	Edges       int64   `json:"edges"`
+	PrunedTime  int64   `json:"prunedTime"`
+	PrunedAvail int64   `json:"prunedAvail"`
+	ElapsedMs   float64 `json:"elapsedMs"`
+}
+
+func toSummaryBody(sum coursenav.Summary) summaryBody {
+	return summaryBody{
+		Paths: sum.Paths, GoalPaths: sum.GoalPaths,
+		Nodes: sum.Nodes, Edges: sum.Edges,
+		PrunedTime: sum.PrunedTime, PrunedAvail: sum.PrunedAvail,
+		ElapsedMs: float64(sum.Elapsed.Microseconds()) / 1000,
+	}
+}
+
+func (s *Server) respondGraph(w http.ResponseWriter, g *coursenav.Graph, sum coursenav.Summary, err error) {
+	if err != nil {
+		if errors.Is(err, explore.ErrGraphTooLarge) {
+			writeErr(w, http.StatusUnprocessableEntity,
+				"learning graph exceeds the %d-node interactive budget; narrow the period, lower maxPerTerm, or set countOnly", s.NodeBudget)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := exploreResponse{Summary: toSummaryBody(sum)}
+	if g != nil {
+		var buf strings.Builder
+		if err := g.WriteJSON(&buf, s.MaxResponseNodes); err != nil {
+			writeErr(w, http.StatusInternalServerError, "rendering graph: %v", err)
+			return
+		}
+		resp.Graph = json.RawMessage(buf.String())
+		resp.Truncated = g.Stats().Nodes > s.MaxResponseNodes
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type deadlineRequest struct {
+	Query QuerySpec `json:"query"`
+}
+
+func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
+	var req deadlineRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Query.CountOnly {
+		sum, err := s.nav.DeadlineCount(s.query(req.Query))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		annotate(w, req.Query, sum.Paths)
+		writeJSON(w, http.StatusOK, exploreResponse{Summary: toSummaryBody(sum)})
+		return
+	}
+	g, sum, err := s.nav.Deadline(s.query(req.Query))
+	annotate(w, req.Query, sum.Paths)
+	s.respondGraph(w, g, sum, err)
+}
+
+type goalRequest struct {
+	Query QuerySpec `json:"query"`
+	Goal  GoalSpec  `json:"goal"`
+}
+
+func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
+	var req goalRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	goal, err := s.buildGoal(req.Goal)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Query.CountOnly {
+		sum, err := s.nav.GoalPathsCount(s.query(req.Query), goal)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		annotate(w, req.Query, sum.GoalPaths)
+		writeJSON(w, http.StatusOK, exploreResponse{Summary: toSummaryBody(sum)})
+		return
+	}
+	g, sum, err := s.nav.GoalPaths(s.query(req.Query), goal)
+	annotate(w, req.Query, sum.GoalPaths)
+	s.respondGraph(w, g, sum, err)
+}
+
+type rankedRequest struct {
+	Query   QuerySpec `json:"query"`
+	Goal    GoalSpec  `json:"goal"`
+	Ranking string    `json:"ranking,omitempty"`
+	// Weights, when present, rank by a linear combination instead of a
+	// single function: [{"ranking":"time","weight":100}, …].
+	Weights []coursenav.Weight `json:"weights,omitempty"`
+	K       int                `json:"k"`
+}
+
+type rankedResponse struct {
+	Summary summaryBody      `json:"summary"`
+	Paths   []coursenav.Path `json:"paths"`
+}
+
+func (s *Server) handleRanked(w http.ResponseWriter, r *http.Request) {
+	var req rankedRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	goal, err := s.buildGoal(req.Goal)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var paths []coursenav.Path
+	var sum coursenav.Summary
+	if len(req.Weights) > 0 {
+		paths, sum, err = s.nav.TopKWeighted(s.query(req.Query), goal, req.Weights, req.K)
+	} else {
+		paths, sum, err = s.nav.TopK(s.query(req.Query), goal, req.Ranking, req.K)
+	}
+	if err != nil {
+		if errors.Is(err, explore.ErrGraphTooLarge) {
+			writeErr(w, http.StatusUnprocessableEntity, "search exceeded the node budget")
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	annotate(w, req.Query, int64(len(paths)))
+	writeJSON(w, http.StatusOK, rankedResponse{Summary: toSummaryBody(sum), Paths: paths})
+}
+
+type auditRequest struct {
+	Completed  []string `json:"completed,omitempty"`
+	Goal       GoalSpec `json:"goal"`
+	Now        string   `json:"now,omitempty"`
+	Deadline   string   `json:"deadline,omitempty"`
+	MaxPerTerm int      `json:"maxPerTerm,omitempty"`
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	var req auditRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Goal.Degree) == 0 {
+		writeErr(w, http.StatusBadRequest, "audit requires a degree goal")
+		return
+	}
+	goal, err := s.nav.GoalDegree(req.Goal.Degree...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rep, err := s.nav.Audit(req.Completed, goal, req.Now, req.Deadline, req.MaxPerTerm)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+type whatIfRequest struct {
+	Query QuerySpec `json:"query"`
+	Goal  GoalSpec  `json:"goal"`
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req whatIfRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	goal, err := s.buildGoal(req.Goal)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	impacts, err := s.nav.CompareSelections(s.query(req.Query), goal)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"selections": impacts})
+}

@@ -1,0 +1,119 @@
+package server
+
+import "net/http"
+
+// handleUI serves the embedded single-page front end: a minimal
+// incarnation of Figure 2's Learning Path Visualizer that drives the
+// JSON API from a browser form and renders returned paths and graphs.
+func (s *Server) handleUI(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(uiPage))
+}
+
+// uiPage is deliberately dependency-free: one page, no build step, no
+// external assets, matching the repository's stdlib-only constraint.
+const uiPage = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>CourseNavigator</title>
+<style>
+ body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #1c2b33; }
+ h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 1.5rem; }
+ fieldset { border: 1px solid #cdd7dc; border-radius: 6px; margin-bottom: 1rem; }
+ label { display: inline-block; min-width: 11rem; margin: .15rem 0; }
+ input, select { padding: .2rem .35rem; }
+ input[type=text] { width: 22rem; }
+ button { padding: .35rem .9rem; margin-right: .5rem; cursor: pointer; }
+ pre { background: #f5f8fa; border: 1px solid #e0e8ec; border-radius: 6px; padding: .8rem; overflow-x: auto; }
+ .path { margin: .35rem 0; padding: .45rem .6rem; background: #f0f6ef; border-left: 3px solid #4a7c59; }
+ .err { color: #8c2f39; font-weight: 600; }
+ .muted { color: #5a6c74; }
+</style>
+</head>
+<body>
+<h1>CourseNavigator <span class="muted">— interactive learning path exploration</span></h1>
+<p class="muted">Li, Papaemmanouil &amp; Koutrika, ExploreDB 2016 — Go reproduction.</p>
+
+<fieldset><legend>Enrollment status</legend>
+ <label>Completed courses</label><input id="completed" type="text" placeholder="COSI 11A, COSI 29A"><br>
+ <label>Current semester</label><input id="start" type="text" value="Fall 2013"><br>
+ <label>End semester</label><input id="end" type="text" value="Fall 2015"><br>
+ <label>Max courses / semester</label><input id="m" type="number" value="3" min="0" style="width:4rem"><br>
+ <label>Courses to avoid</label><input id="avoid" type="text" placeholder="COSI 2A">
+</fieldset>
+
+<fieldset><legend>Goal</legend>
+ <label>Desired courses (all of)</label><input id="goalCourses" type="text" placeholder="COSI 21A, COSI 127B"><br>
+ <label class="muted">or boolean expression</label><input id="goalExpr" type="text" placeholder="(COSI 11A and COSI 12B) or COSI 21A">
+</fieldset>
+
+<fieldset><legend>Query</legend>
+ <label>Ranking</label>
+ <select id="ranking"><option>time</option><option>workload</option><option>reliability</option></select>
+ <label style="min-width:2rem">k</label><input id="k" type="number" value="5" min="1" style="width:4rem"><br><br>
+ <button onclick="ranked()">Top-k ranked paths</button>
+ <button onclick="goalPaths()">Count goal paths</button>
+ <button onclick="options()">What can I take now?</button>
+</fieldset>
+
+<div id="out"></div>
+
+<script>
+const $ = id => document.getElementById(id);
+const list = s => s.value.split(",").map(x => x.trim()).filter(Boolean);
+function query() {
+  const q = {start: $("start").value, end: $("end").value, maxPerTerm: +$("m").value};
+  const completed = list($("completed")); if (completed.length) q.completed = completed;
+  const avoid = list($("avoid")); if (avoid.length) q.avoid = avoid;
+  return q;
+}
+function goal() {
+  const courses = list($("goalCourses"));
+  if (courses.length) return {courses};
+  const expr = $("goalExpr").value.trim();
+  if (expr) return {expr};
+  return null;
+}
+function show(html) { $("out").innerHTML = html; }
+function fail(e) { show('<p class="err">' + e + '</p>'); }
+async function call(path, body) {
+  const r = await fetch(path, {method: "POST", body: JSON.stringify(body)});
+  const j = await r.json();
+  if (!r.ok) throw j.error || r.statusText;
+  return j;
+}
+async function ranked() {
+  const g = goal(); if (!g) return fail("set a goal first");
+  try {
+    const j = await call("/api/explore/ranked", {query: query(), goal: g, ranking: $("ranking").value, k: +$("k").value});
+    let html = "<h2>Top-" + j.paths.length + " paths (" + $("ranking").value + ")</h2>";
+    for (const p of j.paths) {
+      html += '<div class="path"><b>' + p.value.toPrecision(4) + "</b> — " +
+        p.semesters.map(s => s.term + ": {" + s.courses.join(", ") + "}").join(" → ") + "</div>";
+    }
+    html += "<pre>" + JSON.stringify(j.summary, null, 1) + "</pre>";
+    show(html);
+  } catch (e) { fail(e); }
+}
+async function goalPaths() {
+  const g = goal(); if (!g) return fail("set a goal first");
+  try {
+    const j = await call("/api/explore/goal", {query: {...query(), countOnly: true}, goal: g});
+    show("<h2>Goal-driven exploration</h2><pre>" + JSON.stringify(j.summary, null, 1) + "</pre>");
+  } catch (e) { fail(e); }
+}
+async function options() {
+  const params = new URLSearchParams({term: $("start").value});
+  const completed = list($("completed"));
+  if (completed.length) params.set("completed", completed.join(","));
+  const r = await fetch("/api/options?" + params);
+  const j = await r.json();
+  if (!r.ok) return fail(j.error);
+  show("<h2>Electable in " + $("start").value + "</h2><div class='path'>" +
+    (j.options.length ? j.options.join(", ") : "nothing") + "</div>");
+}
+</script>
+</body>
+</html>
+`

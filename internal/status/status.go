@@ -1,0 +1,53 @@
+// Package status models the paper's enrollment status (§2): the triple of
+// a semester s, the completed-course set X, and the derived option set
+// Y = { c ∈ C − X | Q_c(X) ∧ s ∈ S_c }.
+package status
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/term"
+)
+
+// Status is one enrollment status. Completed and Options are owned by the
+// Status; callers must Clone before mutating.
+type Status struct {
+	// Term is the semester s of the status.
+	Term term.Term
+	// Completed is the set X of courses completed before s.
+	Completed bitset.Set
+	// Options is the derived set Y of courses electable in s.
+	Options bitset.Set
+}
+
+// New derives the full enrollment status of a student with the given
+// completed set at the given semester, computing Y from the catalog.
+func New(cat *catalog.Catalog, t term.Term, completed bitset.Set) Status {
+	return Status{
+		Term:      t,
+		Completed: completed,
+		Options:   cat.Options(completed, t),
+	}
+}
+
+// Advance returns the status one semester later after electing selection
+// (which must be a subset of s.Options, or empty): X' = X ∪ W, s' = s + 1.
+func (s Status) Advance(cat *catalog.Catalog, selection bitset.Set) Status {
+	next := s.Completed.Union(selection)
+	return New(cat, s.Term.Next(), next)
+}
+
+// Key returns a compact identity string for (Term, Completed), used by the
+// status-interning ablation to merge equivalent nodes. Options is derived
+// from the pair, so it does not participate.
+func (s Status) Key() string {
+	return strconv.Itoa(s.Term.Ordinal()) + "|" + s.Completed.Key()
+}
+
+// String renders the status like the paper's node annotations.
+func (s Status) String() string {
+	return fmt.Sprintf("%s X=%s Y=%s", s.Term, s.Completed, s.Options)
+}

@@ -1,0 +1,93 @@
+package status
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/term"
+)
+
+func fig3Catalog(t *testing.T) (*catalog.Catalog, term.Term) {
+	t.Helper()
+	f11 := term.TwoSeason.MustTerm(2011, term.Fall)
+	s12, f12 := f11.Next(), f11.Add(2)
+	cat, err := catalog.NewBuilder(term.TwoSeason).
+		Add(catalog.Course{ID: "11A", Offered: []term.Term{f11, f12}}).
+		Add(catalog.Course{ID: "29A", Offered: []term.Term{f11, f12}}).
+		Add(catalog.Course{ID: "21A", Prereq: expr.MustParse("11A"), Offered: []term.Term{s12}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, f11
+}
+
+func TestNewComputesOptions(t *testing.T) {
+	cat, f11 := fig3Catalog(t)
+	st := New(cat, f11, bitset.New(3))
+	if got := cat.IDs(st.Options); len(got) != 2 || got[0] != "11A" || got[1] != "29A" {
+		t.Errorf("Y1 = %v", got)
+	}
+	if !st.Term.Equal(f11) {
+		t.Errorf("Term = %v", st.Term)
+	}
+}
+
+func TestAdvanceFollowsPaperTransition(t *testing.T) {
+	cat, f11 := fig3Catalog(t)
+	n1 := New(cat, f11, bitset.New(3))
+	// Elect {11A, 29A} -> n3 in Figure 3.
+	w := cat.MustSetOf("11A", "29A")
+	n3 := n1.Advance(cat, w)
+	if !n3.Term.Equal(f11.Next()) {
+		t.Errorf("advanced term = %v", n3.Term)
+	}
+	if !n3.Completed.Equal(w) {
+		t.Errorf("X3 = %v", cat.IDs(n3.Completed))
+	}
+	if got := cat.IDs(n3.Options); len(got) != 1 || got[0] != "21A" {
+		t.Errorf("Y3 = %v", got)
+	}
+	// Original status unchanged (no aliasing).
+	if !n1.Completed.Empty() {
+		t.Error("Advance mutated source status")
+	}
+	// Empty selection advances the semester only.
+	n4 := New(cat, f11.Next(), cat.MustSetOf("29A"))
+	n7 := n4.Advance(cat, bitset.New(3))
+	if !n7.Completed.Equal(cat.MustSetOf("29A")) {
+		t.Errorf("X7 = %v", cat.IDs(n7.Completed))
+	}
+	if got := cat.IDs(n7.Options); len(got) != 1 || got[0] != "11A" {
+		t.Errorf("Y7 = %v", got)
+	}
+}
+
+func TestKey(t *testing.T) {
+	cat, f11 := fig3Catalog(t)
+	a := New(cat, f11, cat.MustSetOf("11A"))
+	b := New(cat, f11, cat.MustSetOf("11A"))
+	c := New(cat, f11, cat.MustSetOf("29A"))
+	d := New(cat, f11.Next(), cat.MustSetOf("11A"))
+	if a.Key() != b.Key() {
+		t.Error("equal statuses have different keys")
+	}
+	if a.Key() == c.Key() {
+		t.Error("different completed sets share key")
+	}
+	if a.Key() == d.Key() {
+		t.Error("different terms share key")
+	}
+}
+
+func TestString(t *testing.T) {
+	cat, f11 := fig3Catalog(t)
+	st := New(cat, f11, bitset.New(3))
+	s := st.String()
+	if !strings.Contains(s, "Fall '11") || !strings.Contains(s, "X=") || !strings.Contains(s, "Y=") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,329 @@
+// Package transcript models anonymised student transcripts and the §5.2
+// "comparison with existing learning paths" experiment.
+//
+// The paper obtained 83 anonymous transcripts of Brandeis CS majors
+// (Fall '12 – Fall '15) and verified that every actual path appears among
+// the goal-driven algorithm's generated paths. The real transcripts are
+// not public, so Generate synthesises feasible goal-reaching walks with
+// the same role (DESIGN.md §4): the experiment's check — actual ⊆
+// generated — is replayed by Replay (rule-level validation, equivalent to
+// membership in the exhaustively generated path set because the generator
+// emits every feasible path) and, for small instances, by FollowsGraph
+// (literal edge-walk containment in a materialised learning graph).
+package transcript
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/degree"
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+// Entry is one semester of a transcript: the courses elected that term.
+type Entry struct {
+	Term    term.Term
+	Courses []string
+}
+
+// Transcript is an anonymised per-student course history, ordered by term
+// with no gaps (a semester off is an Entry with no courses).
+type Transcript struct {
+	Student string
+	Entries []Entry
+}
+
+// Start returns the first semester, or a zero Term for empty transcripts.
+func (tr Transcript) Start() term.Term {
+	if len(tr.Entries) == 0 {
+		return term.Term{}
+	}
+	return tr.Entries[0].Term
+}
+
+// Courses returns all course IDs in the transcript, in election order.
+func (tr Transcript) Courses() []string {
+	var out []string
+	for _, e := range tr.Entries {
+		out = append(out, e.Courses...)
+	}
+	return out
+}
+
+// Replay validates the transcript against the catalog's rules, exactly the
+// constraints Algorithm 1 enforces per transition: entries in consecutive
+// terms, each elected course offered that term, not already completed, its
+// prerequisites satisfied by prior completions, and at most maxPerTerm
+// elections per term. It returns the final completed set.
+func Replay(cat *catalog.Catalog, tr Transcript, maxPerTerm int) (bitset.Set, error) {
+	x := bitset.New(cat.Len())
+	if len(tr.Entries) == 0 {
+		return x, fmt.Errorf("transcript %s: empty", tr.Student)
+	}
+	prev := term.Term{}
+	for i, e := range tr.Entries {
+		if e.Term.IsZero() || e.Term.Calendar() != cat.Calendar() {
+			return x, fmt.Errorf("transcript %s: entry %d has invalid term", tr.Student, i)
+		}
+		if i > 0 && e.Term.Sub(prev) != 1 {
+			return x, fmt.Errorf("transcript %s: gap between %v and %v (semesters off must be explicit empty entries)", tr.Student, prev, e.Term)
+		}
+		prev = e.Term
+		if maxPerTerm > 0 && len(e.Courses) > maxPerTerm {
+			return x, fmt.Errorf("transcript %s: %d courses in %v exceeds limit %d", tr.Student, len(e.Courses), e.Term, maxPerTerm)
+		}
+		options := cat.Options(x, e.Term)
+		taken := bitset.New(cat.Len())
+		for _, id := range e.Courses {
+			ci, ok := cat.Index(id)
+			if !ok {
+				return x, fmt.Errorf("transcript %s: unknown course %q", tr.Student, id)
+			}
+			if taken.Contains(ci) {
+				return x, fmt.Errorf("transcript %s: %q elected twice in %v", tr.Student, id, e.Term)
+			}
+			if !options.Contains(ci) {
+				return x, fmt.Errorf("transcript %s: %q not electable in %v (offered and prerequisites satisfied?)", tr.Student, id, e.Term)
+			}
+			taken.Add(ci)
+		}
+		x.UnionInPlace(taken)
+	}
+	return x, nil
+}
+
+// FollowsGraph reports whether the transcript is literally one of the
+// paths of a materialised learning graph: a root-to-node walk whose edge
+// selections match the transcript's entries semester by semester. The
+// walk may end at any node (generated paths may extend past the goal).
+func FollowsGraph(cat *catalog.Catalog, g *graph.Graph, tr Transcript) bool {
+	cur := g.Root()
+	if len(tr.Entries) == 0 || !g.Node(cur).Status.Term.Equal(tr.Entries[0].Term) {
+		return false
+	}
+	for _, e := range tr.Entries {
+		want, err := cat.SetOf(e.Courses...)
+		if err != nil {
+			return false
+		}
+		next := graph.NodeID(-1)
+		for _, eid := range g.Node(cur).Out {
+			edge := g.Edge(eid)
+			if edge.Selection.Equal(want) {
+				next = edge.To
+				break
+			}
+		}
+		if next < 0 {
+			return false
+		}
+		cur = next
+	}
+	return true
+}
+
+// Generate synthesises n transcripts of students who reach the goal by the
+// end semester: random feasible walks (uniform among electable selections,
+// biased toward goal-relevant courses) with backtracking. Walks stop at
+// the first goal-satisfying status, like the goal-driven algorithm's end
+// nodes. It fails if a goal-reaching walk cannot be found (unsatisfiable
+// configuration).
+func Generate(cat *catalog.Catalog, goal degree.Goal, start, end term.Term, maxPerTerm, n int, seed int64) ([]Transcript, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transcript: n must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pruners := explore.PaperPruners(cat, goal, maxPerTerm)
+	out := make([]Transcript, 0, n)
+	for i := 0; i < n; i++ {
+		var entries []Entry
+		x := bitset.New(cat.Len())
+		if !walk(cat, goal, status.New(cat, start, x), end, maxPerTerm, pruners, rng, &entries) {
+			return nil, fmt.Errorf("transcript: no goal-reaching walk from %v to %v", start, end)
+		}
+		out = append(out, Transcript{Student: fmt.Sprintf("S%03d", i+1), Entries: entries})
+	}
+	return out, nil
+}
+
+// walk extends entries with a goal-reaching suffix from st; it returns
+// false when none exists below this node (triggering backtracking above).
+// The goal-driven pruning strategies (admissible, so they never cut a
+// goal-reaching walk) keep the backtracking tractable in tight windows.
+func walk(cat *catalog.Catalog, goal degree.Goal, st status.Status, end term.Term, m int, pruners []explore.Pruner, rng *rand.Rand, entries *[]Entry) bool {
+	if goal.Satisfied(st.Completed) {
+		return true
+	}
+	if !st.Term.Before(end) {
+		return false
+	}
+	minTake := 0
+	for _, p := range pruners {
+		prune, mt := p.Check(st, end)
+		if prune {
+			return false
+		}
+		if mt > minTake {
+			minTake = mt
+		}
+	}
+	// Candidate selections: subsets of the option set sized within
+	// [max(minTake,1), m], shuffled, goal-relevant-heavy first. Enumerating
+	// all subsets would be exponential; sampling a bounded number of random
+	// subsets suffices because backtracking covers failures.
+	options := st.Options.Members()
+	var candidates [][]int
+	if len(options) > 0 {
+		maxSize := minInt(m, len(options))
+		loSize := maxInt(1, minTake)
+		if loSize > maxSize {
+			return false // cannot take enough courses this semester
+		}
+		relevant := goal.Relevant()
+		seen := map[string]bool{}
+		for try := 0; try < 48; try++ {
+			size := loSize + rng.Intn(maxSize-loSize+1)
+			perm := rng.Perm(len(options))
+			// Bias: move goal-relevant courses to the front, then cut to
+			// size, so most samples make progress.
+			sort.SliceStable(perm, func(a, b int) bool {
+				ra := relevant.Contains(options[perm[a]])
+				rb := relevant.Contains(options[perm[b]])
+				return ra && !rb
+			})
+			sel := append([]int(nil), perm[:size]...)
+			ids := make([]int, len(sel))
+			for j, pi := range sel {
+				ids[j] = options[pi]
+			}
+			sort.Ints(ids)
+			key := fmt.Sprint(ids)
+			if !seen[key] {
+				seen[key] = true
+				candidates = append(candidates, ids)
+			}
+		}
+	} else {
+		candidates = append(candidates, nil) // semester off
+	}
+	for _, ids := range candidates {
+		w := bitset.New(cat.Len())
+		courses := make([]string, len(ids))
+		for j, ci := range ids {
+			w.Add(ci)
+			courses[j] = cat.ID(ci)
+		}
+		*entries = append(*entries, Entry{Term: st.Term, Courses: courses})
+		if walk(cat, goal, st.Advance(cat, w), end, m, pruners, rng, entries) {
+			return true
+		}
+		*entries = (*entries)[:len(*entries)-1]
+	}
+	return false
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Write serialises transcripts in the dump format Parse reads:
+//
+//	student: S001
+//	Fall 2012: COSI 11A, COSI 29A
+//	Spring 2013:
+//	...
+func Write(w io.Writer, trs []Transcript) error {
+	for i, tr := range trs {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "student: %s\n", tr.Student); err != nil {
+			return err
+		}
+		for _, e := range tr.Entries {
+			if _, err := fmt.Fprintf(w, "%s: %s\n", e.Term.Label(), strings.Join(e.Courses, ", ")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Parse reads the Write format. Blank lines separate students; '#' lines
+// are comments.
+func Parse(r io.Reader, cal *term.Calendar) ([]Transcript, error) {
+	var out []Transcript
+	var cur *Transcript
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			flush()
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, found := strings.Cut(line, ":")
+		if !found {
+			return nil, fmt.Errorf("transcript: line %d: want \"key: value\", got %q", lineNo, line)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if strings.EqualFold(key, "student") {
+			flush()
+			cur = &Transcript{Student: val}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("transcript: line %d: entry before student:", lineNo)
+		}
+		tm, err := term.Parse(cal, key)
+		if err != nil {
+			return nil, fmt.Errorf("transcript: line %d: %v", lineNo, err)
+		}
+		var courses []string
+		if val != "" {
+			for _, c := range strings.Split(val, ",") {
+				courses = append(courses, strings.TrimSpace(c))
+			}
+		}
+		cur.Entries = append(cur.Entries, Entry{Term: tm, Courses: courses})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("transcript: %v", err)
+	}
+	flush()
+	if len(out) == 0 {
+		return nil, fmt.Errorf("transcript: empty input")
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+package transcript
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/brandeis"
+	"repro/internal/catalog"
+	"repro/internal/degree"
+	"repro/internal/explore"
+	"repro/internal/expr"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+var (
+	f11 = term.TwoSeason.MustTerm(2011, term.Fall)
+	s12 = f11.Next()
+	f12 = s12.Next()
+)
+
+func fig3Catalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat, err := catalog.NewBuilder(term.TwoSeason).
+		Add(catalog.Course{ID: "11A", Offered: []term.Term{f11, f12}}).
+		Add(catalog.Course{ID: "29A", Offered: []term.Term{f11, f12}}).
+		Add(catalog.Course{ID: "21A", Prereq: expr.MustParse("11A"), Offered: []term.Term{s12}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestReplayValid(t *testing.T) {
+	cat := fig3Catalog(t)
+	tr := Transcript{Student: "S1", Entries: []Entry{
+		{Term: f11, Courses: []string{"29A"}},
+		{Term: s12}, // semester off (nothing electable)
+		{Term: f12, Courses: []string{"11A"}},
+	}}
+	x, err := Replay(cat, tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(cat.MustSetOf("11A", "29A")) {
+		t.Errorf("final X = %v", cat.IDs(x))
+	}
+}
+
+func TestReplayViolations(t *testing.T) {
+	cat := fig3Catalog(t)
+	cases := []struct {
+		name string
+		tr   Transcript
+	}{
+		{"empty", Transcript{Student: "S"}},
+		{"unknown course", Transcript{Entries: []Entry{{Term: f11, Courses: []string{"99Z"}}}}},
+		{"not offered", Transcript{Entries: []Entry{{Term: s12, Courses: []string{"11A"}}}}},
+		{"prereq unmet", Transcript{Entries: []Entry{{Term: f11, Courses: []string{"29A"}}, {Term: s12, Courses: []string{"21A"}}}}},
+		{"gap", Transcript{Entries: []Entry{{Term: f11, Courses: []string{"11A"}}, {Term: f12, Courses: []string{"29A"}}}}},
+		{"over limit", Transcript{Entries: []Entry{{Term: f11, Courses: []string{"11A", "29A"}}}}},
+		{"duplicate in term", Transcript{Entries: []Entry{{Term: f11, Courses: []string{"11A", "11A"}}}}},
+		{"retake", Transcript{Entries: []Entry{{Term: f11, Courses: []string{"11A"}}, {Term: s12, Courses: []string{"21A"}}, {Term: f12, Courses: []string{"11A"}}}}},
+		{"zero term", Transcript{Entries: []Entry{{}}}},
+	}
+	for _, c := range cases {
+		m := 3
+		if c.name == "over limit" {
+			m = 1
+		}
+		if _, err := Replay(cat, c.tr, m); err == nil {
+			t.Errorf("%s: Replay accepted invalid transcript", c.name)
+		}
+	}
+}
+
+func TestFollowsGraph(t *testing.T) {
+	cat := fig3Catalog(t)
+	start := status.New(cat, f11, bitset.New(3))
+	res, err := explore.Deadline(cat, start, f12.Next(), explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Transcript{Entries: []Entry{
+		{Term: f11, Courses: []string{"29A"}},
+		{Term: s12},
+		{Term: f12, Courses: []string{"11A"}},
+	}}
+	if !FollowsGraph(cat, res.Graph, good) {
+		t.Error("feasible transcript not found in deadline graph")
+	}
+	// Prefixes of generated paths follow too.
+	prefix := Transcript{Entries: []Entry{{Term: f11, Courses: []string{"11A", "29A"}}}}
+	if !FollowsGraph(cat, res.Graph, prefix) {
+		t.Error("path prefix not found")
+	}
+	for _, bad := range []Transcript{
+		{Entries: []Entry{{Term: f11, Courses: []string{"21A"}}}}, // ineligible selection
+		{Entries: []Entry{{Term: s12, Courses: []string{"21A"}}}}, // wrong start term
+		{}, // empty
+		{Entries: []Entry{{Term: f11, Courses: []string{"nope"}}}},                                       // unknown course
+		{Entries: []Entry{{Term: f11, Courses: []string{"11A"}}, {Term: s12, Courses: []string{"11A"}}}}, // no matching edge
+	} {
+		if FollowsGraph(cat, res.Graph, bad) {
+			t.Errorf("invalid transcript %v follows graph", bad.Entries)
+		}
+	}
+}
+
+func TestGenerateReachesGoalAndReplays(t *testing.T) {
+	cat := fig3Catalog(t)
+	goal, _ := degree.NewCourseSet(cat, "11A", "29A", "21A")
+	trs, err := Generate(cat, goal, f11, f12.Next(), 3, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 20 {
+		t.Fatalf("generated %d transcripts", len(trs))
+	}
+	for _, tr := range trs {
+		x, err := Replay(cat, tr, 3)
+		if err != nil {
+			t.Errorf("%s does not replay: %v", tr.Student, err)
+			continue
+		}
+		if !goal.Satisfied(x) {
+			t.Errorf("%s does not reach the goal (X=%v)", tr.Student, cat.IDs(x))
+		}
+	}
+	// Determinism by seed.
+	trs2, _ := Generate(cat, goal, f11, f12.Next(), 3, 20, 42)
+	a, b := new(bytes.Buffer), new(bytes.Buffer)
+	if err := Write(a, trs); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(b, trs2); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed generated different transcripts")
+	}
+}
+
+func TestGenerateUnsatisfiable(t *testing.T) {
+	cat := fig3Catalog(t)
+	goal, _ := degree.NewCourseSet(cat, "21A")
+	// Starting after 21A's only offering: impossible.
+	if _, err := Generate(cat, goal, f12, f12.Next(), 3, 1, 1); err == nil {
+		t.Error("unsatisfiable generation succeeded")
+	}
+	if _, err := Generate(cat, goal, f11, f12, 3, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// TestSection52Containment runs the paper's §5.2 experiment end to end at
+// reduced scale: generated "actual" transcripts must all be contained in
+// the goal-driven algorithm's generated paths — checked literally against
+// the materialised graph.
+func TestSection52Containment(t *testing.T) {
+	cat := brandeis.Catalog()
+	major, err := brandeis.Major(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := brandeis.StartForSemesters(4) // 4-semester window keeps the graph small
+	end := brandeis.EndTerm()
+	trs, err := Generate(cat, major, start, end, brandeis.MaxPerTerm, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := explore.Goal(cat, status.New(cat, start, bitset.New(cat.Len())), end, major,
+		explore.PaperPruners(cat, major, brandeis.MaxPerTerm),
+		explore.Options{MaxPerTerm: brandeis.MaxPerTerm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trs {
+		if !FollowsGraph(cat, res.Graph, tr) {
+			t.Errorf("%s not contained in goal-driven learning graph", tr.Student)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	cat := fig3Catalog(t)
+	goal, _ := degree.NewCourseSet(cat, "11A", "29A")
+	trs, err := Generate(cat, goal, f11, f12.Next(), 2, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, trs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf, term.TwoSeason)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trs) {
+		t.Fatalf("round-trip count %d != %d", len(back), len(trs))
+	}
+	for i := range back {
+		if back[i].Student != trs[i].Student || len(back[i].Entries) != len(trs[i].Entries) {
+			t.Errorf("transcript %d mismatch", i)
+			continue
+		}
+		for j := range back[i].Entries {
+			if !back[i].Entries[j].Term.Equal(trs[i].Entries[j].Term) ||
+				strings.Join(back[i].Entries[j].Courses, ",") != strings.Join(trs[i].Entries[j].Courses, ",") {
+				t.Errorf("transcript %d entry %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"Fall 2011: COSI 11A\n",     // entry before student
+		"student: S1\nnot a line\n", // missing colon
+		"student: S1\nWinter 2011: X\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad), term.TwoSeason); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	// Comments and blank lines are fine.
+	good := "# comment\nstudent: S1\nFall 2011: 11A\n\nstudent: S2\nFall 2011:\n"
+	trs, err := Parse(strings.NewReader(good), term.TwoSeason)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 2 || len(trs[1].Entries[0].Courses) != 0 {
+		t.Errorf("parsed = %+v", trs)
+	}
+}
+
+func TestStartAndCourses(t *testing.T) {
+	tr := Transcript{Entries: []Entry{
+		{Term: f11, Courses: []string{"11A"}},
+		{Term: s12, Courses: []string{"21A"}},
+	}}
+	if !tr.Start().Equal(f11) {
+		t.Error("Start wrong")
+	}
+	if got := strings.Join(tr.Courses(), ","); got != "11A,21A" {
+		t.Errorf("Courses = %q", got)
+	}
+	if !(Transcript{}).Start().IsZero() {
+		t.Error("empty Start not zero")
+	}
+}

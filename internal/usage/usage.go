@@ -1,0 +1,182 @@
+// Package usage collects and analyses exploration-service usage logs —
+// the paper's §6 deployment plan ("collect and analyze usage logs and
+// eventually build a robust, highly usable learning path exploration
+// service") — so operators can see what students ask for and how the
+// service performs.
+//
+// A Log is a bounded in-memory ring of structured Events; Snapshot
+// aggregates it into per-endpoint counts, latency quantiles, popular
+// exploration windows and error rates. The HTTP service records every
+// API call and exposes the aggregate at /api/stats.
+package usage
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one recorded service request.
+type Event struct {
+	// When is the request completion time.
+	When time.Time `json:"when"`
+	// Endpoint is the normalised route, e.g. "/api/explore/goal".
+	Endpoint string `json:"endpoint"`
+	// Window is the exploration window ("Fall 2013 → Fall 2015"), empty
+	// for non-exploration endpoints.
+	Window string `json:"window,omitempty"`
+	// Paths is the number of paths the response reported.
+	Paths int64 `json:"paths,omitempty"`
+	// Duration is the handling latency.
+	Duration time.Duration `json:"durationNs"`
+	// Status is the HTTP status code returned.
+	Status int `json:"status"`
+}
+
+// Log is a fixed-capacity, concurrency-safe event ring.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	filled bool
+}
+
+// NewLog returns a ring holding the most recent capacity events
+// (minimum 1).
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{events: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (l *Log) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events[l.next] = e
+	l.next++
+	if l.next == len(l.events) {
+		l.next = 0
+		l.filled = true
+	}
+}
+
+// Events returns the recorded events, oldest first.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.filled {
+		return append([]Event(nil), l.events[:l.next]...)
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.next:]...)
+	out = append(out, l.events[:l.next]...)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filled {
+		return len(l.events)
+	}
+	return l.next
+}
+
+// EndpointStats aggregates one endpoint's events.
+type EndpointStats struct {
+	Endpoint string  `json:"endpoint"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"` // status >= 400
+	P50Ms    float64 `json:"p50Ms"`
+	P95Ms    float64 `json:"p95Ms"`
+	MaxMs    float64 `json:"maxMs"`
+}
+
+// WindowCount is an exploration window with its request count.
+type WindowCount struct {
+	Window string `json:"window"`
+	Count  int    `json:"count"`
+}
+
+// Stats is an aggregated usage snapshot.
+type Stats struct {
+	Total     int             `json:"total"`
+	Errors    int             `json:"errors"`
+	Endpoints []EndpointStats `json:"endpoints"`
+	// TopWindows lists the most-queried exploration windows, a proxy for
+	// which academic periods students care about.
+	TopWindows []WindowCount `json:"topWindows,omitempty"`
+}
+
+// Snapshot aggregates the log.
+func (l *Log) Snapshot() Stats {
+	events := l.Events()
+	byEndpoint := map[string][]Event{}
+	windows := map[string]int{}
+	st := Stats{Total: len(events)}
+	for _, e := range events {
+		byEndpoint[e.Endpoint] = append(byEndpoint[e.Endpoint], e)
+		if e.Status >= 400 {
+			st.Errors++
+		}
+		if e.Window != "" {
+			windows[e.Window]++
+		}
+	}
+	for ep, evs := range byEndpoint {
+		durations := make([]float64, len(evs))
+		errs := 0
+		for i, e := range evs {
+			durations[i] = float64(e.Duration.Microseconds()) / 1000
+			if e.Status >= 400 {
+				errs++
+			}
+		}
+		sort.Float64s(durations)
+		st.Endpoints = append(st.Endpoints, EndpointStats{
+			Endpoint: ep,
+			Requests: len(evs),
+			Errors:   errs,
+			P50Ms:    quantile(durations, 0.50),
+			P95Ms:    quantile(durations, 0.95),
+			MaxMs:    durations[len(durations)-1],
+		})
+	}
+	sort.Slice(st.Endpoints, func(i, j int) bool {
+		if st.Endpoints[i].Requests != st.Endpoints[j].Requests {
+			return st.Endpoints[i].Requests > st.Endpoints[j].Requests
+		}
+		return st.Endpoints[i].Endpoint < st.Endpoints[j].Endpoint
+	})
+	for w, n := range windows {
+		st.TopWindows = append(st.TopWindows, WindowCount{Window: w, Count: n})
+	}
+	sort.Slice(st.TopWindows, func(i, j int) bool {
+		if st.TopWindows[i].Count != st.TopWindows[j].Count {
+			return st.TopWindows[i].Count > st.TopWindows[j].Count
+		}
+		return st.TopWindows[i].Window < st.TopWindows[j].Window
+	})
+	if len(st.TopWindows) > 10 {
+		st.TopWindows = st.TopWindows[:10]
+	}
+	return st
+}
+
+// quantile returns the q-quantile of sorted values (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

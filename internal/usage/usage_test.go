@@ -1,0 +1,128 @@
+package usage
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func ev(endpoint string, ms float64, status int, window string) Event {
+	return Event{
+		When:     time.Unix(0, 0),
+		Endpoint: endpoint,
+		Window:   window,
+		Duration: time.Duration(ms * float64(time.Millisecond)),
+		Status:   status,
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLog(3)
+	if l.Len() != 0 {
+		t.Errorf("fresh Len = %d", l.Len())
+	}
+	for i := 0; i < 5; i++ {
+		l.Record(ev("/a", float64(i), 200, ""))
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	events := l.Events()
+	// Oldest first: durations 2, 3, 4 ms survive.
+	for i, want := range []float64{2, 3, 4} {
+		got := float64(events[i].Duration) / float64(time.Millisecond)
+		if got != want {
+			t.Errorf("event %d duration = %g, want %g", i, got, want)
+		}
+	}
+	// Zero capacity clamps to one.
+	l2 := NewLog(0)
+	l2.Record(ev("/a", 1, 200, ""))
+	l2.Record(ev("/a", 2, 200, ""))
+	if l2.Len() != 1 {
+		t.Errorf("clamped Len = %d", l2.Len())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	l := NewLog(100)
+	for i := 0; i < 10; i++ {
+		l.Record(ev("/api/explore/goal", float64(i+1), 200, "Fall 2013 → Fall 2015"))
+	}
+	l.Record(ev("/api/explore/goal", 100, 400, "Fall 2013 → Fall 2015"))
+	l.Record(ev("/api/catalog", 1, 200, ""))
+	l.Record(ev("/api/explore/ranked", 5, 200, "Fall 2012 → Fall 2015"))
+
+	st := l.Snapshot()
+	if st.Total != 13 || st.Errors != 1 {
+		t.Errorf("total=%d errors=%d", st.Total, st.Errors)
+	}
+	if len(st.Endpoints) != 3 || st.Endpoints[0].Endpoint != "/api/explore/goal" {
+		t.Fatalf("endpoints = %+v", st.Endpoints)
+	}
+	goal := st.Endpoints[0]
+	if goal.Requests != 11 || goal.Errors != 1 {
+		t.Errorf("goal stats = %+v", goal)
+	}
+	if goal.MaxMs != 100 {
+		t.Errorf("MaxMs = %g", goal.MaxMs)
+	}
+	if goal.P50Ms < 1 || goal.P50Ms > 10 {
+		t.Errorf("P50Ms = %g", goal.P50Ms)
+	}
+	if goal.P95Ms < goal.P50Ms {
+		t.Error("P95 < P50")
+	}
+	if len(st.TopWindows) != 2 || st.TopWindows[0].Window != "Fall 2013 → Fall 2015" ||
+		st.TopWindows[0].Count != 11 {
+		t.Errorf("windows = %+v", st.TopWindows)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	st := NewLog(5).Snapshot()
+	if st.Total != 0 || len(st.Endpoints) != 0 || len(st.TopWindows) != 0 {
+		t.Errorf("empty snapshot = %+v", st)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantile(sorted, 0.5); got != 5 {
+		t.Errorf("p50 = %g", got)
+	}
+	if got := quantile(sorted, 0.95); got != 10 { // nearest rank: ⌈0.95·10⌉ = 10th
+		t.Errorf("p95 = %g", got)
+	}
+	if got := quantile(sorted, 1); got != 10 {
+		t.Errorf("p100 = %g", got)
+	}
+	if got := quantile([]float64{7}, 0.5); got != 7 {
+		t.Errorf("single = %g", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %g", got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	l := NewLog(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(ev("/api/catalog", 1, 200, ""))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != 64 {
+		t.Errorf("Len = %d, want full ring", l.Len())
+	}
+	st := l.Snapshot()
+	if st.Total != 64 {
+		t.Errorf("Total = %d", st.Total)
+	}
+}

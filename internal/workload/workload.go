@@ -1,0 +1,74 @@
+// Package workload estimates per-course weekly effort w(c) from student
+// reports, the input of the workload ranking function (paper §4.3.1: "the
+// number of hours students need to spend on course ci per week (this
+// number is often provided by students that have taken the course in the
+// past)").
+//
+// Reports are aggregated robustly (trimmed mean) so a few exaggerated
+// submissions do not dominate, and courses without reports fall back to a
+// default.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultHours is the estimate used for courses with no reports.
+const DefaultHours = 9.0
+
+// Survey accumulates student-reported weekly hours per course index.
+type Survey struct {
+	reports map[int][]float64
+}
+
+// NewSurvey returns an empty survey.
+func NewSurvey() *Survey {
+	return &Survey{reports: map[int][]float64{}}
+}
+
+// Report records one student's weekly-hours estimate for course ci.
+// Non-positive and absurd (>120) values are rejected.
+func (s *Survey) Report(ci int, hours float64) error {
+	if ci < 0 {
+		return fmt.Errorf("workload: negative course index %d", ci)
+	}
+	if hours <= 0 || hours > 120 {
+		return fmt.Errorf("workload: implausible weekly hours %g", hours)
+	}
+	s.reports[ci] = append(s.reports[ci], hours)
+	return nil
+}
+
+// Count returns the number of reports for course ci.
+func (s *Survey) Count(ci int) int { return len(s.reports[ci]) }
+
+// Estimate returns the aggregated weekly-hours estimate for course ci:
+// the 20%-trimmed mean of its reports, or DefaultHours with ok=false when
+// no reports exist.
+func (s *Survey) Estimate(ci int) (hours float64, ok bool) {
+	r := s.reports[ci]
+	if len(r) == 0 {
+		return DefaultHours, false
+	}
+	sorted := append([]float64(nil), r...)
+	sort.Float64s(sorted)
+	trim := len(sorted) / 5 // 20% total, 10% per tail
+	lo, hi := trim/2, len(sorted)-(trim-trim/2)
+	sum := 0.0
+	for _, v := range sorted[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo), true
+}
+
+// Vector produces the per-index workload vector for a catalog of n
+// courses, substituting DefaultHours where the survey is silent — the W
+// input of rank.Workload.
+func (s *Survey) Vector(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i], _ = s.Estimate(i)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReportValidation(t *testing.T) {
+	s := NewSurvey()
+	if err := s.Report(-1, 10); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := s.Report(0, 0); err == nil {
+		t.Error("zero hours accepted")
+	}
+	if err := s.Report(0, -5); err == nil {
+		t.Error("negative hours accepted")
+	}
+	if err := s.Report(0, 200); err == nil {
+		t.Error("absurd hours accepted")
+	}
+	if err := s.Report(0, 12); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+	if s.Count(0) != 1 {
+		t.Errorf("Count = %d", s.Count(0))
+	}
+}
+
+func TestEstimateDefaults(t *testing.T) {
+	s := NewSurvey()
+	h, ok := s.Estimate(3)
+	if ok {
+		t.Error("ok=true with no reports")
+	}
+	if h != DefaultHours {
+		t.Errorf("default = %g", h)
+	}
+}
+
+func TestEstimateMean(t *testing.T) {
+	s := NewSurvey()
+	for _, v := range []float64{8, 10, 12} {
+		if err := s.Report(1, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, ok := s.Estimate(1)
+	if !ok || math.Abs(h-10) > 1e-9 {
+		t.Errorf("Estimate = %g ok=%v, want 10", h, ok)
+	}
+}
+
+func TestEstimateTrimsOutliers(t *testing.T) {
+	s := NewSurvey()
+	// Nine reasonable reports around 10 and one wild exaggeration.
+	for _, v := range []float64{9, 10, 10, 10, 10, 10, 10, 11, 10, 100} {
+		if err := s.Report(2, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, _ := s.Estimate(2)
+	if h > 15 {
+		t.Errorf("trimmed mean %g still dominated by outlier", h)
+	}
+	// Untempered mean would be 19; trimmed must be well below.
+	if h < 9 || h > 12 {
+		t.Errorf("trimmed mean %g outside plausible band", h)
+	}
+}
+
+func TestVector(t *testing.T) {
+	s := NewSurvey()
+	_ = s.Report(0, 6)
+	_ = s.Report(2, 14)
+	v := s.Vector(4)
+	if len(v) != 4 {
+		t.Fatalf("len = %d", len(v))
+	}
+	if v[0] != 6 || v[2] != 14 {
+		t.Errorf("reported values lost: %v", v)
+	}
+	if v[1] != DefaultHours || v[3] != DefaultHours {
+		t.Errorf("defaults not applied: %v", v)
+	}
+}
