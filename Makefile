@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the full pre-commit gate:
+# vet, build, the whole test suite under the race detector, and a short
+# benchmark smoke run (catches benchmarks that no longer compile or
+# assert stale path counts without waiting for steady-state timings).
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-smoke
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run with allocation stats (slow; EXPERIMENTS.md numbers).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One quick iteration of the hot-path benchmarks.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Table1GoalPruning|Classify|Selections|RequirementRemaining' -benchtime 10x ./...

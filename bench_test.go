@@ -287,3 +287,27 @@ func BenchmarkAblationParallelCount(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAblationParallelMergeCount combines the Workers fan-out with the
+// MergeStatuses memo: workers share the engine's sharded concurrent memo,
+// so the collapsed DAG is counted once across the pool. Path counts are
+// pinned to the serial value — the memo never trades exactness for speed.
+func BenchmarkAblationParallelMergeCount(b *testing.B) {
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := benchOpt()
+			opt.Workers = workers
+			opt.MergeStatuses = true
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := explore.DeadlineCount(benchCat, benchStart(5), brandeis.EndTerm(), opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Paths != 95715 {
+					b.Fatalf("paths = %d", res.Paths)
+				}
+			}
+		})
+	}
+}

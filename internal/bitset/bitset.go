@@ -43,6 +43,19 @@ func FromMembers(n int, members ...int) Set {
 	return s
 }
 
+// CopyFrom replaces s's members with t's, reusing s's storage when it is
+// large enough. After the call s.Equal(t) holds; s's capacity is the larger
+// of the two.
+func (s *Set) CopyFrom(t Set) {
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words)*wordBits - 1)
+	}
+	n := copy(s.words, t.words)
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
 // Clone returns an independent copy of s.
 func (s Set) Clone() Set {
 	if len(s.words) == 0 {
@@ -146,6 +159,20 @@ func (s Set) Intersect(t Set) Set {
 	return Set{words: out}
 }
 
+// IntersectInPlace removes every member of s that is not in t.
+func (s *Set) IntersectInPlace(t Set) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &= t.words[i]
+	}
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
 // Diff returns s − t as a new set.
 func (s Set) Diff(t Set) Set {
 	out := make([]uint64, len(s.words))
@@ -169,6 +196,32 @@ func (s *Set) DiffInPlace(t Set) {
 	for i := 0; i < n; i++ {
 		s.words[i] &^= t.words[i]
 	}
+}
+
+// IntersectLen returns |s ∩ t| without allocating the intersection set.
+func (s Set) IntersectLen(t Set) int {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// DiffLen returns |s − t| without allocating the difference set.
+func (s Set) DiffLen(t Set) int {
+	n := 0
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		n += bits.OnesCount64(w &^ tw)
+	}
+	return n
 }
 
 // SubsetOf reports whether every member of s is in t.
@@ -278,6 +331,53 @@ func (s Set) String() string {
 	})
 	b.WriteByte('}')
 	return b.String()
+}
+
+// compactWords is the number of inline words in a CompactKey: sets whose
+// members all lie below compactWords·64 = 256 need no allocation to key.
+const compactWords = 4
+
+// CompactKey is a comparable identity for a set's members, independent of
+// capacity. Sets with no member ≥ 256 are encoded inline in four words with
+// zero allocation; larger sets spill to the string form of Key. Two keys are
+// == iff the sets they were taken from are Equal, so a CompactKey can be
+// used directly as a map key — the engine's memo and intern tables do this
+// to avoid the per-node string allocation Key incurs.
+type CompactKey struct {
+	w     [compactWords]uint64
+	spill string
+}
+
+// CompactKey returns the comparable identity of s.
+func (s Set) CompactKey() CompactKey {
+	var k CompactKey
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	if n <= compactWords {
+		copy(k.w[:], s.words[:n])
+		return k
+	}
+	// A rare wide set (≥256 courses): fall back to the allocating string
+	// key. The spill is non-empty exactly when words beyond the inline
+	// window are set, so spilled and inline keys can never collide.
+	k.spill = s.Key()
+	return k
+}
+
+// Hash returns a 64-bit mix of the key, suitable for shard selection.
+func (k CompactKey) Hash() uint64 {
+	const m = 0x9e3779b97f4a7c15 // Fibonacci hashing multiplier
+	h := uint64(0)
+	for _, w := range k.w {
+		h = (h ^ w) * m
+		h ^= h >> 29
+	}
+	for i := 0; i < len(k.spill); i++ {
+		h = (h ^ uint64(k.spill[i])) * m
+	}
+	return h ^ h>>32
 }
 
 // Key returns a compact string usable as a map key identifying the set's

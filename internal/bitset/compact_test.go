@@ -1,0 +1,113 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCopyFrom(t *testing.T) {
+	s := FromMembers(10, 1, 2)
+	s.CopyFrom(FromMembers(200, 3, 150))
+	if !s.Equal(FromMembers(200, 3, 150)) {
+		t.Errorf("CopyFrom with growth: got %v", s)
+	}
+	// Copying a narrower set must zero the destination's excess words.
+	s.CopyFrom(FromMembers(5, 4))
+	if !s.Equal(FromMembers(5, 4)) || s.Contains(150) {
+		t.Errorf("CopyFrom narrower: got %v", s)
+	}
+	s.CopyFrom(Set{})
+	if !s.Empty() {
+		t.Errorf("CopyFrom empty: got %v", s)
+	}
+}
+
+func TestIntersectInPlaceAndLens(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n1, n2 := 1+rng.Intn(300), 1+rng.Intn(300)
+		a, b := New(n1), New(n2)
+		for i := 0; i < n1; i++ {
+			if rng.Intn(3) == 0 {
+				a.Add(i)
+			}
+		}
+		for i := 0; i < n2; i++ {
+			if rng.Intn(3) == 0 {
+				b.Add(i)
+			}
+		}
+		if got, want := a.IntersectLen(b), a.Intersect(b).Len(); got != want {
+			t.Fatalf("trial %d: IntersectLen = %d, want %d", trial, got, want)
+		}
+		if got, want := a.DiffLen(b), a.Diff(b).Len(); got != want {
+			t.Fatalf("trial %d: DiffLen = %d, want %d", trial, got, want)
+		}
+		c := a.Clone()
+		c.IntersectInPlace(b)
+		if !c.Equal(a.Intersect(b)) {
+			t.Fatalf("trial %d: IntersectInPlace: got %v, want %v", trial, c, a.Intersect(b))
+		}
+	}
+}
+
+func TestCompactKeyEquality(t *testing.T) {
+	// Keys agree exactly when the sets agree, independent of capacity.
+	a := FromMembers(10, 1, 7)
+	b := FromMembers(500, 1, 7) // same members, wider backing array
+	if a.CompactKey() != b.CompactKey() {
+		t.Error("equal sets with different capacities produced different keys")
+	}
+	if a.CompactKey() == FromMembers(10, 1, 8).CompactKey() {
+		t.Error("different sets share a key")
+	}
+	if New(0).CompactKey() != New(999).CompactKey() {
+		t.Error("empty sets of different capacities differ")
+	}
+}
+
+// TestCompactKeySpill crosses the inline-words boundary (4 words = 256
+// courses): wide sets spill to the string key, and an inline key can never
+// collide with a spilled one.
+func TestCompactKeySpill(t *testing.T) {
+	wide := FromMembers(1000, 1, 999)
+	if wide.CompactKey() == FromMembers(1000, 1).CompactKey() {
+		t.Error("distinct wide sets share a key")
+	}
+	// A wide backing array whose high bits are zero stays inline and equals
+	// its narrow twin.
+	narrow := FromMembers(10, 1)
+	wideZero := FromMembers(1000, 1)
+	if narrow.CompactKey() != wideZero.CompactKey() {
+		t.Error("trailing zero words changed the key")
+	}
+	// Exhaustive-ish collision check across the boundary.
+	seen := map[CompactKey]string{}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(400)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				s.Add(i)
+			}
+		}
+		k := s.CompactKey()
+		if prev, ok := seen[k]; ok && prev != s.Key() {
+			t.Fatalf("collision: %q and %q share key %+v", prev, s.Key(), k)
+		}
+		seen[k] = s.Key()
+	}
+}
+
+func TestCompactKeyHashDeterministic(t *testing.T) {
+	s := FromMembers(300, 2, 77, 256)
+	if s.CompactKey().Hash() != s.Clone().CompactKey().Hash() {
+		t.Error("hash differs for equal keys")
+	}
+	if s.CompactKey().Hash() == FromMembers(300, 2, 77).CompactKey().Hash() {
+		// Not impossible, but with these fixed inputs a collision means the
+		// hash is ignoring words.
+		t.Error("hash collision on near-identical sets")
+	}
+}

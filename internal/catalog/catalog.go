@@ -41,10 +41,12 @@ type Catalog struct {
 	compiled []expr.Compiled
 	// offered maps a term ordinal to the set of courses offered that term.
 	offered map[int]bitset.Set
-	// prefix[i] is the union of offerings in all recorded terms with
-	// ordinal >= i, used by availability pruning; see OfferedFrom.
+	// suffix[i] is the union of offerings in all recorded terms with
+	// ordinal >= minOrd+i, and prefix[i] the union with ordinal <=
+	// minOrd+i; both serve availability pruning, see OfferedFrom.
 	minOrd, maxOrd int
 	suffix         []bitset.Set
+	prefix         []bitset.Set
 }
 
 // Builder accumulates courses and produces a validated Catalog.
@@ -148,7 +150,7 @@ func (b *Builder) Build() (*Catalog, error) {
 }
 
 // buildSuffix precomputes, for every recorded ordinal o, the union of all
-// offerings at ordinals >= o.
+// offerings at ordinals >= o (suffix) and <= o (prefix).
 func (c *Catalog) buildSuffix() {
 	if c.minOrd < 0 {
 		return
@@ -163,6 +165,19 @@ func (c *Catalog) buildSuffix() {
 			u.UnionInPlace(s)
 		}
 		c.suffix[i] = u
+	}
+	c.prefix = make([]bitset.Set, width)
+	for i := 0; i < width; i++ {
+		var u bitset.Set
+		if i == 0 {
+			u = bitset.New(n)
+		} else {
+			u = c.prefix[i-1].Clone()
+		}
+		if s, ok := c.offered[c.minOrd+i]; ok {
+			u.UnionInPlace(s)
+		}
+		c.prefix[i] = u
 	}
 }
 
@@ -267,6 +282,10 @@ func (c *Catalog) OfferedFrom(from, to term.Term) bitset.Set {
 	if hi >= c.maxOrd {
 		// Suffix union from lo covers everything to the end of the schedule.
 		return c.suffix[lo-c.minOrd]
+	}
+	if lo <= c.minOrd {
+		// Prefix union up to hi covers everything from the schedule start.
+		return c.prefix[hi-c.minOrd]
 	}
 	// Rare general case: accumulate term by term.
 	n := len(c.courses)

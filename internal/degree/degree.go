@@ -60,8 +60,9 @@ func NewCourseSet(cat *catalog.Catalog, ids ...string) (*CourseSet, error) {
 // Satisfied implements Goal.
 func (g *CourseSet) Satisfied(x bitset.Set) bool { return g.desired.SubsetOf(x) }
 
-// Remaining implements Goal: |D − X|.
-func (g *CourseSet) Remaining(x bitset.Set) int { return g.desired.Diff(x).Len() }
+// Remaining implements Goal: |D − X|, computed without allocating the
+// difference set (this runs once per expanded node in time-based pruning).
+func (g *CourseSet) Remaining(x bitset.Set) int { return g.desired.DiffLen(x) }
 
 // Relevant implements Goal.
 func (g *CourseSet) Relevant() bitset.Set { return g.desired.Clone() }
@@ -70,6 +71,10 @@ func (g *CourseSet) Relevant() bitset.Set { return g.desired.Clone() }
 func (g *CourseSet) String() string {
 	return fmt.Sprintf("complete {%s}", strings.Join(g.cat.IDs(g.desired), ", "))
 }
+
+// memoProfitable: a subset test and a popcount difference are cheaper than
+// any memo lookup could be.
+func (g *CourseSet) memoProfitable() bool { return false }
 
 // Expr is a boolean-expression goal compiled to DNF.
 type Expr struct {
@@ -109,6 +114,10 @@ func (g *Expr) Relevant() bitset.Set { return g.compiled.Union() }
 // String implements Goal.
 func (g *Expr) String() string { return "satisfy " + g.src }
 
+// memoProfitable: evaluation is linear in the clause count, so caching only
+// pays once the DNF is wide enough to out-cost the key projection.
+func (g *Expr) memoProfitable() bool { return g.compiled.NumClauses() > 8 }
+
 // Group is one counted clause of a degree requirement: complete at least
 // Count courses drawn from Courses.
 type Group struct {
@@ -125,6 +134,10 @@ type Requirement struct {
 	groups []Group
 	total  int
 	rel    bitset.Set
+	// disjoint records whether the group pools are pairwise disjoint,
+	// decided once at construction so matched need not re-derive it per
+	// call on the exploration hot path.
+	disjoint bool
 }
 
 // GroupSpec names a group by course IDs for NewRequirement.
@@ -156,6 +169,15 @@ func NewRequirement(cat *catalog.Catalog, specs ...GroupSpec) (*Requirement, err
 		r.total += sp.Count
 		r.rel.UnionInPlace(pool)
 	}
+	r.disjoint = true
+	for i := 0; i < len(r.groups) && r.disjoint; i++ {
+		for j := i + 1; j < len(r.groups); j++ {
+			if r.groups[i].Courses.Intersects(r.groups[j].Courses) {
+				r.disjoint = false
+				break
+			}
+		}
+	}
 	return r, nil
 }
 
@@ -168,31 +190,23 @@ func (r *Requirement) TotalSlots() int { return r.total }
 // matched computes the maximum number of requirement slots that the courses
 // in x can fill, assigning each course to at most one group, via max-flow.
 func (r *Requirement) matched(x bitset.Set) int {
-	useful := x.Intersect(r.rel)
-	nc := useful.Len()
-	if nc == 0 {
-		return 0
-	}
-	disjoint := true
-	for i := 0; i < len(r.groups) && disjoint; i++ {
-		for j := i + 1; j < len(r.groups); j++ {
-			if r.groups[i].Courses.Intersects(r.groups[j].Courses) {
-				disjoint = false
-				break
-			}
-		}
-	}
-	if disjoint {
-		// Fast path: each course belongs to exactly one group.
+	if r.disjoint {
+		// Fast path: each course belongs to exactly one group, so the
+		// optimal assignment is per-group clamping — no allocation, no flow.
 		m := 0
 		for _, grp := range r.groups {
-			have := useful.Intersect(grp.Courses).Len()
+			have := x.IntersectLen(grp.Courses)
 			if have > grp.Count {
 				have = grp.Count
 			}
 			m += have
 		}
 		return m
+	}
+	useful := x.Intersect(r.rel)
+	nc := useful.Len()
+	if nc == 0 {
+		return 0
 	}
 	// General case: source → course (1) → group → sink (count).
 	ng := len(r.groups)
@@ -224,6 +238,11 @@ func (r *Requirement) Remaining(x bitset.Set) int { return r.total - r.matched(x
 // Relevant implements Goal.
 func (r *Requirement) Relevant() bitset.Set { return r.rel.Clone() }
 
+// memoProfitable: disjoint groups match with per-group popcounts (no flow
+// network), so only overlapping requirements repay the cache; for them each
+// miss is a Ford–Fulkerson run and the memo is the whole point.
+func (r *Requirement) memoProfitable() bool { return !r.disjoint }
+
 // String implements Goal.
 func (r *Requirement) String() string {
 	parts := make([]string, len(r.groups))
@@ -236,6 +255,97 @@ func (r *Requirement) String() string {
 	}
 	return "degree: " + strings.Join(parts, " + ")
 }
+
+// memoLimit bounds a memoised goal's cache so adversarial workloads cannot
+// grow it without bound; past the limit misses are computed but not stored.
+const memoLimit = 1 << 20
+
+// memoGoal caches Satisfied/Remaining answers keyed by the completed set's
+// goal-relevant projection. See Memoize.
+type memoGoal struct {
+	base    Goal
+	rel     bitset.Set
+	scratch bitset.Set
+	cache   map[bitset.CompactKey]memoEntry
+}
+
+type memoEntry struct {
+	rem            int
+	sat            bool
+	hasRem, hasSat bool
+}
+
+// Memoize wraps g with a cache of Satisfied and Remaining answers, keyed by
+// x ∩ g.Relevant(). By the Goal contract both predicates depend only on
+// that projection, so the cache is exact; for Requirement goals it turns
+// repeated Ford–Fulkerson runs over equal relevant sets into O(1) lookups.
+// The projection is computed into reused scratch storage and the key is a
+// value type, so a hit allocates nothing and never retains the caller's set.
+//
+// The wrapper is NOT safe for concurrent use — give each goroutine its own
+// (the exploration engine wraps per worker). Memoizing an already-memoised
+// goal returns it unchanged; Memoize(nil) is nil.
+//
+// Goals whose predicates are already cheap — a bare course set, a disjoint
+// requirement (no max-flow), a small expression — are returned unwrapped:
+// for them the key projection and map lookup cost more than recomputing,
+// and the cache map's growth dominates the engine's per-run allocations.
+// Goal implementations outside this package are wrapped unconditionally,
+// since their cost is unknown.
+func Memoize(g Goal) Goal {
+	if g == nil {
+		return nil
+	}
+	if _, ok := g.(*memoGoal); ok {
+		return g
+	}
+	if c, ok := g.(interface{ memoProfitable() bool }); ok && !c.memoProfitable() {
+		return g
+	}
+	return &memoGoal{base: g, rel: g.Relevant(), cache: map[bitset.CompactKey]memoEntry{}}
+}
+
+func (m *memoGoal) key(x bitset.Set) bitset.CompactKey {
+	m.scratch.CopyFrom(x)
+	m.scratch.IntersectInPlace(m.rel)
+	return m.scratch.CompactKey()
+}
+
+// Satisfied implements Goal.
+func (m *memoGoal) Satisfied(x bitset.Set) bool {
+	k := m.key(x)
+	e, ok := m.cache[k]
+	if ok && e.hasSat {
+		return e.sat
+	}
+	e.sat = m.base.Satisfied(x)
+	e.hasSat = true
+	if ok || len(m.cache) < memoLimit {
+		m.cache[k] = e
+	}
+	return e.sat
+}
+
+// Remaining implements Goal.
+func (m *memoGoal) Remaining(x bitset.Set) int {
+	k := m.key(x)
+	e, ok := m.cache[k]
+	if ok && e.hasRem {
+		return e.rem
+	}
+	e.rem = m.base.Remaining(x)
+	e.hasRem = true
+	if ok || len(m.cache) < memoLimit {
+		m.cache[k] = e
+	}
+	return e.rem
+}
+
+// Relevant implements Goal.
+func (m *memoGoal) Relevant() bitset.Set { return m.base.Relevant() }
+
+// String implements Goal.
+func (m *memoGoal) String() string { return m.base.String() }
 
 // Achievable reports whether the goal can be met at all given the courses
 // offered anywhere in the catalog's schedule on or after the given start —

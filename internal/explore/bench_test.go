@@ -1,0 +1,66 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/brandeis"
+	"repro/internal/status"
+	"repro/internal/term"
+)
+
+// benchEngine builds a goal-driven engine over the Brandeis dataset plus a
+// spread of statuses at increasing depths, mirroring what expansion sees.
+func benchEngine(b *testing.B) (*engine, []status.Status) {
+	b.Helper()
+	cat := brandeis.Catalog()
+	goal, err := brandeis.Major(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{MaxPerTerm: brandeis.MaxPerTerm}
+	e := newEngine(cat, brandeis.EndTerm(), goal, PaperPruners(cat, goal, opt.MaxPerTerm), opt)
+	start := status.New(cat, term.TwoSeason.MustTerm(2013, term.Fall), bitset.New(cat.Len()))
+	sts := []status.Status{start}
+	st := start
+	for i := 0; i < 3; i++ {
+		// Take the three lowest-numbered options each semester.
+		w := bitset.New(cat.Len())
+		n := 0
+		st.Options.ForEach(func(c int) {
+			if n < 3 {
+				w.Add(c)
+				n++
+			}
+		})
+		st = st.Advance(cat, w)
+		sts = append(sts, st)
+	}
+	return e, sts
+}
+
+// BenchmarkClassify measures the engine's per-node classification — goal
+// test plus both pruner checks — the code the per-term caches and the
+// allocation-free goal fast paths target.
+func BenchmarkClassify(b *testing.B) {
+	e, sts := benchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.classify(sts[i%len(sts)])
+	}
+}
+
+// BenchmarkSelections measures course-selection enumeration from a mid-path
+// status (the combinatorial inner loop of every expansion).
+func BenchmarkSelections(b *testing.B) {
+	e, sts := benchEngine(b)
+	st := sts[1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.selections(st, 0, func(w bitset.Set) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -81,9 +81,13 @@ type Options struct {
 	// Constraint. A rejected selection appears on no generated path.
 	Constraints []Constraint
 	// Workers, when >1, fans counting-mode runs out across that many
-	// goroutines (one per first-level subtree, semaphore-bounded). Tallies
-	// are exact. Ignored by materialising runs, the ranked algorithm, and
-	// memoised (MergeStatuses) counting, which stay serial.
+	// goroutines drawing subtrees from a shared work pool (starved workers
+	// re-split skewed subtrees). Tallies are exact; with MergeStatuses the
+	// workers share a sharded concurrent memo, and Nodes/Edges then count
+	// memo misses, which can vary slightly between runs (path counts never
+	// do). Ignored by materialising runs and the ranked algorithm, which
+	// stay serial; Result.Parallel reports whether a run actually fanned
+	// out. Negative values are rejected by validation.
 	Workers int
 	// MaxPathCost, when positive, makes the ranked algorithm return only
 	// paths whose total ranking cost is at most this threshold (§4.3.1's
@@ -123,30 +127,52 @@ type Result struct {
 	PrunedTime, PrunedAvail int64
 	// Elapsed is the wall-clock generation time.
 	Elapsed time.Duration
+	// Parallel reports whether a counting run actually fanned out across
+	// Options.Workers goroutines. It stays false when Workers <= 1, for
+	// materialising and ranked runs (always serial), and when the serial
+	// pre-split already consumed the whole tree.
+	Parallel bool
 }
 
 // PrunedTotal returns the total nodes cut by pruning strategies.
 func (r Result) PrunedTotal() int64 { return r.PrunedTime + r.PrunedAvail }
 
-// engine is the shared expansion machinery.
+// engine is the shared expansion machinery. An engine (and everything it
+// caches) belongs to a single goroutine; parallel counting builds one
+// engine per worker from the raw goal and pruners.
 type engine struct {
 	cat     *catalog.Catalog
 	end     term.Term
 	opt     Options
-	goal    degree.Goal // nil for deadline-driven runs
-	pruners []Pruner
+	goal    degree.Goal // memoised wrapper; nil for deadline-driven runs
+	pruners []Pruner    // cache-wrapped paper strategies
+
+	// rawGoal and rawPruners are the caller's originals, kept so parallel
+	// workers can wrap fresh per-goroutine caches around them.
+	rawGoal    degree.Goal
+	rawPruners []Pruner
+	tc         *termCache
 
 	g      *graph.Graph // nil in counting mode
-	intern map[string]graph.NodeID
-	memo   map[string][2]int64 // counting mode with MergeStatuses
+	intern map[status.MapKey]graph.NodeID
+	memo   map[status.MapKey][2]int64 // serial counting with MergeStatuses
+	shared *sharedMemo                // parallel counting with MergeStatuses
 	res    Result
 }
 
 func newEngine(cat *catalog.Catalog, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) *engine {
-	e := &engine{cat: cat, end: end, opt: opt, goal: goal, pruners: pruners}
+	e := &engine{cat: cat, end: end, opt: opt, rawGoal: goal, rawPruners: pruners}
+	e.tc = newTermCache(cat, end)
+	e.goal = degree.Memoize(goal)
+	if len(pruners) > 0 {
+		e.pruners = make([]Pruner, len(pruners))
+		for i, p := range pruners {
+			e.pruners[i] = e.wrapPruner(p)
+		}
+	}
 	if opt.MergeStatuses {
-		e.intern = map[string]graph.NodeID{}
-		e.memo = map[string][2]int64{}
+		e.intern = map[status.MapKey]graph.NodeID{}
+		e.memo = map[status.MapKey][2]int64{}
 	}
 	return e
 }
@@ -193,13 +219,14 @@ func (e *engine) classify(st status.Status) (nodeClass, int) {
 // in any course-taking semester after st.Term (i.e. in (st.Term, end−1]).
 // It gates the EmptyWhenStuck transition: Figure 3's n6 stops because
 // everything is complete, while n4 advances to reach 11A in Fall '12.
+// The offered union comes from the per-term cache and the emptiness test
+// is a subset check, so the per-node cost is allocation-free.
 func (e *engine) futureCourseExists(st status.Status) bool {
-	lastTaking := e.end.Prev()
 	next := st.Term.Next()
-	if next.After(lastTaking) {
+	if next.After(e.tc.lastTaking) {
 		return false
 	}
-	return !e.cat.OfferedFrom(next, lastTaking).Diff(st.Completed).Empty()
+	return !e.tc.offeredFrom(next).SubsetOf(st.Completed)
 }
 
 // selections enumerates the course selections W out of st, honouring

@@ -454,6 +454,15 @@ func TestValidationErrors(t *testing.T) {
 	if _, err := Ranked(cat, start, s13, goal, rank.Time{}, 1, nil, Options{MergeStatuses: true}); err == nil {
 		t.Error("MergeStatuses accepted by Ranked")
 	}
+	if _, err := Deadline(cat, start, s13, Options{Workers: -1}); err == nil {
+		t.Error("negative Workers accepted")
+	}
+	if _, err := DeadlineCount(cat, start, s13, Options{Workers: -3}); err == nil {
+		t.Error("negative Workers accepted by counting mode")
+	}
+	if _, err := Deadline(cat, start, s13, Options{MaxNodes: -1}); err == nil {
+		t.Error("negative MaxNodes accepted")
+	}
 }
 
 func TestUnachievableGoalPrunedImmediately(t *testing.T) {

@@ -56,6 +56,10 @@ func validate(cat *catalog.Catalog, start status.Status, end term.Term, opt Opti
 		return fmt.Errorf("explore: end semester %v is not after start %v", end, start.Term)
 	case opt.MaxPerTerm < 0:
 		return fmt.Errorf("explore: negative MaxPerTerm %d", opt.MaxPerTerm)
+	case opt.Workers < 0:
+		return fmt.Errorf("explore: negative Workers %d", opt.Workers)
+	case opt.MaxNodes < 0:
+		return fmt.Errorf("explore: negative MaxNodes %d", opt.MaxNodes)
 	}
 	return nil
 }
@@ -71,7 +75,7 @@ func run(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.G
 		err = e.materialize(start)
 	} else {
 		var counts [2]int64
-		if opt.Workers > 1 && !opt.MergeStatuses {
+		if opt.Workers > 1 {
 			counts = e.countParallel(start, opt.Workers)
 		} else {
 			counts = e.count(start)
@@ -95,7 +99,7 @@ func (e *engine) materialize(start status.Status) error {
 	e.res.Graph = g
 	e.res.Nodes = 1
 	if e.intern != nil {
-		e.intern[start.Key()] = g.Root()
+		e.intern[start.MapKey()] = g.Root()
 	}
 	stack := []graph.NodeID{g.Root()}
 	for len(stack) > 0 {
@@ -121,7 +125,7 @@ func (e *engine) materialize(start status.Status) error {
 			childless = false
 			child := st.Advance(e.cat, w)
 			if e.intern != nil {
-				if existing, ok := e.intern[child.Key()]; ok {
+				if existing, ok := e.intern[child.MapKey()]; ok {
 					g.AddEdge(id, existing, w, 0)
 					e.res.Edges++
 					return nil
@@ -133,7 +137,7 @@ func (e *engine) materialize(start status.Status) error {
 				return fmt.Errorf("%w: %d nodes (budget %d)", ErrGraphTooLarge, g.NumNodes(), e.opt.MaxNodes)
 			}
 			if e.intern != nil {
-				e.intern[child.Key()] = cid
+				e.intern[child.MapKey()] = cid
 			}
 			g.AddEdge(id, cid, w, 0)
 			e.res.Edges++
@@ -159,13 +163,19 @@ func (e *engine) materialize(start status.Status) error {
 
 // count streams the search tree depth-first and returns
 // {generated paths, goal paths} from the given status, without
-// materialising nodes. With MergeStatuses it memoises by status identity,
-// which collapses the exponential tree to the DAG the interning ablation
-// builds.
+// materialising nodes. With MergeStatuses it memoises by status identity
+// (the compact MapKey — no per-node string allocation), which collapses
+// the exponential tree to the DAG the interning ablation builds; parallel
+// workers consult the run's sharded shared memo instead of a private map.
 func (e *engine) count(st status.Status) [2]int64 {
-	var key string
-	if e.memo != nil {
-		key = st.Key()
+	var key status.MapKey
+	if e.shared != nil {
+		key = st.MapKey()
+		if c, ok := e.shared.get(key); ok {
+			return c
+		}
+	} else if e.memo != nil {
+		key = st.MapKey()
 		if c, ok := e.memo[key]; ok {
 			return c
 		}
@@ -194,8 +204,40 @@ func (e *engine) count(st status.Status) [2]int64 {
 			out = [2]int64{1, 0}
 		}
 	}
-	if e.memo != nil {
+	if e.shared != nil {
+		e.shared.put(key, out)
+	} else if e.memo != nil {
 		e.memo[key] = out
 	}
 	return out
+}
+
+// expandOnce classifies st and, when it is expandable, hands each child
+// status to child. The return value is st's own terminal tally: {1,1} for
+// a goal node, {1,0} for a deadline endpoint or natural dead end, {0,0}
+// when st was pruned or expanded into children. Node/edge/prune tallies
+// accrue to e.res exactly as count's do, so decomposing a subtree with
+// expandOnce and summing the pieces reproduces count's totals.
+func (e *engine) expandOnce(st status.Status, child func(status.Status)) [2]int64 {
+	e.res.Nodes++
+	class, minTake := e.classify(st)
+	switch class {
+	case classGoal:
+		return [2]int64{1, 1}
+	case classDeadline:
+		return [2]int64{1, 0}
+	case classPruned:
+		return [2]int64{0, 0}
+	}
+	childless := true
+	_ = e.selections(st, minTake, func(w bitset.Set) error {
+		childless = false
+		e.res.Edges++
+		child(st.Advance(e.cat, w))
+		return nil
+	})
+	if childless {
+		return [2]int64{1, 0}
+	}
+	return [2]int64{0, 0}
 }

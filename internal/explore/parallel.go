@@ -3,82 +3,194 @@ package explore
 import (
 	"sync"
 
-	"repro/internal/bitset"
 	"repro/internal/status"
 )
+
+// memoShards is the shard count of the cross-worker counting memo. 64
+// shards keep lock contention negligible at any realistic worker count
+// while the per-shard maps stay dense.
+const memoShards = 64
+
+// sharedMemo is the concurrent (status → counts) memo parallel counting
+// shares across workers when MergeStatuses is on. A status's subtree tally
+// is deterministic, so two workers racing on the same key write the same
+// value and the memo never needs versioning — only shard-level mutexes.
+type sharedMemo struct {
+	shards [memoShards]memoShard
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[status.MapKey][2]int64
+	_  [40]byte // pad to a cache line so neighbouring locks don't false-share
+}
+
+func newSharedMemo() *sharedMemo {
+	s := &sharedMemo{}
+	for i := range s.shards {
+		s.shards[i].m = map[status.MapKey][2]int64{}
+	}
+	return s
+}
+
+func (s *sharedMemo) get(k status.MapKey) ([2]int64, bool) {
+	sh := &s.shards[k.Hash()%memoShards]
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+func (s *sharedMemo) put(k status.MapKey, v [2]int64) {
+	sh := &s.shards[k.Hash()%memoShards]
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// task is one unit of parallel counting work: a status whose subtree tally
+// is still owed, plus its depth below the run's start (bounding re-splits).
+type task struct {
+	st    status.Status
+	depth int
+}
+
+// taskQueue is the LIFO work pool counting workers draw from. A worker
+// that pops a task while the queue is starved splits it one level and
+// pushes the children back, so one skewed subtree redistributes across
+// idle workers instead of serialising the run.
+type taskQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []task
+	inflight int
+}
+
+func newTaskQueue(init []task) *taskQueue {
+	q := &taskQueue{items: init}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// pop blocks until a task is available or all work has drained (ok =
+// false). hungry reports that the queue was near-empty at pop time — the
+// signal to split the task rather than count it in place.
+func (q *taskQueue) pop(workers int) (t task, hungry, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && q.inflight > 0 {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return task{}, false, false
+	}
+	t = q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	q.inflight++
+	return t, len(q.items) < workers, true
+}
+
+// push hands a split-off subtask back to the pool.
+func (q *taskQueue) push(t task) {
+	q.mu.Lock()
+	q.items = append(q.items, t)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// done marks a popped task complete; when the last in-flight task finishes
+// with the queue empty, every waiting worker is released to exit.
+func (q *taskQueue) done() {
+	q.mu.Lock()
+	q.inflight--
+	if q.inflight == 0 && len(q.items) == 0 {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// maxSplitDepth caps dynamic re-splitting; real trees are far shallower
+// (one level per semester), so the cap only guards degenerate inputs.
+const maxSplitDepth = 32
 
 // countParallel is the counting-mode engine fanned out across
 // Options.Workers goroutines. The tree is first expanded breadth-first —
 // serially, tallying any terminals — until the frontier holds enough
 // independent subtrees to balance the workers (or a depth limit is hit);
-// each frontier subtree then runs on an independent engine and the
-// partial tallies are reduced. The decomposition is exact: subtree path
-// counts do not depend on exploration order.
+// the frontier subtrees then become a shared work pool drained by one
+// engine per worker, with starved workers re-splitting whatever they pop.
+// The decomposition is exact: subtree path counts do not depend on
+// exploration order. With MergeStatuses the workers share a sharded memo,
+// so the collapsed DAG is counted once across the whole pool.
 func (e *engine) countParallel(start status.Status, workers int) [2]int64 {
-	const maxSplitDepth = 3
+	const preSplitDepth = 3
 	targetTasks := workers * 8
 
 	var total [2]int64
 	frontier := []status.Status{start}
-	for depth := 0; depth < maxSplitDepth && len(frontier) < targetTasks && len(frontier) > 0; depth++ {
+	for depth := 0; depth < preSplitDepth && len(frontier) < targetTasks && len(frontier) > 0; depth++ {
 		var next []status.Status
 		for _, st := range frontier {
-			e.res.Nodes++
-			class, minTake := e.classify(st)
-			switch class {
-			case classGoal:
-				total[0]++
-				total[1]++
-				continue
-			case classDeadline:
-				total[0]++
-				continue
-			case classPruned:
-				continue
-			}
-			childless := true
-			_ = e.selections(st, minTake, func(w bitset.Set) error {
-				childless = false
-				e.res.Edges++
-				next = append(next, st.Advance(e.cat, w))
-				return nil
-			})
-			if childless {
-				total[0]++
-			}
+			c := e.expandOnce(st, func(ch status.Status) { next = append(next, ch) })
+			total[0] += c[0]
+			total[1] += c[1]
 		}
 		frontier = next
 	}
 	if len(frontier) == 0 {
 		return total
 	}
+	e.res.Parallel = true
 
-	type partial struct {
-		counts [2]int64
-		res    Result
+	var shared *sharedMemo
+	if e.opt.MergeStatuses {
+		shared = newSharedMemo()
 	}
-	parts := make([]partial, len(frontier))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
+	tasks := make([]task, len(frontier))
 	for i, st := range frontier {
+		tasks[i] = task{st: st, depth: preSplitDepth}
+	}
+	queue := newTaskQueue(tasks)
+
+	var mu sync.Mutex // guards total and the merged Result tallies
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, st status.Status) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sub := newEngine(e.cat, e.end, e.goal, e.pruners, e.opt)
-			parts[i].counts = sub.count(st)
-			parts[i].res = sub.res
-		}(i, st)
+			sub := newEngine(e.cat, e.end, e.rawGoal, e.rawPruners, e.opt)
+			sub.memo = nil
+			sub.shared = shared
+			var local [2]int64
+			for {
+				t, hungry, ok := queue.pop(workers)
+				if !ok {
+					break
+				}
+				var c [2]int64
+				if hungry && t.depth < maxSplitDepth {
+					// Redistribute: expand one level and hand the
+					// children back to the pool for idle workers.
+					c = sub.expandOnce(t.st, func(ch status.Status) {
+						queue.push(task{st: ch, depth: t.depth + 1})
+					})
+				} else {
+					c = sub.count(t.st)
+				}
+				local[0] += c[0]
+				local[1] += c[1]
+				queue.done()
+			}
+			mu.Lock()
+			total[0] += local[0]
+			total[1] += local[1]
+			e.res.Nodes += sub.res.Nodes
+			e.res.Edges += sub.res.Edges
+			e.res.PrunedTime += sub.res.PrunedTime
+			e.res.PrunedAvail += sub.res.PrunedAvail
+			mu.Unlock()
+		}()
 	}
 	wg.Wait()
-	for _, p := range parts {
-		total[0] += p.counts[0]
-		total[1] += p.counts[1]
-		e.res.Nodes += p.res.Nodes
-		e.res.Edges += p.res.Edges
-		e.res.PrunedTime += p.res.PrunedTime
-		e.res.PrunedAvail += p.res.PrunedAvail
-	}
 	return total
 }

@@ -114,8 +114,10 @@ func Ranked(cat *catalog.Catalog, start status.Status, end term.Term, goal degre
 	res.Graph = g
 	res.Nodes = 1
 
+	// The heuristic consults the engine's memoised goal, so repeated
+	// Remaining computations over equivalent completed sets are lookups.
 	h := func(st status.Status) float64 {
-		left := goal.Remaining(st.Completed)
+		left := e.goal.Remaining(st.Completed)
 		if left < 0 {
 			return 0 // unsatisfiable; the pruners cut these nodes
 		}

@@ -47,6 +47,26 @@ func (s Status) Key() string {
 	return strconv.Itoa(s.Term.Ordinal()) + "|" + s.Completed.Key()
 }
 
+// MapKey is the comparable, allocation-free identity of (Term, Completed),
+// the engine's memo/intern key. Two MapKeys are == iff the statuses have
+// the same term and completed set (Options is derived and excluded, as in
+// Key). Catalogs up to 256 courses encode with zero allocation; wider ones
+// spill inside the bitset key.
+type MapKey struct {
+	Ord int32
+	Set bitset.CompactKey
+}
+
+// MapKey returns the comparable identity of s.
+func (s Status) MapKey() MapKey {
+	return MapKey{Ord: int32(s.Term.Ordinal()), Set: s.Completed.CompactKey()}
+}
+
+// Hash returns a 64-bit mix of the key for shard selection.
+func (k MapKey) Hash() uint64 {
+	return k.Set.Hash() ^ uint64(uint32(k.Ord))*0x9e3779b97f4a7c15
+}
+
 // String renders the status like the paper's node annotations.
 func (s Status) String() string {
 	return fmt.Sprintf("%s X=%s Y=%s", s.Term, s.Completed, s.Options)

@@ -91,3 +91,33 @@ func TestString(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+// TestMapKey mirrors TestKey for the compact comparable key the exploration
+// engine's memo and intern maps use: it must separate statuses exactly as
+// the string key does, without allocating for catalogs within the inline
+// width.
+func TestMapKey(t *testing.T) {
+	cat, f11 := fig3Catalog(t)
+	a := New(cat, f11, cat.MustSetOf("11A"))
+	b := New(cat, f11, cat.MustSetOf("11A"))
+	c := New(cat, f11, cat.MustSetOf("29A"))
+	d := New(cat, f11.Next(), cat.MustSetOf("11A"))
+	if a.MapKey() != b.MapKey() {
+		t.Error("equal statuses have different map keys")
+	}
+	if a.MapKey() == c.MapKey() {
+		t.Error("different completed sets share a map key")
+	}
+	if a.MapKey() == d.MapKey() {
+		t.Error("different terms share a map key")
+	}
+	if a.MapKey().Hash() != b.MapKey().Hash() {
+		t.Error("equal map keys hash differently")
+	}
+	if a.MapKey().Hash() == d.MapKey().Hash() {
+		t.Error("term is ignored by the hash")
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = a.MapKey() }); n != 0 {
+		t.Errorf("MapKey allocates %v times per call on a small catalog", n)
+	}
+}
