@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke
+.PHONY: check vet build test race race-short bench bench-smoke
 
-check: vet build race bench-smoke
+check: vet build race-short race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +20,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fast race gate over the request-lifecycle surface (engine cancellation
+# + HTTP layer); the tight -timeout doubles as a hang detector for the
+# parallel-drain and semaphore paths.
+race-short:
+	$(GO) test -race -timeout 90s ./internal/explore/... ./internal/server/...
 
 # Full benchmark run with allocation stats (slow; EXPERIMENTS.md numbers).
 bench:

@@ -5,22 +5,32 @@
 //
 //	coursenav-server [-addr :8080] [-catalog file.json]
 //	                 [-node-budget 500000] [-history-years 4]
+//	                 [-request-timeout 10s] [-max-concurrent 64]
 //
 // Without -catalog the embedded Brandeis-like evaluation dataset is
-// served. See internal/server for the endpoint reference; a quick check:
+// served. See API.md for the endpoint reference; a quick check:
 //
-//	curl localhost:8080/api/catalog
-//	curl -X POST localhost:8080/api/explore/ranked -d '{
+//	curl localhost:8080/api/v1/catalog
+//	curl -X POST localhost:8080/api/v1/explore/ranked -d '{
 //	  "query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3},
 //	  "goal":{"courses":["COSI 11A","COSI 21A"]},"ranking":"time","k":3}'
+//
+// On SIGINT/SIGTERM the server stops accepting connections and lets
+// in-flight explorations finish (each is already bounded by
+// -request-timeout) before exiting; connections still open after
+// -drain-timeout are closed forcibly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -33,6 +43,9 @@ func main() {
 	nodeBudget := flag.Int("node-budget", server.DefaultNodeBudget, "per-request learning-graph node budget")
 	histYears := flag.Int("history-years", 4, "synthetic offering-history length for reliability ranking")
 	seed := flag.Int64("seed", 1, "history synthesis seed")
+	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request exploration wall-clock cap")
+	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent, "in-flight explorations before shedding load with 429")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
 	flag.Parse()
 
 	var nav *coursenav.Navigator
@@ -59,15 +72,40 @@ func main() {
 
 	s := server.New(nav)
 	s.NodeBudget = *nodeBudget
+	s.RequestTimeout = *requestTimeout
+	s.MaxConcurrent = *maxConcurrent
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(s),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("coursenav-server: %d courses, listening on %s", nav.NumCourses(), *addr)
-	if err := httpServer.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("coursenav-server: %d courses, listening on %s", nav.NumCourses(), *addr)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("coursenav-server: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately rather than waiting on the drain
+	log.Printf("coursenav-server: shutting down, draining in-flight requests (limit %v)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		log.Printf("coursenav-server: drain incomplete: %v", err)
+		_ = httpServer.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("coursenav-server: %v", err)
 	}
+	log.Printf("coursenav-server: bye")
 }
 
 func logRequests(next http.Handler) http.Handler {

@@ -22,6 +22,7 @@
 package coursenav
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -279,6 +280,27 @@ type Query struct {
 	// Workers, when >1, parallelises counting queries (DeadlineCount,
 	// GoalPathsCount) across that many goroutines; tallies are exact.
 	Workers int
+	// Budget bounds the run's wall clock, generated statuses and tallied
+	// paths. A run that exhausts a bound (or whose context is cancelled,
+	// on the *Ctx methods) ends with a partial result whose
+	// Summary.Stopped names the cause, rather than an error — the
+	// contract that keeps interactive serving responsive on adversarial
+	// windows. The zero Budget imposes no bounds.
+	Budget Budget
+}
+
+// Budget bounds one exploration run (see Query.Budget). It mirrors the
+// engine's explore.Budget.
+type Budget struct {
+	// Timeout bounds the run's wall clock (0 = none beyond the context's
+	// own deadline).
+	Timeout time.Duration
+	// MaxNodes bounds generated statuses across the run (0 = unlimited).
+	// Unlike Query.MaxNodes — whose overrun is a hard error — hitting
+	// this bound returns the partial work done so far.
+	MaxNodes int64
+	// MaxPaths bounds tallied paths (0 = unlimited).
+	MaxPaths int64
 }
 
 func (n *Navigator) compile(q Query) (status.Status, term.Term, explore.Options, error) {
@@ -287,9 +309,12 @@ func (n *Navigator) compile(q Query) (status.Status, term.Term, explore.Options,
 	if err != nil {
 		return zero, term.Term{}, explore.Options{}, fmt.Errorf("coursenav: start term: %v", err)
 	}
+	if q.End == "" {
+		return zero, term.Term{}, explore.Options{}, fmt.Errorf("coursenav: empty end term: an exploration needs a deadline semester, e.g. \"Fall 2015\"")
+	}
 	end, err := term.Parse(term.TwoSeason, q.End)
 	if err != nil {
-		return zero, term.Term{}, explore.Options{}, fmt.Errorf("coursenav: end term: %v", err)
+		return zero, term.Term{}, explore.Options{}, fmt.Errorf("coursenav: end (deadline) term: %v", err)
 	}
 	x, err := n.cat.SetOf(q.Completed...)
 	if err != nil {
@@ -301,6 +326,7 @@ func (n *Navigator) compile(q Query) (status.Status, term.Term, explore.Options,
 		MaxNodes:      q.MaxNodes,
 		MaxPathCost:   q.MaxPathCost,
 		Workers:       q.Workers,
+		Budget:        explore.Budget(q.Budget),
 	}
 	if len(q.Avoid) > 0 {
 		avoid, err := explore.NewAvoid(n.cat, q.Avoid...)
@@ -338,6 +364,13 @@ type Summary struct {
 	PrunedTime, PrunedAvail int64
 	// Elapsed is the generation wall-clock time.
 	Elapsed time.Duration
+	// Stopped names why the run ended early — "canceled", "deadline",
+	// "max-nodes" or "max-paths" (see the explore.Stop* constants) — and
+	// is empty for a complete run. A stopped run's tallies are lower
+	// bounds; every reported path is still a real path.
+	Stopped string
+	// Truncated reports a partial run (equivalent to Stopped != "").
+	Truncated bool
 }
 
 func summarize(r explore.Result) Summary {
@@ -346,16 +379,24 @@ func summarize(r explore.Result) Summary {
 		Nodes: r.Nodes, Edges: r.Edges,
 		PrunedTime: r.PrunedTime, PrunedAvail: r.PrunedAvail,
 		Elapsed: r.Elapsed,
+		Stopped: r.Stopped, Truncated: r.Truncated,
 	}
 }
 
 // Deadline materialises the deadline-driven learning graph (Algorithm 1).
 func (n *Navigator) Deadline(q Query) (*Graph, Summary, error) {
+	return n.DeadlineCtx(context.Background(), q)
+}
+
+// DeadlineCtx is Deadline under a context: cancellation, the context
+// deadline, or any Query.Budget bound ends the run with the partial graph
+// built so far, Summary.Stopped naming the cause, and a nil error.
+func (n *Navigator) DeadlineCtx(ctx context.Context, q Query) (*Graph, Summary, error) {
 	start, end, opt, err := n.compile(q)
 	if err != nil {
 		return nil, Summary{}, err
 	}
-	res, err := explore.Deadline(n.cat, start, end, opt)
+	res, err := explore.DeadlineCtx(ctx, n.cat, start, end, opt)
 	if err != nil {
 		return nil, summarize(res), err
 	}
@@ -365,22 +406,33 @@ func (n *Navigator) Deadline(q Query) (*Graph, Summary, error) {
 // DeadlineCount counts deadline-driven paths without materialising the
 // graph (constant memory; use for Table-2-scale periods).
 func (n *Navigator) DeadlineCount(q Query) (Summary, error) {
+	return n.DeadlineCountCtx(context.Background(), q)
+}
+
+// DeadlineCountCtx is DeadlineCount under a context (see DeadlineCtx).
+func (n *Navigator) DeadlineCountCtx(ctx context.Context, q Query) (Summary, error) {
 	start, end, opt, err := n.compile(q)
 	if err != nil {
 		return Summary{}, err
 	}
-	res, err := explore.DeadlineCount(n.cat, start, end, opt)
+	res, err := explore.DeadlineCountCtx(ctx, n.cat, start, end, opt)
 	return summarize(res), err
 }
 
 // GoalPaths materialises the goal-driven learning graph (§4.2) with the
 // paper's pruning strategies (unless Query.NoPruning).
 func (n *Navigator) GoalPaths(q Query, g Goal) (*Graph, Summary, error) {
+	return n.GoalPathsCtx(context.Background(), q, g)
+}
+
+// GoalPathsCtx is GoalPaths under a context (see DeadlineCtx for the
+// cancellation contract).
+func (n *Navigator) GoalPathsCtx(ctx context.Context, q Query, g Goal) (*Graph, Summary, error) {
 	start, end, opt, err := n.compile(q)
 	if err != nil {
 		return nil, Summary{}, err
 	}
-	res, err := explore.Goal(n.cat, start, end, g.inner, n.pruners(q, g), opt)
+	res, err := explore.GoalCtx(ctx, n.cat, start, end, g.inner, n.pruners(q, g), opt)
 	if err != nil {
 		return nil, summarize(res), err
 	}
@@ -389,11 +441,16 @@ func (n *Navigator) GoalPaths(q Query, g Goal) (*Graph, Summary, error) {
 
 // GoalPathsCount counts goal-driven paths without materialising the graph.
 func (n *Navigator) GoalPathsCount(q Query, g Goal) (Summary, error) {
+	return n.GoalPathsCountCtx(context.Background(), q, g)
+}
+
+// GoalPathsCountCtx is GoalPathsCount under a context (see DeadlineCtx).
+func (n *Navigator) GoalPathsCountCtx(ctx context.Context, q Query, g Goal) (Summary, error) {
 	start, end, opt, err := n.compile(q)
 	if err != nil {
 		return Summary{}, err
 	}
-	res, err := explore.GoalCount(n.cat, start, end, g.inner, n.pruners(q, g), opt)
+	res, err := explore.GoalCountCtx(ctx, n.cat, start, end, g.inner, n.pruners(q, g), opt)
 	return summarize(res), err
 }
 
@@ -405,24 +462,32 @@ func Rankings() []string { return []string{"time", "workload", "reliability"} }
 // requires UseSyntheticHistory (or a released schedule covering the whole
 // window). Fewer than k paths are returned when fewer exist.
 func (n *Navigator) TopK(q Query, g Goal, ranking string, k int) ([]Path, Summary, error) {
+	return n.TopKCtx(context.Background(), q, g, ranking, k)
+}
+
+// TopKCtx is TopK under a context: a cancelled or over-budget search
+// returns the best paths found so far (still rank-ordered and exact, by
+// best-first emission order) with Summary.Stopped naming the cause.
+func (n *Navigator) TopKCtx(ctx context.Context, q Query, g Goal, ranking string, k int) ([]Path, Summary, error) {
 	ranker, err := rank.ByName(ranking, n.cat.Workloads(), n.probFn())
 	if err != nil {
 		return nil, Summary{}, err
 	}
-	return n.topK(q, g, ranker, k)
+	return n.topK(ctx, q, g, ranker, k)
 }
 
-func (n *Navigator) topK(q Query, g Goal, ranker rank.Ranker, k int) ([]Path, Summary, error) {
+func (n *Navigator) topK(ctx context.Context, q Query, g Goal, ranker rank.Ranker, k int) ([]Path, Summary, error) {
 	start, end, opt, err := n.compile(q)
 	if err != nil {
 		return nil, Summary{}, err
 	}
-	res, err := explore.Ranked(n.cat, start, end, g.inner, ranker, k, n.pruners(q, g), opt)
+	res, err := explore.RankedCtx(ctx, n.cat, start, end, g.inner, ranker, k, n.pruners(q, g), opt)
 	sum := Summary{
 		Nodes: res.Nodes, Edges: res.Edges,
 		PrunedTime: res.PrunedTime, PrunedAvail: res.PrunedAvail,
 		Paths: int64(len(res.Paths)), GoalPaths: int64(len(res.Paths)),
 		Elapsed: res.Elapsed,
+		Stopped: res.Stopped, Truncated: res.Truncated,
 	}
 	if err != nil {
 		return nil, sum, err
@@ -460,6 +525,11 @@ type Weight struct {
 // Σ weightᵢ·costᵢ on each ranking's native scale. Lemma 2's top-k
 // guarantee carries over (see rank.Weighted).
 func (n *Navigator) TopKWeighted(q Query, g Goal, weights []Weight, k int) ([]Path, Summary, error) {
+	return n.TopKWeightedCtx(context.Background(), q, g, weights, k)
+}
+
+// TopKWeightedCtx is TopKWeighted under a context (see TopKCtx).
+func (n *Navigator) TopKWeightedCtx(ctx context.Context, q Query, g Goal, weights []Weight, k int) ([]Path, Summary, error) {
 	if len(weights) == 0 {
 		return nil, Summary{}, fmt.Errorf("coursenav: TopKWeighted needs at least one weight")
 	}
@@ -475,7 +545,7 @@ func (n *Navigator) TopKWeighted(q Query, g Goal, weights []Weight, k int) ([]Pa
 	if err != nil {
 		return nil, Summary{}, err
 	}
-	return n.topK(q, g, ranker, k)
+	return n.topK(ctx, q, g, ranker, k)
 }
 
 // FeasibleNow returns the student's current option set Y: courses offered
@@ -553,13 +623,22 @@ type SelectionImpact struct {
 // first (most goal paths, then most next-semester options, then the
 // smaller selection).
 func (n *Navigator) CompareSelections(q Query, g Goal) ([]SelectionImpact, error) {
+	out, _, err := n.CompareSelectionsCtx(context.Background(), q, g)
+	return out, err
+}
+
+// CompareSelectionsCtx is CompareSelections under a context. On
+// cancellation or budget exhaustion it returns the candidates fully
+// scored before the stop together with the stop reason ("canceled",
+// "deadline", …); the reason is empty for a complete comparison.
+func (n *Navigator) CompareSelectionsCtx(ctx context.Context, q Query, g Goal) ([]SelectionImpact, string, error) {
 	start, end, opt, err := n.compile(q)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	impacts, err := explore.CompareSelections(n.cat, start, end, g.inner, n.pruners(q, g), opt)
+	impacts, stopped, err := explore.CompareSelectionsCtx(ctx, n.cat, start, end, g.inner, n.pruners(q, g), opt)
 	if err != nil {
-		return nil, err
+		return nil, stopped, err
 	}
 	out := make([]SelectionImpact, len(impacts))
 	for i, imp := range impacts {
@@ -570,5 +649,5 @@ func (n *Navigator) CompareSelections(q Query, g Goal) ([]SelectionImpact, error
 			NextOptions: imp.NextOptions,
 		}
 	}
-	return out, nil
+	return out, stopped, nil
 }

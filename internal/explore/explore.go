@@ -101,6 +101,11 @@ type Options struct {
 	// check cuts); node counts and the per-strategy prune split shift.
 	// Off by default for paper fidelity; an ablation benchmark compares.
 	MinTakeFilter bool
+	// Budget bounds the run's wall clock, generated statuses and tallied
+	// paths. Exhausting any bound ends the run with a partial Result
+	// (Result.Stopped names the bound) and a nil error, unlike MaxNodes'
+	// hard ErrGraphTooLarge failure. The zero Budget imposes no bounds.
+	Budget Budget
 }
 
 // ErrGraphTooLarge is returned when materialisation exceeds
@@ -132,6 +137,14 @@ type Result struct {
 	// materialising and ranked runs (always serial), and when the serial
 	// pre-split already consumed the whole tree.
 	Parallel bool
+	// Stopped names why the run ended early — StopCanceled, StopDeadline,
+	// StopMaxNodes or StopMaxPaths — and is empty for a run that exhausted
+	// its search space. A stopped run's tallies (and Graph, when
+	// materialising) cover the work done before the stop: every reported
+	// path is a real path, but the totals are lower bounds.
+	Stopped string
+	// Truncated reports a partial run (equivalent to Stopped != "").
+	Truncated bool
 }
 
 // PrunedTotal returns the total nodes cut by pruning strategies.
@@ -152,6 +165,11 @@ type engine struct {
 	rawGoal    degree.Goal
 	rawPruners []Pruner
 	tc         *termCache
+
+	// ctl is the run's shared cancellation/budget state; nil on unbounded
+	// background-context runs (the common library path pays no per-node
+	// check). Parallel workers share the parent's control.
+	ctl *control
 
 	g      *graph.Graph // nil in counting mode
 	intern map[status.MapKey]graph.NodeID

@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -15,14 +17,26 @@ import (
 // Deadline runs Algorithm 1: it materialises the learning graph containing
 // every path from the start status to the end semester.
 func Deadline(cat *catalog.Catalog, start status.Status, end term.Term, opt Options) (Result, error) {
-	return run(cat, start, end, nil, nil, opt, true)
+	return DeadlineCtx(context.Background(), cat, start, end, opt)
+}
+
+// DeadlineCtx is Deadline under a context: cancellation (or the context
+// deadline, or any Options.Budget bound) ends the run with a partial
+// Result whose Stopped field names the cause, and a nil error.
+func DeadlineCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, opt Options) (Result, error) {
+	return run(ctx, cat, start, end, nil, nil, opt, true)
 }
 
 // DeadlineCount runs Algorithm 1 in counting mode: it streams over the
 // same search tree but materialises nothing, so Table-2-scale path counts
 // complete in constant memory (Result.Graph is nil).
 func DeadlineCount(cat *catalog.Catalog, start status.Status, end term.Term, opt Options) (Result, error) {
-	return run(cat, start, end, nil, nil, opt, false)
+	return DeadlineCountCtx(context.Background(), cat, start, end, opt)
+}
+
+// DeadlineCountCtx is DeadlineCount under a context (see DeadlineCtx).
+func DeadlineCountCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, opt Options) (Result, error) {
+	return run(ctx, cat, start, end, nil, nil, opt, false)
 }
 
 // Goal runs the goal-driven algorithm of §4.2.3: Algorithm 1 with goal
@@ -30,26 +44,39 @@ func DeadlineCount(cat *catalog.Catalog, start status.Status, end term.Term, opt
 // hopeless subtrees. Pass PaperPruners for the paper's configuration or
 // nil for the "No Pruning" baseline of Table 1.
 func Goal(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) (Result, error) {
+	return GoalCtx(context.Background(), cat, start, end, goal, pruners, opt)
+}
+
+// GoalCtx is Goal under a context (see DeadlineCtx for the cancellation
+// contract).
+func GoalCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) (Result, error) {
 	if goal == nil {
 		return Result{}, fmt.Errorf("explore: Goal requires a goal; use Deadline for unconstrained runs")
 	}
-	return run(cat, start, end, goal, pruners, opt, true)
+	return run(ctx, cat, start, end, goal, pruners, opt, true)
 }
 
 // GoalCount is Goal in counting mode (no materialised graph).
 func GoalCount(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) (Result, error) {
+	return GoalCountCtx(context.Background(), cat, start, end, goal, pruners, opt)
+}
+
+// GoalCountCtx is GoalCount under a context (see DeadlineCtx).
+func GoalCountCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) (Result, error) {
 	if goal == nil {
 		return Result{}, fmt.Errorf("explore: GoalCount requires a goal")
 	}
-	return run(cat, start, end, goal, pruners, opt, false)
+	return run(ctx, cat, start, end, goal, pruners, opt, false)
 }
 
 func validate(cat *catalog.Catalog, start status.Status, end term.Term, opt Options) error {
 	switch {
 	case cat == nil:
 		return fmt.Errorf("explore: nil catalog")
-	case start.Term.IsZero() || end.IsZero():
-		return fmt.Errorf("explore: zero start or end term")
+	case end.IsZero():
+		return fmt.Errorf("explore: empty end (deadline) term: an exploration needs a deadline semester after the start term")
+	case start.Term.IsZero():
+		return fmt.Errorf("explore: zero start term")
 	case start.Term.Calendar() != cat.Calendar() || end.Calendar() != cat.Calendar():
 		return fmt.Errorf("explore: start/end term calendar differs from catalog calendar")
 	case !start.Term.Before(end):
@@ -60,15 +87,18 @@ func validate(cat *catalog.Catalog, start status.Status, end term.Term, opt Opti
 		return fmt.Errorf("explore: negative Workers %d", opt.Workers)
 	case opt.MaxNodes < 0:
 		return fmt.Errorf("explore: negative MaxNodes %d", opt.MaxNodes)
+	case opt.Budget.Timeout < 0 || opt.Budget.MaxNodes < 0 || opt.Budget.MaxPaths < 0:
+		return fmt.Errorf("explore: negative budget %+v", opt.Budget)
 	}
 	return nil
 }
 
-func run(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options, materialize bool) (Result, error) {
+func run(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options, materialize bool) (Result, error) {
 	if err := validate(cat, start, end, opt); err != nil {
 		return Result{}, err
 	}
 	e := newEngine(cat, end, goal, pruners, opt)
+	e.ctl = newControl(ctx, opt.Budget)
 	began := time.Now()
 	var err error
 	if materialize {
@@ -84,15 +114,24 @@ func run(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.G
 		e.res.GoalPaths = counts[1]
 	}
 	e.res.Elapsed = time.Since(began)
+	e.res.Stopped = e.ctl.reason()
+	e.res.Truncated = e.res.Stopped != ""
 	if err != nil {
 		return e.res, err
 	}
 	return e.res, nil
 }
 
+// errStopRun aborts a selections enumeration when the run control fires
+// mid-expansion; the engines translate it back into a clean early return.
+var errStopRun = errors.New("explore: run stopped")
+
 // materialize builds the learning graph with an explicit worklist (the
 // paper's "for each node with outdegree = 0" loop). Children are pushed
 // LIFO, so expansion is depth-first; the result is order-independent.
+// The run control is consulted once per popped node, so a cancelled or
+// over-budget run stops within one node expansion and returns the
+// well-formed partial graph built so far.
 func (e *engine) materialize(start status.Status) error {
 	g := graph.New(start)
 	e.g = g
@@ -103,6 +142,9 @@ func (e *engine) materialize(start status.Status) error {
 	}
 	stack := []graph.NodeID{g.Root()}
 	for len(stack) > 0 {
+		if e.ctl != nil && (e.ctl.halted() != stopNone || e.ctl.noteNode()) {
+			break
+		}
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		st := g.Node(id).Status
@@ -112,9 +154,11 @@ func (e *engine) materialize(start status.Status) error {
 			g.MarkGoal(id)
 			e.res.Paths++
 			e.res.GoalPaths++
+			e.notePaths(1)
 			continue
 		case classDeadline:
 			e.res.Paths++
+			e.notePaths(1)
 			continue
 		case classPruned:
 			g.MarkPruned(id)
@@ -122,6 +166,9 @@ func (e *engine) materialize(start status.Status) error {
 		}
 		childless := true
 		err := e.selections(st, minTake, func(w bitset.Set) error {
+			if e.ctl.interrupted() {
+				return errStopRun
+			}
 			childless = false
 			child := st.Advance(e.cat, w)
 			if e.intern != nil {
@@ -144,12 +191,16 @@ func (e *engine) materialize(start status.Status) error {
 			stack = append(stack, cid)
 			return nil
 		})
+		if errors.Is(err, errStopRun) {
+			break
+		}
 		if err != nil {
 			return err
 		}
 		if childless {
 			// Natural dead end (e.g. Figure 3's n6): a generated path.
 			e.res.Paths++
+			e.notePaths(1)
 		}
 	}
 	if e.intern != nil {
@@ -161,13 +212,30 @@ func (e *engine) materialize(start status.Status) error {
 	return nil
 }
 
+// notePaths charges tallied paths against the run's path budget.
+func (e *engine) notePaths(n int64) {
+	if e.ctl != nil {
+		e.ctl.notePaths(n)
+	}
+}
+
 // count streams the search tree depth-first and returns
 // {generated paths, goal paths} from the given status, without
 // materialising nodes. With MergeStatuses it memoises by status identity
 // (the compact MapKey — no per-node string allocation), which collapses
 // the exponential tree to the DAG the interning ablation builds; parallel
 // workers consult the run's sharded shared memo instead of a private map.
+//
+// The run control is consulted at every entry (one check per popped
+// node): a stopped run unwinds immediately with zero tallies, and a tally
+// whose computation spanned the stop is never memoised — partial counts
+// must not poison the memo shared with future complete lookups.
 func (e *engine) count(st status.Status) [2]int64 {
+	if e.ctl != nil {
+		if e.ctl.halted() != stopNone || e.ctl.noteNode() {
+			return [2]int64{}
+		}
+	}
 	var key status.MapKey
 	if e.shared != nil {
 		key = st.MapKey()
@@ -186,13 +254,21 @@ func (e *engine) count(st status.Status) [2]int64 {
 	switch class {
 	case classGoal:
 		out = [2]int64{1, 1}
+		e.notePaths(1)
 	case classDeadline:
 		out = [2]int64{1, 0}
+		e.notePaths(1)
 	case classPruned:
 		out = [2]int64{0, 0}
 	default:
-		childless := true
+		childless, stopped := true, false
 		_ = e.selections(st, minTake, func(w bitset.Set) error {
+			if e.ctl.interrupted() {
+				// Unexpanded children remain: st must not be mistaken
+				// for a natural dead end below.
+				stopped = true
+				return errStopRun
+			}
 			childless = false
 			e.res.Edges++
 			c := e.count(st.Advance(e.cat, w))
@@ -200,9 +276,15 @@ func (e *engine) count(st status.Status) [2]int64 {
 			out[1] += c[1]
 			return nil
 		})
-		if childless {
+		if childless && !stopped {
 			out = [2]int64{1, 0}
+			e.notePaths(1)
 		}
+	}
+	if e.ctl.interrupted() {
+		// The subtree tally may be partial: return it (the caller's total
+		// stays a lower bound) but never memoise it.
+		return out
 	}
 	if e.shared != nil {
 		e.shared.put(key, out)
@@ -219,24 +301,36 @@ func (e *engine) count(st status.Status) [2]int64 {
 // accrue to e.res exactly as count's do, so decomposing a subtree with
 // expandOnce and summing the pieces reproduces count's totals.
 func (e *engine) expandOnce(st status.Status, child func(status.Status)) [2]int64 {
+	if e.ctl != nil {
+		if e.ctl.halted() != stopNone || e.ctl.noteNode() {
+			return [2]int64{}
+		}
+	}
 	e.res.Nodes++
 	class, minTake := e.classify(st)
 	switch class {
 	case classGoal:
+		e.notePaths(1)
 		return [2]int64{1, 1}
 	case classDeadline:
+		e.notePaths(1)
 		return [2]int64{1, 0}
 	case classPruned:
 		return [2]int64{0, 0}
 	}
-	childless := true
+	childless, stopped := true, false
 	_ = e.selections(st, minTake, func(w bitset.Set) error {
+		if e.ctl.interrupted() {
+			stopped = true
+			return errStopRun
+		}
 		childless = false
 		e.res.Edges++
 		child(st.Advance(e.cat, w))
 		return nil
 	})
-	if childless {
+	if childless && !stopped {
+		e.notePaths(1)
 		return [2]int64{1, 0}
 	}
 	return [2]int64{0, 0}

@@ -131,13 +131,16 @@ func (e *engine) countParallel(start status.Status, workers int) [2]int64 {
 	for depth := 0; depth < preSplitDepth && len(frontier) < targetTasks && len(frontier) > 0; depth++ {
 		var next []status.Status
 		for _, st := range frontier {
+			if e.ctl.interrupted() {
+				return total
+			}
 			c := e.expandOnce(st, func(ch status.Status) { next = append(next, ch) })
 			total[0] += c[0]
 			total[1] += c[1]
 		}
 		frontier = next
 	}
-	if len(frontier) == 0 {
+	if len(frontier) == 0 || e.ctl.interrupted() {
 		return total
 	}
 	e.res.Parallel = true
@@ -161,11 +164,18 @@ func (e *engine) countParallel(start status.Status, workers int) [2]int64 {
 			sub := newEngine(e.cat, e.end, e.rawGoal, e.rawPruners, e.opt)
 			sub.memo = nil
 			sub.shared = shared
+			sub.ctl = e.ctl // one control spans the whole worker pool
 			var local [2]int64
 			for {
 				t, hungry, ok := queue.pop(workers)
 				if !ok {
 					break
+				}
+				if e.ctl.interrupted() {
+					// Drain without counting so every worker (including
+					// ones blocked in pop) exits promptly on cancel.
+					queue.done()
+					continue
 				}
 				var c [2]int64
 				if hungry && t.depth < maxSplitDepth {

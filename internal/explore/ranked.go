@@ -2,6 +2,7 @@ package explore
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"time"
 
@@ -42,6 +43,13 @@ type RankedResult struct {
 	Popped int64
 	// Elapsed is the wall-clock search time.
 	Elapsed time.Duration
+	// Stopped names why the search ended early (see Result.Stopped);
+	// empty when the search ran to k paths or frontier exhaustion. The
+	// paths found before the stop are still exactly the best ones, in
+	// order — best-first search emits goal paths rank-first.
+	Stopped string
+	// Truncated reports a partial search (equivalent to Stopped != "").
+	Truncated bool
 }
 
 // frontierItem is a priority-queue entry: a generated node awaiting
@@ -91,6 +99,14 @@ func (f *frontier) Pop() interface{} {
 // threshold"): any frontier entry whose admissible priority bound already
 // exceeds the threshold is discarded, so fewer than k paths may return.
 func Ranked(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, ranker rank.Ranker, k int, pruners []Pruner, opt Options) (RankedResult, error) {
+	return RankedCtx(context.Background(), cat, start, end, goal, ranker, k, pruners, opt)
+}
+
+// RankedCtx is Ranked under a context: cancellation, the context
+// deadline, or any Options.Budget bound ends the search with however many
+// of the top paths were already emitted (RankedResult.Stopped names the
+// cause) and a nil error.
+func RankedCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, ranker rank.Ranker, k int, pruners []Pruner, opt Options) (RankedResult, error) {
 	var res RankedResult
 	if goal == nil {
 		return res, fmt.Errorf("explore: Ranked requires a goal")
@@ -108,6 +124,7 @@ func Ranked(cat *catalog.Catalog, start status.Status, end term.Term, goal degre
 		return res, err
 	}
 	e := newEngine(cat, end, goal, pruners, opt)
+	e.ctl = newControl(ctx, opt.Budget)
 	began := time.Now()
 
 	g := graph.New(start)
@@ -126,6 +143,9 @@ func Ranked(cat *catalog.Catalog, start status.Status, end term.Term, goal degre
 	pq := &frontier{{node: g.Root(), cost: 0, pri: h(start), seq: 0}}
 	var seq int64
 	for pq.Len() > 0 && len(res.Paths) < k {
+		if e.ctl != nil && (e.ctl.halted() != stopNone || e.ctl.noteNode()) {
+			break
+		}
 		it := heap.Pop(pq).(frontierItem)
 		res.Popped++
 		st := g.Node(it.node).Status
@@ -138,6 +158,7 @@ func Ranked(cat *catalog.Catalog, start status.Status, end term.Term, goal degre
 				Cost:  it.cost,
 				Value: ranker.PathValue(it.cost),
 			})
+			e.notePaths(1)
 			continue
 		case classDeadline:
 			continue // reached the deadline without the goal: dead path
@@ -177,5 +198,7 @@ func Ranked(cat *catalog.Catalog, start status.Status, end term.Term, goal degre
 	}
 	res.PrunedTime, res.PrunedAvail = e.res.PrunedTime, e.res.PrunedAvail
 	res.Elapsed = time.Since(began)
+	res.Stopped = e.ctl.reason()
+	res.Truncated = res.Stopped != ""
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,15 +38,31 @@ type SelectionImpact struct {
 // Counting uses status interning per candidate, so the total work is
 // bounded by the goal-driven DAG size rather than candidates × tree.
 func CompareSelections(cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) ([]SelectionImpact, error) {
+	out, _, err := CompareSelectionsCtx(context.Background(), cat, start, end, goal, pruners, opt)
+	return out, err
+}
+
+// CompareSelectionsCtx is CompareSelections under a context. A cancelled
+// or over-budget run returns the candidates fully scored before the stop
+// (their tallies are exact) together with the stop reason; candidates
+// whose count was interrupted are dropped rather than reported with
+// partial tallies.
+func CompareSelectionsCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) ([]SelectionImpact, string, error) {
 	if goal == nil {
-		return nil, fmt.Errorf("explore: CompareSelections requires a goal")
+		return nil, "", fmt.Errorf("explore: CompareSelections requires a goal")
 	}
 	if err := validate(cat, start, end, opt); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	e := newEngine(cat, end, goal, pruners, opt)
+	ctl := newControl(ctx, opt.Budget)
 	var out []SelectionImpact
+	stopped := ""
 	err := e.selections(start, 0, func(w bitset.Set) error {
+		if r := ctl.haltReason(); r != "" {
+			stopped = r
+			return errStopRun
+		}
 		child := start.Advance(cat, w)
 		impact := SelectionImpact{Selection: w, NextOptions: child.Options.Len()}
 		if !child.Term.Before(end) {
@@ -59,17 +76,21 @@ func CompareSelections(cat *catalog.Catalog, start status.Status, end term.Term,
 		} else {
 			countOpt := opt
 			countOpt.MergeStatuses = true
-			res, err := GoalCount(cat, child, end, goal, pruners, countOpt)
+			res, err := GoalCountCtx(ctx, cat, child, end, goal, pruners, countOpt)
 			if err != nil {
 				return err
+			}
+			if res.Stopped != "" {
+				stopped = res.Stopped
+				return errStopRun
 			}
 			impact.GoalPaths, impact.Paths = res.GoalPaths, res.Paths
 		}
 		out = append(out, impact)
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if err != nil && err != errStopRun {
+		return nil, stopped, err
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].GoalPaths != out[j].GoalPaths {
@@ -80,5 +101,5 @@ func CompareSelections(cat *catalog.Catalog, start status.Status, end term.Term,
 		}
 		return out[i].Selection.Len() < out[j].Selection.Len()
 	})
-	return out, nil
+	return out, stopped, nil
 }

@@ -1,31 +1,41 @@
 // Package server implements CourseNavigator's front-end service (paper
 // §3, Figure 2) as a JSON-over-HTTP API on the public coursenav façade.
 //
-// Endpoints:
+// All routes live under a versioned prefix; the unversioned /api/...
+// forms are aliases kept for one release and answer byte-for-byte
+// identically:
 //
-//	GET  /healthz                 liveness probe
-//	GET  /api/catalog             all courses
-//	GET  /api/courses/{id}        one course
-//	GET  /api/options             current option set Y
-//	                              (?term=Fall 2013&completed=COSI 11A,...)
-//	POST /api/explore/deadline    deadline-driven paths  {query}
-//	POST /api/explore/goal        goal-driven paths      {query, goal}
-//	POST /api/explore/ranked      top-k ranked paths     {query, goal,
-//	                              ranking, k}
-//	POST /api/audit               degree-progress report {completed, goal,
-//	                              now, deadline, maxPerTerm}
-//	POST /api/explore/whatif      rank this semester's selections by the
-//	                              goal paths each preserves {query, goal}
-//	GET  /api/stats               aggregated usage statistics
-//	GET  /                        embedded single-page visualizer
+//	GET  /healthz                        liveness probe
+//	GET  /api/v1/catalog                 all courses
+//	GET  /api/v1/courses/{id}            one course
+//	GET  /api/v1/options                 current option set Y
+//	                                     (?term=Fall 2013&completed=...)
+//	POST /api/v1/explore/deadline        deadline-driven paths
+//	POST /api/v1/explore/goal            goal-driven paths
+//	POST /api/v1/explore/ranked          top-k ranked paths
+//	POST /api/v1/explore/whatif          rank this semester's selections
+//	POST /api/v1/audit                   degree-progress report
+//	GET  /api/v1/stats                   aggregated usage statistics
+//	GET  /                               embedded single-page visualizer
 //
-// The exploration endpoints guard interactivity with a node budget: a
-// query whose learning graph would exceed the budget fails with 422
-// rather than exhausting server memory — the condition the paper's
-// Table 2 reports as "N/A" for long academic periods.
+// The explore endpoints share one request shape (ExploreRequest) with
+// per-endpoint extras, and every error is the unified envelope
+// {"error":{"code","message","detail"}} — see API.md at the repository
+// root for the full reference.
+//
+// Request lifecycle: each explore request runs under a context derived
+// from the client connection and capped at RequestTimeout (optionally
+// lowered per request via the budget field), so a client disconnect or
+// an adversarial window stops the engine within one node expansion and
+// returns the partial result with summary.stopped set. A semaphore
+// bounds concurrent explorations; beyond it the service sheds load with
+// 429 + Retry-After instead of queueing unboundedly. Materialised graphs
+// additionally respect the hard NodeBudget (422 budget_exceeded), the
+// condition the paper's Table 2 reports as "N/A".
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,6 +55,24 @@ const DefaultNodeBudget = 500_000
 // a response.
 const DefaultMaxResponseNodes = 2_000
 
+// DefaultRequestTimeout caps one exploration's wall clock; the engine
+// returns its partial result when the cap fires.
+const DefaultRequestTimeout = 10 * time.Second
+
+// DefaultMaxConcurrent bounds in-flight explorations before the service
+// sheds load with 429.
+const DefaultMaxConcurrent = 64
+
+// Machine-readable error codes of the v1 error envelope.
+const (
+	CodeBadRequest     = "bad_request"
+	CodeUnknownCourse  = "unknown_course"
+	CodeNotFound       = "not_found"
+	CodeBudgetExceeded = "budget_exceeded"
+	CodeOverloaded     = "overloaded"
+	CodeInternal       = "internal"
+)
+
 // Server wires a Navigator into an http.Handler.
 type Server struct {
 	nav *coursenav.Navigator
@@ -52,9 +80,18 @@ type Server struct {
 	// NodeBudget and MaxResponseNodes override the defaults when positive.
 	NodeBudget       int
 	MaxResponseNodes int
-	// Usage records every API call for the /api/stats aggregate (§6's
+	// RequestTimeout caps each exploration's wall clock (default
+	// DefaultRequestTimeout). Clients may lower it per request via the
+	// budget field, never raise it.
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds in-flight explorations (default
+	// DefaultMaxConcurrent); set before the first request is served.
+	MaxConcurrent int
+	// Usage records every API call for the /api/v1/stats aggregate (§6's
 	// "collect and analyze usage logs").
 	Usage *usage.Log
+
+	sem chan struct{} // lazily sized from MaxConcurrent on first acquire
 }
 
 // New returns a Server for the given navigator.
@@ -63,49 +100,110 @@ func New(nav *coursenav.Navigator) *Server {
 		nav:              nav,
 		NodeBudget:       DefaultNodeBudget,
 		MaxResponseNodes: DefaultMaxResponseNodes,
+		RequestTimeout:   DefaultRequestTimeout,
+		MaxConcurrent:    DefaultMaxConcurrent,
 		Usage:            usage.NewLog(4096),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /api/catalog", s.handleCatalog)
-	mux.HandleFunc("GET /api/courses/{id}", s.handleCourse)
-	mux.HandleFunc("GET /api/options", s.handleOptions)
-	mux.HandleFunc("POST /api/explore/deadline", s.handleDeadline)
-	mux.HandleFunc("POST /api/explore/goal", s.handleGoal)
-	mux.HandleFunc("POST /api/explore/ranked", s.handleRanked)
-	mux.HandleFunc("POST /api/audit", s.handleAudit)
-	mux.HandleFunc("POST /api/explore/whatif", s.handleWhatIf)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
+	// Every API route is registered twice: under the canonical /api/v1
+	// prefix and under the legacy /api alias (kept for one release).
+	// Both prefixes hit the same handler, so alias responses are
+	// byte-for-byte identical to their v1 counterparts.
+	for _, rt := range []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /catalog", s.handleCatalog},
+		{"GET /courses/{id}", s.handleCourse},
+		{"GET /options", s.handleOptions},
+		{"POST /explore/deadline", s.limited(s.handleDeadline)},
+		{"POST /explore/goal", s.limited(s.handleGoal)},
+		{"POST /explore/ranked", s.limited(s.handleRanked)},
+		{"POST /explore/whatif", s.limited(s.handleWhatIf)},
+		{"POST /audit", s.handleAudit},
+		{"GET /stats", s.handleStats},
+	} {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		mux.HandleFunc(method+" /api/v1"+path, rt.h)
+		mux.HandleFunc(method+" /api"+path, rt.h)
+	}
 	mux.HandleFunc("GET /{$}", s.handleUI)
 	s.mux = mux
 	return s
 }
 
 // ServeHTTP implements http.Handler, recording every request in the
-// usage log.
+// usage log under its canonical v1 endpoint (alias traffic aggregates
+// with v1 traffic).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	began := time.Now()
 	s.mux.ServeHTTP(rec, r)
 	s.Usage.Record(usage.Event{
 		When:     time.Now(),
-		Endpoint: r.Method + " " + r.URL.Path,
+		Endpoint: r.Method + " " + canonicalPath(r.URL.Path),
 		Window:   rec.window,
 		Paths:    rec.paths,
+		Stopped:  rec.stopped,
 		Duration: time.Since(began),
 		Status:   rec.status,
 	})
+}
+
+// canonicalPath maps a legacy /api/... alias to its /api/v1/... form.
+func canonicalPath(p string) string {
+	if strings.HasPrefix(p, "/api/") && !strings.HasPrefix(p, "/api/v1/") {
+		return "/api/v1" + strings.TrimPrefix(p, "/api")
+	}
+	return p
+}
+
+// acquire reserves a concurrency slot, returning its release func, or
+// ok=false when the server is saturated.
+func (s *Server) acquire() (release func(), ok bool) {
+	if s.sem == nil {
+		n := s.MaxConcurrent
+		if n <= 0 {
+			n = DefaultMaxConcurrent
+		}
+		s.sem = make(chan struct{}, n)
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+		return nil, false
+	}
+}
+
+// limited wraps an exploration handler with the concurrency semaphore:
+// saturation sheds load immediately with 429 + Retry-After rather than
+// queueing requests behind long explorations.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.acquire()
+		if !ok {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, CodeOverloaded,
+				"server is at its exploration concurrency limit; retry shortly")
+			return
+		}
+		defer release()
+		h(w, r)
+	}
 }
 
 // statusRecorder captures the response status and lets handlers annotate
 // the usage event with exploration details.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
-	window string
-	paths  int64
+	status  int
+	window  string
+	paths   int64
+	stopped string
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -114,10 +212,11 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // annotate attaches exploration details to the request's usage event.
-func annotate(w http.ResponseWriter, qs QuerySpec, paths int64) {
+func annotate(w http.ResponseWriter, qs QuerySpec, paths int64, stopped string) {
 	if rec, ok := w.(*statusRecorder); ok {
 		rec.window = qs.Start + " → " + qs.End
 		rec.paths = paths
+		rec.stopped = stopped
 	}
 }
 
@@ -125,8 +224,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Usage.Snapshot())
 }
 
+// errorBody is the unified v1 error envelope.
 type errorBody struct {
-	Error string `json:"error"`
+	Error errorInfo `json:"error"`
+}
+
+type errorInfo struct {
+	// Code is a stable machine-readable identifier (CodeBadRequest, …).
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Detail carries optional remediation or context.
+	Detail string `json:"detail,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -135,8 +244,32 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	writeErrDetail(w, status, code, "", format, args...)
+}
+
+func writeErrDetail(w http.ResponseWriter, status int, code, detail, format string, args ...interface{}) {
+	writeJSON(w, status, errorBody{Error: errorInfo{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+		Detail:  detail,
+	}})
+}
+
+// writeNavErr maps a façade error onto the envelope: the hard node
+// budget becomes 422 budget_exceeded, unknown course IDs become
+// unknown_course, everything else is a plain bad_request.
+func (s *Server) writeNavErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, explore.ErrGraphTooLarge):
+		writeErrDetail(w, http.StatusUnprocessableEntity, CodeBudgetExceeded,
+			"narrow the period, lower maxPerTerm, set countOnly, or pass a budget for a partial result",
+			"learning graph exceeds the %d-node interactive budget", s.NodeBudget)
+	case strings.Contains(err.Error(), "unknown course"):
+		writeErr(w, http.StatusBadRequest, CodeUnknownCourse, "%v", err)
+	default:
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+	}
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
@@ -147,7 +280,7 @@ func (s *Server) handleCourse(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	c, ok := s.nav.Course(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown course %q", id)
+		writeErr(w, http.StatusNotFound, CodeUnknownCourse, "unknown course %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, c)
@@ -156,7 +289,7 @@ func (s *Server) handleCourse(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleOptions(w http.ResponseWriter, r *http.Request) {
 	termLabel := r.URL.Query().Get("term")
 	if termLabel == "" {
-		writeErr(w, http.StatusBadRequest, "missing ?term=")
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "missing ?term=")
 		return
 	}
 	var completed []string
@@ -167,7 +300,7 @@ func (s *Server) handleOptions(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := s.nav.FeasibleNow(completed, termLabel)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeNavErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"options": opts})
@@ -226,8 +359,77 @@ type QuerySpec struct {
 	CountOnly bool `json:"countOnly,omitempty"`
 }
 
-func (s *Server) query(qs QuerySpec) coursenav.Query {
-	return coursenav.Query{
+// BudgetSpec is the request form of coursenav.Budget: soft per-request
+// bounds that end a run with a partial result (summary.stopped) rather
+// than an error.
+type BudgetSpec struct {
+	// TimeoutMs lowers the server's request timeout for this run.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// MaxNodes bounds generated statuses.
+	MaxNodes int64 `json:"maxNodes,omitempty"`
+	// MaxPaths bounds tallied paths.
+	MaxPaths int64 `json:"maxPaths,omitempty"`
+}
+
+// ExploreRequest is the one request shape shared by the explore
+// endpoints (deadline, goal, ranked, whatif). Query and budget apply
+// everywhere; goal applies to all but deadline; ranking, weights and k
+// are ranked-only extras. Endpoints reject fields that do not apply to
+// them, so a misdirected request fails loudly instead of silently
+// dropping options.
+type ExploreRequest struct {
+	Query  QuerySpec   `json:"query"`
+	Goal   *GoalSpec   `json:"goal,omitempty"`
+	Budget *BudgetSpec `json:"budget,omitempty"`
+	// Ranking names a single ranking function (ranked only).
+	Ranking string `json:"ranking,omitempty"`
+	// Weights ranks by a linear combination instead (ranked only).
+	Weights []coursenav.Weight `json:"weights,omitempty"`
+	// K is the number of paths to return (ranked only).
+	K int `json:"k,omitempty"`
+}
+
+// checkExtras rejects fields that do not apply to the handling endpoint.
+func (req *ExploreRequest) checkExtras(w http.ResponseWriter, endpoint string, wantGoal, wantRanked bool) bool {
+	var extra []string
+	if !wantGoal && req.Goal != nil {
+		extra = append(extra, "goal")
+	}
+	if !wantRanked {
+		if req.Ranking != "" {
+			extra = append(extra, "ranking")
+		}
+		if len(req.Weights) > 0 {
+			extra = append(extra, "weights")
+		}
+		if req.K != 0 {
+			extra = append(extra, "k")
+		}
+	}
+	if len(extra) > 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			"field(s) %s do not apply to %s", strings.Join(extra, ", "), endpoint)
+		return false
+	}
+	return true
+}
+
+// goal resolves the request's goal spec, which must be present.
+func (s *Server) goal(w http.ResponseWriter, req *ExploreRequest) (coursenav.Goal, bool) {
+	if req.Goal == nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "missing goal")
+		return coursenav.Goal{}, false
+	}
+	g, err := s.buildGoal(*req.Goal)
+	if err != nil {
+		s.writeNavErr(w, err)
+		return coursenav.Goal{}, false
+	}
+	return g, true
+}
+
+func (s *Server) query(qs QuerySpec, b *BudgetSpec) coursenav.Query {
+	q := coursenav.Query{
 		Completed:       qs.Completed,
 		Start:           qs.Start,
 		End:             qs.End,
@@ -238,13 +440,35 @@ func (s *Server) query(qs QuerySpec) coursenav.Query {
 		MaxPathCost:     qs.MaxPathCost,
 		MaxNodes:        s.NodeBudget,
 	}
+	if b != nil {
+		q.Budget.MaxNodes = b.MaxNodes
+		q.Budget.MaxPaths = b.MaxPaths
+	}
+	return q
+}
+
+// runCtx derives the request's exploration context: the client
+// connection's context capped at RequestTimeout, lowered further by the
+// request budget when given. Client disconnects and timer expiry both
+// cancel the engine mid-run.
+func (s *Server) runCtx(r *http.Request, b *BudgetSpec) (context.Context, context.CancelFunc) {
+	timeout := s.RequestTimeout
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	if b != nil && b.TimeoutMs > 0 {
+		if d := time.Duration(b.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -252,9 +476,12 @@ func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 
 // exploreResponse is the body of the deadline and goal endpoints.
 type exploreResponse struct {
-	Summary   summaryBody     `json:"summary"`
-	Graph     json.RawMessage `json:"graph,omitempty"`
-	Truncated bool            `json:"truncated,omitempty"`
+	Summary summaryBody     `json:"summary"`
+	Graph   json.RawMessage `json:"graph,omitempty"`
+	// Truncated reports that the rendered graph was cut to
+	// MaxResponseNodes; a budget- or cancel-truncated *run* is reported
+	// by summary.stopped instead.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 type summaryBody struct {
@@ -265,6 +492,11 @@ type summaryBody struct {
 	PrunedTime  int64   `json:"prunedTime"`
 	PrunedAvail int64   `json:"prunedAvail"`
 	ElapsedMs   float64 `json:"elapsedMs"`
+	// Stopped names why the run ended early ("canceled", "deadline",
+	// "max-nodes", "max-paths"); empty for a complete run.
+	Stopped string `json:"stopped,omitempty"`
+	// Truncated mirrors Stopped != "": the tallies are lower bounds.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 func toSummaryBody(sum coursenav.Summary) summaryBody {
@@ -273,24 +505,21 @@ func toSummaryBody(sum coursenav.Summary) summaryBody {
 		Nodes: sum.Nodes, Edges: sum.Edges,
 		PrunedTime: sum.PrunedTime, PrunedAvail: sum.PrunedAvail,
 		ElapsedMs: float64(sum.Elapsed.Microseconds()) / 1000,
+		Stopped:   sum.Stopped,
+		Truncated: sum.Truncated,
 	}
 }
 
 func (s *Server) respondGraph(w http.ResponseWriter, g *coursenav.Graph, sum coursenav.Summary, err error) {
 	if err != nil {
-		if errors.Is(err, explore.ErrGraphTooLarge) {
-			writeErr(w, http.StatusUnprocessableEntity,
-				"learning graph exceeds the %d-node interactive budget; narrow the period, lower maxPerTerm, or set countOnly", s.NodeBudget)
-			return
-		}
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeNavErr(w, err)
 		return
 	}
 	resp := exploreResponse{Summary: toSummaryBody(sum)}
 	if g != nil {
 		var buf strings.Builder
 		if err := g.WriteJSON(&buf, s.MaxResponseNodes); err != nil {
-			writeErr(w, http.StatusInternalServerError, "rendering graph: %v", err)
+			writeErr(w, http.StatusInternalServerError, CodeInternal, "rendering graph: %v", err)
 			return
 		}
 		resp.Graph = json.RawMessage(buf.String())
@@ -299,68 +528,58 @@ func (s *Server) respondGraph(w http.ResponseWriter, g *coursenav.Graph, sum cou
 	writeJSON(w, http.StatusOK, resp)
 }
 
-type deadlineRequest struct {
-	Query QuerySpec `json:"query"`
-}
-
 func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
-	var req deadlineRequest
+	var req ExploreRequest
 	if !decode(w, r, &req) {
 		return
 	}
+	if !req.checkExtras(w, "explore/deadline", false, false) {
+		return
+	}
+	ctx, cancel := s.runCtx(r, req.Budget)
+	defer cancel()
 	if req.Query.CountOnly {
-		sum, err := s.nav.DeadlineCount(s.query(req.Query))
+		sum, err := s.nav.DeadlineCountCtx(ctx, s.query(req.Query, req.Budget))
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			s.writeNavErr(w, err)
 			return
 		}
-		annotate(w, req.Query, sum.Paths)
+		annotate(w, req.Query, sum.Paths, sum.Stopped)
 		writeJSON(w, http.StatusOK, exploreResponse{Summary: toSummaryBody(sum)})
 		return
 	}
-	g, sum, err := s.nav.Deadline(s.query(req.Query))
-	annotate(w, req.Query, sum.Paths)
+	g, sum, err := s.nav.DeadlineCtx(ctx, s.query(req.Query, req.Budget))
+	annotate(w, req.Query, sum.Paths, sum.Stopped)
 	s.respondGraph(w, g, sum, err)
-}
-
-type goalRequest struct {
-	Query QuerySpec `json:"query"`
-	Goal  GoalSpec  `json:"goal"`
 }
 
 func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
-	var req goalRequest
+	var req ExploreRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	goal, err := s.buildGoal(req.Goal)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+	if !req.checkExtras(w, "explore/goal", true, false) {
 		return
 	}
+	goal, ok := s.goal(w, &req)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.runCtx(r, req.Budget)
+	defer cancel()
 	if req.Query.CountOnly {
-		sum, err := s.nav.GoalPathsCount(s.query(req.Query), goal)
+		sum, err := s.nav.GoalPathsCountCtx(ctx, s.query(req.Query, req.Budget), goal)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			s.writeNavErr(w, err)
 			return
 		}
-		annotate(w, req.Query, sum.GoalPaths)
+		annotate(w, req.Query, sum.GoalPaths, sum.Stopped)
 		writeJSON(w, http.StatusOK, exploreResponse{Summary: toSummaryBody(sum)})
 		return
 	}
-	g, sum, err := s.nav.GoalPaths(s.query(req.Query), goal)
-	annotate(w, req.Query, sum.GoalPaths)
+	g, sum, err := s.nav.GoalPathsCtx(ctx, s.query(req.Query, req.Budget), goal)
+	annotate(w, req.Query, sum.GoalPaths, sum.Stopped)
 	s.respondGraph(w, g, sum, err)
-}
-
-type rankedRequest struct {
-	Query   QuerySpec `json:"query"`
-	Goal    GoalSpec  `json:"goal"`
-	Ranking string    `json:"ranking,omitempty"`
-	// Weights, when present, rank by a linear combination instead of a
-	// single function: [{"ranking":"time","weight":100}, …].
-	Weights []coursenav.Weight `json:"weights,omitempty"`
-	K       int                `json:"k"`
 }
 
 type rankedResponse struct {
@@ -369,31 +588,29 @@ type rankedResponse struct {
 }
 
 func (s *Server) handleRanked(w http.ResponseWriter, r *http.Request) {
-	var req rankedRequest
+	var req ExploreRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	goal, err := s.buildGoal(req.Goal)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+	goal, ok := s.goal(w, &req)
+	if !ok {
 		return
 	}
+	ctx, cancel := s.runCtx(r, req.Budget)
+	defer cancel()
 	var paths []coursenav.Path
 	var sum coursenav.Summary
+	var err error
 	if len(req.Weights) > 0 {
-		paths, sum, err = s.nav.TopKWeighted(s.query(req.Query), goal, req.Weights, req.K)
+		paths, sum, err = s.nav.TopKWeightedCtx(ctx, s.query(req.Query, req.Budget), goal, req.Weights, req.K)
 	} else {
-		paths, sum, err = s.nav.TopK(s.query(req.Query), goal, req.Ranking, req.K)
+		paths, sum, err = s.nav.TopKCtx(ctx, s.query(req.Query, req.Budget), goal, req.Ranking, req.K)
 	}
 	if err != nil {
-		if errors.Is(err, explore.ErrGraphTooLarge) {
-			writeErr(w, http.StatusUnprocessableEntity, "search exceeded the node budget")
-			return
-		}
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeNavErr(w, err)
 		return
 	}
-	annotate(w, req.Query, int64(len(paths)))
+	annotate(w, req.Query, int64(len(paths)), sum.Stopped)
 	writeJSON(w, http.StatusOK, rankedResponse{Summary: toSummaryBody(sum), Paths: paths})
 }
 
@@ -411,41 +628,49 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Goal.Degree) == 0 {
-		writeErr(w, http.StatusBadRequest, "audit requires a degree goal")
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "audit requires a degree goal")
 		return
 	}
 	goal, err := s.nav.GoalDegree(req.Goal.Degree...)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeNavErr(w, err)
 		return
 	}
 	rep, err := s.nav.Audit(req.Completed, goal, req.Now, req.Deadline, req.MaxPerTerm)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeNavErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
 }
 
-type whatIfRequest struct {
-	Query QuerySpec `json:"query"`
-	Goal  GoalSpec  `json:"goal"`
+// whatIfResponse is the body of the whatif endpoint.
+type whatIfResponse struct {
+	Selections []coursenav.SelectionImpact `json:"selections"`
+	// Stopped names why scoring ended early; the listed selections are
+	// fully scored, later candidates are missing.
+	Stopped string `json:"stopped,omitempty"`
 }
 
 func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
-	var req whatIfRequest
+	var req ExploreRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	goal, err := s.buildGoal(req.Goal)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+	if !req.checkExtras(w, "explore/whatif", true, false) {
 		return
 	}
-	impacts, err := s.nav.CompareSelections(s.query(req.Query), goal)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+	goal, ok := s.goal(w, &req)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"selections": impacts})
+	ctx, cancel := s.runCtx(r, req.Budget)
+	defer cancel()
+	impacts, stopped, err := s.nav.CompareSelectionsCtx(ctx, s.query(req.Query, req.Budget), goal)
+	if err != nil {
+		s.writeNavErr(w, err)
+		return
+	}
+	annotate(w, req.Query, int64(len(impacts)), stopped)
+	writeJSON(w, http.StatusOK, whatIfResponse{Selections: impacts, Stopped: stopped})
 }

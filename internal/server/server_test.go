@@ -410,7 +410,8 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Total != 3 || st.Errors != 1 {
 		t.Errorf("total=%d errors=%d", st.Total, st.Errors)
 	}
-	if len(st.Endpoints) == 0 || st.Endpoints[0].Endpoint != "POST /api/explore/deadline" ||
+	// Legacy-alias traffic aggregates under the canonical v1 endpoint.
+	if len(st.Endpoints) == 0 || st.Endpoints[0].Endpoint != "POST /api/v1/explore/deadline" ||
 		st.Endpoints[0].Requests != 2 {
 		t.Errorf("endpoints = %+v", st.Endpoints)
 	}
@@ -429,7 +430,7 @@ func TestUIPage(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
 		t.Errorf("Content-Type = %q", ct)
 	}
-	for _, want := range []string{"CourseNavigator", "/api/explore/ranked", "Top-k"} {
+	for _, want := range []string{"CourseNavigator", "/api/v1/explore/ranked", "Top-k"} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("UI page missing %q", want)
 		}

@@ -86,7 +86,7 @@ async function call(path, body) {
 async function ranked() {
   const g = goal(); if (!g) return fail("set a goal first");
   try {
-    const j = await call("/api/explore/ranked", {query: query(), goal: g, ranking: $("ranking").value, k: +$("k").value});
+    const j = await call("/api/v1/explore/ranked", {query: query(), goal: g, ranking: $("ranking").value, k: +$("k").value});
     let html = "<h2>Top-" + j.paths.length + " paths (" + $("ranking").value + ")</h2>";
     for (const p of j.paths) {
       html += '<div class="path"><b>' + p.value.toPrecision(4) + "</b> — " +
@@ -99,7 +99,7 @@ async function ranked() {
 async function goalPaths() {
   const g = goal(); if (!g) return fail("set a goal first");
   try {
-    const j = await call("/api/explore/goal", {query: {...query(), countOnly: true}, goal: g});
+    const j = await call("/api/v1/explore/goal", {query: {...query(), countOnly: true}, goal: g});
     show("<h2>Goal-driven exploration</h2><pre>" + JSON.stringify(j.summary, null, 1) + "</pre>");
   } catch (e) { fail(e); }
 }
@@ -107,7 +107,7 @@ async function options() {
   const params = new URLSearchParams({term: $("start").value});
   const completed = list($("completed"));
   if (completed.length) params.set("completed", completed.join(","));
-  const r = await fetch("/api/options?" + params);
+  const r = await fetch("/api/v1/options?" + params);
   const j = await r.json();
   if (!r.ok) return fail(j.error);
   show("<h2>Electable in " + $("start").value + "</h2><div class='path'>" +

@@ -1,0 +1,391 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// newV1Server returns the Server itself (for direct semaphore and knob
+// access) alongside its httptest wrapper.
+func newV1Server(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	nav, _ := coursenav.Brandeis()
+	s := New(nav)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+type envelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+		Detail  string `json:"detail"`
+	} `json:"error"`
+}
+
+type v1Summary struct {
+	Paths     int64   `json:"paths"`
+	GoalPaths int64   `json:"goalPaths"`
+	Nodes     int64   `json:"nodes"`
+	ElapsedMs float64 `json:"elapsedMs"`
+	Stopped   string  `json:"stopped"`
+	Truncated bool    `json:"truncated"`
+}
+
+// elapsedRe masks the only nondeterministic byte range in explore
+// responses so alias parity can compare the rest byte-for-byte.
+var elapsedRe = regexp.MustCompile(`"elapsedMs":[0-9.e+-]+`)
+
+func maskElapsed(b []byte) string {
+	return elapsedRe.ReplaceAllString(string(b), `"elapsedMs":X`)
+}
+
+// TestV1AliasParity: every legacy /api/... route answers byte-for-byte
+// identically to its /api/v1/... counterpart (modulo the elapsed-time
+// measurement), across the whole surface and for both success and error
+// responses.
+func TestV1AliasParity(t *testing.T) {
+	_, ts := newV1Server(t)
+	cases := []struct {
+		name   string
+		method string
+		path   string // without the /api or /api/v1 prefix
+		body   string
+	}{
+		{"catalog", "GET", "/catalog", ""},
+		{"course", "GET", "/courses/COSI 21A", ""},
+		{"course-missing", "GET", "/courses/NOPE", ""},
+		{"options", "GET", "/options?term=Fall+2013", ""},
+		{"options-missing-term", "GET", "/options", ""},
+		{"deadline-count", "POST", "/explore/deadline",
+			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2,"countOnly":true}}`},
+		{"deadline-graph", "POST", "/explore/deadline",
+			`{"query":{"start":"Fall 2013","end":"Spring 2014","maxPerTerm":1}}`},
+		{"goal", "POST", "/explore/goal",
+			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2,"countOnly":true},"goal":{"courses":["COSI 21A"]}}`},
+		{"ranked", "POST", "/explore/ranked",
+			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2},"goal":{"courses":["COSI 21A"]},"ranking":"time","k":2}`},
+		{"whatif", "POST", "/explore/whatif",
+			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2},"goal":{"courses":["COSI 21A"]}}`},
+		{"audit", "POST", "/audit",
+			`{"goal":{"degree":[{"Name":"intro","Count":1,"Courses":["COSI 11A","COSI 12B"]}]},"now":"Fall 2013","deadline":"Fall 2014","maxPerTerm":2}`},
+		{"bad-body", "POST", "/explore/goal", `not json`},
+		{"budget-truncated", "POST", "/explore/deadline",
+			`{"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3,"countOnly":true},"budget":{"maxNodes":5}}`},
+	}
+	do := func(method, url, body string) (*http.Response, string) {
+		t.Helper()
+		var resp *http.Response
+		var err error
+		if method == "GET" {
+			resp, err = http.Get(url)
+		} else {
+			resp, err = http.Post(url, "application/json", strings.NewReader(body))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, maskElapsed(b)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v1Resp, v1Body := do(tc.method, ts.URL+"/api/v1"+tc.path, tc.body)
+			aliasResp, aliasBody := do(tc.method, ts.URL+"/api"+tc.path, tc.body)
+			if v1Resp.StatusCode != aliasResp.StatusCode {
+				t.Fatalf("status diverged: v1=%d alias=%d", v1Resp.StatusCode, aliasResp.StatusCode)
+			}
+			if v1Body != aliasBody {
+				t.Errorf("bodies diverged:\n v1:    %s\n alias: %s", v1Body, aliasBody)
+			}
+			if ct := v1Resp.Header.Get("Content-Type"); ct != aliasResp.Header.Get("Content-Type") {
+				t.Errorf("content-type diverged: %q vs %q", ct, aliasResp.Header.Get("Content-Type"))
+			}
+		})
+	}
+}
+
+// TestV1ErrorEnvelope: every v1 error response carries the unified
+// {"error":{"code","message"}} envelope with the right machine code.
+func TestV1ErrorEnvelope(t *testing.T) {
+	s, ts := newV1Server(t)
+	s.NodeBudget = 10 // force the hard budget on materialising runs
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"bad-json", "POST", "/api/v1/explore/deadline", `{`, http.StatusBadRequest, CodeBadRequest},
+		{"unknown-field", "POST", "/api/v1/explore/deadline", `{"nope":1}`, http.StatusBadRequest, CodeBadRequest},
+		{"missing-goal", "POST", "/api/v1/explore/goal",
+			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":1}}`, http.StatusBadRequest, CodeBadRequest},
+		{"unknown-course-goal", "POST", "/api/v1/explore/goal",
+			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":1},"goal":{"courses":["NOPE 1"]}}`,
+			http.StatusBadRequest, CodeUnknownCourse},
+		{"unknown-course-path", "GET", "/api/v1/courses/NOPE", "", http.StatusNotFound, CodeUnknownCourse},
+		{"empty-deadline-term", "POST", "/api/v1/explore/deadline",
+			`{"query":{"start":"Fall 2013","end":"","maxPerTerm":1}}`, http.StatusBadRequest, CodeBadRequest},
+		{"negative-budget", "POST", "/api/v1/explore/deadline",
+			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":1},"budget":{"maxNodes":-4}}`,
+			http.StatusBadRequest, CodeBadRequest},
+		{"hard-node-budget", "POST", "/api/v1/explore/deadline",
+			`{"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3}}`,
+			http.StatusUnprocessableEntity, CodeBudgetExceeded},
+		{"extra-fields", "POST", "/api/v1/explore/deadline",
+			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":1},"goal":{"courses":["COSI 11A"]},"k":3}`,
+			http.StatusBadRequest, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp *http.Response
+			var body []byte
+			if tc.method == "GET" {
+				resp, body = get(t, ts, tc.path)
+			} else {
+				resp, body = post(t, ts, tc.path, tc.body)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, tc.wantStatus, body)
+			}
+			var env envelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				t.Fatalf("response is not the error envelope: %v (%s)", err, body)
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q (message %q)", env.Error.Code, tc.wantCode, env.Error.Message)
+			}
+			if env.Error.Message == "" {
+				t.Errorf("empty error message")
+			}
+		})
+	}
+	// The empty-deadline message should point at the missing deadline term,
+	// not a generic parse failure.
+	_, body := post(t, ts, "/api/v1/explore/deadline",
+		`{"query":{"start":"Fall 2013","end":"","maxPerTerm":1}}`)
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("empty-end error does not mention the deadline term: %s", body)
+	}
+}
+
+// TestV1BudgetTruncated: soft request budgets end big explorations with
+// 200 + summary.stopped instead of an error, across count, graph and
+// ranked forms.
+func TestV1BudgetTruncated(t *testing.T) {
+	_, ts := newV1Server(t)
+	cases := []struct {
+		name        string
+		path        string
+		body        string
+		wantStopped []string // acceptable reasons
+	}{
+		{"count-max-nodes", "/api/v1/explore/deadline",
+			`{"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3,"countOnly":true},"budget":{"maxNodes":1}}`,
+			[]string{"max-nodes"}},
+		{"count-max-paths", "/api/v1/explore/deadline",
+			`{"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3,"countOnly":true},"budget":{"maxPaths":10}}`,
+			[]string{"max-paths"}},
+		{"count-timeout", "/api/v1/explore/deadline",
+			`{"query":{"start":"Fall 2013","end":"Fall 2016","maxPerTerm":3,"countOnly":true},"budget":{"timeoutMs":1}}`,
+			[]string{"deadline"}},
+		{"goal-count-budget", "/api/v1/explore/goal",
+			`{"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3,"countOnly":true},"goal":{"courses":["COSI 21A"]},"budget":{"maxNodes":1}}`,
+			[]string{"max-nodes"}},
+		{"ranked-budget", "/api/v1/explore/ranked",
+			`{"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3},"goal":{"courses":["COSI 21A"]},"ranking":"time","k":3,"budget":{"maxNodes":1}}`,
+			[]string{"max-nodes"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts, tc.path, tc.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d, want 200 (%s)", resp.StatusCode, body)
+			}
+			var r struct {
+				Summary v1Summary `json:"summary"`
+			}
+			if err := json.Unmarshal(body, &r); err != nil {
+				t.Fatal(err)
+			}
+			okReason := false
+			for _, want := range tc.wantStopped {
+				if r.Summary.Stopped == want {
+					okReason = true
+				}
+			}
+			if !okReason || !r.Summary.Truncated {
+				t.Errorf("summary stopped=%q truncated=%v, want one of %v/true (%s)",
+					r.Summary.Stopped, r.Summary.Truncated, tc.wantStopped, body)
+			}
+		})
+	}
+}
+
+// TestV1ClientDisconnect: a request whose connection context is already
+// cancelled (the client hung up) stops the engine immediately and the
+// handler reports the partial result with summary.stopped="canceled".
+func TestV1ClientDisconnect(t *testing.T) {
+	s, _ := newV1Server(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A window big enough that an uncancelled run would take far longer
+	// than the assertion bound below.
+	req := httptest.NewRequest("POST", "/api/v1/explore/deadline",
+		strings.NewReader(`{"query":{"start":"Fall 2013","end":"Fall 2016","maxPerTerm":3,"countOnly":true}}`)).
+		WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	began := time.Now()
+	s.ServeHTTP(rec, req)
+	elapsed := time.Since(began)
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var r struct {
+		Summary v1Summary `json:"summary"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.Stopped != "canceled" || !r.Summary.Truncated {
+		t.Errorf("summary stopped=%q truncated=%v, want canceled/true", r.Summary.Stopped, r.Summary.Truncated)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("cancelled request took %v", elapsed)
+	}
+
+	// The stats aggregate counts the cancellation.
+	st := s.Usage.Snapshot()
+	if st.Canceled != 1 {
+		t.Errorf("stats canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// TestV1StatsCounters: budget-truncated runs surface in the stats
+// aggregate as budgetHits.
+func TestV1StatsCounters(t *testing.T) {
+	s, ts := newV1Server(t)
+	post(t, ts, "/api/v1/explore/deadline",
+		`{"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3,"countOnly":true},"budget":{"maxNodes":1}}`)
+	post(t, ts, "/api/v1/explore/deadline",
+		`{"query":{"start":"Fall 2013","end":"Spring 2014","maxPerTerm":1,"countOnly":true}}`)
+	resp, body := get(t, ts, "/api/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st struct {
+		BudgetHits int `json:"budgetHits"`
+		Canceled   int `json:"canceled"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BudgetHits != 1 || st.Canceled != 0 {
+		t.Errorf("budgetHits=%d canceled=%d, want 1/0 (%s)", st.BudgetHits, st.Canceled, body)
+	}
+	_ = s
+}
+
+// TestV1Saturation: when every concurrency slot is taken the explore
+// endpoints shed load with 429 + Retry-After and the overloaded error
+// code; non-exploration endpoints stay available; releasing a slot
+// restores service.
+func TestV1Saturation(t *testing.T) {
+	s, ts := newV1Server(t)
+	s.MaxConcurrent = 1
+	release, ok := s.acquire()
+	if !ok {
+		t.Fatal("could not take the only slot")
+	}
+
+	resp, body := post(t, ts, "/api/v1/explore/deadline",
+		`{"query":{"start":"Fall 2013","end":"Spring 2014","maxPerTerm":1,"countOnly":true}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("missing Retry-After header")
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeOverloaded {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeOverloaded)
+	}
+	// The legacy alias saturates identically.
+	if aliasResp, _ := post(t, ts, "/api/explore/deadline",
+		`{"query":{"start":"Fall 2013","end":"Spring 2014","maxPerTerm":1,"countOnly":true}}`); aliasResp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("alias status = %d, want 429", aliasResp.StatusCode)
+	}
+	// Cheap read endpoints are not behind the limiter.
+	if catResp, _ := get(t, ts, "/api/v1/catalog"); catResp.StatusCode != http.StatusOK {
+		t.Errorf("catalog during saturation: %d", catResp.StatusCode)
+	}
+
+	release()
+	resp, body = post(t, ts, "/api/v1/explore/deadline",
+		`{"query":{"start":"Fall 2013","end":"Spring 2014","maxPerTerm":1,"countOnly":true}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("after release: status = %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestV1RequestTimeout: the server-wide RequestTimeout bounds runs even
+// when the client sends no budget.
+func TestV1RequestTimeout(t *testing.T) {
+	s, ts := newV1Server(t)
+	s.RequestTimeout = time.Millisecond
+	resp, body := post(t, ts, "/api/v1/explore/deadline",
+		`{"query":{"start":"Fall 2013","end":"Fall 2016","maxPerTerm":3,"countOnly":true}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, body)
+	}
+	var r struct {
+		Summary v1Summary `json:"summary"`
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.Stopped != "deadline" {
+		t.Errorf("stopped = %q, want deadline (%s)", r.Summary.Stopped, body)
+	}
+}
+
+// TestV1WhatIfStopped: a budgeted what-if reports its stop reason at the
+// top level alongside the fully-scored selections.
+func TestV1WhatIfStopped(t *testing.T) {
+	_, ts := newV1Server(t)
+	resp, body := post(t, ts, "/api/v1/explore/whatif",
+		`{"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3},"goal":{"courses":["COSI 21A"]},"budget":{"maxNodes":1}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, body)
+	}
+	var r struct {
+		Stopped string `json:"stopped"`
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stopped == "" {
+		t.Errorf("whatif under a 1-node budget reported no stop reason (%s)", body)
+	}
+}

@@ -20,13 +20,19 @@ import (
 type Event struct {
 	// When is the request completion time.
 	When time.Time `json:"when"`
-	// Endpoint is the normalised route, e.g. "/api/explore/goal".
+	// Endpoint is the normalised route, e.g.
+	// "POST /api/v1/explore/goal" (alias traffic is recorded under its
+	// canonical v1 path).
 	Endpoint string `json:"endpoint"`
 	// Window is the exploration window ("Fall 2013 → Fall 2015"), empty
 	// for non-exploration endpoints.
 	Window string `json:"window,omitempty"`
 	// Paths is the number of paths the response reported.
 	Paths int64 `json:"paths,omitempty"`
+	// Stopped names why the exploration ended early ("canceled",
+	// "deadline", "max-nodes", "max-paths"); empty for complete runs and
+	// non-exploration endpoints.
+	Stopped string `json:"stopped,omitempty"`
 	// Duration is the handling latency.
 	Duration time.Duration `json:"durationNs"`
 	// Status is the HTTP status code returned.
@@ -103,8 +109,14 @@ type WindowCount struct {
 
 // Stats is an aggregated usage snapshot.
 type Stats struct {
-	Total     int             `json:"total"`
-	Errors    int             `json:"errors"`
+	Total  int `json:"total"`
+	Errors int `json:"errors"`
+	// BudgetHits counts runs truncated by a request budget (deadline,
+	// max-nodes or max-paths) — a signal that students routinely ask
+	// questions bigger than the interactive budget.
+	BudgetHits int `json:"budgetHits"`
+	// Canceled counts runs ended by client disconnect.
+	Canceled  int             `json:"canceled"`
 	Endpoints []EndpointStats `json:"endpoints"`
 	// TopWindows lists the most-queried exploration windows, a proxy for
 	// which academic periods students care about.
@@ -121,6 +133,13 @@ func (l *Log) Snapshot() Stats {
 		byEndpoint[e.Endpoint] = append(byEndpoint[e.Endpoint], e)
 		if e.Status >= 400 {
 			st.Errors++
+		}
+		switch e.Stopped {
+		case "":
+		case "canceled":
+			st.Canceled++
+		default:
+			st.BudgetHits++
 		}
 		if e.Window != "" {
 			windows[e.Window]++
