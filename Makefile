@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-short bench bench-smoke
+.PHONY: check vet build test race race-short bench bench-smoke fuzz-short
 
-check: vet build race-short race bench-smoke
+check: vet build race-short race fuzz-short bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,16 @@ race:
 # parallel-drain and semaphore paths.
 race-short:
 	$(GO) test -race -timeout 90s ./internal/explore/... ./internal/server/...
+
+# Bounded fuzz smoke over the ingestion parsers (grammar round-trip,
+# prerequisite extraction, lenient/strict differential). go test allows
+# one -fuzz target per invocation, hence one line per target. The
+# minimize budget is capped in execs: the default (60s per interesting
+# input) can stall a 5s smoke run for a minute on a fresh build cache.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz 'FuzzParse$$' -fuzztime 5s -fuzzminimizetime 100x ./internal/expr/
+	$(GO) test -run '^$$' -fuzz 'FuzzParsePrereq$$' -fuzztime 5s -fuzzminimizetime 100x ./internal/registrar/
+	$(GO) test -run '^$$' -fuzz 'FuzzParseCatalogDumpLenient$$' -fuzztime 5s -fuzzminimizetime 100x ./internal/registrar/
 
 # Full benchmark run with allocation stats (slow; EXPERIMENTS.md numbers).
 bench:

@@ -4,16 +4,28 @@
 // Usage:
 //
 //	coursenav-server [-addr :8080] [-catalog file.json]
+//	                 [-dump catalog.txt] [-schedule schedule.txt]
+//	                 [-first "Fall 2011"] [-last "Fall 2015"] [-lenient]
 //	                 [-node-budget 500000] [-history-years 4]
 //	                 [-request-timeout 10s] [-max-concurrent 64]
 //
-// Without -catalog the embedded Brandeis-like evaluation dataset is
-// served. See API.md for the endpoint reference; a quick check:
+// Without a catalog source the embedded Brandeis-like evaluation dataset
+// is served. -catalog loads catalog JSON; -dump (optionally with
+// -schedule) ingests raw registrar text through the back-end parsers,
+// and -lenient quarantines malformed records instead of failing the
+// import. See API.md for the endpoint reference; a quick check:
 //
 //	curl localhost:8080/api/v1/catalog
 //	curl -X POST localhost:8080/api/v1/explore/ranked -d '{
 //	  "query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3},
 //	  "goal":{"courses":["COSI 11A","COSI 21A"]},"ranking":"time","k":3}'
+//
+// When a file-backed catalog source is configured, the server supports
+// hot reload: POST /api/v1/admin/reload (or SIGHUP) re-parses the
+// source, validates it with the integrity checker and atomically swaps
+// it in; a failing parse or validation leaves the serving catalog
+// untouched. In-flight explorations always finish on the snapshot they
+// started with.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and lets
 // in-flight explorations finish (each is already bounded by
@@ -26,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -35,11 +48,17 @@ import (
 
 	"repro"
 	"repro/internal/server"
+	"repro/internal/usage"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	catalogPath := flag.String("catalog", "", "catalog JSON file (default: embedded dataset)")
+	dumpPath := flag.String("dump", "", "registrar catalog dump (text; alternative to -catalog)")
+	schedulePath := flag.String("schedule", "", "registrar schedule records overlaid on -dump")
+	firstTerm := flag.String("first", "Fall 2011", "first term of the -dump schedule window")
+	lastTerm := flag.String("last", "Fall 2015", "last term of the -dump schedule window")
+	lenient := flag.Bool("lenient", false, "quarantine malformed -dump records instead of failing the import")
 	nodeBudget := flag.Int("node-budget", server.DefaultNodeBudget, "per-request learning-graph node budget")
 	histYears := flag.Int("history-years", 4, "synthetic offering-history length for reliability ranking")
 	seed := flag.Int64("seed", 1, "history synthesis seed")
@@ -47,33 +66,37 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent, "in-flight explorations before shedding load with 429")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
 	flag.Parse()
+	if *catalogPath != "" && *dumpPath != "" {
+		log.Fatal("coursenav-server: -catalog and -dump are mutually exclusive")
+	}
 
-	var nav *coursenav.Navigator
-	if *catalogPath != "" {
-		f, err := os.Open(*catalogPath)
-		if err != nil {
-			log.Fatalf("coursenav-server: %v", err)
-		}
-		nav2, err := coursenav.NewFromJSON(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("coursenav-server: %v", err)
-		}
-		nav = nav2
-	} else {
-		nav, _ = coursenav.Brandeis()
+	load := newLoader(*catalogPath, *dumpPath, *schedulePath, *firstTerm, *lastTerm, *lenient, *histYears, *seed)
+	nav, rep, err := load()
+	if err != nil {
+		log.Fatalf("coursenav-server: %v", err)
 	}
-	if err := nav.UseSyntheticHistory(*histYears, *seed); err != nil {
-		log.Fatalf("coursenav-server: history: %v", err)
+	if rep != nil {
+		for _, d := range rep.Diagnostics {
+			log.Printf("import: %s", d)
+		}
+		if len(rep.Quarantined) > 0 {
+			log.Printf("import: %d record(s) quarantined: %v", len(rep.Quarantined), rep.Quarantined)
+		}
 	}
-	if unreachable, never := nav.Lint(); len(unreachable)+len(never) > 0 {
-		log.Printf("warning: catalog lint: unreachable=%v never-offered=%v", unreachable, never)
+	if report := nav.Integrity(); report.Errors+report.Warnings > 0 {
+		log.Printf("integrity: %s", report.Summary())
+		for _, is := range report.Issues {
+			log.Printf("integrity: %s", is)
+		}
 	}
 
 	s := server.New(nav)
 	s.NodeBudget = *nodeBudget
 	s.RequestTimeout = *requestTimeout
 	s.MaxConcurrent = *maxConcurrent
+	if *catalogPath != "" || *dumpPath != "" {
+		s.Loader = load // embedded dataset has nothing on disk to re-read
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(s),
@@ -82,6 +105,31 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP triggers the same validate-then-swap reload as the admin
+	// endpoint; the outcome lands in the usage counters either way.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			began := time.Now()
+			st := s.ReloadNow()
+			outcome, status := "applied", http.StatusOK
+			if !st.OK {
+				outcome, status = "rejected", http.StatusUnprocessableEntity
+				log.Printf("coursenav-server: SIGHUP reload rejected: %s", st.Reason)
+			} else {
+				log.Printf("coursenav-server: SIGHUP reload applied: generation %d, %d courses", st.Generation, st.Courses)
+			}
+			s.Usage.Record(usage.Event{
+				When:     time.Now(),
+				Endpoint: "SIGHUP reload",
+				Reload:   outcome,
+				Duration: time.Since(began),
+				Status:   status,
+			})
+		}
+	}()
 
 	errc := make(chan error, 1)
 	go func() {
@@ -106,6 +154,67 @@ func main() {
 		log.Fatalf("coursenav-server: %v", err)
 	}
 	log.Printf("coursenav-server: bye")
+}
+
+// newLoader builds the catalog-loading function used both at startup and
+// for every hot reload, so a reload sees exactly what a restart would.
+func newLoader(catalogPath, dumpPath, schedulePath, firstTerm, lastTerm string, lenient bool, histYears int, seed int64) server.Loader {
+	return func() (*coursenav.Navigator, *coursenav.ImportReport, error) {
+		var (
+			nav *coursenav.Navigator
+			rep *coursenav.ImportReport
+			err error
+		)
+		switch {
+		case dumpPath != "":
+			nav, rep, err = loadDump(dumpPath, schedulePath, firstTerm, lastTerm, lenient)
+		case catalogPath != "":
+			nav, err = loadJSON(catalogPath)
+		default:
+			nav, _ = coursenav.Brandeis()
+		}
+		if err != nil {
+			return nil, rep, err
+		}
+		if err := nav.UseSyntheticHistory(histYears, seed); err != nil {
+			return nil, rep, fmt.Errorf("history: %v", err)
+		}
+		return nav, rep, nil
+	}
+}
+
+func loadJSON(path string) (*coursenav.Navigator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return coursenav.NewFromJSON(f)
+}
+
+func loadDump(dumpPath, schedulePath, firstTerm, lastTerm string, lenient bool) (*coursenav.Navigator, *coursenav.ImportReport, error) {
+	df, err := os.Open(dumpPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer df.Close()
+	var schedule *os.File
+	if schedulePath != "" {
+		schedule, err = os.Open(schedulePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer schedule.Close()
+	}
+	var sched io.Reader // typed nil *os.File would defeat the nil check inside
+	if schedule != nil {
+		sched = schedule
+	}
+	if lenient {
+		return coursenav.NewFromRegistrarDumpLenient(df, sched, firstTerm, lastTerm)
+	}
+	nav, err := coursenav.NewFromRegistrarDump(df, sched, firstTerm, lastTerm)
+	return nav, nil, err
 }
 
 func logRequests(next http.Handler) http.Handler {

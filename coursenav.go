@@ -31,6 +31,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/degree"
 	"repro/internal/explore"
+	"repro/internal/integrity"
 	"repro/internal/rank"
 	"repro/internal/registrar"
 	"repro/internal/sched"
@@ -101,6 +102,85 @@ func NewFromRegistrarDump(catalogDump io.Reader, schedule io.Reader, firstTerm, 
 	}
 	return &Navigator{cat: cat}, nil
 }
+
+// ImportReport aggregates everything a lenient registrar import learned:
+// parse-stage diagnostics (including the quarantined records'), the course
+// IDs dropped before the catalog was built, and the integrity validation
+// of the final catalog.
+type ImportReport struct {
+	// Diagnostics holds the parse- and quarantine-stage diagnostics,
+	// error severity marking dropped records.
+	Diagnostics []registrar.Diagnostic `json:"diagnostics,omitempty"`
+	// Quarantined lists the course IDs excluded from the built catalog,
+	// in drop order.
+	Quarantined []string `json:"quarantined,omitempty"`
+	// Integrity is the validation report for the catalog that was built.
+	Integrity integrity.Report `json:"integrity"`
+}
+
+// NewFromRegistrarDumpLenient is NewFromRegistrarDump in lenient mode:
+// malformed course records, malformed schedule lines and records whose
+// prerequisites dangle (reference courses absent from — or quarantined
+// out of — the dump) are dropped with diagnostics instead of failing the
+// import, and the surviving catalog is integrity-validated. The error is
+// non-nil only when the input is unreadable, the window invalid, or no
+// importable course survives quarantine.
+func NewFromRegistrarDumpLenient(catalogDump io.Reader, schedule io.Reader, firstTerm, lastTerm string) (*Navigator, *ImportReport, error) {
+	first, err := term.Parse(term.TwoSeason, firstTerm)
+	if err != nil {
+		return nil, nil, err
+	}
+	last, err := term.Parse(term.TwoSeason, lastTerm)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &ImportReport{}
+	specs, diags, err := registrar.ParseCatalogDumpLenient(catalogDump, first, last)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Diagnostics = diags
+	// Quarantined course records come from the catalog parse only: a
+	// dropped schedule *line* names its course in its diagnostic but does
+	// not remove the course from the import.
+	rep.Quarantined = registrar.Quarantined(diags)
+	if schedule != nil {
+		recs, sdiags, err := registrar.ParseScheduleRecordsLenient(schedule, term.TwoSeason)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Diagnostics = append(rep.Diagnostics, sdiags...)
+		rep.Diagnostics = append(rep.Diagnostics, registrar.MergeScheduleLenient(specs, recs)...)
+	}
+	// Spec-level integrity gate: quarantine records catalog construction
+	// would reject (dangling or self prerequisites, duplicates), to a
+	// fixpoint — dropping a course can orphan references to it.
+	clean, dropped, issues := integrity.QuarantineSpecs(term.TwoSeason, specs)
+	for _, is := range issues {
+		rep.Diagnostics = append(rep.Diagnostics, registrar.Diagnostic{
+			Course:   is.Course,
+			Field:    "integrity",
+			Severity: registrar.SevError,
+			Msg:      is.Detail,
+		})
+	}
+	rep.Quarantined = append(rep.Quarantined, dropped...)
+	if len(clean) == 0 {
+		return nil, nil, fmt.Errorf("coursenav: no importable course records (%d quarantined)", len(rep.Quarantined))
+	}
+	cat, err := catalog.FromSpecs(term.TwoSeason, clean)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Integrity = integrity.Check(cat)
+	return &Navigator{cat: cat}, rep, nil
+}
+
+// Integrity validates the navigator's catalog (see internal/integrity):
+// prerequisite cycles, unreachable courses, never-offered dependencies and
+// schedule inconsistencies, graded by severity. The hot-reload path uses
+// the report as its gate.
+func (n *Navigator) Integrity() integrity.Report { return integrity.Check(n.cat) }
 
 // WriteCatalogJSON serialises the catalog as JSON.
 func (n *Navigator) WriteCatalogJSON(w io.Writer) error { return n.cat.WriteJSON(w) }

@@ -56,6 +56,28 @@ MUS 30A | Fall 2013
 MUS 30A | Fall 2015
 `
 
+// corruptDump is the same programme with two typical registrar defects:
+// MUS 20A's prerequisite sentence is cut off mid-parenthesis and MUS 99X
+// has a malformed workload. Strict import fails fast on the first defect;
+// lenient import quarantines exactly the bad records and reports why.
+const corruptDump = `
+course: MUS 10A
+title: Fundamentals of Music Technology
+description: Sound and MIDI. Usually offered every semester.
+workload: 5
+
+course: MUS 20A
+title: Electronic Sound Synthesis
+description: Synthesis. Prerequisite: suitable placement (see department.
+  Usually offered every fall.
+workload: 8
+
+course: MUS 99X
+title: Broken Record
+description: Usually offered every year.
+workload: heavy
+`
+
 func main() {
 	nav, err := coursenav.NewFromRegistrarDump(
 		strings.NewReader(catalogDump),
@@ -91,4 +113,24 @@ func main() {
 	for i, p := range g.Paths(true, 4) {
 		fmt.Printf("%d. %s\n", i+1, p)
 	}
+
+	// Strict vs lenient on a corrupted dump. Strict mode (above) fails
+	// fast on the first malformed record; lenient mode imports what it
+	// can, quarantines the rest and explains each drop.
+	fmt.Println("\n--- corrupted dump ---")
+	if _, err := coursenav.NewFromRegistrarDump(
+		strings.NewReader(corruptDump), nil, "Fall 2012", "Fall 2015"); err != nil {
+		fmt.Printf("strict import: %v\n", err)
+	}
+	lenient, rep, err := coursenav.NewFromRegistrarDumpLenient(
+		strings.NewReader(corruptDump), nil, "Fall 2012", "Fall 2015")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lenient import: %d courses, %d quarantined %v\n",
+		lenient.NumCourses(), len(rep.Quarantined), rep.Quarantined)
+	for _, d := range rep.Diagnostics {
+		fmt.Printf("  %s\n", d)
+	}
+	fmt.Printf("integrity: %s\n", rep.Integrity.Summary())
 }

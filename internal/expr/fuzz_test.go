@@ -1,10 +1,14 @@
 package expr
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
-// FuzzParse checks that the prerequisite-expression parser never panics
-// and that accepted inputs round-trip: rendering and re-parsing is a
-// fixpoint after one iteration.
+// FuzzParse checks that the prerequisite-expression parser never panics,
+// that accepted inputs round-trip (rendering and re-parsing is a
+// fixpoint after one iteration), and that every rejection is a
+// *ParseError whose offset lands inside the input.
 func FuzzParse(f *testing.F) {
 	for _, seed := range []string{
 		"",
@@ -19,12 +23,21 @@ func FuzzParse(f *testing.F) {
 		"a1 or",
 		"\"unterminated",
 		"🎓 101",
+		"é )",
+		"COSI 11A) trailing",
 	} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, input string) {
 		e, err := Parse(input)
 		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("rejection of %q is %T, not *ParseError", input, err)
+			}
+			if pe.Offset < 0 || pe.Offset > len(input) {
+				t.Fatalf("offset %d outside input %q (len %d)", pe.Offset, input, len(input))
+			}
 			return // rejection is fine; panics are not
 		}
 		rendered := e.String()

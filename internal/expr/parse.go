@@ -6,6 +6,25 @@ import (
 	"unicode"
 )
 
+// ParseError is the error type returned by Parse. It carries the byte
+// offset of the offending token inside the input so callers (notably the
+// registrar's Prerequisite Parser) can point users at the exact fragment
+// that failed rather than only at the whole sentence.
+type ParseError struct {
+	// Offset is the byte offset of the offending token in the parsed
+	// input; len(input) when the failure is an unexpected end of input.
+	Offset int
+	// Token is the offending token's text, "" at end of input.
+	Token string
+	// Msg describes the failure.
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("expr: %s at offset %d", e.Msg, e.Offset)
+}
+
 // Parse parses the textual prerequisite language:
 //
 //	expr   := orExpr
@@ -17,9 +36,10 @@ import (
 // a department code and a number ("COSI 11A"), or quoted strings. The comma
 // conjunction matches registrar catalog style ("COSI 11a, COSI 29a").
 // Keywords are case-insensitive. An empty input parses as True (no
-// prerequisite).
+// prerequisite). Failures are reported as *ParseError with the byte offset
+// of the offending token.
 func Parse(input string) (Expr, error) {
-	p := &parser{toks: lex(input)}
+	p := &parser{src: input, toks: lex(input)}
 	if len(p.toks) == 0 {
 		return True{}, nil
 	}
@@ -28,7 +48,9 @@ func Parse(input string) (Expr, error) {
 		return nil, err
 	}
 	if !p.eof() {
-		return nil, fmt.Errorf("expr: unexpected %q at end of %q", p.peek().text, input)
+		t := p.peek()
+		return nil, &ParseError{Offset: t.pos, Token: t.text,
+			Msg: fmt.Sprintf("unexpected %q after complete expression", t.text)}
 	}
 	return e, nil
 }
@@ -57,38 +79,50 @@ type token struct {
 	kind   tokKind
 	text   string
 	quoted bool
+	pos    int // byte offset of the token's first rune in the input
 }
 
 // lex splits the input into tokens. Course-name words are merged later by
 // the parser so that "COSI 11A" lexes as two words but parses as one
-// reference.
+// reference. Every token records its byte offset in the input.
 func lex(input string) []token {
 	var toks []token
 	i := 0
 	rs := []rune(input)
+	// byteOff[i] is the byte offset of rune i in the input. Ranging over
+	// the string yields true byte indexes — unlike summing RuneLen of the
+	// decoded runes, which drifts on invalid UTF-8 (each bad byte decodes
+	// to the 3-byte replacement rune).
+	byteOff := make([]int, len(rs)+1)
+	j := 0
+	for i := range input {
+		byteOff[j] = i
+		j++
+	}
+	byteOff[len(rs)] = len(input)
 	for i < len(rs) {
 		r := rs[i]
 		switch {
 		case unicode.IsSpace(r):
 			i++
 		case r == '(':
-			toks = append(toks, token{kind: tokLParen, text: "("})
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: byteOff[i]})
 			i++
 		case r == ')':
-			toks = append(toks, token{kind: tokRParen, text: ")"})
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: byteOff[i]})
 			i++
 		case r == ',' || r == '&' || r == ';':
-			toks = append(toks, token{kind: tokAnd, text: string(r)})
+			toks = append(toks, token{kind: tokAnd, text: string(r), pos: byteOff[i]})
 			i++
 		case r == '|':
-			toks = append(toks, token{kind: tokOr, text: "|"})
+			toks = append(toks, token{kind: tokOr, text: "|", pos: byteOff[i]})
 			i++
 		case r == '"':
 			j := i + 1
 			for j < len(rs) && rs[j] != '"' {
 				j++
 			}
-			toks = append(toks, token{kind: tokCourse, text: string(rs[i+1 : min(j, len(rs))]), quoted: true})
+			toks = append(toks, token{kind: tokCourse, text: string(rs[i+1 : min(j, len(rs))]), quoted: true, pos: byteOff[i]})
 			if j < len(rs) {
 				j++
 			}
@@ -104,13 +138,13 @@ func lex(input string) []token {
 			word := string(rs[i:j])
 			switch strings.ToLower(word) {
 			case "and":
-				toks = append(toks, token{kind: tokAnd, text: word})
+				toks = append(toks, token{kind: tokAnd, text: word, pos: byteOff[i]})
 			case "or":
-				toks = append(toks, token{kind: tokOr, text: word})
+				toks = append(toks, token{kind: tokOr, text: word, pos: byteOff[i]})
 			case "true", "none":
-				toks = append(toks, token{kind: tokTrue, text: word})
+				toks = append(toks, token{kind: tokTrue, text: word, pos: byteOff[i]})
 			default:
-				toks = append(toks, token{kind: tokCourse, text: word})
+				toks = append(toks, token{kind: tokCourse, text: word, pos: byteOff[i]})
 			}
 			i = j
 		}
@@ -130,6 +164,7 @@ func min(a, b int) int {
 }
 
 type parser struct {
+	src  string
 	toks []token
 	pos  int
 }
@@ -140,6 +175,17 @@ func (p *parser) advance() token {
 	t := p.toks[p.pos]
 	p.pos++
 	return t
+}
+
+// errHere builds a ParseError at the current position: the next unread
+// token, or end of input.
+func (p *parser) errHere(format string, args ...interface{}) *ParseError {
+	e := &ParseError{Offset: len(p.src), Msg: fmt.Sprintf(format, args...)}
+	if !p.eof() {
+		e.Offset = p.peek().pos
+		e.Token = p.peek().text
+	}
+	return e
 }
 
 func (p *parser) parseOr() (Expr, error) {
@@ -178,7 +224,7 @@ func (p *parser) parseAnd() (Expr, error) {
 
 func (p *parser) parseAtom() (Expr, error) {
 	if p.eof() {
-		return nil, fmt.Errorf("expr: unexpected end of expression")
+		return nil, p.errHere("unexpected end of expression")
 	}
 	switch t := p.advance(); t.kind {
 	case tokLParen:
@@ -187,7 +233,7 @@ func (p *parser) parseAtom() (Expr, error) {
 			return nil, err
 		}
 		if p.eof() || p.peek().kind != tokRParen {
-			return nil, fmt.Errorf("expr: missing closing parenthesis")
+			return nil, p.errHere("missing closing parenthesis")
 		}
 		p.advance()
 		return e, nil
@@ -207,9 +253,9 @@ func (p *parser) parseAtom() (Expr, error) {
 		}
 		return Course{ID: strings.Join(parts, " ")}, nil
 	case tokRParen:
-		return nil, fmt.Errorf("expr: unexpected \")\"")
+		return nil, &ParseError{Offset: t.pos, Token: t.text, Msg: `unexpected ")"`}
 	default:
-		return nil, fmt.Errorf("expr: unexpected %q", t.text)
+		return nil, &ParseError{Offset: t.pos, Token: t.text, Msg: fmt.Sprintf("unexpected %q", t.text)}
 	}
 }
 

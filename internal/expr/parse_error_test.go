@@ -1,0 +1,44 @@
+package expr
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParseErrorOffsets: every parse failure is a *ParseError whose
+// Offset is the byte position of the offending token (len(input) at end
+// of input) and whose Token is that token's text.
+func TestParseErrorOffsets(t *testing.T) {
+	cases := []struct {
+		input  string
+		offset int
+		token  string
+	}{
+		{"COSI 11A and (", 14, ""},        // unexpected end inside group
+		{"COSI 11A) extra", 8, ")"},       // stray close after expression
+		{") x", 0, ")"},                   // leading close
+		{"(COSI 11A or COSI 12B", 21, ""}, // unclosed group
+		{"COSI 11A or", 11, ""},           // dangling connective
+		{"é )", 3, ")"},                   // offsets are bytes, not runes
+		{"COSI 11A COSI 21A", 9, "COSI"},  // two references, no connective
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.input)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", tc.input)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error %T is not *ParseError", tc.input, err)
+			continue
+		}
+		if pe.Offset != tc.offset || pe.Token != tc.token {
+			t.Errorf("Parse(%q) = offset %d token %q, want offset %d token %q",
+				tc.input, pe.Offset, pe.Token, tc.offset, tc.token)
+		}
+		if pe.Msg == "" {
+			t.Errorf("Parse(%q) error has empty Msg", tc.input)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package faultio provides failure-injecting io wrappers for tests: a
+// reader that delivers a prefix of its payload and then fails with an
+// injected error. The ingestion and hot-reload tests use it to prove that
+// a data source dying mid-read surfaces as a hard error (never as a
+// silently truncated import) and that a reload aborted mid-parse leaves
+// the serving snapshot untouched.
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the default error a Reader fails with.
+var ErrInjected = errors.New("faultio: injected failure")
+
+// Reader yields at most FailAfter bytes of R, then returns Err.
+type Reader struct {
+	// R is the underlying payload.
+	R io.Reader
+	// FailAfter is the number of bytes to deliver before failing.
+	FailAfter int
+	// Err is the error to return once FailAfter bytes were read; nil
+	// means ErrInjected.
+	Err error
+
+	read int
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.read >= r.FailAfter {
+		return 0, r.err()
+	}
+	if remaining := r.FailAfter - r.read; len(p) > remaining {
+		p = p[:remaining]
+	}
+	n, err := r.R.Read(p)
+	r.read += n
+	if err == io.EOF {
+		// The payload ran out before the injection point: the fault is
+		// still injected, not EOF, so callers exercise the error path.
+		return n, r.err()
+	}
+	return n, err
+}
+
+func (r *Reader) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}

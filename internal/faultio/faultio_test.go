@@ -1,0 +1,48 @@
+package faultio
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestReaderDeliversPrefixThenFails(t *testing.T) {
+	r := &Reader{R: strings.NewReader("hello, world"), FailAfter: 5}
+	b, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(b) != "hello" {
+		t.Errorf("prefix = %q, want %q", b, "hello")
+	}
+}
+
+func TestReaderCustomError(t *testing.T) {
+	custom := errors.New("disk on fire")
+	r := &Reader{R: strings.NewReader("payload"), FailAfter: 3, Err: custom}
+	if _, err := io.ReadAll(r); !errors.Is(err, custom) {
+		t.Errorf("err = %v, want custom error", err)
+	}
+}
+
+// TestReaderShortPayload: the payload running out before the injection
+// point still injects the fault — never a clean EOF — so tests always
+// exercise the error path they mean to.
+func TestReaderShortPayload(t *testing.T) {
+	r := &Reader{R: strings.NewReader("ab"), FailAfter: 100}
+	b, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(b) != "ab" {
+		t.Errorf("payload = %q", b)
+	}
+}
+
+func TestReaderFailAfterZero(t *testing.T) {
+	r := &Reader{R: strings.NewReader("never seen"), FailAfter: 0}
+	if n, err := r.Read(make([]byte, 8)); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Errorf("Read = %d, %v; want 0, ErrInjected", n, err)
+	}
+}

@@ -1,0 +1,139 @@
+package registrar
+
+import (
+	"fmt"
+)
+
+// Severity classifies a Diagnostic. Error-severity diagnostics mark
+// records the lenient parsers quarantined (excluded from the import);
+// warnings mark fragments that were tolerated or ignored.
+type Severity uint8
+
+const (
+	// SevWarning marks input that was tolerated: the record imported,
+	// possibly with the offending fragment ignored.
+	SevWarning Severity = iota
+	// SevError marks input that was quarantined: the record (or line) was
+	// excluded from the import.
+	SevError
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalJSON renders the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the string form.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"warning"`:
+		*s = SevWarning
+	case `"error"`:
+		*s = SevError
+	default:
+		return fmt.Errorf("registrar: bad severity %s", b)
+	}
+	return nil
+}
+
+// Diagnostic locates one defect in registrar input. The lenient parsers
+// accumulate diagnostics instead of aborting on the first bad record, so
+// one malformed course cannot take down a whole catalog import.
+type Diagnostic struct {
+	// Line is the 1-based input line of the defect; 0 when the defect is
+	// not tied to a single line.
+	Line int `json:"line,omitempty"`
+	// Course is the normalised course ID the defect belongs to, when one
+	// is known ("" for defects before any course ID was read).
+	Course string `json:"course,omitempty"`
+	// Field names the defective record part: "course", "prereq",
+	// "workload", "key", "schedule", "merge" or "integrity".
+	Field string `json:"field,omitempty"`
+	// Severity is SevError for quarantined records, SevWarning for
+	// tolerated ones.
+	Severity Severity `json:"severity"`
+	// Msg describes the defect.
+	Msg string `json:"msg"`
+}
+
+// String renders the diagnostic for logs: "line 12 [error] course COSI 11A
+// prereq: ...".
+func (d Diagnostic) String() string {
+	var b []byte
+	if d.Line > 0 {
+		b = fmt.Appendf(b, "line %d ", d.Line)
+	}
+	b = fmt.Appendf(b, "[%s]", d.Severity)
+	if d.Course != "" {
+		b = fmt.Appendf(b, " course %s", d.Course)
+	}
+	if d.Field != "" {
+		b = fmt.Appendf(b, " %s", d.Field)
+	}
+	return fmt.Sprintf("%s: %s", b, d.Msg)
+}
+
+// Errors counts the error-severity diagnostics in diags.
+func Errors(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity == SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// Quarantined returns the distinct course IDs carried by error-severity
+// diagnostics, in first-seen order: the records a lenient import dropped.
+func Quarantined(diags []Diagnostic) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, d := range diags {
+		if d.Severity == SevError && d.Course != "" && !seen[d.Course] {
+			seen[d.Course] = true
+			out = append(out, d.Course)
+		}
+	}
+	return out
+}
+
+// PrereqError is the error type ParsePrereq returns for an unparseable
+// prerequisite sentence. It points at the failing fragment: Offset is a
+// byte offset into Sentence — the cleaned sentence handed to the
+// expression grammar — and Fragment is the offending token's text.
+type PrereqError struct {
+	// Sentence is the cleaned prerequisite sentence that failed to parse
+	// (lowercased, noise phrases stripped, references canonicalised).
+	Sentence string
+	// Raw is the original prerequisite sentence from the prose.
+	Raw string
+	// Offset is the byte offset of the failure within Sentence;
+	// len(Sentence) when the sentence ended unexpectedly.
+	Offset int
+	// Fragment is the offending token's text, "" at end of sentence.
+	Fragment string
+	// Err is the underlying expression parse error.
+	Err error
+}
+
+// Error implements error.
+func (e *PrereqError) Error() string {
+	near := "end of sentence"
+	if e.Fragment != "" {
+		near = fmt.Sprintf("%q", e.Fragment)
+	}
+	return fmt.Sprintf("registrar: cannot parse prerequisite sentence %q at offset %d (near %s): %v",
+		e.Raw, e.Offset, near, e.Err)
+}
+
+// Unwrap returns the underlying expression parse error.
+func (e *PrereqError) Unwrap() error { return e.Err }

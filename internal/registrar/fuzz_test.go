@@ -1,11 +1,23 @@
 package registrar
 
 import (
+	"os"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/term"
 )
+
+// corpusSeed loads one corrupted-corpus file as a fuzz seed.
+func corpusSeed(f *testing.F, name string) string {
+	f.Helper()
+	b, err := os.ReadFile("testdata/corrupt/" + name)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return string(b)
+}
 
 // FuzzParsePrereq checks the Prerequisite Parser never panics on
 // arbitrary catalog prose and that extracted conditions are well-formed
@@ -44,6 +56,7 @@ func FuzzParseCatalogDump(f *testing.F) {
 	f.Add("course: A 1\n\ncourse: B 2\ndescription: Prerequisite: A 1. Usually offered every semester.\n")
 	f.Add("# comment only\n")
 	f.Add("course: COSI 11A\nworkload: NaN\n")
+	f.Add(corpusSeed(f, "catalog.txt"))
 	first := term.TwoSeason.MustTerm(2012, term.Fall)
 	last := term.TwoSeason.MustTerm(2014, term.Fall)
 	f.Fuzz(func(t *testing.T, dump string) {
@@ -53,6 +66,74 @@ func FuzzParseCatalogDump(f *testing.F) {
 		}
 		if len(specs) == 0 {
 			t.Fatal("nil error with zero specs")
+		}
+	})
+}
+
+// FuzzParseCatalogDumpLenient checks lenient parsing never panics and is
+// a strict superset of strict parsing: whenever strict mode accepts a
+// dump, lenient mode must return the identical specs with zero
+// diagnostics; and lenient diagnostics always identify real lines.
+func FuzzParseCatalogDumpLenient(f *testing.F) {
+	f.Add(corpusSeed(f, "catalog.txt"))
+	f.Add("course: COSI 11A\ntitle: X\ndescription: Intro. Usually offered every fall.\nworkload: 9\n")
+	f.Add("course: ???\n\ncourse: A 1\nworkload: -3\n")
+	f.Add("title: orphan\ncourse: A 1\ndescription: Prerequisite: ((.\n")
+	f.Add("course: A 1\n\ncourse: A 1\n")
+	first := term.TwoSeason.MustTerm(2012, term.Fall)
+	last := term.TwoSeason.MustTerm(2014, term.Fall)
+	f.Fuzz(func(t *testing.T, dump string) {
+		lines := strings.Count(dump, "\n") + 1
+		specs, diags, err := ParseCatalogDumpLenient(strings.NewReader(dump), first, last)
+		for _, d := range diags {
+			if d.Line < 0 || d.Line > lines {
+				t.Fatalf("diagnostic line %d outside the %d-line input", d.Line, lines)
+			}
+		}
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 && len(diags) == 0 {
+			t.Fatal("nil error with zero specs and zero diagnostics")
+		}
+		seen := map[string]bool{}
+		for _, sp := range specs {
+			if seen[sp.ID] {
+				t.Fatalf("lenient parse emitted duplicate course %q", sp.ID)
+			}
+			seen[sp.ID] = true
+		}
+		strictSpecs, strictErr := ParseCatalogDump(strings.NewReader(dump), first, last)
+		if strictErr == nil {
+			if Errors(diags) != 0 {
+				t.Fatalf("strict accepted but lenient quarantined: %v", diags)
+			}
+			if !reflect.DeepEqual(specs, strictSpecs) {
+				t.Fatalf("modes diverge on clean input:\n lenient %v\n strict  %v", specs, strictSpecs)
+			}
+		}
+	})
+}
+
+// FuzzParseScheduleRecordsLenient checks the lenient schedule parser
+// never panics and never invents records strict mode would not produce.
+func FuzzParseScheduleRecordsLenient(f *testing.F) {
+	f.Add(corpusSeed(f, "schedule.txt"))
+	f.Add("COSI 11A | Fall 2012\n")
+	f.Add("garbage\nCOSI 11A | Nope 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, diags, err := ParseScheduleRecordsLenient(strings.NewReader(input), term.TwoSeason)
+		if err != nil {
+			return
+		}
+		strictRecs, strictErr := ParseScheduleRecords(strings.NewReader(input), term.TwoSeason)
+		if strictErr == nil {
+			if len(diags) != 0 {
+				t.Fatalf("strict accepted but lenient diagnosed: %v", diags)
+			}
+			if !reflect.DeepEqual(recs, strictRecs) {
+				t.Fatalf("modes diverge on clean input")
+			}
 		}
 	})
 }

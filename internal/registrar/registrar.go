@@ -9,13 +9,23 @@
 // Brandeis-like dataset (internal/brandeis) ships pre-parsed, but
 // cmd/coursenav can ingest registrar dumps through this package, and the
 // integration tests run the full dump → catalog → explore pipeline.
+//
+// Every parser comes in two modes. The strict functions (ParseCatalogDump,
+// ParseScheduleRecords, ParsePrereq, MergeSchedule) abort on the first
+// malformed record — the right behaviour for curated input. The lenient
+// variants (ParseCatalogDumpLenient, …) quarantine bad records and
+// accumulate structured Diagnostics instead, so one corrupt course in a
+// registrar dump of thousands cannot take down the whole import; real
+// course-prerequisite datasets are full of exactly such defects.
 package registrar
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -69,7 +79,8 @@ var nonePhrases = map[string]bool{"": true, "none": true, "n/a": true, "open to 
 // references, maps commas between references to conjunction (registrar
 // style: "COSI 11a, COSI 29a" means both) and parses the result with the
 // internal/expr grammar. Prose without a prerequisite sentence yields the
-// no-prerequisite tautology.
+// no-prerequisite tautology. A failure is reported as *PrereqError, which
+// carries the byte offset and text of the offending fragment.
 func ParsePrereq(prose string) (expr.Expr, error) {
 	loc := prereqIntro.FindStringIndex(prose)
 	if loc == nil {
@@ -84,7 +95,7 @@ func ParsePrereq(prose string) (expr.Expr, error) {
 	s := strings.ToLower(sentence)
 	// Typographic quotes in prose would collide with the expression
 	// grammar's quoting; registrar references never need them.
-	s = strings.NewReplacer(`"`, " ", "\u201c", " ", "\u201d", " ").Replace(s)
+	s = strings.NewReplacer(`"`, " ", "“", " ", "”", " ").Replace(s)
 	for _, noise := range noisePhrases {
 		s = strings.ReplaceAll(s, noise, " ")
 	}
@@ -113,9 +124,37 @@ func ParsePrereq(prose string) (expr.Expr, error) {
 	s = danglingConnectives.ReplaceAllString(s, "")
 	e, err := expr.Parse(s)
 	if err != nil {
-		return nil, fmt.Errorf("registrar: cannot parse prerequisite sentence %q: %v", strings.TrimSpace(sentence), err)
+		pe := &PrereqError{
+			Sentence: s,
+			Raw:      strings.TrimSpace(sentence),
+			Offset:   len(s),
+			Err:      err,
+		}
+		var xe *expr.ParseError
+		if errors.As(err, &xe) {
+			pe.Offset = xe.Offset
+			pe.Fragment = xe.Token
+		}
+		return nil, pe
 	}
 	return e, nil
+}
+
+// ParsePrereqLenient is ParsePrereq in lenient mode: an unparseable
+// prerequisite sentence yields the no-prerequisite tautology plus an
+// error-severity diagnostic describing the failing fragment, instead of an
+// error. Callers decide whether to quarantine the course or accept the
+// weakened condition; ParseCatalogDumpLenient quarantines.
+func ParsePrereqLenient(prose string) (expr.Expr, []Diagnostic) {
+	e, err := ParsePrereq(prose)
+	if err == nil {
+		return e, nil
+	}
+	return expr.True{}, []Diagnostic{{
+		Field:    "prereq",
+		Severity: SevError,
+		Msg:      err.Error(),
+	}}
 }
 
 // offeringPhrase matches "usually offered every ..." scheduling prose.
@@ -163,9 +202,35 @@ func ParseOfferingPhrase(prose string, first, last term.Term) (offered []term.Te
 
 // ParseScheduleRecords parses a class-schedule dump: one "COURSE | TERM"
 // record per line ("COSI 11A | Fall 2011"), '#' comments and blank lines
-// ignored. It returns offerings per normalised course ID.
+// ignored. It returns offerings per normalised course ID, aborting on the
+// first malformed line.
 func ParseScheduleRecords(r io.Reader, cal *term.Calendar) (map[string][]term.Term, error) {
+	out, _, err := parseScheduleRecords(r, cal, false)
+	return out, err
+}
+
+// ParseScheduleRecordsLenient is ParseScheduleRecords in lenient mode:
+// malformed lines are skipped with an error-severity diagnostic naming the
+// line, and the well-formed remainder is returned. The error is non-nil
+// only when reading r itself fails.
+func ParseScheduleRecordsLenient(r io.Reader, cal *term.Calendar) (map[string][]term.Term, []Diagnostic, error) {
+	return parseScheduleRecords(r, cal, true)
+}
+
+func parseScheduleRecords(r io.Reader, cal *term.Calendar, lenient bool) (map[string][]term.Term, []Diagnostic, error) {
 	out := map[string][]term.Term{}
+	var diags []Diagnostic
+	// quarantine records the line's defect (lenient) or aborts (strict).
+	quarantine := func(lineNo int, course, format string, args ...interface{}) error {
+		if lenient {
+			diags = append(diags, Diagnostic{
+				Line: lineNo, Course: course, Field: "schedule",
+				Severity: SevError, Msg: fmt.Sprintf(format, args...),
+			})
+			return nil
+		}
+		return fmt.Errorf("registrar: schedule line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -176,22 +241,31 @@ func ParseScheduleRecords(r io.Reader, cal *term.Calendar) (map[string][]term.Te
 		}
 		parts := strings.SplitN(line, "|", 2)
 		if len(parts) != 2 {
-			return nil, fmt.Errorf("registrar: schedule line %d: want \"COURSE | TERM\", got %q", lineNo, line)
+			if err := quarantine(lineNo, "", "want \"COURSE | TERM\", got %q", line); err != nil {
+				return nil, diags, err
+			}
+			continue
 		}
 		id, ok := NormalizeCourseID(parts[0])
 		if !ok {
-			return nil, fmt.Errorf("registrar: schedule line %d: bad course reference %q", lineNo, parts[0])
+			if err := quarantine(lineNo, "", "bad course reference %q", parts[0]); err != nil {
+				return nil, diags, err
+			}
+			continue
 		}
 		t, err := term.Parse(cal, parts[1])
 		if err != nil {
-			return nil, fmt.Errorf("registrar: schedule line %d: %v", lineNo, err)
+			if err := quarantine(lineNo, id, "%v", err); err != nil {
+				return nil, diags, err
+			}
+			continue
 		}
 		out[id] = append(out[id], t)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("registrar: reading schedule: %v", err)
+		return nil, diags, fmt.Errorf("registrar: reading schedule: %w", err)
 	}
-	return out, nil
+	return out, diags, nil
 }
 
 // ParseCatalogDump parses a registrar catalog dump into course specs. The
@@ -207,24 +281,75 @@ func ParseScheduleRecords(r io.Reader, cal *term.Calendar) (map[string][]term.Te
 // Prerequisites and "usually offered" schedules are extracted from the
 // description by the Prerequisite and Schedule parsers; explicit schedule
 // records (ParseScheduleRecords) may be merged on top via MergeSchedule.
-// Offerings from phrases are expanded over [first, last].
+// Offerings from phrases are expanded over [first, last]. The first
+// malformed record aborts the parse; use ParseCatalogDumpLenient to
+// quarantine bad records instead.
 func ParseCatalogDump(r io.Reader, first, last term.Term) ([]catalog.CourseSpec, error) {
+	specs, _, err := parseCatalogDump(r, first, last, false)
+	return specs, err
+}
+
+// ParseCatalogDumpLenient is ParseCatalogDump in lenient mode: a malformed
+// record (unparseable course ID, bad workload, unknown key, prerequisite
+// prose the grammar rejects, duplicate course ID) is quarantined — dropped
+// from the returned specs — with error-severity Diagnostics identifying
+// the defective lines, while every well-formed record still imports. The
+// error is non-nil only when reading r fails, the window is invalid, or
+// the dump contains no course records at all.
+func ParseCatalogDumpLenient(r io.Reader, first, last term.Term) ([]catalog.CourseSpec, []Diagnostic, error) {
+	return parseCatalogDump(r, first, last, true)
+}
+
+func parseCatalogDump(r io.Reader, first, last term.Term, lenient bool) ([]catalog.CourseSpec, []Diagnostic, error) {
 	if first.IsZero() || last.IsZero() || first.Calendar() != last.Calendar() {
-		return nil, fmt.Errorf("registrar: invalid schedule window")
+		return nil, nil, fmt.Errorf("registrar: invalid schedule window")
 	}
-	var specs []catalog.CourseSpec
-	var cur *catalog.CourseSpec
-	var desc strings.Builder
-	var lastKey string
+	var (
+		specs    []catalog.CourseSpec
+		diags    []Diagnostic
+		cur      *catalog.CourseSpec
+		curBad   bool // lenient: current record is quarantined, drop at flush
+		desc     strings.Builder
+		lastKey  string
+		seen     = map[string]bool{} // IDs successfully flushed (lenient dedup)
+		courseLn int                 // line of the current record's "course:" key
+		descLn   int                 // first description line of the current record
+	)
 
 	flush := func() error {
 		if cur == nil {
 			return nil
 		}
+		defer func() {
+			cur = nil
+			curBad = false
+			desc.Reset()
+		}()
+		if curBad {
+			return nil // diagnostics already recorded
+		}
 		prose := desc.String()
 		q, err := ParsePrereq(prose)
 		if err != nil {
-			return fmt.Errorf("registrar: course %s: %v", cur.ID, err)
+			if !lenient {
+				return fmt.Errorf("registrar: course %s: %v", cur.ID, err)
+			}
+			ln := descLn
+			if ln == 0 {
+				ln = courseLn
+			}
+			diags = append(diags, Diagnostic{
+				Line: ln, Course: cur.ID, Field: "prereq",
+				Severity: SevError, Msg: err.Error(),
+			})
+			return nil
+		}
+		if lenient && seen[cur.ID] {
+			diags = append(diags, Diagnostic{
+				Line: courseLn, Course: cur.ID, Field: "course",
+				Severity: SevError, Msg: fmt.Sprintf("duplicate course %q", cur.ID),
+			})
+			return nil
 		}
 		if _, isTrue := q.(expr.True); !isTrue {
 			cur.Prereq = q.String()
@@ -234,9 +359,27 @@ func ParseCatalogDump(r io.Reader, first, last term.Term) ([]catalog.CourseSpec,
 				cur.Offered = append(cur.Offered, t.Label())
 			}
 		}
+		seen[cur.ID] = true
 		specs = append(specs, *cur)
-		cur = nil
-		desc.Reset()
+		return nil
+	}
+
+	// reject records a per-record defect: in lenient mode the current
+	// record is poisoned (dropped at flush) and parsing continues; in
+	// strict mode the parse aborts with the formatted error.
+	reject := func(lineNo int, field, format string, args ...interface{}) error {
+		if !lenient {
+			return fmt.Errorf("registrar: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		d := Diagnostic{
+			Line: lineNo, Field: field,
+			Severity: SevError, Msg: fmt.Sprintf(format, args...),
+		}
+		if cur != nil {
+			d.Course = cur.ID
+		}
+		diags = append(diags, d)
+		curBad = true
 		return nil
 	}
 
@@ -248,7 +391,7 @@ func ParseCatalogDump(r io.Reader, first, last term.Term) ([]catalog.CourseSpec,
 		line := strings.TrimSpace(raw)
 		if line == "" {
 			if err := flush(); err != nil {
-				return nil, err
+				return nil, diags, err
 			}
 			lastKey = ""
 			continue
@@ -268,50 +411,76 @@ func ParseCatalogDump(r io.Reader, first, last term.Term) ([]catalog.CourseSpec,
 		switch key {
 		case "course":
 			if err := flush(); err != nil {
-				return nil, err
+				return nil, diags, err
 			}
+			courseLn, descLn = lineNo, 0
 			id, ok := NormalizeCourseID(val)
 			if !ok {
-				return nil, fmt.Errorf("registrar: line %d: bad course id %q", lineNo, val)
+				if err := reject(lineNo, "course", "bad course id %q", val); err != nil {
+					return nil, diags, err
+				}
+				// Poison a placeholder record so the block's remaining
+				// lines attach to it instead of reading as orphans.
+				cur = &catalog.CourseSpec{}
+				curBad = true
+				lastKey = "course"
+				continue
 			}
 			cur = &catalog.CourseSpec{ID: id}
 			lastKey = "course"
 		case "title":
 			if cur == nil {
-				return nil, fmt.Errorf("registrar: line %d: %q before course:", lineNo, key)
+				if err := reject(lineNo, "key", "%q before course:", key); err != nil {
+					return nil, diags, err
+				}
+				continue
 			}
 			cur.Title = val
 			lastKey = "title"
 		case "description":
 			if cur == nil {
-				return nil, fmt.Errorf("registrar: line %d: %q before course:", lineNo, key)
+				if err := reject(lineNo, "key", "%q before course:", key); err != nil {
+					return nil, diags, err
+				}
+				continue
+			}
+			if descLn == 0 {
+				descLn = lineNo
 			}
 			desc.WriteString(val)
 			lastKey = "description"
 		case "workload":
 			if cur == nil {
-				return nil, fmt.Errorf("registrar: line %d: %q before course:", lineNo, key)
+				if err := reject(lineNo, "key", "%q before course:", key); err != nil {
+					return nil, diags, err
+				}
+				continue
 			}
 			w, err := strconv.ParseFloat(val, 64)
-			if err != nil {
-				return nil, fmt.Errorf("registrar: line %d: bad workload %q", lineNo, val)
+			if err != nil || w < 0 {
+				if err := reject(lineNo, "workload", "bad workload %q", val); err != nil {
+					return nil, diags, err
+				}
+				continue
 			}
 			cur.Workload = w
 			lastKey = "workload"
 		default:
-			return nil, fmt.Errorf("registrar: line %d: unknown key %q", lineNo, key)
+			if err := reject(lineNo, "key", "unknown key %q", key); err != nil {
+				return nil, diags, err
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("registrar: reading catalog: %v", err)
+		return nil, diags, fmt.Errorf("registrar: reading catalog: %w", err)
 	}
 	if err := flush(); err != nil {
-		return nil, err
+		return nil, diags, err
 	}
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("registrar: empty catalog dump")
+	if len(specs) == 0 && (!lenient || len(diags) == 0) {
+		return nil, diags, fmt.Errorf("registrar: empty catalog dump")
 	}
-	return specs, nil
+	return specs, diags, nil
 }
 
 // MergeSchedule overlays explicit schedule records onto specs: a course
@@ -319,14 +488,36 @@ func ParseCatalogDump(r io.Reader, first, last term.Term) ([]catalog.CourseSpec,
 // over catalog phrases, matching how registrars publish final schedules).
 // Records for unknown courses are an error.
 func MergeSchedule(specs []catalog.CourseSpec, records map[string][]term.Term) error {
+	_, err := mergeSchedule(specs, records, false)
+	return err
+}
+
+// MergeScheduleLenient is MergeSchedule in lenient mode: records for
+// unknown courses are skipped with a warning diagnostic (the course they
+// belonged to may itself have been quarantined) instead of aborting.
+func MergeScheduleLenient(specs []catalog.CourseSpec, records map[string][]term.Term) []Diagnostic {
+	diags, _ := mergeSchedule(specs, records, true)
+	return diags
+}
+
+func mergeSchedule(specs []catalog.CourseSpec, records map[string][]term.Term, lenient bool) ([]Diagnostic, error) {
 	byID := map[string]int{}
 	for i, sp := range specs {
 		byID[sp.ID] = i
 	}
-	for id, offered := range records {
+	var diags []Diagnostic
+	for _, id := range sortedKeys(records) {
+		offered := records[id]
 		i, ok := byID[id]
 		if !ok {
-			return fmt.Errorf("registrar: schedule record for unknown course %q", id)
+			if !lenient {
+				return nil, fmt.Errorf("registrar: schedule record for unknown course %q", id)
+			}
+			diags = append(diags, Diagnostic{
+				Course: id, Field: "merge", Severity: SevWarning,
+				Msg: fmt.Sprintf("schedule record for unknown course %q ignored", id),
+			})
+			continue
 		}
 		labels := make([]string, len(offered))
 		for j, t := range offered {
@@ -334,5 +525,16 @@ func MergeSchedule(specs []catalog.CourseSpec, records map[string][]term.Term) e
 		}
 		specs[i].Offered = labels
 	}
-	return nil
+	return diags, nil
+}
+
+// sortedKeys returns the map's keys sorted, so lenient diagnostics are
+// deterministic.
+func sortedKeys(m map[string][]term.Term) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -1,0 +1,120 @@
+// Hot reload: the server holds its Navigator behind an atomic snapshot
+// pointer. A reload re-parses the catalog source, validates the result
+// with the integrity checker, and atomically swaps the pointer on
+// success; on any failure the old snapshot keeps serving — rollback is
+// the absence of the swap, so there is never a torn or half-loaded
+// catalog. In-flight requests hold the snapshot they started with and
+// are never disturbed.
+package server
+
+import (
+	"log"
+	"net/http"
+
+	"repro"
+	"repro/internal/integrity"
+	"repro/internal/registrar"
+)
+
+// Loader produces a freshly built Navigator for hot reload, plus the
+// import report when the source was parsed leniently. It is called with
+// the reload mutex held, so at most one load runs at a time.
+type Loader func() (*coursenav.Navigator, *coursenav.ImportReport, error)
+
+// ReloadStatus reports one reload attempt.
+type ReloadStatus struct {
+	// OK reports whether the new catalog was swapped in.
+	OK bool `json:"ok"`
+	// Generation counts successful swaps since the server started; it is
+	// the generation now serving (unchanged when the reload was
+	// rejected).
+	Generation uint64 `json:"generation"`
+	// Courses is the new catalog's size (successful reloads only).
+	Courses int `json:"courses,omitempty"`
+	// Reason describes why the reload was rejected (rejections only).
+	Reason string `json:"reason,omitempty"`
+	// Integrity is the validator's report for the candidate catalog; on
+	// a rejection it names exactly what gated the swap.
+	Integrity *integrity.Report `json:"integrity,omitempty"`
+	// Diagnostics and Quarantined surface the lenient import's findings.
+	Diagnostics []registrar.Diagnostic `json:"diagnostics,omitempty"`
+	Quarantined []string               `json:"quarantined,omitempty"`
+}
+
+// ReloadNow runs one reload attempt: load a candidate catalog via the
+// configured Loader, gate it on the integrity validator, swap it in
+// atomically on success. On any failure the serving snapshot is left
+// untouched and the returned status says why. Concurrent calls are
+// serialised; requests in flight during a swap finish on the snapshot
+// they started with.
+func (s *Server) ReloadNow() ReloadStatus {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	st := ReloadStatus{Generation: s.generation.Load()}
+	if s.Loader == nil {
+		st.Reason = "hot reload is not configured: the server was started without a reloadable catalog source"
+		return st
+	}
+	nav, rep, err := s.Loader()
+	if rep != nil {
+		st.Diagnostics = rep.Diagnostics
+		st.Quarantined = rep.Quarantined
+	}
+	if err != nil {
+		st.Reason = "loading catalog: " + err.Error()
+		return st
+	}
+	if nav == nil {
+		st.Reason = "loader returned no catalog"
+		return st
+	}
+	report := nav.Integrity()
+	st.Integrity = &report
+	if !report.OK() {
+		st.Reason = "catalog failed integrity validation: " + report.Summary()
+		return st
+	}
+	st.Courses = nav.NumCourses()
+	s.nav.Store(nav)
+	st.Generation = s.generation.Add(1)
+	st.OK = true
+	return st
+}
+
+// reloadFailure is the body of a rejected reload: the unified error
+// envelope plus the full reload status, so operators see the validator
+// report and the lenient import's diagnostics in one response.
+type reloadFailure struct {
+	Error  errorInfo    `json:"error"`
+	Reload ReloadStatus `json:"reload"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.Loader == nil {
+		writeErr(w, http.StatusNotImplemented, CodeReloadUnavailable,
+			"hot reload is not configured; start the server with a reloadable catalog source")
+		return
+	}
+	st := s.ReloadNow()
+	if rec, ok := w.(*statusRecorder); ok {
+		if st.OK {
+			rec.reload = "applied"
+		} else {
+			rec.reload = "rejected"
+		}
+	}
+	if !st.OK {
+		log.Printf("server: reload rejected: %s", st.Reason)
+		writeJSON(w, http.StatusUnprocessableEntity, reloadFailure{
+			Error: errorInfo{
+				Code:    CodeReloadRejected,
+				Message: "catalog reload rejected; the previous catalog is still serving",
+				Detail:  st.Reason,
+			},
+			Reload: st,
+		})
+		return
+	}
+	log.Printf("server: reload applied: generation %d, %d courses", st.Generation, st.Courses)
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro"
+	"repro/internal/integrity"
+)
+
+// navFromDump builds a navigator from inline registrar text (strict: the
+// text is a test fixture and must be well-formed).
+func navFromDump(t *testing.T, dump string) *coursenav.Navigator {
+	t.Helper()
+	nav, err := coursenav.NewFromRegistrarDump(strings.NewReader(dump), nil, "Fall 2012", "Fall 2013")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nav
+}
+
+const reloadDumpSmall = `
+course: AAA 1
+title: One
+description: Basics. Usually offered every semester.
+workload: 5
+
+course: AAA 2
+title: Two
+description: More. Prerequisite: AAA 1. Usually offered every semester.
+workload: 5
+`
+
+const reloadDumpBig = reloadDumpSmall + `
+course: AAA 3
+title: Three
+description: Even more. Prerequisite: AAA 2. Usually offered every semester.
+workload: 5
+`
+
+// reloadDumpCyclic builds, but its mutual prerequisites make both courses
+// unreachable — the integrity gate must reject it.
+const reloadDumpCyclic = `
+course: BBB 1
+description: Prerequisite: BBB 2. Usually offered every semester.
+
+course: BBB 2
+description: Prerequisite: BBB 1. Usually offered every semester.
+`
+
+func postReload(t *testing.T, ts *httptest.Server) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/v1/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestReloadUnavailableWithoutLoader(t *testing.T) {
+	_, ts := newV1Server(t)
+	resp, body := postReload(t, ts)
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeReloadUnavailable {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeReloadUnavailable)
+	}
+}
+
+// TestReloadRejectedRollsBack: a reload whose candidate fails the
+// integrity gate (and one whose load errors outright) must leave the
+// serving snapshot byte-identical and return the validator's report.
+func TestReloadRejectedRollsBack(t *testing.T) {
+	nav := navFromDump(t, reloadDumpSmall)
+	s := New(nav)
+	s.Loader = func() (*coursenav.Navigator, *coursenav.ImportReport, error) {
+		return navFromDump(t, reloadDumpCyclic), nil, nil
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	const explore = `{"query":{"start":"Fall 2012","end":"Fall 2013","maxPerTerm":2,"countOnly":true},"goal":{"courses":["AAA 2"]}}`
+	doExplore := func() (int, string) {
+		resp, err := http.Post(ts.URL+"/api/v1/explore/goal", "application/json", strings.NewReader(explore))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, maskElapsed(b)
+	}
+
+	_, catalogBefore := getBody(t, ts.URL+"/api/v1/catalog")
+	exploreStatus, exploreBefore := doExplore()
+	if exploreStatus != http.StatusOK {
+		t.Fatalf("exploration before reload: %d %s", exploreStatus, exploreBefore)
+	}
+
+	resp, body := postReload(t, ts)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body %s", resp.StatusCode, body)
+	}
+	var failure struct {
+		Error struct {
+			Code   string `json:"code"`
+			Detail string `json:"detail"`
+		} `json:"error"`
+		Reload ReloadStatus `json:"reload"`
+	}
+	if err := json.Unmarshal(body, &failure); err != nil {
+		t.Fatal(err)
+	}
+	if failure.Error.Code != CodeReloadRejected {
+		t.Errorf("code = %q, want %q", failure.Error.Code, CodeReloadRejected)
+	}
+	if failure.Reload.OK || failure.Reload.Generation != 0 {
+		t.Errorf("reload status = %+v, want rejected at generation 0", failure.Reload)
+	}
+	if failure.Reload.Integrity == nil || failure.Reload.Integrity.Errors == 0 {
+		t.Errorf("rejection carries no validator report: %+v", failure.Reload.Integrity)
+	}
+	for _, is := range failure.Reload.Integrity.Issues {
+		if is.Code == integrity.CodeUnreachable || is.Code == integrity.CodePrereqCycle {
+			goto reported
+		}
+	}
+	t.Errorf("validator report does not name the cycle: %+v", failure.Reload.Integrity.Issues)
+reported:
+
+	// The serving snapshot is untouched: catalog and exploration replay
+	// byte-identically (modulo the elapsed-time measurement).
+	if _, after := getBody(t, ts.URL+"/api/v1/catalog"); after != catalogBefore {
+		t.Errorf("catalog changed across a rejected reload:\n before %s\n after  %s", catalogBefore, after)
+	}
+	if _, after := doExplore(); after != exploreBefore {
+		t.Errorf("exploration changed across a rejected reload:\n before %s\n after  %s", exploreBefore, after)
+	}
+	if g := s.Generation(); g != 0 {
+		t.Errorf("generation = %d after rejected reload", g)
+	}
+
+	// A loader that errors outright rolls back the same way.
+	s.Loader = func() (*coursenav.Navigator, *coursenav.ImportReport, error) {
+		return nil, nil, fmt.Errorf("source unreadable")
+	}
+	resp, body = postReload(t, ts)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "source unreadable") {
+		t.Errorf("rejection hides the load error: %s", body)
+	}
+	if _, after := getBody(t, ts.URL+"/api/v1/catalog"); after != catalogBefore {
+		t.Error("catalog changed across an errored reload")
+	}
+
+	// Reload outcomes land in the usage counters.
+	st := s.Usage.Snapshot()
+	if st.ReloadsRejected != 2 || st.ReloadsApplied != 0 {
+		t.Errorf("reload counters = applied %d rejected %d, want 0/2", st.ReloadsApplied, st.ReloadsRejected)
+	}
+}
+
+func TestReloadAppliedSwapsAtomically(t *testing.T) {
+	s := New(navFromDump(t, reloadDumpSmall))
+	s.Loader = func() (*coursenav.Navigator, *coursenav.ImportReport, error) {
+		return navFromDump(t, reloadDumpBig), nil, nil
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	resp, body := postReload(t, ts)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var st ReloadStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.OK || st.Generation != 1 || st.Courses != 3 {
+		t.Errorf("status = %+v, want ok at generation 1 with 3 courses", st)
+	}
+	var courses []coursenav.CourseInfo
+	_, catalogBody := getBody(t, ts.URL+"/api/v1/catalog")
+	if err := json.Unmarshal([]byte(catalogBody), &courses); err != nil {
+		t.Fatal(err)
+	}
+	if len(courses) != 3 {
+		t.Errorf("new requests see %d courses, want 3", len(courses))
+	}
+	if stats := s.Usage.Snapshot(); stats.ReloadsApplied != 1 {
+		t.Errorf("reloadsApplied = %d, want 1", stats.ReloadsApplied)
+	}
+}
+
+// TestPanicRecovery: a panicking handler yields the v1 internal error
+// envelope and the server keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	s, ts := newV1Server(t)
+	s.mux.HandleFunc("GET /api/v1/boom", func(http.ResponseWriter, *http.Request) {
+		panic("poisoned request")
+	})
+	status, body := getBody(t, ts.URL+"/api/v1/boom")
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", status)
+	}
+	var env envelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("panic response is not the error envelope: %q (%v)", body, err)
+	}
+	if env.Error.Code != CodeInternal {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeInternal)
+	}
+	// The process survived; ordinary requests still work.
+	if status, _ := getBody(t, ts.URL+"/healthz"); status != http.StatusOK {
+		t.Errorf("healthz after panic = %d", status)
+	}
+	// The panicked request was still recorded with its 500.
+	found := false
+	for _, e := range s.Usage.Events() {
+		if e.Endpoint == "GET /api/v1/boom" && e.Status == http.StatusInternalServerError {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("panicked request missing from the usage log")
+	}
+}
+
+// TestPanicRecoveryMidResponse: a panic after the handler started writing
+// cannot inject an error envelope into the half-written body; recovery
+// must not write a second header.
+func TestPanicRecoveryMidResponse(t *testing.T) {
+	s, ts := newV1Server(t)
+	s.mux.HandleFunc("GET /api/v1/halfboom", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"partial":`))
+		panic("mid-body")
+	})
+	status, body := getBody(t, ts.URL+"/api/v1/halfboom")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want the already-sent 200", status)
+	}
+	if strings.Contains(body, "internal") {
+		t.Errorf("error envelope injected into a half-written body: %q", body)
+	}
+}
+
+// TestReloadUnderLoad: reloads racing live traffic. Every request must
+// see a complete snapshot — one catalog or the other, never a mixture —
+// and the race detector must stay quiet.
+func TestReloadUnderLoad(t *testing.T) {
+	var flip atomic.Bool
+	s := New(navFromDump(t, reloadDumpSmall))
+	s.Loader = func() (*coursenav.Navigator, *coursenav.ImportReport, error) {
+		if flip.Load() {
+			return navFromDump(t, reloadDumpBig), nil, nil
+		}
+		return navFromDump(t, reloadDumpSmall), nil, nil
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	const (
+		readers    = 6
+		iterations = 30
+		reloads    = 20
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, readers*iterations+reloads)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				resp, err := http.Get(ts.URL + "/api/v1/catalog")
+				if err != nil {
+					errc <- err
+					return
+				}
+				var courses []coursenav.CourseInfo
+				err = json.NewDecoder(resp.Body).Decode(&courses)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if n := len(courses); n != 2 && n != 3 {
+					errc <- fmt.Errorf("torn snapshot: %d courses", n)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < reloads; r++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			flip.Store(i%2 == 0)
+			resp, err := http.Post(ts.URL+"/api/v1/admin/reload", "application/json", nil)
+			if err != nil {
+				errc <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("reload status %d", resp.StatusCode)
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if g := s.Generation(); g != uint64(reloads) {
+		t.Errorf("generation = %d, want %d successful swaps", g, reloads)
+	}
+	if st := s.Usage.Snapshot(); st.ReloadsApplied != reloads {
+		t.Errorf("reloadsApplied = %d, want %d", st.ReloadsApplied, reloads)
+	}
+}

@@ -16,6 +16,7 @@
 //	POST /api/v1/explore/whatif          rank this semester's selections
 //	POST /api/v1/audit                   degree-progress report
 //	GET  /api/v1/stats                   aggregated usage statistics
+//	POST /api/v1/admin/reload            catalog hot-reload (v1 only)
 //	GET  /                               embedded single-page visualizer
 //
 // The explore endpoints share one request shape (ExploreRequest) with
@@ -32,6 +33,11 @@
 // 429 + Retry-After instead of queueing unboundedly. Materialised graphs
 // additionally respect the hard NodeBudget (422 budget_exceeded), the
 // condition the paper's Table 2 reports as "N/A".
+//
+// The catalog is served from an atomic snapshot pointer; see reload.go
+// for the hot-reload path (validate-then-swap with rollback). Handler
+// panics are recovered into the internal error envelope with a logged
+// stack, so a poisoned request cannot take the process down.
 package server
 
 import (
@@ -39,8 +45,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -65,17 +75,25 @@ const DefaultMaxConcurrent = 64
 
 // Machine-readable error codes of the v1 error envelope.
 const (
-	CodeBadRequest     = "bad_request"
-	CodeUnknownCourse  = "unknown_course"
-	CodeNotFound       = "not_found"
-	CodeBudgetExceeded = "budget_exceeded"
-	CodeOverloaded     = "overloaded"
-	CodeInternal       = "internal"
+	CodeBadRequest        = "bad_request"
+	CodeUnknownCourse     = "unknown_course"
+	CodeNotFound          = "not_found"
+	CodeBudgetExceeded    = "budget_exceeded"
+	CodeOverloaded        = "overloaded"
+	CodeInternal          = "internal"
+	CodeReloadRejected    = "reload_rejected"
+	CodeReloadUnavailable = "reload_unavailable"
 )
 
 // Server wires a Navigator into an http.Handler.
+//
+// The navigator is held behind an atomic snapshot pointer: every request
+// reads the pointer once on entry and runs entirely against that
+// snapshot, so a hot reload (ReloadNow, POST /api/v1/admin/reload)
+// swapping in a new catalog never disturbs explorations already in
+// flight.
 type Server struct {
-	nav *coursenav.Navigator
+	nav atomic.Pointer[coursenav.Navigator]
 	mux *http.ServeMux
 	// NodeBudget and MaxResponseNodes override the defaults when positive.
 	NodeBudget       int
@@ -90,20 +108,33 @@ type Server struct {
 	// Usage records every API call for the /api/v1/stats aggregate (§6's
 	// "collect and analyze usage logs").
 	Usage *usage.Log
+	// Loader, when set, enables hot reload: ReloadNow and the
+	// /api/v1/admin/reload endpoint re-parse the catalog source through
+	// it. Set before the first request is served.
+	Loader Loader
 
-	sem chan struct{} // lazily sized from MaxConcurrent on first acquire
+	sem        chan struct{} // lazily sized from MaxConcurrent on first acquire
+	reloadMu   sync.Mutex    // serialises reload attempts
+	generation atomic.Uint64 // successful swaps since start
 }
+
+// Navigator returns the currently serving catalog snapshot. Handlers
+// read it once per request; callers may use it for diagnostics.
+func (s *Server) Navigator() *coursenav.Navigator { return s.nav.Load() }
+
+// Generation returns the number of successful catalog swaps since start.
+func (s *Server) Generation() uint64 { return s.generation.Load() }
 
 // New returns a Server for the given navigator.
 func New(nav *coursenav.Navigator) *Server {
 	s := &Server{
-		nav:              nav,
 		NodeBudget:       DefaultNodeBudget,
 		MaxResponseNodes: DefaultMaxResponseNodes,
 		RequestTimeout:   DefaultRequestTimeout,
 		MaxConcurrent:    DefaultMaxConcurrent,
 		Usage:            usage.NewLog(4096),
 	}
+	s.nav.Store(nav)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -130,6 +161,8 @@ func New(nav *coursenav.Navigator) *Server {
 		mux.HandleFunc(method+" /api/v1"+path, rt.h)
 		mux.HandleFunc(method+" /api"+path, rt.h)
 	}
+	// Admin surface: v1 only, no legacy alias.
+	mux.HandleFunc("POST /api/v1/admin/reload", s.handleReload)
 	mux.HandleFunc("GET /{$}", s.handleUI)
 	s.mux = mux
 	return s
@@ -137,20 +170,32 @@ func New(nav *coursenav.Navigator) *Server {
 
 // ServeHTTP implements http.Handler, recording every request in the
 // usage log under its canonical v1 endpoint (alias traffic aggregates
-// with v1 traffic).
+// with v1 traffic). A handler panic is recovered into the v1 internal
+// error envelope with a logged stack, so one poisoned request cannot
+// kill the process.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	began := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			log.Printf("server: panic handling %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			if !rec.wroteHeader {
+				writeErr(rec, http.StatusInternalServerError, CodeInternal,
+					"internal server error handling %s %s", r.Method, r.URL.Path)
+			}
+		}
+		s.Usage.Record(usage.Event{
+			When:     time.Now(),
+			Endpoint: r.Method + " " + canonicalPath(r.URL.Path),
+			Window:   rec.window,
+			Paths:    rec.paths,
+			Stopped:  rec.stopped,
+			Reload:   rec.reload,
+			Duration: time.Since(began),
+			Status:   rec.status,
+		})
+	}()
 	s.mux.ServeHTTP(rec, r)
-	s.Usage.Record(usage.Event{
-		When:     time.Now(),
-		Endpoint: r.Method + " " + canonicalPath(r.URL.Path),
-		Window:   rec.window,
-		Paths:    rec.paths,
-		Stopped:  rec.stopped,
-		Duration: time.Since(began),
-		Status:   rec.status,
-	})
 }
 
 // canonicalPath maps a legacy /api/... alias to its /api/v1/... form.
@@ -200,15 +245,23 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 // the usage event with exploration details.
 type statusRecorder struct {
 	http.ResponseWriter
-	status  int
-	window  string
-	paths   int64
-	stopped string
+	status      int
+	wroteHeader bool
+	window      string
+	paths       int64
+	stopped     string
+	reload      string
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wroteHeader = true
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wroteHeader = true // an implicit 200 header accompanies the first write
+	return r.ResponseWriter.Write(b)
 }
 
 // annotate attaches exploration details to the request's usage event.
@@ -273,12 +326,12 @@ func (s *Server) writeNavErr(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.nav.Courses())
+	writeJSON(w, http.StatusOK, s.Navigator().Courses())
 }
 
 func (s *Server) handleCourse(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	c, ok := s.nav.Course(id)
+	c, ok := s.Navigator().Course(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, CodeUnknownCourse, "unknown course %q", id)
 		return
@@ -298,7 +351,7 @@ func (s *Server) handleOptions(w http.ResponseWriter, r *http.Request) {
 			completed = append(completed, strings.TrimSpace(c))
 		}
 	}
-	opts, err := s.nav.FeasibleNow(completed, termLabel)
+	opts, err := s.Navigator().FeasibleNow(completed, termLabel)
 	if err != nil {
 		s.writeNavErr(w, err)
 		return
@@ -316,7 +369,9 @@ type GoalSpec struct {
 	Degree []coursenav.DegreeGroup `json:"degree,omitempty"`
 }
 
-func (s *Server) buildGoal(spec GoalSpec) (coursenav.Goal, error) {
+// buildGoal resolves a goal spec against the given catalog snapshot (the
+// one the calling handler is serving the whole request from).
+func buildGoal(nav *coursenav.Navigator, spec GoalSpec) (coursenav.Goal, error) {
 	set := 0
 	if len(spec.Courses) > 0 {
 		set++
@@ -332,11 +387,11 @@ func (s *Server) buildGoal(spec GoalSpec) (coursenav.Goal, error) {
 	}
 	switch {
 	case len(spec.Courses) > 0:
-		return s.nav.GoalCourses(spec.Courses...)
+		return nav.GoalCourses(spec.Courses...)
 	case spec.Expr != "":
-		return s.nav.GoalExpr(spec.Expr)
+		return nav.GoalExpr(spec.Expr)
 	default:
-		return s.nav.GoalDegree(spec.Degree...)
+		return nav.GoalDegree(spec.Degree...)
 	}
 }
 
@@ -414,13 +469,14 @@ func (req *ExploreRequest) checkExtras(w http.ResponseWriter, endpoint string, w
 	return true
 }
 
-// goal resolves the request's goal spec, which must be present.
-func (s *Server) goal(w http.ResponseWriter, req *ExploreRequest) (coursenav.Goal, bool) {
+// goal resolves the request's goal spec, which must be present, against
+// the handler's catalog snapshot.
+func (s *Server) goal(nav *coursenav.Navigator, w http.ResponseWriter, req *ExploreRequest) (coursenav.Goal, bool) {
 	if req.Goal == nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "missing goal")
 		return coursenav.Goal{}, false
 	}
-	g, err := s.buildGoal(*req.Goal)
+	g, err := buildGoal(nav, *req.Goal)
 	if err != nil {
 		s.writeNavErr(w, err)
 		return coursenav.Goal{}, false
@@ -536,10 +592,11 @@ func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
 	if !req.checkExtras(w, "explore/deadline", false, false) {
 		return
 	}
+	nav := s.Navigator()
 	ctx, cancel := s.runCtx(r, req.Budget)
 	defer cancel()
 	if req.Query.CountOnly {
-		sum, err := s.nav.DeadlineCountCtx(ctx, s.query(req.Query, req.Budget))
+		sum, err := nav.DeadlineCountCtx(ctx, s.query(req.Query, req.Budget))
 		if err != nil {
 			s.writeNavErr(w, err)
 			return
@@ -548,7 +605,7 @@ func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, exploreResponse{Summary: toSummaryBody(sum)})
 		return
 	}
-	g, sum, err := s.nav.DeadlineCtx(ctx, s.query(req.Query, req.Budget))
+	g, sum, err := nav.DeadlineCtx(ctx, s.query(req.Query, req.Budget))
 	annotate(w, req.Query, sum.Paths, sum.Stopped)
 	s.respondGraph(w, g, sum, err)
 }
@@ -561,14 +618,15 @@ func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
 	if !req.checkExtras(w, "explore/goal", true, false) {
 		return
 	}
-	goal, ok := s.goal(w, &req)
+	nav := s.Navigator()
+	goal, ok := s.goal(nav, w, &req)
 	if !ok {
 		return
 	}
 	ctx, cancel := s.runCtx(r, req.Budget)
 	defer cancel()
 	if req.Query.CountOnly {
-		sum, err := s.nav.GoalPathsCountCtx(ctx, s.query(req.Query, req.Budget), goal)
+		sum, err := nav.GoalPathsCountCtx(ctx, s.query(req.Query, req.Budget), goal)
 		if err != nil {
 			s.writeNavErr(w, err)
 			return
@@ -577,7 +635,7 @@ func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, exploreResponse{Summary: toSummaryBody(sum)})
 		return
 	}
-	g, sum, err := s.nav.GoalPathsCtx(ctx, s.query(req.Query, req.Budget), goal)
+	g, sum, err := nav.GoalPathsCtx(ctx, s.query(req.Query, req.Budget), goal)
 	annotate(w, req.Query, sum.GoalPaths, sum.Stopped)
 	s.respondGraph(w, g, sum, err)
 }
@@ -592,7 +650,8 @@ func (s *Server) handleRanked(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	goal, ok := s.goal(w, &req)
+	nav := s.Navigator()
+	goal, ok := s.goal(nav, w, &req)
 	if !ok {
 		return
 	}
@@ -602,9 +661,9 @@ func (s *Server) handleRanked(w http.ResponseWriter, r *http.Request) {
 	var sum coursenav.Summary
 	var err error
 	if len(req.Weights) > 0 {
-		paths, sum, err = s.nav.TopKWeightedCtx(ctx, s.query(req.Query, req.Budget), goal, req.Weights, req.K)
+		paths, sum, err = nav.TopKWeightedCtx(ctx, s.query(req.Query, req.Budget), goal, req.Weights, req.K)
 	} else {
-		paths, sum, err = s.nav.TopKCtx(ctx, s.query(req.Query, req.Budget), goal, req.Ranking, req.K)
+		paths, sum, err = nav.TopKCtx(ctx, s.query(req.Query, req.Budget), goal, req.Ranking, req.K)
 	}
 	if err != nil {
 		s.writeNavErr(w, err)
@@ -631,12 +690,13 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "audit requires a degree goal")
 		return
 	}
-	goal, err := s.nav.GoalDegree(req.Goal.Degree...)
+	nav := s.Navigator()
+	goal, err := nav.GoalDegree(req.Goal.Degree...)
 	if err != nil {
 		s.writeNavErr(w, err)
 		return
 	}
-	rep, err := s.nav.Audit(req.Completed, goal, req.Now, req.Deadline, req.MaxPerTerm)
+	rep, err := nav.Audit(req.Completed, goal, req.Now, req.Deadline, req.MaxPerTerm)
 	if err != nil {
 		s.writeNavErr(w, err)
 		return
@@ -660,13 +720,14 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	if !req.checkExtras(w, "explore/whatif", true, false) {
 		return
 	}
-	goal, ok := s.goal(w, &req)
+	nav := s.Navigator()
+	goal, ok := s.goal(nav, w, &req)
 	if !ok {
 		return
 	}
 	ctx, cancel := s.runCtx(r, req.Budget)
 	defer cancel()
-	impacts, stopped, err := s.nav.CompareSelectionsCtx(ctx, s.query(req.Query, req.Budget), goal)
+	impacts, stopped, err := nav.CompareSelectionsCtx(ctx, s.query(req.Query, req.Budget), goal)
 	if err != nil {
 		s.writeNavErr(w, err)
 		return

@@ -33,6 +33,9 @@ type Event struct {
 	// "deadline", "max-nodes", "max-paths"); empty for complete runs and
 	// non-exploration endpoints.
 	Stopped string `json:"stopped,omitempty"`
+	// Reload is "applied" or "rejected" for catalog hot-reload attempts
+	// (the admin endpoint or SIGHUP); empty otherwise.
+	Reload string `json:"reload,omitempty"`
 	// Duration is the handling latency.
 	Duration time.Duration `json:"durationNs"`
 	// Status is the HTTP status code returned.
@@ -116,8 +119,14 @@ type Stats struct {
 	// questions bigger than the interactive budget.
 	BudgetHits int `json:"budgetHits"`
 	// Canceled counts runs ended by client disconnect.
-	Canceled  int             `json:"canceled"`
-	Endpoints []EndpointStats `json:"endpoints"`
+	Canceled int `json:"canceled"`
+	// ReloadsApplied and ReloadsRejected count catalog hot-reload
+	// outcomes (admin endpoint and SIGHUP), so operators can see how
+	// often new registrar data arrives and how often the integrity gate
+	// turns it away.
+	ReloadsApplied  int             `json:"reloadsApplied"`
+	ReloadsRejected int             `json:"reloadsRejected"`
+	Endpoints       []EndpointStats `json:"endpoints"`
 	// TopWindows lists the most-queried exploration windows, a proxy for
 	// which academic periods students care about.
 	TopWindows []WindowCount `json:"topWindows,omitempty"`
@@ -140,6 +149,12 @@ func (l *Log) Snapshot() Stats {
 			st.Canceled++
 		default:
 			st.BudgetHits++
+		}
+		switch e.Reload {
+		case "applied":
+			st.ReloadsApplied++
+		case "rejected":
+			st.ReloadsRejected++
 		}
 		if e.Window != "" {
 			windows[e.Window]++

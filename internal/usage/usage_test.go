@@ -79,6 +79,32 @@ func TestSnapshot(t *testing.T) {
 	}
 }
 
+func TestSnapshotReloadCounters(t *testing.T) {
+	l := NewLog(16)
+	applied := ev("POST /api/v1/admin/reload", 3, 200, "")
+	applied.Reload = "applied"
+	rejected := ev("POST /api/v1/admin/reload", 2, 422, "")
+	rejected.Reload = "rejected"
+	hup := ev("SIGHUP reload", 4, 200, "")
+	hup.Reload = "applied"
+	l.Record(applied)
+	l.Record(rejected)
+	l.Record(rejected)
+	l.Record(hup)
+	l.Record(ev("/api/v1/catalog", 1, 200, "")) // no Reload field: not counted
+
+	st := l.Snapshot()
+	if st.ReloadsApplied != 2 {
+		t.Errorf("ReloadsApplied = %d, want 2", st.ReloadsApplied)
+	}
+	if st.ReloadsRejected != 2 {
+		t.Errorf("ReloadsRejected = %d, want 2", st.ReloadsRejected)
+	}
+	if st.Errors != 2 {
+		t.Errorf("Errors = %d, want 2 (rejected reloads return 422)", st.Errors)
+	}
+}
+
 func TestSnapshotEmpty(t *testing.T) {
 	st := NewLog(5).Snapshot()
 	if st.Total != 0 || len(st.Endpoints) != 0 || len(st.TopWindows) != 0 {
