@@ -5,12 +5,23 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-short bench bench-smoke fuzz-short
+.PHONY: check vet lint build test race race-short bench bench-smoke fuzz-short \
+	bench-regress bench-baseline
 
-check: vet build race-short race fuzz-short bench-smoke
+check: lint build race-short race fuzz-short bench-smoke bench-regress
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: vet always; staticcheck when installed (CI installs
+# it — see .github/workflows/ci.yml; locally it is optional and skipped
+# with a note rather than failing the build).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -44,3 +55,27 @@ bench:
 # One quick iteration of the hot-path benchmarks.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Table1GoalPruning|Classify|Selections|RequirementRemaining' -benchtime 10x ./...
+
+# Benchmark-regression gate: run the streaming/heap benchmarks and
+# compare against the checked-in baseline (BENCH_baseline.json) with
+# cmd/benchguard (allocs may grow ≤25%, ns ≤3x). When benchstat is
+# installed (CI installs it), a human-readable delta is printed too.
+# Keep the -bench pattern and -benchtime in sync with bench-baseline —
+# allocs/op amortisation depends on the iteration count.
+BENCH_GATE = GoalStream$$|GoalMaterialize$$|FrontierHeapGeneric$$|FrontierHeapBoxed$$
+BENCH_DIR  = .bench
+BENCH_RUN  = $(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -benchtime 20x ./internal/explore/
+
+bench-regress:
+	@mkdir -p $(BENCH_DIR)
+	$(BENCH_RUN) | tee $(BENCH_DIR)/current.txt | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -extract > $(BENCH_DIR)/baseline.txt; \
+		benchstat $(BENCH_DIR)/baseline.txt $(BENCH_DIR)/current.txt; \
+	else \
+		echo "bench-regress: benchstat not installed, delta report skipped (gate enforced by benchguard)"; \
+	fi
+
+# Rewrite BENCH_baseline.json from a fresh run on this machine.
+bench-baseline:
+	$(BENCH_RUN) | $(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -update

@@ -20,6 +20,12 @@
 //	impact      analyse a schedule revision: diff two catalogs, path-space
 //	            delta, and which existing plans break
 //
+// The default path listing of deadline, goal and rank streams: each path
+// is printed the moment the engine completes it (rank: best first), so
+// the first lines appear while large explorations are still running. The
+// graph renders (-dot, -tree, -json) and -count keep the materialised
+// single-shot behaviour.
+//
 // Global flags select the catalog source:
 //
 //	-catalog file.json          catalog JSON (see `coursenav catalog -json`)
@@ -38,6 +44,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -273,29 +280,51 @@ func printSummary(sum coursenav.Summary) {
 		sum.Paths, sum.GoalPaths, sum.Nodes, sum.Edges, sum.PrunedTime, sum.PrunedAvail, sum.Elapsed)
 }
 
-func (a *app) render(g *coursenav.Graph, sum coursenav.Summary, rf renderFlags, goalOnly bool) error {
+// wantsGraph reports whether a graph render was requested; everything
+// else streams.
+func (rf renderFlags) wantsGraph() bool { return *rf.dot || *rf.tree || *rf.asJSON }
+
+// render emits the materialised graph in the requested format.
+func (a *app) render(g *coursenav.Graph, sum coursenav.Summary, rf renderFlags) error {
 	printSummary(sum)
 	switch {
 	case *rf.dot:
 		return g.WriteDOT(os.Stdout)
 	case *rf.tree:
 		return g.WriteTree(os.Stdout, 0)
-	case *rf.asJSON:
-		return g.WriteJSON(os.Stdout, 0)
 	default:
-		paths := g.Paths(goalOnly, *rf.limit)
-		for i, p := range paths {
-			fmt.Printf("%3d. %s\n", i+1, p)
-		}
-		total := sum.Paths
-		if goalOnly {
-			total = sum.GoalPaths
-		}
-		if int64(len(paths)) < total {
-			fmt.Printf("… (%d more; raise -limit or use -dot/-json)\n", total-int64(len(paths)))
-		}
-		return nil
+		return g.WriteJSON(os.Stdout, 0)
 	}
+}
+
+// streamList drives a streaming run, printing each path the moment the
+// engine delivers it — the first line appears while the exploration is
+// still working, and memory stays proportional to the search depth. Only
+// the first `limit` paths are printed (0 = all); the run continues past
+// the limit so the trailing summary still carries exact totals.
+func streamList(limit int, goalOnly bool, run func(fn func(coursenav.StreamedPath) error) (coursenav.Summary, error)) error {
+	shown := 0
+	var total int64
+	sum, err := run(func(p coursenav.StreamedPath) error {
+		if goalOnly && !p.Goal {
+			return nil
+		}
+		total++
+		if limit > 0 && shown >= limit {
+			return nil
+		}
+		shown++
+		fmt.Printf("%3d. %s\n", shown, p.Path)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if int64(shown) < total {
+		fmt.Printf("… (%d more; raise -limit or use -dot/-json)\n", total-int64(shown))
+	}
+	printSummary(sum)
+	return nil
 }
 
 func (a *app) cmdDeadline(args []string) error {
@@ -313,11 +342,16 @@ func (a *app) cmdDeadline(args []string) error {
 		printSummary(sum)
 		return nil
 	}
+	if !rf.wantsGraph() {
+		return streamList(*rf.limit, false, func(fn func(coursenav.StreamedPath) error) (coursenav.Summary, error) {
+			return a.nav.DeadlineStream(context.Background(), sf.query(), fn)
+		})
+	}
 	g, sum, err := a.nav.Deadline(sf.query())
 	if err != nil {
 		return err
 	}
-	return a.render(g, sum, rf, false)
+	return a.render(g, sum, rf)
 }
 
 // goalFlags parse the three goal forms.
@@ -389,11 +423,16 @@ func (a *app) cmdGoal(args []string) error {
 		printSummary(sum)
 		return nil
 	}
+	if !rf.wantsGraph() {
+		return streamList(*rf.limit, true, func(fn func(coursenav.StreamedPath) error) (coursenav.Summary, error) {
+			return a.nav.GoalStream(context.Background(), q, goal, fn)
+		})
+	}
 	g, sum, err := a.nav.GoalPaths(q, goal)
 	if err != nil {
 		return err
 	}
-	return a.render(g, sum, rf, true)
+	return a.render(g, sum, rf)
 }
 
 func (a *app) cmdRank(args []string) error {
@@ -416,16 +455,20 @@ func (a *app) cmdRank(args []string) error {
 			return err
 		}
 	}
-	paths, sum, err := a.nav.TopK(sf.query(), goal, *ranking, *k)
+	// Stream the top-k: best-first search delivers each path the moment
+	// it is popped, best path first, long before the search finishes.
+	n := 0
+	sum, err := a.nav.TopKStream(context.Background(), sf.query(), goal, *ranking, *k, func(p coursenav.StreamedPath) error {
+		n++
+		fmt.Printf("%3d. [%s=%.4g] %s\n", n, *ranking, p.Value, p.Path)
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 	printSummary(sum)
-	for i, p := range paths {
-		fmt.Printf("%3d. [%s=%.4g] %s\n", i+1, *ranking, p.Value, p)
-	}
-	if len(paths) < *k {
-		fmt.Printf("only %d goal paths exist\n", len(paths))
+	if n < *k {
+		fmt.Printf("only %d goal paths exist\n", n)
 	}
 	return nil
 }

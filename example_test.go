@@ -1,6 +1,7 @@
 package coursenav_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -77,6 +78,66 @@ Spring 2015: COSI 21B, COSI 31A, COSI 119A
 	r := results[0]
 	fmt.Printf("%s: valid=%v reaches major=%v\n", r.Student, r.Err == "", r.GoalMet)
 	// Output: ambitious: valid=true reaches major=true
+}
+
+func ExampleNavigator_GoalStream() {
+	nav, major := coursenav.Brandeis()
+	// Stream paths as the engine completes them — no graph is built, so
+	// memory stays proportional to the search depth. ErrStopStream ends
+	// the run cleanly after the first goal path.
+	sum, _ := nav.GoalStream(context.Background(), coursenav.Query{
+		Start: "Fall 2013", End: "Fall 2015", MaxPerTerm: 3,
+	}, major, func(p coursenav.StreamedPath) error {
+		if !p.Goal {
+			return nil
+		}
+		fmt.Println(p.Path)
+		return coursenav.ErrStopStream
+	})
+	fmt.Printf("stopped=%s after %d paths\n", sum.Stopped, sum.Paths)
+	// Output:
+	// Fall 2013: {COSI 2A, COSI 11A, COSI 29A} → Spring 2014: {COSI 12B, COSI 21A, COSI 33B} → Fall 2014: {COSI 30A, COSI 107A, COSI 127B} → Spring 2015: {COSI 21B, COSI 31A, COSI 105A}
+	// stopped=sink after 37 paths
+}
+
+func ExampleNavigator_GoalPathSeq() {
+	nav, major := coursenav.Brandeis()
+	// The range-over-func form of GoalStream: breaking the loop stops the
+	// exploration.
+	goalPaths := 0
+	for p, err := range nav.GoalPathSeq(context.Background(), coursenav.Query{
+		Start: "Fall 2013", End: "Fall 2015", MaxPerTerm: 3,
+	}, major) {
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if p.Goal {
+			goalPaths++
+			if goalPaths == 3 {
+				break
+			}
+		}
+	}
+	fmt.Printf("saw %d goal paths, then stopped the engine\n", goalPaths)
+	// Output: saw 3 goal paths, then stopped the engine
+}
+
+func ExampleNavigator_TopKPathSeq() {
+	nav, major := coursenav.Brandeis()
+	// Ranked streaming delivers best-first: the first yielded path is the
+	// single best plan, available long before the search completes.
+	for p, err := range nav.TopKPathSeq(context.Background(), coursenav.Query{
+		Start: "Fall 2013", End: "Fall 2015", MaxPerTerm: 3,
+	}, major, "time", 5) {
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("best plan takes %.0f semesters\n", p.Value)
+		break
+	}
+	// Output: best plan takes 4 semesters
 }
 
 func ExampleNavigator_GoalExpr() {

@@ -19,6 +19,9 @@ const (
 	StopMaxNodes = "max-nodes"
 	// StopMaxPaths: Budget.MaxPaths paths were tallied.
 	StopMaxPaths = "max-paths"
+	// StopSink: the run's Sink returned ErrStopEmit — the streaming
+	// consumer had seen enough.
+	StopSink = "sink"
 )
 
 // Budget bounds a single exploration run. A run that exhausts any bound
@@ -53,6 +56,7 @@ const (
 	stopDeadline
 	stopMaxNodes
 	stopMaxPaths
+	stopSink
 )
 
 func stopString(r int32) string {
@@ -65,6 +69,8 @@ func stopString(r int32) string {
 		return StopMaxNodes
 	case stopMaxPaths:
 		return StopMaxPaths
+	case stopSink:
+		return StopSink
 	default:
 		return ""
 	}

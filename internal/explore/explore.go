@@ -171,11 +171,27 @@ type engine struct {
 	// check). Parallel workers share the parent's control.
 	ctl *control
 
-	g      *graph.Graph // nil in counting mode
-	intern map[status.MapKey]graph.NodeID
+	intern map[status.MapKey]int64    // materialising with MergeStatuses
 	memo   map[status.MapKey][2]int64 // serial counting with MergeStatuses
 	shared *sharedMemo                // parallel counting with MergeStatuses
 	res    Result
+
+	// sink receives the run's event stream; nil when nobody listens (the
+	// pure-counting hot path then skips every emission site). materialized
+	// runs always carry at least the internal CollectSink.
+	sink         Sink
+	materialized bool
+	// assignIDs numbers generated nodes (root = 0) so a CollectSink can
+	// rebuild the graph; off for parallel workers, whose ids would collide.
+	assignIDs bool
+	nextID    int64
+	// spine is the root→current-node walk, shared with emitted path events.
+	spine []Step
+	// visits gates periodic KindProgress events; emitPaths/emitGoal are the
+	// progress-snapshot path tallies.
+	visits, emitPaths, emitGoal int64
+	// prunedBy names the strategy behind the most recent classPruned.
+	prunedBy string
 }
 
 func newEngine(cat *catalog.Catalog, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) *engine {
@@ -189,7 +205,7 @@ func newEngine(cat *catalog.Catalog, end term.Term, goal degree.Goal, pruners []
 		}
 	}
 	if opt.MergeStatuses {
-		e.intern = map[status.MapKey]graph.NodeID{}
+		e.intern = map[status.MapKey]int64{}
 		e.memo = map[status.MapKey][2]int64{}
 	}
 	return e
@@ -224,6 +240,7 @@ func (e *engine) classify(st status.Status) (nodeClass, int) {
 			case PrunerAvailName:
 				e.res.PrunedAvail++
 			}
+			e.prunedBy = p.Name()
 			return classPruned, 0
 		}
 		if mt > minTake {

@@ -9,7 +9,6 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/catalog"
 	"repro/internal/degree"
-	"repro/internal/graph"
 	"repro/internal/status"
 	"repro/internal/term"
 )
@@ -24,7 +23,7 @@ func Deadline(cat *catalog.Catalog, start status.Status, end term.Term, opt Opti
 // deadline, or any Options.Budget bound) ends the run with a partial
 // Result whose Stopped field names the cause, and a nil error.
 func DeadlineCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, opt Options) (Result, error) {
-	return run(ctx, cat, start, end, nil, nil, opt, true)
+	return run(ctx, cat, start, end, nil, nil, opt, true, nil)
 }
 
 // DeadlineCount runs Algorithm 1 in counting mode: it streams over the
@@ -36,7 +35,7 @@ func DeadlineCount(cat *catalog.Catalog, start status.Status, end term.Term, opt
 
 // DeadlineCountCtx is DeadlineCount under a context (see DeadlineCtx).
 func DeadlineCountCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, opt Options) (Result, error) {
-	return run(ctx, cat, start, end, nil, nil, opt, false)
+	return run(ctx, cat, start, end, nil, nil, opt, false, nil)
 }
 
 // Goal runs the goal-driven algorithm of §4.2.3: Algorithm 1 with goal
@@ -53,7 +52,7 @@ func GoalCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end
 	if goal == nil {
 		return Result{}, fmt.Errorf("explore: Goal requires a goal; use Deadline for unconstrained runs")
 	}
-	return run(ctx, cat, start, end, goal, pruners, opt, true)
+	return run(ctx, cat, start, end, goal, pruners, opt, true, nil)
 }
 
 // GoalCount is Goal in counting mode (no materialised graph).
@@ -66,7 +65,29 @@ func GoalCountCtx(ctx context.Context, cat *catalog.Catalog, start status.Status
 	if goal == nil {
 		return Result{}, fmt.Errorf("explore: GoalCount requires a goal")
 	}
-	return run(ctx, cat, start, end, goal, pruners, opt, false)
+	return run(ctx, cat, start, end, goal, pruners, opt, false, nil)
+}
+
+// Stream runs a deadline-driven (goal == nil) or goal-driven exploration
+// in streaming mode: every expanded edge, completed path and periodic
+// progress tally is delivered to sink while the search runs, and no graph
+// is materialised — memory stays proportional to the search depth, not
+// the path count. The returned Result carries the run's tallies (Graph is
+// nil).
+//
+// Sink errors end the run: ErrStopEmit cleanly (Result.Stopped ==
+// StopSink), anything else as the returned error. With Options.Workers >
+// 1 the run fans out and events arrive in nondeterministic order (the
+// path multiset is exact); with MergeStatuses the memo elides repeated
+// subtrees, so path events cover each distinct terminal status once
+// rather than each path. Serial, unmerged runs emit every path in
+// depth-first order and number nodes so a CollectSink can rebuild the
+// exact legacy graph.
+func Stream(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options, sink Sink) (Result, error) {
+	if sink == nil {
+		return Result{}, fmt.Errorf("explore: Stream requires a sink; use DeadlineCtx/GoalCtx for collected runs")
+	}
+	return run(ctx, cat, start, end, goal, pruners, opt, false, sink)
 }
 
 func validate(cat *catalog.Catalog, start status.Status, end term.Term, opt Options) error {
@@ -93,123 +114,317 @@ func validate(cat *catalog.Catalog, start status.Status, end term.Term, opt Opti
 	return nil
 }
 
-func run(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options, materialize bool) (Result, error) {
+// run is the single driver behind every deadline/goal entry point: a walk
+// of the search tree emitting events into a sink. A materialising run is
+// the same walk collected by a CollectSink; a counting or streaming run
+// is the walk with no collector (optionally fanned out across workers).
+func run(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options, materialize bool, sink Sink) (Result, error) {
 	if err := validate(cat, start, end, opt); err != nil {
 		return Result{}, err
 	}
 	e := newEngine(cat, end, goal, pruners, opt)
 	e.ctl = newControl(ctx, opt.Budget)
-	began := time.Now()
-	var err error
+	if sink != nil && e.ctl == nil {
+		// A sink can stop the run (ErrStopEmit); give it a control so the
+		// stop propagates to every expansion site (and parallel workers).
+		e.ctl = &control{done: ctx.Done(), ctx: ctx}
+	}
+	var collect *CollectSink
 	if materialize {
-		err = e.materialize(start)
-	} else {
-		var counts [2]int64
-		if opt.Workers > 1 {
-			counts = e.countParallel(start, opt.Workers)
+		e.materialized = true
+		e.assignIDs = true
+		collect = NewCollectSink(start)
+		if sink != nil {
+			e.sink = Tee(collect, sink)
 		} else {
-			counts = e.count(start)
+			e.sink = collect
 		}
-		e.res.Paths = counts[0]
-		e.res.GoalPaths = counts[1]
+		e.res.Nodes = 1
+		if e.intern != nil {
+			e.intern[start.MapKey()] = 0
+		}
+	} else {
+		e.sink = sink
+		e.assignIDs = opt.Workers <= 1
+	}
+	e.nextID = 1
+
+	began := time.Now()
+	var tally [2]int64
+	var err error
+	if !materialize && opt.Workers > 1 {
+		tally, err = e.countParallel(start, opt.Workers)
+	} else {
+		tally, err = e.walk(start, 0)
+	}
+	sinkStopped := false
+	switch {
+	case errors.Is(err, errStopRun):
+		err = nil
+	case errors.Is(err, ErrStopEmit):
+		err, sinkStopped = nil, true
+	}
+	e.res.Paths, e.res.GoalPaths = tally[0], tally[1]
+	if collect != nil {
+		e.res.Graph = collect.Graph()
+		if e.intern != nil && err == nil {
+			// Interning makes the walk's incremental path tally meaningless
+			// (merged nodes sit on many paths); recount over the DAG.
+			e.res.Paths = e.res.Graph.CountPaths(false)
+			e.res.GoalPaths = e.res.Graph.CountPaths(true)
+		}
 	}
 	e.res.Elapsed = time.Since(began)
 	e.res.Stopped = e.ctl.reason()
-	e.res.Truncated = e.res.Stopped != ""
-	if err != nil {
-		return e.res, err
+	if e.res.Stopped == "" && sinkStopped {
+		e.res.Stopped = StopSink
 	}
-	return e.res, nil
+	e.res.Truncated = e.res.Stopped != ""
+	return e.res, err
 }
 
 // errStopRun aborts a selections enumeration when the run control fires
 // mid-expansion; the engines translate it back into a clean early return.
 var errStopRun = errors.New("explore: run stopped")
 
-// materialize builds the learning graph with an explicit worklist (the
-// paper's "for each node with outdegree = 0" loop). Children are pushed
-// LIFO, so expansion is depth-first; the result is order-independent.
-// The run control is consulted once per popped node, so a cancelled or
-// over-budget run stops within one node expansion and returns the
-// well-formed partial graph built so far.
-func (e *engine) materialize(start status.Status) error {
-	g := graph.New(start)
-	e.g = g
-	e.res.Graph = g
-	e.res.Nodes = 1
-	if e.intern != nil {
-		e.intern[start.MapKey()] = g.Root()
+// emit delivers ev to the run's sink. It rechecks the run control first,
+// so a sink is never handed an event after the run has observed a stop —
+// the contract streaming consumers (and the mid-stream cancellation
+// tests) rely on.
+func (e *engine) emit(ev Event) error {
+	if e.sink == nil {
+		return nil
 	}
-	stack := []graph.NodeID{g.Root()}
-	for len(stack) > 0 {
-		if e.ctl != nil && (e.ctl.halted() != stopNone || e.ctl.noteNode()) {
-			break
+	if e.ctl != nil && e.ctl.halted() != stopNone {
+		return errStopRun
+	}
+	return e.sink.Emit(ev)
+}
+
+// progress snapshots the engine's tallies for a KindProgress event.
+func (e *engine) progress() Progress {
+	return Progress{
+		Nodes: e.res.Nodes, Edges: e.res.Edges,
+		Paths: e.emitPaths, GoalPaths: e.emitGoal,
+		PrunedTime: e.res.PrunedTime, PrunedAvail: e.res.PrunedAvail,
+	}
+}
+
+// walk is the unified expansion core behind every deadline/goal engine:
+// it classifies st, emits the matching event, and recurses into the
+// children, returning {generated paths, goal paths} for the subtree.
+//
+// The two expansion orders are behaviour-preserving re-expressions of the
+// legacy engines: a materialising walk creates all of a node's children
+// first (numbering them in selection order, exactly as the legacy
+// worklist's AddNode sequence did) and then descends last-child-first
+// (the legacy LIFO pop order), so budget-stopped partial graphs are
+// bit-identical to the old materialize; a counting/streaming walk
+// descends into each child as it is enumerated, exactly as the legacy
+// count did. The run control is consulted once per visited node, and a
+// tally whose computation spanned a stop is never memoised — partial
+// counts must not poison the memo shared with future complete lookups.
+func (e *engine) walk(st status.Status, id int64) ([2]int64, error) {
+	var out [2]int64
+	if e.ctl != nil {
+		if e.ctl.halted() != stopNone || e.ctl.noteNode() {
+			return out, nil
 		}
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		st := g.Node(id).Status
-		class, minTake := e.classify(st)
-		switch class {
-		case classGoal:
-			g.MarkGoal(id)
-			e.res.Paths++
-			e.res.GoalPaths++
-			e.notePaths(1)
-			continue
-		case classDeadline:
-			e.res.Paths++
-			e.notePaths(1)
-			continue
-		case classPruned:
-			g.MarkPruned(id)
-			continue
+	}
+	var key status.MapKey
+	if e.shared != nil {
+		key = st.MapKey()
+		if c, ok := e.shared.get(key); ok {
+			return c, nil
 		}
-		childless := true
-		err := e.selections(st, minTake, func(w bitset.Set) error {
-			if e.ctl.interrupted() {
-				return errStopRun
-			}
-			childless = false
-			child := st.Advance(e.cat, w)
-			if e.intern != nil {
-				if existing, ok := e.intern[child.MapKey()]; ok {
-					g.AddEdge(id, existing, w, 0)
-					e.res.Edges++
-					return nil
-				}
-			}
-			cid := g.AddNode(child)
-			e.res.Nodes++
-			if e.opt.MaxNodes > 0 && g.NumNodes() > e.opt.MaxNodes {
-				return fmt.Errorf("%w: %d nodes (budget %d)", ErrGraphTooLarge, g.NumNodes(), e.opt.MaxNodes)
-			}
-			if e.intern != nil {
-				e.intern[child.MapKey()] = cid
-			}
-			g.AddEdge(id, cid, w, 0)
-			e.res.Edges++
-			stack = append(stack, cid)
-			return nil
-		})
-		if errors.Is(err, errStopRun) {
-			break
+	} else if e.memo != nil && !e.materialized {
+		key = st.MapKey()
+		if c, ok := e.memo[key]; ok {
+			return c, nil
 		}
-		if err != nil {
+	}
+	if !e.materialized {
+		e.res.Nodes++
+	}
+	if e.sink != nil {
+		e.visits++
+		if e.visits&8191 == 0 {
+			if err := e.emit(Event{Kind: KindProgress, Progress: e.progress()}); err != nil {
+				return out, err
+			}
+		}
+	}
+	class, minTake := e.classify(st)
+	switch class {
+	case classGoal:
+		out = [2]int64{1, 1}
+		err := e.emitTerminal(id, st, true)
+		e.notePaths(1)
+		return out, err
+	case classDeadline:
+		out = [2]int64{1, 0}
+		err := e.emitTerminal(id, st, false)
+		e.notePaths(1)
+		return out, err
+	case classPruned:
+		return out, e.emitPruned(id, st)
+	}
+	var err error
+	if e.materialized {
+		out, err = e.expandMaterialized(st, id, minTake)
+	} else {
+		out, err = e.expandStreaming(st, id, minTake)
+	}
+	if err != nil || e.ctl.interrupted() {
+		// The subtree tally may be partial: return it (the caller's total
+		// stays a lower bound) but never memoise it.
+		return out, err
+	}
+	if e.shared != nil {
+		e.shared.put(key, out)
+	} else if e.memo != nil && !e.materialized {
+		e.memo[key] = out
+	}
+	return out, nil
+}
+
+// emitTerminal emits the KindPath event for a completed path ending at st.
+func (e *engine) emitTerminal(id int64, st status.Status, goal bool) error {
+	if e.sink == nil {
+		return nil
+	}
+	e.emitPaths++
+	if goal {
+		e.emitGoal++
+	}
+	return e.emit(Event{Kind: KindPath, Node: id, Status: st, Goal: goal, Steps: e.spine})
+}
+
+// emitPruned emits the KindPruned event for a node cut by a strategy.
+func (e *engine) emitPruned(id int64, st status.Status) error {
+	if e.sink == nil {
+		return nil
+	}
+	return e.emit(Event{Kind: KindPruned, Node: id, Status: st, Strategy: e.prunedBy})
+}
+
+// expandMaterialized is walk's expansion step for materialising runs: it
+// creates (and emits) every child of st in selection order — reproducing
+// the legacy worklist's node numbering — then recurses last-child-first,
+// reproducing its LIFO expansion order.
+func (e *engine) expandMaterialized(st status.Status, id int64, minTake int) ([2]int64, error) {
+	type childRef struct {
+		st  status.Status
+		id  int64
+		sel bitset.Set
+	}
+	var kids []childRef
+	var out [2]int64
+	childless, stopped := true, false
+	err := e.selections(st, minTake, func(w bitset.Set) error {
+		if e.ctl.interrupted() {
+			// Unexpanded children remain: st must not be mistaken for a
+			// natural dead end below.
+			stopped = true
+			return errStopRun
+		}
+		childless = false
+		child := st.Advance(e.cat, w)
+		if e.intern != nil {
+			if existing, ok := e.intern[child.MapKey()]; ok {
+				e.res.Edges++
+				return e.emit(Event{Kind: KindEdge, Parent: id, Node: existing, Status: child, Selection: w, Reused: true})
+			}
+		}
+		cid := e.nextID
+		e.nextID++
+		e.res.Nodes++
+		if e.opt.MaxNodes > 0 && e.nextID > int64(e.opt.MaxNodes) {
+			return fmt.Errorf("%w: %d nodes (budget %d)", ErrGraphTooLarge, e.nextID, e.opt.MaxNodes)
+		}
+		if e.intern != nil {
+			e.intern[child.MapKey()] = cid
+		}
+		e.res.Edges++
+		if err := e.emit(Event{Kind: KindEdge, Parent: id, Node: cid, Status: child, Selection: w}); err != nil {
 			return err
 		}
-		if childless {
-			// Natural dead end (e.g. Figure 3's n6): a generated path.
-			e.res.Paths++
-			e.notePaths(1)
+		kids = append(kids, childRef{st: child, id: cid, sel: w})
+		return nil
+	})
+	if errors.Is(err, errStopRun) {
+		stopped = true
+		err = nil
+	}
+	if err != nil {
+		return out, err
+	}
+	if childless && !stopped {
+		// Natural dead end (e.g. Figure 3's n6): a generated path.
+		out = [2]int64{1, 0}
+		err := e.emitTerminal(id, st, false)
+		e.notePaths(1)
+		return out, err
+	}
+	for i := len(kids) - 1; i >= 0; i-- {
+		k := kids[i]
+		e.spine = append(e.spine, Step{Term: st.Term, Selection: k.sel})
+		c, err := e.walk(k.st, k.id)
+		e.spine = e.spine[:len(e.spine)-1]
+		out[0] += c[0]
+		out[1] += c[1]
+		if err != nil {
+			return out, err
 		}
 	}
-	if e.intern != nil {
-		// Interning makes the engine's incremental path tally meaningless
-		// (merged nodes sit on many paths); recount over the DAG.
-		e.res.Paths = g.CountPaths(false)
-		e.res.GoalPaths = g.CountPaths(true)
+	return out, nil
+}
+
+// expandStreaming is walk's expansion step for counting and streaming
+// runs: it descends into each child as the selection is enumerated (the
+// legacy count's depth-first order), materialising nothing.
+func (e *engine) expandStreaming(st status.Status, id int64, minTake int) ([2]int64, error) {
+	var out [2]int64
+	childless, stopped := true, false
+	err := e.selections(st, minTake, func(w bitset.Set) error {
+		if e.ctl.interrupted() {
+			stopped = true
+			return errStopRun
+		}
+		childless = false
+		e.res.Edges++
+		child := st.Advance(e.cat, w)
+		cid := int64(-1)
+		if e.assignIDs {
+			cid = e.nextID
+			e.nextID++
+		}
+		if e.sink != nil {
+			if err := e.emit(Event{Kind: KindEdge, Parent: id, Node: cid, Status: child, Selection: w}); err != nil {
+				return err
+			}
+		}
+		e.spine = append(e.spine, Step{Term: st.Term, Selection: w})
+		c, err := e.walk(child, cid)
+		e.spine = e.spine[:len(e.spine)-1]
+		out[0] += c[0]
+		out[1] += c[1]
+		return err
+	})
+	if errors.Is(err, errStopRun) {
+		stopped = true
+		err = nil
 	}
-	return nil
+	if err != nil {
+		return out, err
+	}
+	if childless && !stopped {
+		out = [2]int64{1, 0}
+		err := e.emitTerminal(id, st, false)
+		e.notePaths(1)
+		return out, err
+	}
+	return out, nil
 }
 
 // notePaths charges tallied paths against the run's path budget.
@@ -219,119 +434,65 @@ func (e *engine) notePaths(n int64) {
 	}
 }
 
-// count streams the search tree depth-first and returns
-// {generated paths, goal paths} from the given status, without
-// materialising nodes. With MergeStatuses it memoises by status identity
-// (the compact MapKey — no per-node string allocation), which collapses
-// the exponential tree to the DAG the interning ablation builds; parallel
-// workers consult the run's sharded shared memo instead of a private map.
-//
-// The run control is consulted at every entry (one check per popped
-// node): a stopped run unwinds immediately with zero tallies, and a tally
-// whose computation spanned the stop is never memoised — partial counts
-// must not poison the memo shared with future complete lookups.
-func (e *engine) count(st status.Status) [2]int64 {
-	if e.ctl != nil {
-		if e.ctl.halted() != stopNone || e.ctl.noteNode() {
-			return [2]int64{}
-		}
-	}
-	var key status.MapKey
-	if e.shared != nil {
-		key = st.MapKey()
-		if c, ok := e.shared.get(key); ok {
-			return c
-		}
-	} else if e.memo != nil {
-		key = st.MapKey()
-		if c, ok := e.memo[key]; ok {
-			return c
-		}
-	}
-	e.res.Nodes++
-	var out [2]int64
-	class, minTake := e.classify(st)
-	switch class {
-	case classGoal:
-		out = [2]int64{1, 1}
-		e.notePaths(1)
-	case classDeadline:
-		out = [2]int64{1, 0}
-		e.notePaths(1)
-	case classPruned:
-		out = [2]int64{0, 0}
-	default:
-		childless, stopped := true, false
-		_ = e.selections(st, minTake, func(w bitset.Set) error {
-			if e.ctl.interrupted() {
-				// Unexpanded children remain: st must not be mistaken
-				// for a natural dead end below.
-				stopped = true
-				return errStopRun
-			}
-			childless = false
-			e.res.Edges++
-			c := e.count(st.Advance(e.cat, w))
-			out[0] += c[0]
-			out[1] += c[1]
-			return nil
-		})
-		if childless && !stopped {
-			out = [2]int64{1, 0}
-			e.notePaths(1)
-		}
-	}
-	if e.ctl.interrupted() {
-		// The subtree tally may be partial: return it (the caller's total
-		// stays a lower bound) but never memoise it.
-		return out
-	}
-	if e.shared != nil {
-		e.shared.put(key, out)
-	} else if e.memo != nil {
-		e.memo[key] = out
-	}
-	return out
-}
-
 // expandOnce classifies st and, when it is expandable, hands each child
-// status to child. The return value is st's own terminal tally: {1,1} for
-// a goal node, {1,0} for a deadline endpoint or natural dead end, {0,0}
-// when st was pruned or expanded into children. Node/edge/prune tallies
-// accrue to e.res exactly as count's do, so decomposing a subtree with
-// expandOnce and summing the pieces reproduces count's totals.
-func (e *engine) expandOnce(st status.Status, child func(status.Status)) [2]int64 {
+// status (with the selection that produced it) to child. The return value
+// is st's own terminal tally: {1,1} for a goal node, {1,0} for a deadline
+// endpoint or natural dead end, {0,0} when st was pruned or expanded into
+// children. Node/edge/prune tallies accrue to e.res exactly as walk's do,
+// so decomposing a subtree with expandOnce and summing the pieces
+// reproduces walk's totals. steps is the root→st spine, used for the
+// terminal events of streaming runs.
+func (e *engine) expandOnce(st status.Status, steps []Step, child func(w bitset.Set, ch status.Status)) ([2]int64, error) {
 	if e.ctl != nil {
 		if e.ctl.halted() != stopNone || e.ctl.noteNode() {
-			return [2]int64{}
+			return [2]int64{}, nil
 		}
 	}
 	e.res.Nodes++
+	spine := e.spine
+	e.spine = steps
+	defer func() { e.spine = spine }()
 	class, minTake := e.classify(st)
 	switch class {
 	case classGoal:
+		err := e.emitTerminal(-1, st, true)
 		e.notePaths(1)
-		return [2]int64{1, 1}
+		return [2]int64{1, 1}, err
 	case classDeadline:
+		err := e.emitTerminal(-1, st, false)
 		e.notePaths(1)
-		return [2]int64{1, 0}
+		return [2]int64{1, 0}, err
 	case classPruned:
-		return [2]int64{0, 0}
+		return [2]int64{0, 0}, e.emitPruned(-1, st)
 	}
 	childless, stopped := true, false
-	_ = e.selections(st, minTake, func(w bitset.Set) error {
+	err := e.selections(st, minTake, func(w bitset.Set) error {
 		if e.ctl.interrupted() {
 			stopped = true
 			return errStopRun
 		}
 		childless = false
 		e.res.Edges++
-		child(st.Advance(e.cat, w))
+		ch := st.Advance(e.cat, w)
+		if e.sink != nil {
+			if err := e.emit(Event{Kind: KindEdge, Parent: -1, Node: -1, Status: ch, Selection: w}); err != nil {
+				return err
+			}
+		}
+		child(w, ch)
 		return nil
 	})
-	if childless && !stopped {
-		e.notePaths(1)
-		return [2]int64{1, 0}
+	if errors.Is(err, errStopRun) {
+		stopped = true
+		err = nil
 	}
-	return [2]int64{0, 0}
+	if err != nil {
+		return [2]int64{}, err
+	}
+	if childless && !stopped {
+		err := e.emitTerminal(-1, st, false)
+		e.notePaths(1)
+		return [2]int64{1, 0}, err
+	}
+	return [2]int64{0, 0}, nil
 }

@@ -1,8 +1,10 @@
 package explore
 
 import (
+	"errors"
 	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/status"
 )
 
@@ -49,10 +51,21 @@ func (s *sharedMemo) put(k status.MapKey, v [2]int64) {
 }
 
 // task is one unit of parallel counting work: a status whose subtree tally
-// is still owed, plus its depth below the run's start (bounding re-splits).
+// is still owed, its depth below the run's start (bounding re-splits), and
+// the root→status spine so streamed path events carry full paths.
 type task struct {
 	st    status.Status
 	depth int
+	steps []Step
+}
+
+// subtask builds the child task for a selection out of t. The spine is
+// copied with exact capacity so sibling tasks never share append growth.
+func (t task) subtask(step Step, ch status.Status) task {
+	steps := make([]Step, len(t.steps)+1)
+	copy(steps, t.steps)
+	steps[len(t.steps)] = step
+	return task{st: ch, depth: t.depth + 1, steps: steps}
 }
 
 // taskQueue is the LIFO work pool counting workers draw from. A worker
@@ -113,7 +126,7 @@ func (q *taskQueue) done() {
 // (one level per semester), so the cap only guards degenerate inputs.
 const maxSplitDepth = 32
 
-// countParallel is the counting-mode engine fanned out across
+// countParallel is the counting/streaming walk fanned out across
 // Options.Workers goroutines. The tree is first expanded breadth-first —
 // serially, tallying any terminals — until the frontier holds enough
 // independent subtrees to balance the workers (or a depth limit is hit);
@@ -122,26 +135,36 @@ const maxSplitDepth = 32
 // The decomposition is exact: subtree path counts do not depend on
 // exploration order. With MergeStatuses the workers share a sharded memo,
 // so the collapsed DAG is counted once across the whole pool.
-func (e *engine) countParallel(start status.Status, workers int) [2]int64 {
+//
+// A run with a sink shares one mutex-serialised sink across the pool:
+// events arrive in nondeterministic order, but the path multiset matches
+// the serial walk exactly. A sink error from any worker stops the whole
+// pool (ErrStopEmit via the StopSink reason) and the first error wins.
+func (e *engine) countParallel(start status.Status, workers int) ([2]int64, error) {
 	const preSplitDepth = 3
 	targetTasks := workers * 8
 
 	var total [2]int64
-	frontier := []status.Status{start}
+	frontier := []task{{st: start}}
 	for depth := 0; depth < preSplitDepth && len(frontier) < targetTasks && len(frontier) > 0; depth++ {
-		var next []status.Status
-		for _, st := range frontier {
+		var next []task
+		for _, t := range frontier {
 			if e.ctl.interrupted() {
-				return total
+				return total, nil
 			}
-			c := e.expandOnce(st, func(ch status.Status) { next = append(next, ch) })
+			c, err := e.expandOnce(t.st, t.steps, func(w bitset.Set, ch status.Status) {
+				next = append(next, t.subtask(Step{Term: t.st.Term, Selection: w}, ch))
+			})
 			total[0] += c[0]
 			total[1] += c[1]
+			if err != nil {
+				return total, err
+			}
 		}
 		frontier = next
 	}
 	if len(frontier) == 0 || e.ctl.interrupted() {
-		return total
+		return total, nil
 	}
 	e.res.Parallel = true
 
@@ -149,13 +172,14 @@ func (e *engine) countParallel(start status.Status, workers int) [2]int64 {
 	if e.opt.MergeStatuses {
 		shared = newSharedMemo()
 	}
-	tasks := make([]task, len(frontier))
-	for i, st := range frontier {
-		tasks[i] = task{st: st, depth: preSplitDepth}
+	var sink Sink
+	if e.sink != nil {
+		sink = &lockedSink{ctl: e.ctl, next: e.sink}
 	}
-	queue := newTaskQueue(tasks)
+	queue := newTaskQueue(frontier)
 
-	var mu sync.Mutex // guards total and the merged Result tallies
+	var mu sync.Mutex // guards total, firstErr and the merged Result tallies
+	var firstErr error
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -165,30 +189,41 @@ func (e *engine) countParallel(start status.Status, workers int) [2]int64 {
 			sub.memo = nil
 			sub.shared = shared
 			sub.ctl = e.ctl // one control spans the whole worker pool
+			sub.sink = sink
 			var local [2]int64
+			var errLocal error
 			for {
 				t, hungry, ok := queue.pop(workers)
 				if !ok {
 					break
 				}
-				if e.ctl.interrupted() {
+				if e.ctl.interrupted() || errLocal != nil {
 					// Drain without counting so every worker (including
 					// ones blocked in pop) exits promptly on cancel.
 					queue.done()
 					continue
 				}
 				var c [2]int64
+				var err error
 				if hungry && t.depth < maxSplitDepth {
 					// Redistribute: expand one level and hand the
 					// children back to the pool for idle workers.
-					c = sub.expandOnce(t.st, func(ch status.Status) {
-						queue.push(task{st: ch, depth: t.depth + 1})
+					c, err = sub.expandOnce(t.st, t.steps, func(w bitset.Set, ch status.Status) {
+						queue.push(t.subtask(Step{Term: t.st.Term, Selection: w}, ch))
 					})
 				} else {
-					c = sub.count(t.st)
+					sub.spine = t.steps
+					c, err = sub.walk(t.st, -1)
 				}
 				local[0] += c[0]
 				local[1] += c[1]
+				if err != nil && !errors.Is(err, errStopRun) {
+					errLocal = err
+					if e.ctl != nil {
+						// Halt the pool; the sink asked to stop or failed.
+						e.ctl.stop(stopSink)
+					}
+				}
 				queue.done()
 			}
 			mu.Lock()
@@ -198,9 +233,14 @@ func (e *engine) countParallel(start status.Status, workers int) [2]int64 {
 			e.res.Edges += sub.res.Edges
 			e.res.PrunedTime += sub.res.PrunedTime
 			e.res.PrunedAvail += sub.res.PrunedAvail
+			e.emitPaths += sub.emitPaths
+			e.emitGoal += sub.emitGoal
+			if errLocal != nil && firstErr == nil {
+				firstErr = errLocal
+			}
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
-	return total
+	return total, firstErr
 }

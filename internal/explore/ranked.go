@@ -1,8 +1,8 @@
 package explore
 
 import (
-	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -64,28 +64,17 @@ type frontierItem struct {
 	seq  int64   // LIFO tie-break: equal-f work proceeds depth-first
 }
 
-type frontier []frontierItem
-
-func (f frontier) Len() int { return len(f) }
-func (f frontier) Less(i, j int) bool {
-	if f[i].pri != f[j].pri {
-		return f[i].pri < f[j].pri
+// frontierLess orders the best-first queue: lowest priority first; among
+// equal priorities prefer larger g (deeper, closer to a goal), so
+// unit-cost searches do not degenerate into BFS; then newest first.
+func frontierLess(a, b frontierItem) bool {
+	if a.pri != b.pri {
+		return a.pri < b.pri
 	}
-	if f[i].cost != f[j].cost {
-		// Among equal priorities prefer larger g (deeper, closer to a
-		// goal), so unit-cost searches do not degenerate into BFS.
-		return f[i].cost > f[j].cost
+	if a.cost != b.cost {
+		return a.cost > b.cost
 	}
-	return f[i].seq > f[j].seq
-}
-func (f frontier) Swap(i, j int)       { f[i], f[j] = f[j], f[i] }
-func (f *frontier) Push(x interface{}) { *f = append(*f, x.(frontierItem)) }
-func (f *frontier) Pop() interface{} {
-	old := *f
-	n := len(old)
-	it := old[n-1]
-	*f = old[:n-1]
-	return it
+	return a.seq > b.seq
 }
 
 // Ranked runs the top-k algorithm of §4.3.2: best-first search over path
@@ -107,6 +96,18 @@ func Ranked(cat *catalog.Catalog, start status.Status, end term.Term, goal degre
 // of the top paths were already emitted (RankedResult.Stopped names the
 // cause) and a nil error.
 func RankedCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, ranker rank.Ranker, k int, pruners []Pruner, opt Options) (RankedResult, error) {
+	return RankedStream(ctx, cat, start, end, goal, ranker, k, pruners, opt, nil)
+}
+
+// RankedStream is RankedCtx with an event sink: each expanded edge and
+// each of the top-k goal paths is emitted as it is produced, in rank
+// order (see the ordering contract documented in package rank). Path
+// events carry the root→goal spine in Steps plus PathCost/PathValue; edge
+// events carry graph node ids and the ranker's edge cost. A nil sink is
+// allowed (RankedCtx is exactly that). ErrStopEmit from the sink ends the
+// search cleanly with Stopped == StopSink; the paths already collected
+// remain the best ones, in order.
+func RankedStream(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, ranker rank.Ranker, k int, pruners []Pruner, opt Options, sink Sink) (RankedResult, error) {
 	var res RankedResult
 	if goal == nil {
 		return res, fmt.Errorf("explore: Ranked requires a goal")
@@ -125,11 +126,33 @@ func RankedCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, e
 	}
 	e := newEngine(cat, end, goal, pruners, opt)
 	e.ctl = newControl(ctx, opt.Budget)
+	if sink != nil && e.ctl == nil {
+		e.ctl = &control{done: ctx.Done(), ctx: ctx}
+	}
+	e.sink = sink
 	began := time.Now()
 
 	g := graph.New(start)
 	res.Graph = g
 	res.Nodes = 1
+
+	finish := func(err error) (RankedResult, error) {
+		sinkStopped := false
+		switch {
+		case errors.Is(err, errStopRun):
+			err = nil
+		case errors.Is(err, ErrStopEmit):
+			err, sinkStopped = nil, true
+		}
+		res.PrunedTime, res.PrunedAvail = e.res.PrunedTime, e.res.PrunedAvail
+		res.Elapsed = time.Since(began)
+		res.Stopped = e.ctl.reason()
+		if res.Stopped == "" && sinkStopped {
+			res.Stopped = StopSink
+		}
+		res.Truncated = res.Stopped != ""
+		return res, err
+	}
 
 	// The heuristic consults the engine's memoised goal, so repeated
 	// Remaining computations over equivalent completed sets are lookups.
@@ -140,30 +163,46 @@ func RankedCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, e
 		}
 		return ranker.Heuristic(left, opt.MaxPerTerm)
 	}
-	pq := &frontier{{node: g.Root(), cost: 0, pri: h(start), seq: 0}}
+	pq := newMinHeap(frontierLess, 64)
+	pq.Push(frontierItem{node: g.Root(), cost: 0, pri: h(start), seq: 0})
 	var seq int64
 	for pq.Len() > 0 && len(res.Paths) < k {
 		if e.ctl != nil && (e.ctl.halted() != stopNone || e.ctl.noteNode()) {
 			break
 		}
-		it := heap.Pop(pq).(frontierItem)
+		it := pq.Pop()
 		res.Popped++
 		st := g.Node(it.node).Status
 		class, minTake := e.classify(st)
 		switch class {
 		case classGoal:
 			g.MarkGoal(it.node)
-			res.Paths = append(res.Paths, RankedPath{
+			rp := RankedPath{
 				Path:  g.PathTo(it.node),
 				Cost:  it.cost,
 				Value: ranker.PathValue(it.cost),
-			})
+			}
+			res.Paths = append(res.Paths, rp)
+			if sink != nil {
+				ev := Event{
+					Kind: KindPath, Node: int64(it.node), Status: st, Goal: true,
+					Steps: rankedSteps(g, rp.Path), PathCost: rp.Cost, PathValue: rp.Value,
+				}
+				if err := e.emit(ev); err != nil {
+					return finish(err)
+				}
+			}
 			e.notePaths(1)
 			continue
 		case classDeadline:
 			continue // reached the deadline without the goal: dead path
 		case classPruned:
 			g.MarkPruned(it.node)
+			if sink != nil {
+				if err := e.emit(Event{Kind: KindPruned, Node: int64(it.node), Status: st, Strategy: e.prunedBy}); err != nil {
+					return finish(err)
+				}
+			}
 			continue
 		}
 		err := e.selections(st, minTake, func(w bitset.Set) error {
@@ -179,6 +218,11 @@ func RankedCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, e
 			}
 			g.AddEdge(it.node, cid, w, ec)
 			res.Edges++
+			if sink != nil {
+				if err := e.emit(Event{Kind: KindEdge, Parent: int64(it.node), Node: int64(cid), Status: child, Selection: w, Cost: ec}); err != nil {
+					return err
+				}
+			}
 			seq++
 			gCost := it.cost + ec
 			pri := gCost + h(child)
@@ -187,18 +231,29 @@ func RankedCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, e
 				// no path through this child can meet the threshold.
 				return nil
 			}
-			heap.Push(pq, frontierItem{node: cid, cost: gCost, pri: pri, seq: seq})
+			pq.Push(frontierItem{node: cid, cost: gCost, pri: pri, seq: seq})
 			return nil
 		})
 		if err != nil {
-			res.Elapsed = time.Since(began)
+			if errors.Is(err, errStopRun) || errors.Is(err, ErrStopEmit) {
+				return finish(err)
+			}
 			res.PrunedTime, res.PrunedAvail = e.res.PrunedTime, e.res.PrunedAvail
+			res.Elapsed = time.Since(began)
 			return res, err
 		}
 	}
-	res.PrunedTime, res.PrunedAvail = e.res.PrunedTime, e.res.PrunedAvail
-	res.Elapsed = time.Since(began)
-	res.Stopped = e.ctl.reason()
-	res.Truncated = res.Stopped != ""
-	return res, nil
+	return finish(nil)
+}
+
+// rankedSteps converts a graph path into the event-stream Step spine.
+func rankedSteps(g *graph.Graph, p graph.Path) []Step {
+	steps := make([]Step, len(p.Edges))
+	for i, eid := range p.Edges {
+		steps[i] = Step{
+			Term:      g.Node(p.Nodes[i]).Status.Term,
+			Selection: g.Edge(eid).Selection,
+		}
+	}
+	return steps
 }

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -48,15 +49,45 @@ func CompareSelections(cat *catalog.Catalog, start status.Status, end term.Term,
 // whose count was interrupted are dropped rather than reported with
 // partial tallies.
 func CompareSelectionsCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) ([]SelectionImpact, string, error) {
+	var out []SelectionImpact
+	stopped, err := CompareSelectionsStream(ctx, cat, start, end, goal, pruners, opt, func(im SelectionImpact) error {
+		out = append(out, im)
+		return nil
+	})
+	if err != nil {
+		return nil, stopped, err
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].GoalPaths != out[j].GoalPaths {
+			return out[i].GoalPaths > out[j].GoalPaths
+		}
+		if out[i].NextOptions != out[j].NextOptions {
+			return out[i].NextOptions > out[j].NextOptions
+		}
+		return out[i].Selection.Len() < out[j].Selection.Len()
+	})
+	return out, stopped, nil
+}
+
+// CompareSelectionsStream is the streaming what-if engine behind
+// CompareSelectionsCtx: each candidate selection is delivered to fn as
+// soon as its count completes, in enumeration order (not impact order —
+// sort client-side, or use CompareSelectionsCtx for the sorted slice).
+// Every delivered impact carries exact tallies. fn returning ErrStopEmit
+// ends the run cleanly with stopped == StopSink; any other error aborts
+// the run and is returned.
+func CompareSelectionsStream(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options, fn func(SelectionImpact) error) (string, error) {
 	if goal == nil {
-		return nil, "", fmt.Errorf("explore: CompareSelections requires a goal")
+		return "", fmt.Errorf("explore: CompareSelections requires a goal")
+	}
+	if fn == nil {
+		return "", fmt.Errorf("explore: CompareSelectionsStream requires a callback")
 	}
 	if err := validate(cat, start, end, opt); err != nil {
-		return nil, "", err
+		return "", err
 	}
 	e := newEngine(cat, end, goal, pruners, opt)
 	ctl := newControl(ctx, opt.Budget)
-	var out []SelectionImpact
 	stopped := ""
 	err := e.selections(start, 0, func(w bitset.Set) error {
 		if r := ctl.haltReason(); r != "" {
@@ -86,20 +117,14 @@ func CompareSelectionsCtx(ctx context.Context, cat *catalog.Catalog, start statu
 			}
 			impact.GoalPaths, impact.Paths = res.GoalPaths, res.Paths
 		}
-		out = append(out, impact)
-		return nil
+		return fn(impact)
 	})
-	if err != nil && err != errStopRun {
-		return nil, stopped, err
+	switch {
+	case errors.Is(err, errStopRun):
+		err = nil
+	case errors.Is(err, ErrStopEmit):
+		err = nil
+		stopped = StopSink
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].GoalPaths != out[j].GoalPaths {
-			return out[i].GoalPaths > out[j].GoalPaths
-		}
-		if out[i].NextOptions != out[j].NextOptions {
-			return out[i].NextOptions > out[j].NextOptions
-		}
-		return out[i].Selection.Len() < out[j].Selection.Len()
-	})
-	return out, stopped, nil
+	return stopped, err
 }

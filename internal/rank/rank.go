@@ -13,6 +13,18 @@
 // into the minimum-sum form shared by the other rankers while preserving
 // the ranking order exactly; PathValue converts a path cost back to the
 // paper's probability.
+//
+// # Emission ordering contract
+//
+// Because every Ranker keeps edge costs non-negative (and any Heuristic
+// admissible and consistent), the ranked exploration's streaming mode
+// inherits a delivery-order guarantee: explore.RankedStream emits its
+// KindPath events in nondecreasing PathCost order, and the i-th emitted
+// path is exactly the i-th best path of the full search. Streaming
+// consumers may therefore stop after any prefix and still hold the
+// optimal top-i — the first event is the single best path. A Ranker
+// violating non-negativity (rejected at run time) or heuristic
+// admissibility voids this contract.
 package rank
 
 import (

@@ -185,14 +185,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		s.Usage.Record(usage.Event{
-			When:     time.Now(),
-			Endpoint: r.Method + " " + canonicalPath(r.URL.Path),
-			Window:   rec.window,
-			Paths:    rec.paths,
-			Stopped:  rec.stopped,
-			Reload:   rec.reload,
-			Duration: time.Since(began),
-			Status:   rec.status,
+			When:          time.Now(),
+			Endpoint:      r.Method + " " + canonicalPath(r.URL.Path),
+			Window:        rec.window,
+			Paths:         rec.paths,
+			Stopped:       rec.stopped,
+			Reload:        rec.reload,
+			Streamed:      rec.streamed,
+			StreamedPaths: rec.streamedPaths,
+			WriteAborted:  rec.writeErr != nil,
+			Duration:      time.Since(began),
+			Status:        rec.status,
 		})
 	}()
 	s.mux.ServeHTTP(rec, r)
@@ -242,15 +245,20 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // statusRecorder captures the response status and lets handlers annotate
-// the usage event with exploration details.
+// the usage event with exploration details. It also remembers the first
+// response-write failure — on a streamed response that is the client
+// hanging up mid-stream, which usage reports as a write abort.
 type statusRecorder struct {
 	http.ResponseWriter
-	status      int
-	wroteHeader bool
-	window      string
-	paths       int64
-	stopped     string
-	reload      string
+	status        int
+	wroteHeader   bool
+	window        string
+	paths         int64
+	stopped       string
+	reload        string
+	streamed      bool
+	streamedPaths int64
+	writeErr      error
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -261,7 +269,19 @@ func (r *statusRecorder) WriteHeader(code int) {
 
 func (r *statusRecorder) Write(b []byte) (int, error) {
 	r.wroteHeader = true // an implicit 200 header accompanies the first write
-	return r.ResponseWriter.Write(b)
+	n, err := r.ResponseWriter.Write(b)
+	if err != nil && r.writeErr == nil {
+		r.writeErr = err
+	}
+	return n, err
+}
+
+// Flush forwards to the underlying writer so NDJSON path records reach
+// the client while the exploration is still running.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // annotate attaches exploration details to the request's usage event.
@@ -530,15 +550,14 @@ func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	return true
 }
 
-// exploreResponse is the body of the deadline and goal endpoints.
-type exploreResponse struct {
-	Summary summaryBody     `json:"summary"`
-	Graph   json.RawMessage `json:"graph,omitempty"`
-	// Truncated reports that the rendered graph was cut to
-	// MaxResponseNodes; a budget- or cancel-truncated *run* is reported
-	// by summary.stopped instead.
-	Truncated bool `json:"truncated,omitempty"`
-}
+// The deadline and goal endpoints answer with the envelope
+//
+//	{"summary":{...},"graph":{...},"truncated":true}
+//
+// ("graph" and "truncated" omitted on countOnly runs). Truncated reports
+// that the rendered graph was cut to MaxResponseNodes; a budget- or
+// cancel-truncated *run* is reported by summary.stopped instead. The
+// envelope is framed by writeExplore rather than marshalled whole.
 
 type summaryBody struct {
 	Paths       int64   `json:"paths"`
@@ -571,17 +590,36 @@ func (s *Server) respondGraph(w http.ResponseWriter, g *coursenav.Graph, sum cou
 		s.writeNavErr(w, err)
 		return
 	}
-	resp := exploreResponse{Summary: toSummaryBody(sum)}
-	if g != nil {
-		var buf strings.Builder
-		if err := g.WriteJSON(&buf, s.MaxResponseNodes); err != nil {
-			writeErr(w, http.StatusInternalServerError, CodeInternal, "rendering graph: %v", err)
-			return
-		}
-		resp.Graph = json.RawMessage(buf.String())
-		resp.Truncated = g.Stats().Nodes > s.MaxResponseNodes
+	s.writeExplore(w, sum, g)
+}
+
+// writeExplore frames the explore envelope directly onto the response
+// writer, streaming the graph render to the socket as it is produced.
+// The old path buffered the whole render in a strings.Builder first,
+// holding up to MaxResponseNodes of JSON per in-flight request; here the
+// only full-buffer piece is the small summary header. A render failure
+// after the header has gone out can only be a dead socket — it is
+// recorded for usage (statusRecorder.writeErr) and the body abandoned.
+func (s *Server) writeExplore(w http.ResponseWriter, sum coursenav.Summary, g *coursenav.Graph) {
+	sumJSON, err := json.Marshal(toSummaryBody(sum))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, CodeInternal, "rendering summary: %v", err)
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if g == nil {
+		fmt.Fprintf(w, "{\"summary\":%s}\n", sumJSON)
+		return
+	}
+	fmt.Fprintf(w, "{\"summary\":%s,\"graph\":", sumJSON)
+	if err := g.WriteJSON(w, s.MaxResponseNodes); err != nil {
+		return
+	}
+	if g.Stats().Nodes > s.MaxResponseNodes {
+		fmt.Fprint(w, ",\"truncated\":true")
+	}
+	fmt.Fprint(w, "}\n")
 }
 
 func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
@@ -593,6 +631,15 @@ func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	nav := s.Navigator()
+	if wantsStream(r) {
+		if !streamable(w, &req) {
+			return
+		}
+		s.streamPaths(w, r, &req, func(ctx context.Context, fn func(coursenav.StreamedPath) error) (coursenav.Summary, error) {
+			return nav.DeadlineStream(ctx, s.query(req.Query, req.Budget), fn)
+		})
+		return
+	}
 	ctx, cancel := s.runCtx(r, req.Budget)
 	defer cancel()
 	if req.Query.CountOnly {
@@ -602,7 +649,7 @@ func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		annotate(w, req.Query, sum.Paths, sum.Stopped)
-		writeJSON(w, http.StatusOK, exploreResponse{Summary: toSummaryBody(sum)})
+		s.writeExplore(w, sum, nil)
 		return
 	}
 	g, sum, err := nav.DeadlineCtx(ctx, s.query(req.Query, req.Budget))
@@ -623,6 +670,15 @@ func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if wantsStream(r) {
+		if !streamable(w, &req) {
+			return
+		}
+		s.streamPaths(w, r, &req, func(ctx context.Context, fn func(coursenav.StreamedPath) error) (coursenav.Summary, error) {
+			return nav.GoalStream(ctx, s.query(req.Query, req.Budget), goal, fn)
+		})
+		return
+	}
 	ctx, cancel := s.runCtx(r, req.Budget)
 	defer cancel()
 	if req.Query.CountOnly {
@@ -632,7 +688,7 @@ func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		annotate(w, req.Query, sum.GoalPaths, sum.Stopped)
-		writeJSON(w, http.StatusOK, exploreResponse{Summary: toSummaryBody(sum)})
+		s.writeExplore(w, sum, nil)
 		return
 	}
 	g, sum, err := nav.GoalPathsCtx(ctx, s.query(req.Query, req.Budget), goal)
@@ -653,6 +709,18 @@ func (s *Server) handleRanked(w http.ResponseWriter, r *http.Request) {
 	nav := s.Navigator()
 	goal, ok := s.goal(nav, w, &req)
 	if !ok {
+		return
+	}
+	if wantsStream(r) {
+		if !streamable(w, &req) {
+			return
+		}
+		s.streamPaths(w, r, &req, func(ctx context.Context, fn func(coursenav.StreamedPath) error) (coursenav.Summary, error) {
+			if len(req.Weights) > 0 {
+				return nav.TopKWeightedStream(ctx, s.query(req.Query, req.Budget), goal, req.Weights, req.K, fn)
+			}
+			return nav.TopKStream(ctx, s.query(req.Query, req.Budget), goal, req.Ranking, req.K, fn)
+		})
 		return
 	}
 	ctx, cancel := s.runCtx(r, req.Budget)
@@ -723,6 +791,13 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	nav := s.Navigator()
 	goal, ok := s.goal(nav, w, &req)
 	if !ok {
+		return
+	}
+	if wantsStream(r) {
+		if !streamable(w, &req) {
+			return
+		}
+		s.streamWhatIf(w, r, &req, nav, goal)
 		return
 	}
 	ctx, cancel := s.runCtx(r, req.Budget)

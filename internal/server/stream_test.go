@@ -1,0 +1,497 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// streamRecord is the union of the NDJSON record vocabulary: exactly one
+// field is non-nil per line.
+type streamRecord struct {
+	Path      *streamedPathBody `json:"path"`
+	Selection *selectionBody    `json:"selection"`
+	Summary   json.RawMessage   `json:"summary"`
+	Error     *errorInfo        `json:"error"`
+}
+
+type streamedPathBody struct {
+	Semesters []struct {
+		Term    string   `json:"term"`
+		Courses []string `json:"courses"`
+	} `json:"semesters"`
+	Cost  float64 `json:"cost"`
+	Value float64 `json:"value"`
+	Goal  bool    `json:"goal"`
+}
+
+type selectionBody struct {
+	Courses     []string `json:"courses"`
+	GoalPaths   int64    `json:"goalPaths"`
+	Paths       int64    `json:"paths"`
+	NextOptions int      `json:"nextOptions"`
+}
+
+// parseNDJSON decodes every line of an NDJSON body.
+func parseNDJSON(t *testing.T, body []byte) []streamRecord {
+	t.Helper()
+	var recs []streamRecord
+	for i, line := range bytes.Split(bytes.TrimRight(body, "\n"), []byte("\n")) {
+		var rec streamRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// splitStream asserts the canonical healthy-stream shape — zero or more
+// path records followed by exactly one trailing summary — and returns
+// the two halves.
+func splitStream(t *testing.T, body []byte) ([]streamedPathBody, v1Summary) {
+	t.Helper()
+	recs := parseNDJSON(t, body)
+	if len(recs) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := recs[len(recs)-1]
+	if last.Summary == nil {
+		t.Fatalf("stream does not end with a summary record: %+v", last)
+	}
+	var sum v1Summary
+	if err := json.Unmarshal(last.Summary, &sum); err != nil {
+		t.Fatalf("bad trailing summary: %v", err)
+	}
+	var paths []streamedPathBody
+	for i, rec := range recs[:len(recs)-1] {
+		if rec.Path == nil {
+			t.Fatalf("record %d is not a path record: %+v", i, rec)
+		}
+		paths = append(paths, *rec.Path)
+	}
+	return paths, sum
+}
+
+func postStream(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+const goalStreamBody = `{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2},"goal":{"courses":["COSI 21A"]}}`
+
+// TestStreamGoalNDJSON: a streamed goal exploration answers with
+// application/x-ndjson, one path record per delivered path, and a
+// trailing summary whose tallies match the countOnly run of the same
+// query exactly.
+func TestStreamGoalNDJSON(t *testing.T) {
+	_, ts := newV1Server(t)
+	resp, body := postStream(t, ts.URL+"/api/v1/explore/goal?stream=1", goalStreamBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	paths, sum := splitStream(t, body)
+	if int64(len(paths)) != sum.Paths {
+		t.Errorf("delivered %d path records, summary.paths = %d", len(paths), sum.Paths)
+	}
+	var goalPaths int64
+	for _, p := range paths {
+		if p.Goal {
+			goalPaths++
+		}
+		if len(p.Semesters) == 0 {
+			t.Error("path record with no semesters")
+		}
+	}
+	if goalPaths != sum.GoalPaths {
+		t.Errorf("goal-flagged records = %d, summary.goalPaths = %d", goalPaths, sum.GoalPaths)
+	}
+
+	// Parity: the materialising countOnly run of the same query reports
+	// identical tallies.
+	countBody := `{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2,"countOnly":true},"goal":{"courses":["COSI 21A"]}}`
+	resp2, body2 := postStream(t, ts.URL+"/api/v1/explore/goal", countBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("countOnly status = %d; body: %s", resp2.StatusCode, body2)
+	}
+	var count struct {
+		Summary v1Summary `json:"summary"`
+	}
+	if err := json.Unmarshal(body2, &count); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Paths != count.Summary.Paths || sum.GoalPaths != count.Summary.GoalPaths {
+		t.Errorf("streamed tallies (paths=%d goalPaths=%d) != countOnly tallies (paths=%d goalPaths=%d)",
+			sum.Paths, sum.GoalPaths, count.Summary.Paths, count.Summary.GoalPaths)
+	}
+	if sum.Paths == 0 {
+		t.Fatal("test window produced no paths; the assertions above were vacuous")
+	}
+}
+
+// gatedWriter is a ResponseWriter that blocks inside the Write that
+// completes the first NDJSON line until the test releases it. While the
+// handler is parked there, the exploration provably has not finished —
+// which is exactly what the first-record-before-completion test needs
+// to observe without racing.
+type gatedWriter struct {
+	mu        sync.Mutex
+	header    http.Header
+	status    int
+	buf       bytes.Buffer
+	firstLine chan struct{}
+	release   chan struct{}
+	once      sync.Once
+}
+
+func newGatedWriter() *gatedWriter {
+	return &gatedWriter{
+		header:    make(http.Header),
+		firstLine: make(chan struct{}),
+		release:   make(chan struct{}),
+	}
+}
+
+func (g *gatedWriter) Header() http.Header  { return g.header }
+func (g *gatedWriter) WriteHeader(code int) { g.status = code }
+
+func (g *gatedWriter) Write(b []byte) (int, error) {
+	g.mu.Lock()
+	g.buf.Write(b)
+	gotLine := bytes.IndexByte(g.buf.Bytes(), '\n') >= 0
+	g.mu.Unlock()
+	if gotLine {
+		g.once.Do(func() { close(g.firstLine) })
+		<-g.release // parked here until the test has looked
+	}
+	return len(b), nil
+}
+
+func (g *gatedWriter) firstLineBytes() []byte {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.buf.Bytes()
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		return append([]byte(nil), b[:i]...)
+	}
+	return nil
+}
+
+// TestStreamFirstRecordBeforeCompletion is the acceptance check for the
+// streaming surface: the first NDJSON path record is written (and would
+// be on the wire) while the exploration is still running inside the
+// handler.
+func TestStreamFirstRecordBeforeCompletion(t *testing.T) {
+	nav, _ := coursenav.Brandeis()
+	s := New(nav)
+	gw := newGatedWriter()
+	req := httptest.NewRequest("POST", "/api/v1/explore/goal?stream=1", strings.NewReader(goalStreamBody))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeHTTP(gw, req)
+	}()
+
+	select {
+	case <-gw.firstLine:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no NDJSON record was written within 10s")
+	}
+	// The writer is parked inside the Write call that delivered the first
+	// record: the handler — and therefore the exploration — cannot have
+	// completed.
+	select {
+	case <-done:
+		t.Fatal("handler finished before the first record was released — nothing was streamed early")
+	default:
+	}
+	var rec streamRecord
+	if err := json.Unmarshal(gw.firstLineBytes(), &rec); err != nil {
+		t.Fatalf("first line is not valid JSON: %v", err)
+	}
+	if rec.Path == nil {
+		t.Fatalf("first record is not a path record: %s", gw.firstLineBytes())
+	}
+	if gw.status != http.StatusOK {
+		t.Errorf("status = %d, want 200", gw.status)
+	}
+	if ct := gw.header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	close(gw.release)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not finish after release")
+	}
+	paths, sum := splitStream(t, gw.buf.Bytes())
+	if len(paths) == 0 || int64(len(paths)) != sum.Paths {
+		t.Errorf("stream delivered %d paths, summary.paths = %d", len(paths), sum.Paths)
+	}
+
+	// The completed request's usage event reflects the streamed delivery.
+	st := s.Usage.Snapshot()
+	if st.StreamedRequests != 1 || st.StreamedPaths != sum.Paths || st.WriteAborts != 0 {
+		t.Errorf("usage = {streamedRequests:%d streamedPaths:%d writeAborts:%d}, want {1 %d 0}",
+			st.StreamedRequests, st.StreamedPaths, st.WriteAborts, sum.Paths)
+	}
+}
+
+// TestStreamCountOnlyRejected: countOnly and ?stream=1 are mutually
+// exclusive and rejected before the run starts, as a plain JSON 400.
+func TestStreamCountOnlyRejected(t *testing.T) {
+	_, ts := newV1Server(t)
+	body := `{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2,"countOnly":true},"goal":{"courses":["COSI 21A"]}}`
+	resp, b := postStream(t, ts.URL+"/api/v1/explore/goal?stream=1", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeBadRequest {
+		t.Errorf("error code = %q, want %q", env.Error.Code, CodeBadRequest)
+	}
+}
+
+// TestStreamPreStartError: failures detected before the first record —
+// here an unknown goal course — still answer with the ordinary JSON
+// error envelope and a 4xx status, not an NDJSON stream.
+func TestStreamPreStartError(t *testing.T) {
+	_, ts := newV1Server(t)
+	body := `{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2},"goal":{"courses":["NOPE 101"]}}`
+	resp, b := postStream(t, ts.URL+"/api/v1/explore/goal?stream=1", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatalf("body is not a single error envelope: %v\n%s", err, b)
+	}
+	if env.Error.Code != CodeUnknownCourse {
+		t.Errorf("error code = %q, want %q", env.Error.Code, CodeUnknownCourse)
+	}
+}
+
+// TestStreamBudgetPartial: a MaxPaths budget stops the stream after the
+// budgeted number of records, and the trailing summary names the stop.
+func TestStreamBudgetPartial(t *testing.T) {
+	_, ts := newV1Server(t)
+	body := `{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2},"goal":{"courses":["COSI 21A"]},"budget":{"maxPaths":2}}`
+	resp, b := postStream(t, ts.URL+"/api/v1/explore/goal?stream=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body: %s", resp.StatusCode, b)
+	}
+	paths, sum := splitStream(t, b)
+	if len(paths) != 2 {
+		t.Errorf("delivered %d path records, want 2 (budget maxPaths)", len(paths))
+	}
+	if sum.Stopped != "max-paths" || !sum.Truncated {
+		t.Errorf("summary = {stopped:%q truncated:%v}, want {max-paths true}", sum.Stopped, sum.Truncated)
+	}
+}
+
+// TestStreamDeadline: the deadline endpoint streams too (no goal, every
+// record unflagged).
+func TestStreamDeadline(t *testing.T) {
+	_, ts := newV1Server(t)
+	body := `{"query":{"start":"Fall 2013","end":"Spring 2014","maxPerTerm":1}}`
+	resp, b := postStream(t, ts.URL+"/api/v1/explore/deadline?stream=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body: %s", resp.StatusCode, b)
+	}
+	paths, sum := splitStream(t, b)
+	if int64(len(paths)) != sum.Paths || len(paths) == 0 {
+		t.Errorf("delivered %d records, summary.paths = %d", len(paths), sum.Paths)
+	}
+	for _, p := range paths {
+		if p.Goal {
+			t.Error("deadline stream delivered a goal-flagged path")
+		}
+	}
+}
+
+// TestStreamRankedOrder: the ranked endpoint streams its top-k paths
+// best-first — costs arrive in nondecreasing order and match the
+// materialised ranked response exactly, path for path.
+func TestStreamRankedOrder(t *testing.T) {
+	_, ts := newV1Server(t)
+	body := `{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2},"goal":{"courses":["COSI 21A"]},"ranking":"time","k":3}`
+	resp, b := postStream(t, ts.URL+"/api/v1/explore/ranked?stream=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body: %s", resp.StatusCode, b)
+	}
+	paths, sum := splitStream(t, b)
+	if len(paths) == 0 {
+		t.Fatal("ranked stream delivered no paths")
+	}
+	if len(paths) > 3 {
+		t.Errorf("delivered %d paths, want at most k=3", len(paths))
+	}
+	for i, p := range paths {
+		if !p.Goal {
+			t.Errorf("ranked record %d not goal-flagged", i)
+		}
+		if i > 0 && p.Cost < paths[i-1].Cost {
+			t.Errorf("costs out of order: record %d cost %v after %v", i, p.Cost, paths[i-1].Cost)
+		}
+	}
+	if int64(len(paths)) != sum.Paths {
+		t.Errorf("delivered %d records, summary.paths = %d", len(paths), sum.Paths)
+	}
+
+	// Parity with the materialised ranked response.
+	resp2, b2 := postStream(t, ts.URL+"/api/v1/explore/ranked", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("materialised ranked status = %d; body: %s", resp2.StatusCode, b2)
+	}
+	var ranked struct {
+		Paths []struct {
+			Cost float64 `json:"cost"`
+		} `json:"paths"`
+	}
+	if err := json.Unmarshal(b2, &ranked); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked.Paths) != len(paths) {
+		t.Fatalf("streamed %d paths, materialised %d", len(paths), len(ranked.Paths))
+	}
+	for i := range paths {
+		if paths[i].Cost != ranked.Paths[i].Cost {
+			t.Errorf("path %d: streamed cost %v, materialised cost %v", i, paths[i].Cost, ranked.Paths[i].Cost)
+		}
+	}
+}
+
+// TestStreamWhatIf: the whatif endpoint streams one selection record per
+// scored candidate plus a selections-count trailer; the candidate set
+// matches the materialised comparison (order aside — streaming is
+// enumeration order, the materialised response is impact-sorted).
+func TestStreamWhatIf(t *testing.T) {
+	_, ts := newV1Server(t)
+	body := `{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2},"goal":{"courses":["COSI 21A"]}}`
+	resp, b := postStream(t, ts.URL+"/api/v1/explore/whatif?stream=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body: %s", resp.StatusCode, b)
+	}
+	recs := parseNDJSON(t, b)
+	if len(recs) < 2 {
+		t.Fatalf("stream has %d records, want selections plus a summary", len(recs))
+	}
+	var trailer struct {
+		Selections int64  `json:"selections"`
+		Stopped    string `json:"stopped"`
+	}
+	if recs[len(recs)-1].Summary == nil {
+		t.Fatal("stream does not end with a summary record")
+	}
+	if err := json.Unmarshal(recs[len(recs)-1].Summary, &trailer); err != nil {
+		t.Fatal(err)
+	}
+	streamed := map[string]selectionBody{}
+	for i, rec := range recs[:len(recs)-1] {
+		if rec.Selection == nil {
+			t.Fatalf("record %d is not a selection record: %+v", i, rec)
+		}
+		streamed[strings.Join(rec.Selection.Courses, ",")] = *rec.Selection
+	}
+	if trailer.Selections != int64(len(recs)-1) {
+		t.Errorf("trailer.selections = %d, delivered %d", trailer.Selections, len(recs)-1)
+	}
+	if trailer.Stopped != "" {
+		t.Errorf("trailer.stopped = %q, want complete run", trailer.Stopped)
+	}
+
+	resp2, b2 := postStream(t, ts.URL+"/api/v1/explore/whatif", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("materialised whatif status = %d; body: %s", resp2.StatusCode, b2)
+	}
+	var whatif struct {
+		Selections []selectionBody `json:"selections"`
+	}
+	if err := json.Unmarshal(b2, &whatif); err != nil {
+		t.Fatal(err)
+	}
+	if len(whatif.Selections) != len(streamed) {
+		t.Fatalf("streamed %d selections, materialised %d", len(streamed), len(whatif.Selections))
+	}
+	for _, want := range whatif.Selections {
+		got, ok := streamed[strings.Join(want.Courses, ",")]
+		if !ok {
+			t.Errorf("selection %v missing from stream", want.Courses)
+			continue
+		}
+		if got.GoalPaths != want.GoalPaths || got.Paths != want.Paths || got.NextOptions != want.NextOptions {
+			t.Errorf("selection %v: streamed %+v, materialised %+v", want.Courses, got, want)
+		}
+	}
+}
+
+// failingWriter simulates a client that vanishes mid-stream: writes
+// succeed until failAt, then error forever.
+type failingWriter struct {
+	header http.Header
+	writes int
+	failAt int
+}
+
+func (f *failingWriter) Header() http.Header { return f.header }
+func (f *failingWriter) WriteHeader(int)     {}
+func (f *failingWriter) Write(b []byte) (int, error) {
+	f.writes++
+	if f.writes >= f.failAt {
+		return 0, errors.New("broken pipe")
+	}
+	return len(b), nil
+}
+
+// TestStreamClientDisconnect: a write failure mid-stream aborts the run
+// and is accounted as a write abort (plus a canceled stop) in usage.
+func TestStreamClientDisconnect(t *testing.T) {
+	nav, _ := coursenav.Brandeis()
+	s := New(nav)
+	fw := &failingWriter{header: make(http.Header), failAt: 2}
+	req := httptest.NewRequest("POST", "/api/v1/explore/goal?stream=1", strings.NewReader(goalStreamBody))
+	s.ServeHTTP(fw, req)
+
+	st := s.Usage.Snapshot()
+	if st.WriteAborts != 1 {
+		t.Errorf("writeAborts = %d, want 1", st.WriteAborts)
+	}
+	if st.StreamedRequests != 1 || st.StreamedPaths != 1 {
+		t.Errorf("streamed usage = {requests:%d paths:%d}, want {1 1} (one record landed before the failure)",
+			st.StreamedRequests, st.StreamedPaths)
+	}
+	if st.Canceled != 1 {
+		t.Errorf("canceled = %d, want 1 (client disconnect is a cancel)", st.Canceled)
+	}
+}

@@ -36,6 +36,14 @@ type Event struct {
 	// Reload is "applied" or "rejected" for catalog hot-reload attempts
 	// (the admin endpoint or SIGHUP); empty otherwise.
 	Reload string `json:"reload,omitempty"`
+	// Streamed reports an incremental (?stream=1 NDJSON) response.
+	Streamed bool `json:"streamed,omitempty"`
+	// StreamedPaths counts path records delivered before the stream ended
+	// (complete, budget-stopped or client-disconnected alike).
+	StreamedPaths int64 `json:"streamedPaths,omitempty"`
+	// WriteAborted reports that a response write failed mid-stream — the
+	// client went away while path records were still flowing.
+	WriteAborted bool `json:"writeAborted,omitempty"`
 	// Duration is the handling latency.
 	Duration time.Duration `json:"durationNs"`
 	// Status is the HTTP status code returned.
@@ -120,6 +128,14 @@ type Stats struct {
 	BudgetHits int `json:"budgetHits"`
 	// Canceled counts runs ended by client disconnect.
 	Canceled int `json:"canceled"`
+	// StreamedRequests counts incremental (NDJSON) responses and
+	// StreamedPaths the total path records they delivered — together the
+	// adoption signal for the streaming surface.
+	StreamedRequests int   `json:"streamedRequests"`
+	StreamedPaths    int64 `json:"streamedPaths"`
+	// WriteAborts counts streams cut by the client mid-response (the
+	// socket closed while path records were still being written).
+	WriteAborts int `json:"writeAborts"`
 	// ReloadsApplied and ReloadsRejected count catalog hot-reload
 	// outcomes (admin endpoint and SIGHUP), so operators can see how
 	// often new registrar data arrives and how often the integrity gate
@@ -155,6 +171,13 @@ func (l *Log) Snapshot() Stats {
 			st.ReloadsApplied++
 		case "rejected":
 			st.ReloadsRejected++
+		}
+		if e.Streamed {
+			st.StreamedRequests++
+			st.StreamedPaths += e.StreamedPaths
+		}
+		if e.WriteAborted {
+			st.WriteAborts++
 		}
 		if e.Window != "" {
 			windows[e.Window]++

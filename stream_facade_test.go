@@ -1,0 +1,310 @@
+package coursenav
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+)
+
+// pathStrings renders and sorts path labels for multiset comparison.
+func pathStrings(paths []Path) []string {
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = p.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestGoalStreamMatchesMaterialized: through the public façade, the
+// streamed path multiset and tallies are identical to the materialised
+// GoalPaths run of the same query.
+func TestGoalStreamMatchesMaterialized(t *testing.T) {
+	nav, major := Brandeis()
+	q := Query{Start: "Fall 2013", End: "Fall 2015", MaxPerTerm: 3}
+
+	var streamed []Path
+	var goalFlagged int64
+	sum, err := nav.GoalStream(context.Background(), q, major, func(p StreamedPath) error {
+		streamed = append(streamed, p.Path)
+		if p.Goal {
+			goalFlagged++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, matSum, err := nav.GoalPaths(q, major)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Paths != matSum.Paths || sum.GoalPaths != matSum.GoalPaths ||
+		sum.Nodes != matSum.Nodes || sum.Edges != matSum.Edges {
+		t.Errorf("summaries diverge: streamed %+v, materialised %+v", sum, matSum)
+	}
+	if goalFlagged != sum.GoalPaths {
+		t.Errorf("goal-flagged deliveries = %d, summary.GoalPaths = %d", goalFlagged, sum.GoalPaths)
+	}
+	want := pathStrings(g.Paths(false, 0))
+	got := pathStrings(streamed)
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d paths, materialised graph has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("path multiset diverges at %d:\n got  %s\n want %s", i, got[i], want[i])
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("window produced no paths; parity check was vacuous")
+	}
+}
+
+// TestDeadlineStreamMatchesMaterialized is the goal-free analogue.
+func TestDeadlineStreamMatchesMaterialized(t *testing.T) {
+	nav, _ := Brandeis()
+	q := Query{Start: "Spring 2015", End: "Fall 2015", MaxPerTerm: 2}
+	var streamed []Path
+	sum, err := nav.DeadlineStream(context.Background(), q, func(p StreamedPath) error {
+		if p.Goal {
+			t.Error("deadline stream delivered a goal-flagged path")
+		}
+		streamed = append(streamed, p.Path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, matSum, err := nav.Deadline(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Paths != matSum.Paths || int64(len(streamed)) != sum.Paths {
+		t.Errorf("delivered %d, streamed summary %d, materialised %d", len(streamed), sum.Paths, matSum.Paths)
+	}
+	want := pathStrings(g.Paths(false, 0))
+	got := pathStrings(streamed)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("path multiset diverges at %d", i)
+		}
+	}
+}
+
+// TestStreamStopEarly: ErrStopStream ends the run cleanly with
+// Stopped == "sink" and exactly the delivered prefix counted.
+func TestStreamStopEarly(t *testing.T) {
+	nav, major := Brandeis()
+	q := Query{Start: "Fall 2013", End: "Fall 2015", MaxPerTerm: 3}
+	var n int64
+	sum, err := nav.GoalStream(context.Background(), q, major, func(StreamedPath) error {
+		n++
+		if n == 5 {
+			return ErrStopStream
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("clean stop returned error: %v", err)
+	}
+	if n != 5 {
+		t.Errorf("delivered %d paths after stop at 5", n)
+	}
+	if sum.Stopped != "sink" || !sum.Truncated {
+		t.Errorf("summary = {stopped:%q truncated:%v}, want {sink true}", sum.Stopped, sum.Truncated)
+	}
+	if sum.Paths != 5 {
+		t.Errorf("summary.Paths = %d, want the delivered prefix 5", sum.Paths)
+	}
+}
+
+// TestStreamArgumentErrors: the façade rejects stream misuse up front.
+func TestStreamArgumentErrors(t *testing.T) {
+	nav, major := Brandeis()
+	ctx := context.Background()
+	q := Query{Start: "Fall 2013", End: "Spring 2014", MaxPerTerm: 2}
+	if _, err := nav.GoalStream(ctx, q, major, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+	if _, err := nav.DeadlineStream(ctx, q, nil); err == nil {
+		t.Error("nil callback accepted by DeadlineStream")
+	}
+	if _, err := nav.GoalStream(ctx, q, Goal{}, func(StreamedPath) error { return nil }); err == nil {
+		t.Error("missing goal accepted")
+	}
+	merged := q
+	merged.MergeStatuses = true
+	if _, err := nav.GoalStream(ctx, merged, major, func(StreamedPath) error { return nil }); err == nil {
+		t.Error("MergeStatuses accepted by streaming")
+	}
+	if _, err := nav.TopKStream(ctx, q, major, "time", 1, nil); err == nil {
+		t.Error("nil callback accepted by TopKStream")
+	}
+	if _, err := nav.WhatIfStream(ctx, q, major, nil); err == nil {
+		t.Error("nil callback accepted by WhatIfStream")
+	}
+}
+
+// TestGoalPathSeq: the range-over-func adapter yields the same paths as
+// the callback stream, and breaking the loop stops the engine cleanly.
+func TestGoalPathSeq(t *testing.T) {
+	nav, major := Brandeis()
+	q := Query{Start: "Fall 2013", End: "Fall 2015", MaxPerTerm: 3}
+
+	var viaCallback []string
+	if _, err := nav.GoalStream(context.Background(), q, major, func(p StreamedPath) error {
+		viaCallback = append(viaCallback, p.Path.String())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var viaSeq []string
+	for p, err := range nav.GoalPathSeq(context.Background(), q, major) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaSeq = append(viaSeq, p.Path.String())
+	}
+	if len(viaSeq) != len(viaCallback) {
+		t.Fatalf("seq yielded %d paths, callback %d", len(viaSeq), len(viaCallback))
+	}
+	for i := range viaSeq {
+		if viaSeq[i] != viaCallback[i] {
+			t.Fatalf("order diverges at %d", i)
+		}
+	}
+
+	// Early break: exactly the prefix is observed, no error is yielded.
+	seen := 0
+	for _, err := range nav.GoalPathSeq(context.Background(), q, major) {
+		if err != nil {
+			t.Fatalf("break path yielded error: %v", err)
+		}
+		seen++
+		if seen == 3 {
+			break
+		}
+	}
+	if seen != 3 {
+		t.Errorf("broke at 3, saw %d", seen)
+	}
+
+	// A run error surfaces as the final yielded pair.
+	var errs []error
+	for _, err := range nav.GoalPathSeq(context.Background(), Query{Start: "nope"}, major) {
+		errs = append(errs, err)
+	}
+	if len(errs) != 1 || errs[0] == nil {
+		t.Errorf("bad query yielded %v, want exactly one error", errs)
+	}
+}
+
+// TestTopKPathSeq: rank order via the iterator matches TopK.
+func TestTopKPathSeq(t *testing.T) {
+	nav, major := Brandeis()
+	q := Query{Start: "Fall 2013", End: "Fall 2015", MaxPerTerm: 3}
+	paths, _, err := nav.TopK(q, major, "time", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for p, err := range nav.TopKPathSeq(context.Background(), q, major, "time", 3) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= len(paths) {
+			t.Fatalf("seq yielded more than the %d materialised paths", len(paths))
+		}
+		if p.Path.String() != paths[i].String() || p.Cost != paths[i].Cost {
+			t.Errorf("path %d diverges from TopK", i)
+		}
+		if !p.Goal {
+			t.Errorf("ranked path %d not goal-flagged", i)
+		}
+		i++
+	}
+	if i != len(paths) {
+		t.Errorf("seq yielded %d paths, TopK returned %d", i, len(paths))
+	}
+}
+
+// TestWhatIfStreamFacade: streamed selection impacts carry the same
+// tallies as the sorted CompareSelections result.
+func TestWhatIfStreamFacade(t *testing.T) {
+	nav, major := Brandeis()
+	q := Query{
+		Completed: []string{"COSI 11A", "COSI 29A"},
+		Start:     "Spring 2014", End: "Spring 2015", MaxPerTerm: 2,
+	}
+	tally := func(im SelectionImpact) string {
+		s := ""
+		for _, c := range im.Courses {
+			s += c + ","
+		}
+		return s
+	}
+	streamed := map[string]SelectionImpact{}
+	stopped, err := nav.WhatIfStream(context.Background(), q, major, func(im SelectionImpact) error {
+		streamed[tally(im)] = im
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stopped != "" {
+		t.Errorf("stopped = %q for a complete run", stopped)
+	}
+	impacts, err := nav.CompareSelections(q, major)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(impacts) != len(streamed) {
+		t.Fatalf("streamed %d selections, materialised %d", len(streamed), len(impacts))
+	}
+	for _, want := range impacts {
+		got, ok := streamed[tally(want)]
+		if !ok {
+			t.Errorf("selection %v missing from stream", want.Courses)
+			continue
+		}
+		if got.GoalPaths != want.GoalPaths || got.Paths != want.Paths || got.NextOptions != want.NextOptions {
+			t.Errorf("selection %v: streamed %+v, want %+v", want.Courses, got, want)
+		}
+	}
+}
+
+// TestStreamCancellation: cancelling the context mid-stream stops the
+// run with Stopped == "canceled" and no error, and no further paths are
+// delivered after the cancel is observed.
+func TestStreamCancellation(t *testing.T) {
+	nav, major := Brandeis()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var n, late int64
+	canceled := false
+	sum, err := nav.GoalStream(ctx, Query{Start: "Fall 2013", End: "Fall 2015", MaxPerTerm: 3}, major,
+		func(StreamedPath) error {
+			if canceled {
+				late++
+			}
+			n++
+			if n == 3 {
+				cancel()
+				canceled = true
+			}
+			return nil
+		})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+	if late != 0 {
+		t.Errorf("%d paths delivered after cancellation", late)
+	}
+	if sum.Stopped != "canceled" || !sum.Truncated {
+		t.Errorf("summary = {stopped:%q truncated:%v}, want {canceled true}", sum.Stopped, sum.Truncated)
+	}
+}
