@@ -65,6 +65,7 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request exploration wall-clock cap")
 	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent, "in-flight explorations before shedding load with 429")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (trusted networks only)")
 	flag.Parse()
 	if *catalogPath != "" && *dumpPath != "" {
 		log.Fatal("coursenav-server: -catalog and -dump are mutually exclusive")
@@ -96,6 +97,10 @@ func main() {
 	s.MaxConcurrent = *maxConcurrent
 	if *catalogPath != "" || *dumpPath != "" {
 		s.Loader = load // embedded dataset has nothing on disk to re-read
+	}
+	if *pprofOn {
+		s.EnablePprof()
+		log.Printf("coursenav-server: pprof enabled at /debug/pprof/")
 	}
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -216,6 +216,12 @@ func (n *Navigator) Course(id string) (CourseInfo, bool) {
 // NumCourses returns the catalog size.
 func (n *Navigator) NumCourses() int { return n.cat.Len() }
 
+// CanonicalCourse resolves a course ID to the catalog's spelling: an
+// exact match keeps its spelling, otherwise a case-insensitive match
+// resolves when it is unambiguous. ok is false for unknown IDs; the
+// input is returned unchanged.
+func (n *Navigator) CanonicalCourse(id string) (string, bool) { return n.cat.Canonical(id) }
+
 // Lint reports catalog-quality problems: courses that can never be taken
 // (unsatisfiable prerequisites) and courses never offered.
 func (n *Navigator) Lint() (unreachable, neverOffered []string) {

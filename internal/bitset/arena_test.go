@@ -1,0 +1,107 @@
+package bitset
+
+import "testing"
+
+func TestArenaMakeIsolated(t *testing.T) {
+	var a Arena
+	s1 := a.Make(10)
+	s2 := a.Make(10)
+	s1.Add(3)
+	s1.Add(7)
+	s2.Add(5)
+	if s1.Len() != 2 || !s1.Contains(3) || !s1.Contains(7) || s1.Contains(5) {
+		t.Fatalf("s1 corrupted: %v", s1)
+	}
+	if s2.Len() != 1 || !s2.Contains(5) {
+		t.Fatalf("s2 corrupted: %v", s2)
+	}
+}
+
+// Growing an arena set beyond its capacity must reallocate it away from the
+// chunk rather than clobber the neighbouring region.
+func TestArenaGrowReallocates(t *testing.T) {
+	var a Arena
+	s1 := a.Make(64) // exactly one word
+	s2 := a.Make(64) // the very next word in the chunk
+	s2.Add(0)
+	s1.Add(100) // forces s1 to grow past its one-word region
+	if !s1.Contains(100) || s1.Len() != 1 {
+		t.Fatalf("s1 after grow: %v", s1)
+	}
+	if s2.Len() != 1 || !s2.Contains(0) {
+		t.Fatalf("s2 clobbered by neighbour growth: %v", s2)
+	}
+}
+
+func TestArenaChunkRollover(t *testing.T) {
+	var a Arena
+	sets := make([]Set, 0, 3*chunkWords)
+	for i := 0; i < 3*chunkWords; i++ {
+		s := a.Make(64)
+		s.Add(i % 64)
+		sets = append(sets, s)
+	}
+	for i, s := range sets {
+		if s.Len() != 1 || !s.Contains(i%64) {
+			t.Fatalf("set %d corrupted across chunk rollover: %v", i, s)
+		}
+	}
+}
+
+func TestArenaOversizedRequest(t *testing.T) {
+	var a Arena
+	n := (chunkWords + 10) * wordBits
+	s := a.Make(n)
+	s.Add(n - 1)
+	if !s.Contains(n - 1) {
+		t.Fatalf("oversized arena set missing member")
+	}
+	// The arena must still be usable afterwards.
+	s2 := a.Make(64)
+	s2.Add(1)
+	if !s2.Contains(1) {
+		t.Fatalf("arena broken after oversized request")
+	}
+}
+
+func TestArenaUnionDiffFromMembers(t *testing.T) {
+	var a Arena
+	s := FromMembers(200, 1, 64, 130)
+	tt := FromMembers(200, 64, 199)
+
+	u := a.Union(s, tt)
+	if want := FromMembers(200, 1, 64, 130, 199); !u.Equal(want) {
+		t.Fatalf("Union = %v, want %v", u, want)
+	}
+	d := a.Diff(s, tt)
+	if want := FromMembers(200, 1, 130); !d.Equal(want) {
+		t.Fatalf("Diff = %v, want %v", d, want)
+	}
+	// Asymmetric word lengths both ways.
+	short := FromMembers(10, 2)
+	u2 := a.Union(short, s)
+	if want := FromMembers(200, 1, 2, 64, 130); !u2.Equal(want) {
+		t.Fatalf("Union short/long = %v, want %v", u2, want)
+	}
+	d2 := a.Diff(short, s)
+	if want := FromMembers(10, 2); !d2.Equal(want) {
+		t.Fatalf("Diff short-long = %v, want %v", d2, want)
+	}
+
+	fm := a.FromMembers(100, []int{0, 63, 64, 99})
+	if want := FromMembers(100, 0, 63, 64, 99); !fm.Equal(want) {
+		t.Fatalf("FromMembers = %v, want %v", fm, want)
+	}
+}
+
+func TestArenaMakeZero(t *testing.T) {
+	var a Arena
+	s := a.Make(0)
+	if !s.Empty() {
+		t.Fatalf("Make(0) not empty")
+	}
+	s.Add(5) // must grow without panicking
+	if !s.Contains(5) {
+		t.Fatalf("zero-cap arena set cannot grow")
+	}
+}

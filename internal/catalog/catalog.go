@@ -12,6 +12,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/bitset"
 	"repro/internal/expr"
@@ -38,6 +39,10 @@ type Catalog struct {
 	cal      *term.Calendar
 	courses  []Course
 	byID     map[string]int
+	// foldID maps a case-folded course ID to its dense index, for
+	// Canonical. IDs whose folded forms collide are left out, so folded
+	// lookup never guesses between distinct courses.
+	foldID   map[string]int
 	compiled []expr.Compiled
 	// offered maps a term ordinal to the set of courses offered that term.
 	offered map[int]bitset.Set
@@ -114,6 +119,19 @@ func (b *Builder) Build() (*Catalog, error) {
 	}
 	for i, c := range cat.courses {
 		cat.byID[c.ID] = i
+	}
+	cat.foldID = make(map[string]int, n)
+	for i, c := range cat.courses {
+		f := strings.ToUpper(c.ID)
+		if prev, dup := cat.foldID[f]; dup {
+			// Two IDs differing only in case: folded lookup is ambiguous,
+			// so neither resolves case-insensitively.
+			if prev >= 0 {
+				cat.foldID[f] = -1
+			}
+			continue
+		}
+		cat.foldID[f] = i
 	}
 	index := func(id string) (int, error) {
 		i, ok := cat.byID[id]
@@ -213,6 +231,21 @@ func (c *Catalog) MustIndex(id string) int {
 		panic(fmt.Sprintf("catalog: unknown course %q", id))
 	}
 	return i
+}
+
+// Canonical resolves a possibly sloppily-cased course ID to the catalog's
+// spelling. An exact match always wins (and keeps its spelling even when
+// another ID folds to the same string); otherwise a case-insensitive match
+// resolves only when it is unambiguous. ok is false for unknown IDs — the
+// caller decides whether that is an error.
+func (c *Catalog) Canonical(id string) (string, bool) {
+	if _, ok := c.byID[id]; ok {
+		return id, true
+	}
+	if i, ok := c.foldID[strings.ToUpper(id)]; ok && i >= 0 {
+		return c.courses[i].ID, true
+	}
+	return id, false
 }
 
 // ID returns the course ID at dense index i.
@@ -331,6 +364,22 @@ func (c *Catalog) Options(x bitset.Set, t term.Term) bitset.Set {
 		return avail
 	}
 	// Drop offered courses whose prerequisites x does not satisfy.
+	avail.ForEach(func(i int) {
+		if !c.compiled[i].Satisfied(x) {
+			avail.Remove(i)
+		}
+	})
+	return avail
+}
+
+// OptionsArena is Options drawing the result's storage from a. The
+// exploration engines call it once per node visited, so the arena turns a
+// per-node allocation into a per-chunk one.
+func (c *Catalog) OptionsArena(a *bitset.Arena, x bitset.Set, t term.Term) bitset.Set {
+	avail := a.Diff(c.OfferedIn(t), x)
+	if avail.Empty() {
+		return avail
+	}
 	avail.ForEach(func(i int) {
 		if !c.compiled[i].Satisfied(x) {
 			avail.Remove(i)

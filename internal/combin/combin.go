@@ -14,12 +14,39 @@ import (
 	"repro/internal/bitset"
 )
 
+// Scratch holds the working buffers ForEachCombination needs, so callers
+// enumerating at every node of a large walk can reuse one allocation set
+// instead of paying three makes per call. The zero value is ready to use.
+// A Scratch must not be shared between concurrent enumerations (including
+// a nested enumeration from inside fn — use a second Scratch for that).
+type Scratch struct {
+	members []int
+	idx     []int
+	comb    []int
+}
+
+func (s *Scratch) ints(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
 // ForEachCombination calls fn with every combination of the members of y
 // of size 1..maxSize, in ascending-size lexicographic order. The slice
 // passed to fn is reused between calls; fn must copy it to retain it.
 // Enumeration stops early if fn returns false. maxSize ≤ 0 means no limit.
 func ForEachCombination(y bitset.Set, maxSize int, fn func(comb []int) bool) {
-	members := y.Members()
+	var s Scratch
+	s.ForEachCombination(y, maxSize, fn)
+}
+
+// ForEachCombination is the allocation-free form of the package function,
+// drawing its working buffers from the Scratch.
+func (s *Scratch) ForEachCombination(y bitset.Set, maxSize int, fn func(comb []int) bool) {
+	members := s.ints(&s.members, y.Len())
+	members = members[:0]
+	y.ForEach(func(i int) { members = append(members, i) })
 	n := len(members)
 	if n == 0 {
 		return
@@ -27,8 +54,8 @@ func ForEachCombination(y bitset.Set, maxSize int, fn func(comb []int) bool) {
 	if maxSize <= 0 || maxSize > n {
 		maxSize = n
 	}
-	idx := make([]int, maxSize)
-	comb := make([]int, maxSize)
+	idx := s.ints(&s.idx, maxSize)
+	comb := s.ints(&s.comb, maxSize)
 	for k := 1; k <= maxSize; k++ {
 		// Initial combination 0,1,...,k-1.
 		for i := 0; i < k; i++ {

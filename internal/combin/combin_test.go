@@ -136,3 +136,31 @@ func BenchmarkForEachCombination38x3(b *testing.B) {
 		}
 	}
 }
+
+// A reused Scratch must enumerate exactly like the allocating package
+// function, including after being used for a differently sized set.
+func TestScratchReuseMatchesPackageFunction(t *testing.T) {
+	var s Scratch
+	sets := []bitset.Set{
+		bitset.FromMembers(10, 1, 3, 5, 7),
+		bitset.FromMembers(10, 2),
+		bitset.FromMembers(70, 0, 9, 31, 64, 69),
+		bitset.New(10),
+	}
+	for _, y := range sets {
+		for _, m := range []int{0, 1, 2, 3} {
+			var want, got [][]int
+			ForEachCombination(y, m, func(c []int) bool {
+				want = append(want, append([]int(nil), c...))
+				return true
+			})
+			s.ForEachCombination(y, m, func(c []int) bool {
+				got = append(got, append([]int(nil), c...))
+				return true
+			})
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("scratch enumeration diverged for %v m=%d:\n got %v\nwant %v", y, m, got, want)
+			}
+		}
+	}
+}

@@ -192,6 +192,28 @@ type engine struct {
 	visits, emitPaths, emitGoal int64
 	// prunedBy names the strategy behind the most recent classPruned.
 	prunedBy string
+
+	// arena batch-allocates the walk's per-edge bitsets (selection sets,
+	// advanced completed sets, option sets). Regions are never recycled, so
+	// the sets are safe to retain in events, graphs and memo keys; see
+	// bitset.Arena.
+	arena bitset.Arena
+	// scratches and kidsFree are free lists for the walk's recursion-local
+	// buffers (combination enumeration state, expandMaterialized's child
+	// collection). The walk nests — a selections callback recurses into
+	// walk, which enumerates again — so each depth pops its own buffer and
+	// pushes it back on return; the engine is single-goroutine, so a plain
+	// slice stack suffices.
+	scratches []*combin.Scratch
+	kidsFree  [][]childRef
+}
+
+// childRef is expandMaterialized's record of a created-but-not-yet-expanded
+// child.
+type childRef struct {
+	st  status.Status
+	id  int64
+	sel bitset.Set
 }
 
 func newEngine(cat *catalog.Catalog, end term.Term, goal degree.Goal, pruners []Pruner, opt Options) *engine {
@@ -264,9 +286,33 @@ func (e *engine) futureCourseExists(st status.Status) bool {
 	return !e.tc.offeredFrom(next).SubsetOf(st.Completed)
 }
 
+// popScratch and pushScratch manage the free list of combination buffers;
+// see the scratches field.
+func (e *engine) popScratch() *combin.Scratch {
+	if n := len(e.scratches); n > 0 {
+		s := e.scratches[n-1]
+		e.scratches = e.scratches[:n-1]
+		return s
+	}
+	return new(combin.Scratch)
+}
+
+func (e *engine) pushScratch(s *combin.Scratch) {
+	e.scratches = append(e.scratches, s)
+}
+
+// advance is status.Advance drawing the child's completed and option sets
+// from the engine arena — the walk's two per-edge allocations.
+func (e *engine) advance(st status.Status, w bitset.Set) status.Status {
+	next := st.Term.Next()
+	x := e.arena.Union(st.Completed, w)
+	return status.Status{Term: next, Completed: x, Options: e.cat.OptionsArena(&e.arena, x, next)}
+}
+
 // selections enumerates the course selections W out of st, honouring
 // MaxPerTerm, the time-based minimum, and the empty-selection policy. The
-// set passed to fn is freshly allocated and owned by the callee.
+// set passed to fn is arena-backed, handed out exactly once, and owned by
+// the callee, exactly as if freshly allocated.
 func (e *engine) selections(st status.Status, minTake int, fn func(w bitset.Set) error) error {
 	n := e.cat.Len()
 	emitted := false
@@ -274,11 +320,13 @@ func (e *engine) selections(st status.Status, minTake int, fn func(w bitset.Set)
 	if !e.opt.MinTakeFilter {
 		minTake = 0
 	}
-	combin.ForEachCombination(st.Options, e.opt.MaxPerTerm, func(comb []int) bool {
+	sc := e.popScratch()
+	defer e.pushScratch(sc)
+	sc.ForEachCombination(st.Options, e.opt.MaxPerTerm, func(comb []int) bool {
 		if len(comb) < minTake {
 			return true
 		}
-		w := bitset.FromMembers(n, comb...)
+		w := e.arena.FromMembers(n, comb)
 		if !e.allowed(st, w) {
 			return true
 		}
@@ -298,7 +346,7 @@ func (e *engine) selections(st status.Status, minTake int, fn func(w bitset.Set)
 	case EmptyNever:
 	}
 	if emitEmpty {
-		w := bitset.New(n)
+		w := e.arena.Make(n)
 		if e.allowed(st, w) {
 			return fn(w)
 		}

@@ -313,12 +313,12 @@ func (e *engine) emitPruned(id int64, st status.Status) error {
 // the legacy worklist's node numbering — then recurses last-child-first,
 // reproducing its LIFO expansion order.
 func (e *engine) expandMaterialized(st status.Status, id int64, minTake int) ([2]int64, error) {
-	type childRef struct {
-		st  status.Status
-		id  int64
-		sel bitset.Set
-	}
 	var kids []childRef
+	if n := len(e.kidsFree); n > 0 {
+		kids = e.kidsFree[n-1]
+		e.kidsFree = e.kidsFree[:n-1]
+	}
+	defer func() { e.kidsFree = append(e.kidsFree, kids[:0]) }()
 	var out [2]int64
 	childless, stopped := true, false
 	err := e.selections(st, minTake, func(w bitset.Set) error {
@@ -329,7 +329,7 @@ func (e *engine) expandMaterialized(st status.Status, id int64, minTake int) ([2
 			return errStopRun
 		}
 		childless = false
-		child := st.Advance(e.cat, w)
+		child := e.advance(st, w)
 		if e.intern != nil {
 			if existing, ok := e.intern[child.MapKey()]; ok {
 				e.res.Edges++
@@ -393,7 +393,7 @@ func (e *engine) expandStreaming(st status.Status, id int64, minTake int) ([2]in
 		}
 		childless = false
 		e.res.Edges++
-		child := st.Advance(e.cat, w)
+		child := e.advance(st, w)
 		cid := int64(-1)
 		if e.assignIDs {
 			cid = e.nextID
@@ -473,7 +473,7 @@ func (e *engine) expandOnce(st status.Status, steps []Step, child func(w bitset.
 		}
 		childless = false
 		e.res.Edges++
-		ch := st.Advance(e.cat, w)
+		ch := e.advance(st, w)
 		if e.sink != nil {
 			if err := e.emit(Event{Kind: KindEdge, Parent: -1, Node: -1, Status: ch, Selection: w}); err != nil {
 				return err

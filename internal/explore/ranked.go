@@ -206,7 +206,7 @@ func RankedStream(ctx context.Context, cat *catalog.Catalog, start status.Status
 			continue
 		}
 		err := e.selections(st, minTake, func(w bitset.Set) error {
-			child := st.Advance(cat, w)
+			child := e.advance(st, w)
 			ec := ranker.EdgeCost(st, w)
 			if ec < 0 {
 				return fmt.Errorf("explore: ranking function %q returned negative edge cost %g", ranker.Name(), ec)

@@ -288,6 +288,48 @@ func NewCollectSink(start status.Status) *CollectSink {
 // Graph returns the materialised graph (valid after the run completes).
 func (c *CollectSink) Graph() *graph.Graph { return c.g }
 
+// MaterializedOrder rewrites a tree collected from a streaming run into
+// the node and edge numbering a materialising run produces. The two
+// expansion orders generate the same tree but number it differently:
+// streaming descends into each child as its selection is enumerated
+// (depth-first ids), while a materialising run creates every child of a
+// node consecutively in selection order and then expands the children
+// last-first (the legacy worklist's LIFO order). Renumbering lets a
+// stream-collected graph serialise byte-identically to the graph
+// Deadline/Goal would have materialised for the same query.
+//
+// src must be a tree (CollectSink already requires interning off); the
+// result shares src's Selection bitsets but owns its own structure.
+func MaterializedOrder(src *graph.Graph) *graph.Graph {
+	type frame struct{ old, new graph.NodeID }
+	dst := graph.New(src.Node(src.Root()).Status)
+	copyMarks := func(from *graph.Node, to graph.NodeID) {
+		if from.Goal {
+			dst.MarkGoal(to)
+		}
+		if from.Pruned {
+			dst.MarkPruned(to)
+		}
+	}
+	copyMarks(src.Node(src.Root()), dst.Root())
+	stack := []frame{{src.Root(), dst.Root()}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Children first get consecutive ids in selection order...
+		for _, e := range src.Node(f.old).Out {
+			ed := src.Edge(e)
+			child := src.Node(ed.To)
+			nid := dst.AddNode(child.Status)
+			dst.AddEdge(f.new, nid, ed.Selection, ed.Cost)
+			copyMarks(child, nid)
+			stack = append(stack, frame{ed.To, nid})
+		}
+		// ...and the LIFO pop expands the last child next.
+	}
+	return dst
+}
+
 // Emit applies ev to the graph under construction.
 func (c *CollectSink) Emit(ev Event) error {
 	switch ev.Kind {

@@ -1,0 +1,230 @@
+package resultcache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func key(gen uint64, s string) Key { return KeyFor(gen, "goal", []byte(s)) }
+
+func ent(body string) *Entry { return &Entry{Body: []byte(body), Paths: 1} }
+
+func TestKeyForSeparatesEndpointsAndGenerations(t *testing.T) {
+	blob := []byte(`{"query":{}}`)
+	if KeyFor(0, "goal", blob) == KeyFor(0, "deadline", blob) {
+		t.Fatalf("same key for different endpoints")
+	}
+	if KeyFor(0, "goal", blob) != KeyFor(0, "goal", blob) {
+		t.Fatalf("key not deterministic")
+	}
+	if KeyFor(0, "goal", blob) == KeyFor(1, "goal", blob) {
+		t.Fatalf("same key across generations")
+	}
+	// The endpoint/body boundary must not be ambiguous.
+	if KeyFor(0, "goalx", []byte("y")) == KeyFor(0, "goal", []byte("xy")) {
+		t.Fatalf("endpoint/body boundary ambiguous")
+	}
+}
+
+func TestGetPutHit(t *testing.T) {
+	c := New(1 << 20)
+	k := key(0, "a")
+	if _, ok := c.Get(k); ok {
+		t.Fatalf("hit on empty cache")
+	}
+	c.Put(k, ent("body"))
+	got, ok := c.Get(k)
+	if !ok || string(got.Body) != "body" {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	// Budget fits two entries (body 100 + overhead each), not three.
+	c := New(2 * (100 + entryOverhead))
+	bodies := make([]byte, 100)
+	for i := 0; i < 3; i++ {
+		c.Put(key(0, fmt.Sprint(i)), &Entry{Body: bodies})
+	}
+	if _, ok := c.Get(key(0, "0")); ok {
+		t.Fatalf("LRU entry not evicted")
+	}
+	for _, id := range []string{"1", "2"} {
+		if _, ok := c.Get(key(0, id)); !ok {
+			t.Fatalf("recent entry %s evicted", id)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The loop above touched "1" then "2", so "1" is now the LRU victim.
+	c.Put(key(0, "3"), &Entry{Body: bodies})
+	if _, ok := c.Get(key(0, "2")); !ok {
+		t.Fatalf("recently used entry evicted")
+	}
+	if _, ok := c.Get(key(0, "1")); ok {
+		t.Fatalf("LRU entry survived")
+	}
+}
+
+func TestPutReplaceAdjustsBytes(t *testing.T) {
+	c := New(1 << 20)
+	k := key(0, "a")
+	c.Put(k, ent("short"))
+	c.Put(k, ent("a much longer body than before"))
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("replace duplicated entry: %+v", st)
+	}
+	if want := int64(len("a much longer body than before")) + entryOverhead; st.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, want)
+	}
+}
+
+func TestPutOversizedAndStaleGenRejected(t *testing.T) {
+	c := New(100)
+	c.Put(key(0, "big"), &Entry{Body: make([]byte, 200)})
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("oversized entry stored: %+v", st)
+	}
+	c.Invalidate(1)
+	c.Put(key(0, "old"), ent("x"))
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("stale-generation entry stored: %+v", st)
+	}
+	if _, ok := c.Get(key(0, "old")); ok {
+		t.Fatalf("stale-generation key hit")
+	}
+}
+
+func TestInvalidateDropsEntriesAndFlights(t *testing.T) {
+	c := New(1 << 20)
+	k := key(0, "a")
+	c.Put(k, ent("x"))
+	f, leader := c.Join(k)
+	if !leader {
+		t.Fatalf("first Join not leader")
+	}
+	c.Invalidate(1)
+	if _, ok := c.Get(k); ok {
+		t.Fatalf("pre-reload entry survived Invalidate")
+	}
+	// A new joiner for the old key leads its own flight (old one dropped).
+	if _, leader := c.Join(k); !leader {
+		t.Fatalf("post-Invalidate Join did not lead")
+	}
+	// The pre-reload leader still finishes; its entry must not be stored.
+	c.Finish(k, f, ent("stale"))
+	if e := f.Wait(context.Background()); e == nil || string(e.Body) != "stale" {
+		t.Fatalf("pre-reload followers lost the leader's result")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("stale flight result cached: %+v", st)
+	}
+}
+
+func TestCoalescingFollowersShareResult(t *testing.T) {
+	c := New(1 << 20)
+	k := key(0, "a")
+	lead, leader := c.Join(k)
+	if !leader {
+		t.Fatalf("first Join not leader")
+	}
+	const followers = 5
+	var wg sync.WaitGroup
+	results := make([]*Entry, followers)
+	for i := 0; i < followers; i++ {
+		f, isLeader := c.Join(k)
+		if isLeader {
+			t.Fatalf("follower %d became leader", i)
+		}
+		wg.Add(1)
+		go func(i int, f *Flight) {
+			defer wg.Done()
+			results[i] = f.Wait(context.Background())
+		}(i, f)
+	}
+	c.Finish(k, lead, ent("shared"))
+	wg.Wait()
+	for i, e := range results {
+		if e == nil || string(e.Body) != "shared" {
+			t.Fatalf("follower %d result = %v", i, e)
+		}
+	}
+	st := c.Stats()
+	if st.Coalesced != followers {
+		t.Fatalf("coalesced = %d, want %d", st.Coalesced, followers)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatalf("finished flight result not cached")
+	}
+	// The flight is deregistered: the next Join leads again.
+	if _, leader := c.Join(k); !leader {
+		t.Fatalf("Join after Finish did not lead")
+	}
+}
+
+func TestFinishNilWakesFollowersWithoutCaching(t *testing.T) {
+	c := New(1 << 20)
+	k := key(0, "a")
+	lead, _ := c.Join(k)
+	f, _ := c.Join(k)
+	done := make(chan *Entry, 1)
+	go func() { done <- f.Wait(context.Background()) }()
+	c.Finish(k, lead, nil)
+	if e := <-done; e != nil {
+		t.Fatalf("nil Finish delivered an entry: %v", e)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("nil Finish cached something: %+v", st)
+	}
+}
+
+func TestWaitHonoursContext(t *testing.T) {
+	c := New(1 << 20)
+	f, _ := c.Join(key(0, "a"))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if e := f.Wait(ctx); e != nil {
+		t.Fatalf("Wait returned entry after context expiry: %v", e)
+	}
+}
+
+// Concurrency smoke for the race detector: gets, puts, joins and
+// invalidations interleaving freely.
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New(4096)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(uint64(i%3), fmt.Sprint(i%7))
+				if _, ok := c.Get(k); !ok {
+					f, leader := c.Join(k)
+					if leader {
+						c.Finish(k, f, ent("x"))
+					} else {
+						ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+						f.Wait(ctx)
+						cancel()
+					}
+				}
+				if w == 0 && i%50 == 0 {
+					c.Invalidate(uint64(i % 3))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Stats() // must not race either
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// benchBody is a moderately sized goal exploration: heavy enough that a
+// cache hit is clearly distinguishable from recomputing, light enough to
+// keep the cold benchmark iterable.
+const benchBody = `{"query":{"completed":["COSI 11A","COSI 12B"],"start":"Fall 2013","end":"Fall 2015","maxPerTerm":2},` +
+	`"goal":{"courses":["COSI 21A"]}}`
+
+func newBenchServer(b *testing.B) *Server {
+	b.Helper()
+	nav, _ := coursenav.Brandeis()
+	return New(nav)
+}
+
+func benchPost(b *testing.B, s *Server, wantCache string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/explore/goal", strings.NewReader(benchBody))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if wantCache != "" {
+		if got := w.Result().Header.Get("X-Cache"); got != wantCache {
+			b.Fatalf("X-Cache = %q, want %q", got, wantCache)
+		}
+	}
+}
+
+// BenchmarkExploreCold measures the uncached request path: every
+// iteration invalidates the cache first, so the handler decodes,
+// canonicalizes, misses, runs the exploration and renders the response.
+func BenchmarkExploreCold(b *testing.B) {
+	s := newBenchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cache.Invalidate(0)
+		benchPost(b, s, "miss")
+	}
+}
+
+// BenchmarkExploreWarm measures a cache hit: the entry is primed once
+// and every timed request replays the stored bytes.
+func BenchmarkExploreWarm(b *testing.B) {
+	s := newBenchServer(b)
+	benchPost(b, s, "miss")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "hit")
+	}
+}
+
+// BenchmarkExploreCoalesced measures a thundering herd on a cold key:
+// each iteration invalidates the cache and fires 8 identical requests
+// concurrently, so one leader computes while the followers coalesce
+// onto its flight (or hit the freshly stored entry).
+func BenchmarkExploreCoalesced(b *testing.B) {
+	const herd = 8
+	s := newBenchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cache.Invalidate(0)
+		var wg sync.WaitGroup
+		errs := make(chan error, herd)
+		for j := 0; j < herd; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req := httptest.NewRequest(http.MethodPost, "/api/v1/explore/goal", strings.NewReader(benchBody))
+				req.Header.Set("Content-Type", "application/json")
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", w.Code, w.Body.String())
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Result caching for the explore endpoints.
+//
+// The interactive workload the paper targets (§5: a student tweaks one knob
+// and re-explores) is dominated by repeated, semantically identical
+// requests against a catalog that changes only at reload time. Every
+// non-streaming explore response is therefore cached under
+// (catalog snapshot generation, canonicalized request, endpoint) and
+// replayed byte-for-byte on a hit; concurrent identical misses coalesce
+// into one exploration via the cache's flight mechanism. Streaming
+// requests bypass the cache on the read side but populate it when the run
+// completes cleanly and the rendered result fits the per-entry cap — see
+// the stream branches of the explore handlers.
+//
+// Cache hits skip the exploration semaphore entirely (a replay is a memcpy,
+// not an exploration); misses and coalescing fallbacks acquire a slot
+// exactly as before, so load shedding still protects the engines. The
+// X-Cache response header reports hit/coalesced/miss on every cached-path
+// response for observability; responses are otherwise byte-identical to an
+// uncached server's (tests assert this per endpoint).
+//
+// Invalidation is generational: ReloadNow bumps the generation and calls
+// Invalidate, making every pre-reload entry unreachable (the generation is
+// part of the key) and dropping the coalescing map so in-flight
+// old-snapshot work cannot poison the new generation. Handlers read the
+// generation BEFORE the navigator snapshot: the reload path stores the
+// navigator first and bumps the generation after, so a request that
+// observes generation g is guaranteed a navigator at least as new as g —
+// results are never cached under a newer generation than the catalog that
+// produced them.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/resultcache"
+)
+
+// DefaultCacheBytes is the result cache's byte budget (charged by rendered
+// response size).
+const DefaultCacheBytes = 64 << 20
+
+// maxCacheEntryBytes caps one cached response body. Responses are bounded
+// by MaxResponseNodes anyway; the cap keeps a handful of worst-case graph
+// renders from monopolising the budget.
+const maxCacheEntryBytes = 1 << 20
+
+// exploreAnnotator lets annotate work on both the real response writer
+// (statusRecorder) and the buffered one the cached path records into.
+type exploreAnnotator interface {
+	setExplore(window string, paths int64, stopped string)
+}
+
+// annotate attaches exploration details to the request's usage event.
+func annotate(w http.ResponseWriter, qs QuerySpec, paths int64, stopped string) {
+	if a, ok := w.(exploreAnnotator); ok {
+		a.setExplore(qs.Start+" → "+qs.End, paths, stopped)
+	}
+}
+
+// canonicalize rewrites req into its canonical form: trimmed terms, course
+// IDs resolved to the catalog's spelling (case-insensitively when
+// unambiguous), and set-semantic course lists sorted and deduplicated.
+// The SAME canonical request both derives the cache key and drives
+// execution, so two requests that canonicalize equally are guaranteed to
+// run identically — a key can never alias two requests with different
+// behaviour. Degree-requirement group lists are resolved but neither
+// sorted nor deduplicated: their courses fill counted slots, so list
+// shape may be meaningful.
+func canonicalize(nav *coursenav.Navigator, req *ExploreRequest) {
+	req.Query.Start = strings.TrimSpace(req.Query.Start)
+	req.Query.End = strings.TrimSpace(req.Query.End)
+	req.Ranking = strings.TrimSpace(req.Ranking)
+	canonCourseSet(nav, &req.Query.Completed)
+	canonCourseSet(nav, &req.Query.Avoid)
+	if req.Goal != nil {
+		req.Goal.Expr = strings.TrimSpace(req.Goal.Expr)
+		canonCourseSet(nav, &req.Goal.Courses)
+		for i := range req.Goal.Degree {
+			canonCourseList(nav, req.Goal.Degree[i].Courses)
+		}
+	}
+	for i := range req.Weights {
+		req.Weights[i].Ranking = strings.TrimSpace(req.Weights[i].Ranking)
+	}
+}
+
+// canonCourseList trims and resolves course IDs in place. Unknown IDs are
+// left as typed — they fail downstream with the usual unknown-course error,
+// and error responses are never cached.
+func canonCourseList(nav *coursenav.Navigator, ids []string) {
+	for i, id := range ids {
+		id = strings.TrimSpace(id)
+		if c, ok := nav.CanonicalCourse(id); ok {
+			id = c
+		}
+		ids[i] = id
+	}
+}
+
+// canonCourseSet canonicalizes a course list with set semantics: resolved,
+// sorted, deduplicated.
+func canonCourseSet(nav *coursenav.Navigator, ids *[]string) {
+	if len(*ids) == 0 {
+		return
+	}
+	canonCourseList(nav, *ids)
+	sort.Strings(*ids)
+	out := (*ids)[:1]
+	for _, id := range (*ids)[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	*ids = out
+}
+
+// exploreKey derives the cache key for a canonicalized request, or
+// ok=false when caching is disabled.
+func (s *Server) exploreKey(gen uint64, endpoint string, req *ExploreRequest) (resultcache.Key, bool) {
+	if s.Cache == nil {
+		return resultcache.Key{}, false
+	}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return resultcache.Key{}, false
+	}
+	return resultcache.KeyFor(gen, endpoint, blob), true
+}
+
+// shedLoad answers 429: the server is at its exploration concurrency limit.
+func shedLoad(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusTooManyRequests, CodeOverloaded,
+		"server is at its exploration concurrency limit; retry shortly")
+}
+
+// runLimited runs an exploration under the concurrency semaphore,
+// shedding load when saturated. It is the whole cached-path story when
+// the cache is disabled.
+func (s *Server) runLimited(w http.ResponseWriter, r *http.Request, run http.HandlerFunc) {
+	release, ok := s.acquire()
+	if !ok {
+		shedLoad(w)
+		return
+	}
+	defer release()
+	run(w, r)
+}
+
+// bufferedResponse captures a handler's response so it can be both cached
+// and delivered. Renders are bounded by MaxResponseNodes, so the buffer is
+// small; errors and partial results buffer equally and are simply not
+// cached.
+type bufferedResponse struct {
+	header  http.Header
+	buf     bytes.Buffer
+	status  int
+	wrote   bool
+	window  string
+	paths   int64
+	stopped string
+}
+
+func newBufferedResponse() *bufferedResponse {
+	return &bufferedResponse{header: http.Header{}, status: http.StatusOK}
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if !b.wrote {
+		b.status = code
+		b.wrote = true
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.wrote = true
+	return b.buf.Write(p)
+}
+
+func (b *bufferedResponse) setExplore(window string, paths int64, stopped string) {
+	b.window, b.paths, b.stopped = window, paths, stopped
+}
+
+// deliver replays the buffered response onto the real writer, forwarding
+// the usage annotations the handler recorded.
+func (b *bufferedResponse) deliver(w http.ResponseWriter, how string) {
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.cache = how
+		rec.window, rec.paths, rec.stopped = b.window, b.paths, b.stopped
+	}
+	h := w.Header()
+	for k, vs := range b.header {
+		h[k] = vs
+	}
+	h.Set("X-Cache", how)
+	w.WriteHeader(b.status)
+	_, _ = w.Write(b.buf.Bytes())
+}
+
+// replay writes a cached entry: the stored body byte-for-byte, plus the
+// usage annotations of the run that produced it.
+func replay(w http.ResponseWriter, ent *resultcache.Entry, how string) {
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.cache = how
+		rec.window, rec.paths = ent.Window, ent.Paths
+	}
+	w.Header().Set("X-Cache", how)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(ent.Body)
+}
+
+// serveCached is the non-streaming explore driver: replay a hit, coalesce
+// with an identical in-flight miss, or run the exploration (buffered) and
+// cache the result when it is a complete 200 within the entry cap. run
+// receives a buffered writer; all its error paths buffer and deliver
+// normally, they just never populate the cache.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, req *ExploreRequest, endpoint string, gen uint64, run http.HandlerFunc) {
+	key, cacheable := s.exploreKey(gen, endpoint, req)
+	if !cacheable {
+		s.runLimited(w, r, run)
+		return
+	}
+	if ent, ok := s.Cache.Get(key); ok {
+		replay(w, ent, "hit")
+		return
+	}
+	f, leader := s.Cache.Join(key)
+	if !leader {
+		if ent := f.Wait(r.Context()); ent != nil {
+			replay(w, ent, "coalesced")
+			return
+		}
+		// The leader produced nothing cacheable (error, truncated run,
+		// oversized render) or our client gave up: compute individually.
+	}
+	finished := false
+	if leader {
+		// A panicking handler must not leave followers blocked on the
+		// flight: finish it empty on any non-normal exit.
+		defer func() {
+			if !finished {
+				s.Cache.Finish(key, f, nil)
+			}
+		}()
+	}
+	release, ok := s.acquire()
+	if !ok {
+		shedLoad(w)
+		return
+	}
+	defer release()
+	bw := newBufferedResponse()
+	run(bw, r)
+	var ent *resultcache.Entry
+	if bw.status == http.StatusOK && bw.stopped == "" && bw.buf.Len() <= maxCacheEntryBytes {
+		ent = &resultcache.Entry{
+			Body:   append([]byte(nil), bw.buf.Bytes()...),
+			Paths:  bw.paths,
+			Window: bw.window,
+		}
+	}
+	if leader {
+		s.Cache.Finish(key, f, ent)
+		finished = true
+	} else if ent != nil {
+		s.Cache.Put(key, ent)
+	}
+	bw.deliver(w, "miss")
+}
+
+// graphEntry renders the non-streaming explore envelope for a graph
+// collected off a completed stream, for cache population. nil when the
+// render fails or exceeds the entry cap.
+func (s *Server) graphEntry(qs QuerySpec, sum coursenav.Summary, g *coursenav.Graph, paths int64) *resultcache.Entry {
+	var buf bytes.Buffer
+	if err := s.renderExploreBody(&buf, sum, g); err != nil || buf.Len() > maxCacheEntryBytes {
+		return nil
+	}
+	return &resultcache.Entry{Body: buf.Bytes(), Paths: paths, Window: qs.Start + " → " + qs.End}
+}
+
+// rankedEntry renders the non-streaming ranked response body for cache
+// population from a completed ranked stream. The paths arrive in rank
+// order, exactly as TopKCtx would return them.
+func (s *Server) rankedEntry(qs QuerySpec, sum coursenav.Summary, paths []coursenav.Path) *resultcache.Entry {
+	blob, err := json.Marshal(rankedResponse{Summary: toSummaryBody(sum), Paths: paths})
+	if err != nil || len(blob)+1 > maxCacheEntryBytes {
+		return nil
+	}
+	return &resultcache.Entry{Body: append(blob, '\n'), Paths: int64(len(paths)), Window: qs.Start + " → " + qs.End}
+}

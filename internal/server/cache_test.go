@@ -1,0 +1,426 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/usage"
+)
+
+// exploreCases is one request per explore surface, all shaped to run to
+// completion on the Brandeis dataset.
+var exploreCases = []struct {
+	name, path, body string
+}{
+	{"deadline", "/api/v1/explore/deadline",
+		`{"query":{"completed":["COSI 11A","COSI 12B"],"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2}}`},
+	{"deadline countOnly", "/api/v1/explore/deadline",
+		`{"query":{"completed":["COSI 11A","COSI 12B"],"start":"Fall 2013","end":"Fall 2015","maxPerTerm":2,"countOnly":true}}`},
+	{"goal", "/api/v1/explore/goal",
+		`{"query":{"completed":["COSI 11A","COSI 12B"],"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2},"goal":{"courses":["COSI 21A"]}}`},
+	{"goal countOnly", "/api/v1/explore/goal",
+		`{"query":{"completed":["COSI 11A","COSI 12B"],"start":"Fall 2013","end":"Fall 2015","maxPerTerm":2,"countOnly":true},"goal":{"courses":["COSI 21A"]}}`},
+	{"ranked", "/api/v1/explore/ranked",
+		`{"query":{"completed":["COSI 11A","COSI 12B"],"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3},"goal":{"courses":["COSI 21A","COSI 127B"]},"ranking":"time","k":3}`},
+	{"whatif", "/api/v1/explore/whatif",
+		`{"query":{"completed":["COSI 11A","COSI 12B"],"start":"Fall 2013","end":"Fall 2015","maxPerTerm":2},"goal":{"courses":["COSI 21A"]}}`},
+}
+
+// TestCacheHitReplaysBytes: the second identical request on every explore
+// surface is a cache hit whose body is byte-for-byte the first response —
+// elapsedMs included, because a replay does not re-measure anything.
+func TestCacheHitReplaysBytes(t *testing.T) {
+	for _, tc := range exploreCases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := newTestServer(t)
+			first, firstBody := post(t, ts, tc.path, tc.body)
+			if first.StatusCode != http.StatusOK {
+				t.Fatalf("first request: %d %s", first.StatusCode, firstBody)
+			}
+			if got := first.Header.Get("X-Cache"); got != "miss" {
+				t.Fatalf("first request X-Cache = %q, want miss", got)
+			}
+			second, secondBody := post(t, ts, tc.path, tc.body)
+			if second.StatusCode != http.StatusOK {
+				t.Fatalf("second request: %d %s", second.StatusCode, secondBody)
+			}
+			if got := second.Header.Get("X-Cache"); got != "hit" {
+				t.Fatalf("second request X-Cache = %q, want hit", got)
+			}
+			if string(firstBody) != string(secondBody) {
+				t.Errorf("replay diverged from original:\n first:  %s\n second: %s", firstBody, secondBody)
+			}
+			if ct := second.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("replay Content-Type = %q", ct)
+			}
+		})
+	}
+}
+
+// TestCachedMatchesUncached: for every engine, a cache-enabled server and
+// a cache-disabled server answer identically (modulo the elapsed-time
+// measurement) — on the miss, and again on the hit.
+func TestCachedMatchesUncached(t *testing.T) {
+	nav, _ := coursenav.Brandeis()
+	cached := New(nav)
+	uncached := New(nav)
+	uncached.Cache = nil
+	tsCached := httptest.NewServer(cached)
+	t.Cleanup(tsCached.Close)
+	tsUncached := httptest.NewServer(uncached)
+	t.Cleanup(tsUncached.Close)
+	for _, tc := range exploreCases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, want := post(t, tsUncached, tc.path, tc.body)
+			for round, label := range []string{"miss", "hit"} {
+				resp, got := post(t, tsCached, tc.path, tc.body)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s: %d %s", label, resp.StatusCode, got)
+				}
+				if resp.Header.Get("X-Cache") != label {
+					t.Fatalf("round %d X-Cache = %q, want %q", round, resp.Header.Get("X-Cache"), label)
+				}
+				if maskElapsed(got) != maskElapsed(want) {
+					t.Errorf("%s diverged from uncached server:\n cached:   %s\n uncached: %s", label, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheDisabled: a nil cache serves every request as an ordinary
+// computation with no X-Cache header.
+func TestCacheDisabled(t *testing.T) {
+	nav, _ := coursenav.Brandeis()
+	s := New(nav)
+	s.Cache = nil
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	body := `{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2}}`
+	for i := 0; i < 2; i++ {
+		resp, b := post(t, ts, "/api/v1/explore/deadline", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: %d %s", i, resp.StatusCode, b)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "" {
+			t.Errorf("round %d: X-Cache = %q on a cache-disabled server", i, got)
+		}
+	}
+}
+
+// TestBudgetStoppedNotCached: a run truncated by a request budget is a
+// partial result and must never be replayed to later requests.
+func TestBudgetStoppedNotCached(t *testing.T) {
+	ts := newTestServer(t)
+	body := `{"query":{"start":"Fall 2011","end":"Fall 2015","countOnly":true},"budget":{"maxNodes":50}}`
+	for i := 0; i < 2; i++ {
+		resp, b := post(t, ts, "/api/v1/explore/deadline", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: %d %s", i, resp.StatusCode, b)
+		}
+		if !strings.Contains(string(b), `"stopped":"max-nodes"`) {
+			t.Fatalf("round %d: run was not budget-stopped: %s", i, b)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "miss" {
+			t.Errorf("round %d: X-Cache = %q, want miss (partial results are not cached)", i, got)
+		}
+	}
+}
+
+// TestStreamPopulatesCache: a complete ?stream=1 run leaves the rendered
+// non-streaming response behind, so the next plain request is a hit whose
+// body matches what an uncached server would compute.
+func TestStreamPopulatesCache(t *testing.T) {
+	streamable := []string{"deadline", "goal", "ranked"}
+	for _, name := range streamable {
+		var tc struct{ name, path, body string }
+		for _, c := range exploreCases {
+			if c.name == name {
+				tc = c
+			}
+		}
+		t.Run(name, func(t *testing.T) {
+			nav, _ := coursenav.Brandeis()
+			cached := New(nav)
+			uncached := New(nav)
+			uncached.Cache = nil
+			tsCached := httptest.NewServer(cached)
+			t.Cleanup(tsCached.Close)
+			tsUncached := httptest.NewServer(uncached)
+			t.Cleanup(tsUncached.Close)
+
+			resp, b := post(t, tsCached, tc.path+"?stream=1", tc.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("stream: %d %s", resp.StatusCode, b)
+			}
+			if !strings.Contains(string(b), `"summary"`) {
+				t.Fatalf("stream did not finish with a summary: %s", b)
+			}
+			hit, got := post(t, tsCached, tc.path, tc.body)
+			if hit.StatusCode != http.StatusOK {
+				t.Fatalf("post-stream request: %d %s", hit.StatusCode, got)
+			}
+			if x := hit.Header.Get("X-Cache"); x != "hit" {
+				t.Fatalf("post-stream request X-Cache = %q, want hit (stream should populate)", x)
+			}
+			_, want := post(t, tsUncached, tc.path, tc.body)
+			if maskElapsed(got) != maskElapsed(want) {
+				t.Errorf("stream-populated entry diverged from uncached compute:\n cached:   %s\n uncached: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestWhatIfStreamDoesNotPopulate: streamed what-if delivers selections
+// in enumeration order while the plain endpoint sorts by impact — the
+// stream must not populate the cache with the wrong order.
+func TestWhatIfStreamDoesNotPopulate(t *testing.T) {
+	ts := newTestServer(t)
+	var tc struct{ name, path, body string }
+	for _, c := range exploreCases {
+		if c.name == "whatif" {
+			tc = c
+		}
+	}
+	if resp, b := post(t, ts, tc.path+"?stream=1", tc.body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %d %s", resp.StatusCode, b)
+	}
+	resp, _ := post(t, ts, tc.path, tc.body)
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("post-stream whatif X-Cache = %q, want miss", got)
+	}
+}
+
+// TestConcurrentIdenticalRequests: many clients posting the same request
+// at once all get correct, identical responses, and the cache's
+// accounting (hits + misses + coalesced) covers every request that
+// reached it.
+func TestConcurrentIdenticalRequests(t *testing.T) {
+	nav, _ := coursenav.Brandeis()
+	s := New(nav)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	body := `{"query":{"completed":["COSI 11A"],"start":"Fall 2013","end":"Fall 2015","maxPerTerm":2,"countOnly":true},"goal":{"courses":["COSI 21A"]}}`
+
+	const clients = 16
+	bodies := make([]string, clients)
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/api/v1/explore/goal", "application/json", strings.NewReader(body))
+			if err != nil {
+				errc <- err
+				return
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errc <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("client %d: status %d: %s", i, resp.StatusCode, b)
+				return
+			}
+			bodies[i] = maskElapsed(b)
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for i := 1; i < clients; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("client %d response diverged:\n %s\n vs\n %s", i, bodies[i], bodies[0])
+		}
+	}
+	st := s.Cache.Stats()
+	if st.Hits+st.Misses+st.Coalesced == 0 {
+		t.Fatal("cache saw no traffic")
+	}
+}
+
+// TestStatsSurfacesCacheCounters: /api/v1/stats carries both the live
+// cache snapshot and the per-event dispositions.
+func TestStatsSurfacesCacheCounters(t *testing.T) {
+	ts := newTestServer(t)
+	body := `{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2}}`
+	post(t, ts, "/api/v1/explore/deadline", body)
+	post(t, ts, "/api/v1/explore/deadline", body)
+	_, b := get(t, ts, "/api/v1/stats")
+	var st usage.Stats
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("stats unmarshal: %v\n%s", err, b)
+	}
+	if st.Cache == nil {
+		t.Fatal("stats.cache missing on a cache-enabled server")
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.Cache.Entries != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss / 1 entry", st.Cache)
+	}
+	if st.CacheHits != 1 {
+		t.Errorf("event cacheHits = %d, want 1", st.CacheHits)
+	}
+}
+
+// TestReloadInvalidatesCache: after a catalog reload, an identical
+// request must be recomputed against the new snapshot — never replayed
+// from the old one.
+func TestReloadInvalidatesCache(t *testing.T) {
+	small := true
+	s := New(navFromDump(t, reloadDumpSmall))
+	s.Loader = func() (*coursenav.Navigator, *coursenav.ImportReport, error) {
+		if small {
+			return navFromDump(t, reloadDumpSmall), nil, nil
+		}
+		return navFromDump(t, reloadDumpBig), nil, nil
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	body := `{"query":{"start":"Fall 2012","end":"Fall 2013"}}`
+
+	_, before := post(t, ts, "/api/v1/explore/deadline", body)
+	if resp, b := post(t, ts, "/api/v1/explore/deadline", body); resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("pre-reload warm-up not a hit: %s %s", resp.Header.Get("X-Cache"), b)
+	}
+
+	small = false
+	if resp, b := postReload(t, ts); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d %s", resp.StatusCode, b)
+	}
+	resp, after := post(t, ts, "/api/v1/explore/deadline", body)
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("post-reload X-Cache = %q, want miss", got)
+	}
+	if maskElapsed(after) == maskElapsed(before) {
+		t.Fatal("post-reload response identical to pre-reload catalog's (AAA 3 changes the graph)")
+	}
+}
+
+// TestReloadInvalidationUnderLoad races cache-warming readers against
+// catalog reloads and, after every reload, asserts the very next request
+// reflects the catalog just installed — no post-reload request may
+// observe a pre-reload cached result. Run under -race.
+func TestReloadInvalidationUnderLoad(t *testing.T) {
+	useBig := false // guarded by reloadMu: only mutated before ReloadNow below
+	var mu sync.Mutex
+	current := func() bool { mu.Lock(); defer mu.Unlock(); return useBig }
+	setCurrent := func(v bool) { mu.Lock(); defer mu.Unlock(); useBig = v }
+	s := New(navFromDump(t, reloadDumpSmall))
+	s.Loader = func() (*coursenav.Navigator, *coursenav.ImportReport, error) {
+		if current() {
+			return navFromDump(t, reloadDumpBig), nil, nil
+		}
+		return navFromDump(t, reloadDumpSmall), nil, nil
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	const body = `{"query":{"start":"Fall 2012","end":"Fall 2013"}}`
+	doPost := func() (string, string) {
+		resp, err := http.Post(ts.URL+"/api/v1/explore/deadline", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Errorf("post: %v", err)
+			return "", ""
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return "", ""
+		}
+		return maskElapsed(b), resp.Header.Get("X-Cache")
+	}
+
+	// Reference responses for each catalog, taken with no load running.
+	wantSmall, _ := doPost()
+	setCurrent(true)
+	s.ReloadNow()
+	wantBig, _ := doPost()
+	if wantSmall == wantBig {
+		t.Fatal("small and big catalogs answer identically; the test cannot distinguish them")
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Background load constantly re-warms the cache; a response
+				// must always be one of the two valid catalogs' answers,
+				// never torn.
+				got, _ := doPost()
+				if got != "" && got != wantSmall && got != wantBig {
+					t.Errorf("reader saw a response matching neither catalog:\n%s", got)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 12; i++ {
+		big := i%2 == 0 // started on big above
+		setCurrent(!big)
+		st := s.ReloadNow()
+		if !st.OK {
+			t.Fatalf("reload %d rejected: %s", i, st.Reason)
+		}
+		want := wantBig
+		if big { // just flipped away from big
+			want = wantSmall
+		}
+		// Every request issued after the reload returned must see the new
+		// catalog: the old generation's entries are unreachable.
+		if got, _ := doPost(); got != want {
+			t.Fatalf("reload %d: post-reload response served the old catalog:\n got:  %s\n want: %s", i, got, want)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestSaturatedLeaderWakesFollowers: a miss that cannot get an
+// exploration slot sheds load but must not strand coalescing followers
+// (they fall back and shed or compute individually).
+func TestSaturatedLeaderWakesFollowers(t *testing.T) {
+	nav, _ := coursenav.Brandeis()
+	s := New(nav)
+	s.MaxConcurrent = 1
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	// Occupy the only slot.
+	release, ok := s.acquire()
+	if !ok {
+		t.Fatal("could not occupy the semaphore")
+	}
+	body := `{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2}}`
+	resp, _ := post(t, ts, "/api/v1/explore/deadline", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated miss: %d, want 429", resp.StatusCode)
+	}
+	release()
+	// With the slot free, the same request computes and caches normally.
+	resp, b := post(t, ts, "/api/v1/explore/deadline", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release: %d %s", resp.StatusCode, b)
+	}
+	if resp2, _ := post(t, ts, "/api/v1/explore/deadline", body); resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatal("post-release result was not cached")
+	}
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro"
+)
+
+// canonKey canonicalizes req against the server's snapshot and derives
+// its cache key, failing the test when caching is disabled.
+func canonKey(t *testing.T, s *Server, endpoint string, req *ExploreRequest) interface{} {
+	t.Helper()
+	canonicalize(s.Navigator(), req)
+	key, ok := s.exploreKey(0, endpoint, req)
+	if !ok {
+		t.Fatal("exploreKey unusable on a cache-enabled server")
+	}
+	return key
+}
+
+// TestCanonicalKeyEquality: requests that differ only in list order,
+// duplicate completed courses, ID case or surrounding whitespace hash to
+// the same cache key.
+func TestCanonicalKeyEquality(t *testing.T) {
+	nav, _ := coursenav.Brandeis()
+	s := New(nav)
+	base := func() *ExploreRequest {
+		return &ExploreRequest{
+			Query: QuerySpec{
+				Completed: []string{"COSI 11A", "COSI 21A"},
+				Start:     "Fall 2013",
+				End:       "Fall 2015",
+				Avoid:     []string{"COSI 30A"},
+			},
+			Goal: &GoalSpec{Courses: []string{"COSI 127B", "COSI 130A"}},
+		}
+	}
+	want := canonKey(t, s, "goal", base())
+	variants := map[string]*ExploreRequest{
+		"reordered completed": {
+			Query: QuerySpec{Completed: []string{"COSI 21A", "COSI 11A"}, Start: "Fall 2013", End: "Fall 2015", Avoid: []string{"COSI 30A"}},
+			Goal:  &GoalSpec{Courses: []string{"COSI 127B", "COSI 130A"}},
+		},
+		"duplicated completed": {
+			Query: QuerySpec{Completed: []string{"COSI 11A", "COSI 21A", "COSI 11A"}, Start: "Fall 2013", End: "Fall 2015", Avoid: []string{"COSI 30A"}},
+			Goal:  &GoalSpec{Courses: []string{"COSI 127B", "COSI 130A"}},
+		},
+		"case-folded ids": {
+			Query: QuerySpec{Completed: []string{"cosi 11a", "Cosi 21a"}, Start: "Fall 2013", End: "Fall 2015", Avoid: []string{"cosi 30a"}},
+			Goal:  &GoalSpec{Courses: []string{"cosi 127b", "COSI 130A"}},
+		},
+		"whitespace": {
+			Query: QuerySpec{Completed: []string{" COSI 11A ", "COSI 21A"}, Start: "  Fall 2013", End: "Fall 2015  ", Avoid: []string{"COSI 30A "}},
+			Goal:  &GoalSpec{Courses: []string{"COSI 127B", " COSI 130A"}},
+		},
+		"reordered goal courses": {
+			Query: QuerySpec{Completed: []string{"COSI 11A", "COSI 21A"}, Start: "Fall 2013", End: "Fall 2015", Avoid: []string{"COSI 30A"}},
+			Goal:  &GoalSpec{Courses: []string{"COSI 130A", "COSI 127B"}},
+		},
+	}
+	for name, req := range variants {
+		if got := canonKey(t, s, "goal", req); got != want {
+			t.Errorf("%s: key diverged from base", name)
+		}
+	}
+}
+
+// TestCanonicalKeySeparation: requests that genuinely differ must not
+// collide — and degree-group course lists keep their order (counted
+// requirements are not set-semantic), so reordering one is a different
+// key.
+func TestCanonicalKeySeparation(t *testing.T) {
+	nav, _ := coursenav.Brandeis()
+	s := New(nav)
+	a := &ExploreRequest{Query: QuerySpec{Start: "Fall 2013", End: "Fall 2015"}, Goal: &GoalSpec{Courses: []string{"COSI 11A"}}}
+	b := &ExploreRequest{Query: QuerySpec{Start: "Fall 2013", End: "Fall 2015"}, Goal: &GoalSpec{Courses: []string{"COSI 21A"}}}
+	if canonKey(t, s, "goal", a) == canonKey(t, s, "goal", b) {
+		t.Fatal("different goals share a key")
+	}
+	g1 := &ExploreRequest{Query: QuerySpec{Start: "Fall 2013", End: "Fall 2015"},
+		Goal: &GoalSpec{Degree: []coursenav.DegreeGroup{{Name: "core", Count: 1, Courses: []string{"COSI 11A", "COSI 21A"}}}}}
+	g2 := &ExploreRequest{Query: QuerySpec{Start: "Fall 2013", End: "Fall 2015"},
+		Goal: &GoalSpec{Degree: []coursenav.DegreeGroup{{Name: "core", Count: 1, Courses: []string{"COSI 21A", "COSI 11A"}}}}}
+	if canonKey(t, s, "goal", g1) == canonKey(t, s, "goal", g2) {
+		t.Fatal("reordered degree group shares a key (group order is meaningful)")
+	}
+	// The same canonical request under different endpoints never collides.
+	c := &ExploreRequest{Query: QuerySpec{Start: "Fall 2013", End: "Fall 2015"}}
+	if canonKey(t, s, "deadline", c) == canonKey(t, s, "goal", c) {
+		t.Fatal("endpoints share a key")
+	}
+}
+
+// TestCanonicalizePreservesSemantics: a messy request (case-folded,
+// reordered, duplicated, padded) answers exactly like its clean form —
+// canonicalization changed the spelling, not the exploration.
+func TestCanonicalizePreservesSemantics(t *testing.T) {
+	ts := newTestServer(t)
+	clean := `{"query":{"completed":["COSI 11A","COSI 12B"],"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2},` +
+		`"goal":{"courses":["COSI 21A"]}}`
+	messy := `{"query":{"completed":["cosi 12b"," COSI 11A","COSI 11A"],"start":" Fall 2013 ","end":"Fall 2014","maxPerTerm":2},` +
+		`"goal":{"courses":[" cosi 21a "]}}`
+	respClean, bodyClean := post(t, ts, "/api/v1/explore/goal", clean)
+	respMessy, bodyMessy := post(t, ts, "/api/v1/explore/goal", messy)
+	if respClean.StatusCode != http.StatusOK || respMessy.StatusCode != http.StatusOK {
+		t.Fatalf("status: clean=%d messy=%d (%s)", respClean.StatusCode, respMessy.StatusCode, bodyMessy)
+	}
+	if maskElapsed(bodyClean) != maskElapsed(bodyMessy) {
+		t.Errorf("messy request diverged from clean:\n clean: %s\n messy: %s", bodyClean, bodyMessy)
+	}
+	// The messy form canonicalizes onto the clean form's cache entry.
+	if got := respMessy.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("messy request X-Cache = %q, want hit", got)
+	}
+}
+
+// TestCanonicalizeUnknownCourse: an ID that resolves to nothing stays as
+// typed and fails with the usual unknown-course error — which is never
+// cached.
+func TestCanonicalizeUnknownCourse(t *testing.T) {
+	ts := newTestServer(t)
+	body := `{"query":{"completed":["NOPE 999"],"start":"Fall 2013","end":"Fall 2014"}}`
+	for i := 0; i < 2; i++ {
+		resp, b := post(t, ts, "/api/v1/explore/deadline", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("round %d: status = %d, body %s", i, resp.StatusCode, b)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "miss" {
+			t.Errorf("round %d: error response X-Cache = %q, want miss (errors are not cached)", i, got)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package server
+
+import (
+	"net/http/pprof"
+)
+
+// EnablePprof mounts net/http/pprof's profiling handlers under
+// /debug/pprof/ on the server's mux. Off by default — the profiling
+// surface exposes goroutine stacks and heap contents, so it is opt-in
+// (the -pprof flag of cmd/coursenav-server) and meant for trusted
+// networks only. Call before the first request is served.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

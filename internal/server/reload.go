@@ -77,6 +77,13 @@ func (s *Server) ReloadNow() ReloadStatus {
 	st.Courses = nav.NumCourses()
 	s.nav.Store(nav)
 	st.Generation = s.generation.Add(1)
+	if s.Cache != nil {
+		// Every cached result and in-flight coalesced run belongs to the
+		// catalog just replaced; the generation bump makes old entries
+		// unreachable and Invalidate drops them (and the flight map) so
+		// stale work cannot poison the new snapshot.
+		s.Cache.Invalidate(st.Generation)
+	}
 	st.OK = true
 	return st
 }

@@ -45,6 +45,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -55,6 +56,7 @@ import (
 
 	"repro"
 	"repro/internal/explore"
+	"repro/internal/resultcache"
 	"repro/internal/usage"
 )
 
@@ -112,6 +114,10 @@ type Server struct {
 	// /api/v1/admin/reload endpoint re-parse the catalog source through
 	// it. Set before the first request is served.
 	Loader Loader
+	// Cache is the snapshot-versioned result cache serving repeated
+	// identical explore requests without re-exploring (see cache.go). New
+	// installs one with DefaultCacheBytes; set nil to disable caching.
+	Cache *resultcache.Cache
 
 	sem        chan struct{} // lazily sized from MaxConcurrent on first acquire
 	reloadMu   sync.Mutex    // serialises reload attempts
@@ -133,6 +139,7 @@ func New(nav *coursenav.Navigator) *Server {
 		RequestTimeout:   DefaultRequestTimeout,
 		MaxConcurrent:    DefaultMaxConcurrent,
 		Usage:            usage.NewLog(4096),
+		Cache:            resultcache.New(DefaultCacheBytes),
 	}
 	s.nav.Store(nav)
 	mux := http.NewServeMux()
@@ -150,10 +157,13 @@ func New(nav *coursenav.Navigator) *Server {
 		{"GET /catalog", s.handleCatalog},
 		{"GET /courses/{id}", s.handleCourse},
 		{"GET /options", s.handleOptions},
-		{"POST /explore/deadline", s.limited(s.handleDeadline)},
-		{"POST /explore/goal", s.limited(s.handleGoal)},
-		{"POST /explore/ranked", s.limited(s.handleRanked)},
-		{"POST /explore/whatif", s.limited(s.handleWhatIf)},
+		// Explore handlers manage the concurrency semaphore themselves
+		// (via serveCached/runLimited): cache hits and coalesced followers
+		// never occupy an exploration slot.
+		{"POST /explore/deadline", s.handleDeadline},
+		{"POST /explore/goal", s.handleGoal},
+		{"POST /explore/ranked", s.handleRanked},
+		{"POST /explore/whatif", s.handleWhatIf},
 		{"POST /audit", s.handleAudit},
 		{"GET /stats", s.handleStats},
 	} {
@@ -194,6 +204,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			Streamed:      rec.streamed,
 			StreamedPaths: rec.streamedPaths,
 			WriteAborted:  rec.writeErr != nil,
+			Cache:         rec.cache,
 			Duration:      time.Since(began),
 			Status:        rec.status,
 		})
@@ -227,23 +238,6 @@ func (s *Server) acquire() (release func(), ok bool) {
 	}
 }
 
-// limited wraps an exploration handler with the concurrency semaphore:
-// saturation sheds load immediately with 429 + Retry-After rather than
-// queueing requests behind long explorations.
-func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		release, ok := s.acquire()
-		if !ok {
-			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusTooManyRequests, CodeOverloaded,
-				"server is at its exploration concurrency limit; retry shortly")
-			return
-		}
-		defer release()
-		h(w, r)
-	}
-}
-
 // statusRecorder captures the response status and lets handlers annotate
 // the usage event with exploration details. It also remembers the first
 // response-write failure — on a streamed response that is the client
@@ -259,6 +253,11 @@ type statusRecorder struct {
 	streamed      bool
 	streamedPaths int64
 	writeErr      error
+	cache         string
+}
+
+func (r *statusRecorder) setExplore(window string, paths int64, stopped string) {
+	r.window, r.paths, r.stopped = window, paths, stopped
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -284,17 +283,20 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// annotate attaches exploration details to the request's usage event.
-func annotate(w http.ResponseWriter, qs QuerySpec, paths int64, stopped string) {
-	if rec, ok := w.(*statusRecorder); ok {
-		rec.window = qs.Start + " → " + qs.End
-		rec.paths = paths
-		rec.stopped = stopped
-	}
-}
-
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Usage.Snapshot())
+	snap := s.Usage.Snapshot()
+	if s.Cache != nil {
+		cs := s.Cache.Stats()
+		snap.Cache = &usage.CacheStats{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Coalesced: cs.Coalesced,
+			Evictions: cs.Evictions,
+			Bytes:     cs.Bytes,
+			Entries:   cs.Entries,
+		}
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // errorBody is the unified v1 error envelope.
@@ -601,25 +603,41 @@ func (s *Server) respondGraph(w http.ResponseWriter, g *coursenav.Graph, sum cou
 // after the header has gone out can only be a dead socket — it is
 // recorded for usage (statusRecorder.writeErr) and the body abandoned.
 func (s *Server) writeExplore(w http.ResponseWriter, sum coursenav.Summary, g *coursenav.Graph) {
-	sumJSON, err := json.Marshal(toSummaryBody(sum))
-	if err != nil {
+	if _, err := json.Marshal(toSummaryBody(sum)); err != nil {
 		writeErr(w, http.StatusInternalServerError, CodeInternal, "rendering summary: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	if g == nil {
-		fmt.Fprintf(w, "{\"summary\":%s}\n", sumJSON)
-		return
+	_ = s.renderExploreBody(w, sum, g)
+}
+
+// renderExploreBody writes the explore envelope body — the exact bytes
+// writeExplore puts on the wire after the 200 header — to any writer, so
+// the stream-population path (cache.go) can render an identical body into
+// a cache entry.
+func (s *Server) renderExploreBody(w io.Writer, sum coursenav.Summary, g *coursenav.Graph) error {
+	sumJSON, err := json.Marshal(toSummaryBody(sum))
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(w, "{\"summary\":%s,\"graph\":", sumJSON)
+	if g == nil {
+		_, err = fmt.Fprintf(w, "{\"summary\":%s}\n", sumJSON)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "{\"summary\":%s,\"graph\":", sumJSON); err != nil {
+		return err
+	}
 	if err := g.WriteJSON(w, s.MaxResponseNodes); err != nil {
-		return
+		return err
 	}
 	if g.Stats().Nodes > s.MaxResponseNodes {
-		fmt.Fprint(w, ",\"truncated\":true")
+		if _, err := fmt.Fprint(w, ",\"truncated\":true"); err != nil {
+			return err
+		}
 	}
-	fmt.Fprint(w, "}\n")
+	_, err = fmt.Fprint(w, "}\n")
+	return err
 }
 
 func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
@@ -630,31 +648,53 @@ func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
 	if !req.checkExtras(w, "explore/deadline", false, false) {
 		return
 	}
+	// The generation is read before the navigator snapshot: reload stores
+	// the navigator first and bumps the generation after, so gen is never
+	// newer than nav and a result is never cached under a catalog that
+	// did not produce it.
+	gen := s.generation.Load()
 	nav := s.Navigator()
+	canonicalize(nav, &req)
 	if wantsStream(r) {
 		if !streamable(w, &req) {
 			return
 		}
-		s.streamPaths(w, r, &req, func(ctx context.Context, fn func(coursenav.StreamedPath) error) (coursenav.Summary, error) {
-			return nav.DeadlineStream(ctx, s.query(req.Query, req.Budget), fn)
-		})
-		return
-	}
-	ctx, cancel := s.runCtx(r, req.Budget)
-	defer cancel()
-	if req.Query.CountOnly {
-		sum, err := nav.DeadlineCountCtx(ctx, s.query(req.Query, req.Budget))
-		if err != nil {
-			s.writeNavErr(w, err)
+		release, ok := s.acquire()
+		if !ok {
+			shedLoad(w)
 			return
 		}
-		annotate(w, req.Query, sum.Paths, sum.Stopped)
-		s.writeExplore(w, sum, nil)
+		defer release()
+		var collected *coursenav.Graph
+		sum, complete := s.streamPaths(w, r, &req, func(ctx context.Context, fn func(coursenav.StreamedPath) error) (coursenav.Summary, error) {
+			g, sum, err := nav.DeadlineStreamCollect(ctx, s.query(req.Query, req.Budget), s.NodeBudget, fn)
+			collected = g
+			return sum, err
+		})
+		if complete && collected != nil {
+			if key, ok := s.exploreKey(gen, "deadline", &req); ok {
+				s.Cache.Put(key, s.graphEntry(req.Query, sum, collected, sum.Paths))
+			}
+		}
 		return
 	}
-	g, sum, err := nav.DeadlineCtx(ctx, s.query(req.Query, req.Budget))
-	annotate(w, req.Query, sum.Paths, sum.Stopped)
-	s.respondGraph(w, g, sum, err)
+	s.serveCached(w, r, &req, "deadline", gen, func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := s.runCtx(r, req.Budget)
+		defer cancel()
+		if req.Query.CountOnly {
+			sum, err := nav.DeadlineCountCtx(ctx, s.query(req.Query, req.Budget))
+			if err != nil {
+				s.writeNavErr(w, err)
+				return
+			}
+			annotate(w, req.Query, sum.Paths, sum.Stopped)
+			s.writeExplore(w, sum, nil)
+			return
+		}
+		g, sum, err := nav.DeadlineCtx(ctx, s.query(req.Query, req.Budget))
+		annotate(w, req.Query, sum.Paths, sum.Stopped)
+		s.respondGraph(w, g, sum, err)
+	})
 }
 
 func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
@@ -665,35 +705,57 @@ func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
 	if !req.checkExtras(w, "explore/goal", true, false) {
 		return
 	}
+	gen := s.generation.Load()
 	nav := s.Navigator()
-	goal, ok := s.goal(nav, w, &req)
-	if !ok {
-		return
-	}
+	canonicalize(nav, &req)
 	if wantsStream(r) {
 		if !streamable(w, &req) {
 			return
 		}
-		s.streamPaths(w, r, &req, func(ctx context.Context, fn func(coursenav.StreamedPath) error) (coursenav.Summary, error) {
-			return nav.GoalStream(ctx, s.query(req.Query, req.Budget), goal, fn)
-		})
-		return
-	}
-	ctx, cancel := s.runCtx(r, req.Budget)
-	defer cancel()
-	if req.Query.CountOnly {
-		sum, err := nav.GoalPathsCountCtx(ctx, s.query(req.Query, req.Budget), goal)
-		if err != nil {
-			s.writeNavErr(w, err)
+		goal, ok := s.goal(nav, w, &req)
+		if !ok {
 			return
 		}
-		annotate(w, req.Query, sum.GoalPaths, sum.Stopped)
-		s.writeExplore(w, sum, nil)
+		release, okAcq := s.acquire()
+		if !okAcq {
+			shedLoad(w)
+			return
+		}
+		defer release()
+		var collected *coursenav.Graph
+		sum, complete := s.streamPaths(w, r, &req, func(ctx context.Context, fn func(coursenav.StreamedPath) error) (coursenav.Summary, error) {
+			g, sum, err := nav.GoalStreamCollect(ctx, s.query(req.Query, req.Budget), goal, s.NodeBudget, fn)
+			collected = g
+			return sum, err
+		})
+		if complete && collected != nil {
+			if key, ok := s.exploreKey(gen, "goal", &req); ok {
+				s.Cache.Put(key, s.graphEntry(req.Query, sum, collected, sum.GoalPaths))
+			}
+		}
 		return
 	}
-	g, sum, err := nav.GoalPathsCtx(ctx, s.query(req.Query, req.Budget), goal)
-	annotate(w, req.Query, sum.GoalPaths, sum.Stopped)
-	s.respondGraph(w, g, sum, err)
+	s.serveCached(w, r, &req, "goal", gen, func(w http.ResponseWriter, r *http.Request) {
+		goal, ok := s.goal(nav, w, &req)
+		if !ok {
+			return
+		}
+		ctx, cancel := s.runCtx(r, req.Budget)
+		defer cancel()
+		if req.Query.CountOnly {
+			sum, err := nav.GoalPathsCountCtx(ctx, s.query(req.Query, req.Budget), goal)
+			if err != nil {
+				s.writeNavErr(w, err)
+				return
+			}
+			annotate(w, req.Query, sum.GoalPaths, sum.Stopped)
+			s.writeExplore(w, sum, nil)
+			return
+		}
+		g, sum, err := nav.GoalPathsCtx(ctx, s.query(req.Query, req.Budget), goal)
+		annotate(w, req.Query, sum.GoalPaths, sum.Stopped)
+		s.respondGraph(w, g, sum, err)
+	})
 }
 
 type rankedResponse struct {
@@ -706,39 +768,69 @@ func (s *Server) handleRanked(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	gen := s.generation.Load()
 	nav := s.Navigator()
-	goal, ok := s.goal(nav, w, &req)
-	if !ok {
-		return
-	}
+	canonicalize(nav, &req)
 	if wantsStream(r) {
 		if !streamable(w, &req) {
 			return
 		}
-		s.streamPaths(w, r, &req, func(ctx context.Context, fn func(coursenav.StreamedPath) error) (coursenav.Summary, error) {
-			if len(req.Weights) > 0 {
-				return nav.TopKWeightedStream(ctx, s.query(req.Query, req.Budget), goal, req.Weights, req.K, fn)
+		goal, ok := s.goal(nav, w, &req)
+		if !ok {
+			return
+		}
+		release, okAcq := s.acquire()
+		if !okAcq {
+			shedLoad(w)
+			return
+		}
+		defer release()
+		// The stream delivers paths in rank order — exactly the slice the
+		// non-streaming response carries — so a clean run can populate the
+		// cache for future non-streaming requests.
+		ranked := []coursenav.Path{}
+		sum, complete := s.streamPaths(w, r, &req, func(ctx context.Context, fn func(coursenav.StreamedPath) error) (coursenav.Summary, error) {
+			collect := func(p coursenav.StreamedPath) error {
+				if err := fn(p); err != nil {
+					return err
+				}
+				ranked = append(ranked, p.Path)
+				return nil
 			}
-			return nav.TopKStream(ctx, s.query(req.Query, req.Budget), goal, req.Ranking, req.K, fn)
+			if len(req.Weights) > 0 {
+				return nav.TopKWeightedStream(ctx, s.query(req.Query, req.Budget), goal, req.Weights, req.K, collect)
+			}
+			return nav.TopKStream(ctx, s.query(req.Query, req.Budget), goal, req.Ranking, req.K, collect)
 		})
+		if complete {
+			if key, ok := s.exploreKey(gen, "ranked", &req); ok {
+				s.Cache.Put(key, s.rankedEntry(req.Query, sum, ranked))
+			}
+		}
 		return
 	}
-	ctx, cancel := s.runCtx(r, req.Budget)
-	defer cancel()
-	var paths []coursenav.Path
-	var sum coursenav.Summary
-	var err error
-	if len(req.Weights) > 0 {
-		paths, sum, err = nav.TopKWeightedCtx(ctx, s.query(req.Query, req.Budget), goal, req.Weights, req.K)
-	} else {
-		paths, sum, err = nav.TopKCtx(ctx, s.query(req.Query, req.Budget), goal, req.Ranking, req.K)
-	}
-	if err != nil {
-		s.writeNavErr(w, err)
-		return
-	}
-	annotate(w, req.Query, int64(len(paths)), sum.Stopped)
-	writeJSON(w, http.StatusOK, rankedResponse{Summary: toSummaryBody(sum), Paths: paths})
+	s.serveCached(w, r, &req, "ranked", gen, func(w http.ResponseWriter, r *http.Request) {
+		goal, ok := s.goal(nav, w, &req)
+		if !ok {
+			return
+		}
+		ctx, cancel := s.runCtx(r, req.Budget)
+		defer cancel()
+		var paths []coursenav.Path
+		var sum coursenav.Summary
+		var err error
+		if len(req.Weights) > 0 {
+			paths, sum, err = nav.TopKWeightedCtx(ctx, s.query(req.Query, req.Budget), goal, req.Weights, req.K)
+		} else {
+			paths, sum, err = nav.TopKCtx(ctx, s.query(req.Query, req.Budget), goal, req.Ranking, req.K)
+		}
+		if err != nil {
+			s.writeNavErr(w, err)
+			return
+		}
+		annotate(w, req.Query, int64(len(paths)), sum.Stopped)
+		writeJSON(w, http.StatusOK, rankedResponse{Summary: toSummaryBody(sum), Paths: paths})
+	})
 }
 
 type auditRequest struct {
@@ -788,25 +880,42 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	if !req.checkExtras(w, "explore/whatif", true, false) {
 		return
 	}
+	gen := s.generation.Load()
 	nav := s.Navigator()
-	goal, ok := s.goal(nav, w, &req)
-	if !ok {
-		return
-	}
+	canonicalize(nav, &req)
 	if wantsStream(r) {
 		if !streamable(w, &req) {
 			return
 		}
+		goal, ok := s.goal(nav, w, &req)
+		if !ok {
+			return
+		}
+		release, okAcq := s.acquire()
+		if !okAcq {
+			shedLoad(w)
+			return
+		}
+		defer release()
+		// Streamed what-if delivers selections in enumeration order while
+		// the non-streaming response sorts by impact, so a stream never
+		// populates the whatif cache.
 		s.streamWhatIf(w, r, &req, nav, goal)
 		return
 	}
-	ctx, cancel := s.runCtx(r, req.Budget)
-	defer cancel()
-	impacts, stopped, err := nav.CompareSelectionsCtx(ctx, s.query(req.Query, req.Budget), goal)
-	if err != nil {
-		s.writeNavErr(w, err)
-		return
-	}
-	annotate(w, req.Query, int64(len(impacts)), stopped)
-	writeJSON(w, http.StatusOK, whatIfResponse{Selections: impacts, Stopped: stopped})
+	s.serveCached(w, r, &req, "whatif", gen, func(w http.ResponseWriter, r *http.Request) {
+		goal, ok := s.goal(nav, w, &req)
+		if !ok {
+			return
+		}
+		ctx, cancel := s.runCtx(r, req.Budget)
+		defer cancel()
+		impacts, stopped, err := nav.CompareSelectionsCtx(ctx, s.query(req.Query, req.Budget), goal)
+		if err != nil {
+			s.writeNavErr(w, err)
+			return
+		}
+		annotate(w, req.Query, int64(len(impacts)), stopped)
+		writeJSON(w, http.StatusOK, whatIfResponse{Selections: impacts, Stopped: stopped})
+	})
 }

@@ -127,8 +127,11 @@ func (s *Server) finishStream(w http.ResponseWriter, sw *streamWriter, err error
 
 // streamPaths drives one path-streaming run (deadline, goal or ranked)
 // behind a façade closure, translating delivered paths into NDJSON
-// records and the final Summary into the trailing summary record.
-func (s *Server) streamPaths(w http.ResponseWriter, r *http.Request, req *ExploreRequest, run func(context.Context, func(coursenav.StreamedPath) error) (coursenav.Summary, error)) {
+// records and the final Summary into the trailing summary record. It
+// returns the run's summary and whether the run was complete — no error,
+// no failed write, no early stop — so callers can decide to populate the
+// result cache from the streamed run.
+func (s *Server) streamPaths(w http.ResponseWriter, r *http.Request, req *ExploreRequest, run func(context.Context, func(coursenav.StreamedPath) error) (coursenav.Summary, error)) (coursenav.Summary, bool) {
 	ctx, cancel := s.runCtx(r, req.Budget)
 	defer cancel()
 	sw := newStreamWriter(w)
@@ -141,6 +144,7 @@ func (s *Server) streamPaths(w http.ResponseWriter, r *http.Request, req *Explor
 	})
 	annotate(w, req.Query, sw.paths, streamStopped(sum.Stopped, sw))
 	s.finishStream(w, sw, err, summaryRecord{Summary: toSummaryBody(sum)})
+	return sum, err == nil && sw.err == nil && sum.Stopped == ""
 }
 
 // whatIfStreamSummary is the trailing summary record of a streamed

@@ -44,6 +44,10 @@ type Event struct {
 	// WriteAborted reports that a response write failed mid-stream — the
 	// client went away while path records were still flowing.
 	WriteAborted bool `json:"writeAborted,omitempty"`
+	// Cache is the result-cache disposition of an explore request: "hit"
+	// (replayed), "coalesced" (shared an identical in-flight run) or
+	// "miss" (computed); empty for uncached surfaces.
+	Cache string `json:"cache,omitempty"`
 	// Duration is the handling latency.
 	Duration time.Duration `json:"durationNs"`
 	// Status is the HTTP status code returned.
@@ -142,7 +146,16 @@ type Stats struct {
 	// turns it away.
 	ReloadsApplied  int             `json:"reloadsApplied"`
 	ReloadsRejected int             `json:"reloadsRejected"`
-	Endpoints       []EndpointStats `json:"endpoints"`
+	// CacheHits/CacheCoalesced count explore requests answered from the
+	// result cache or by sharing an identical in-flight run (from the
+	// event ring, so bounded by its capacity).
+	CacheHits      int `json:"cacheHits"`
+	CacheCoalesced int `json:"cacheCoalesced"`
+	// Cache is the live result-cache snapshot (counters since process
+	// start, unbounded by the ring), injected by the server when caching
+	// is enabled.
+	Cache     *CacheStats     `json:"cache,omitempty"`
+	Endpoints []EndpointStats `json:"endpoints"`
 	// TopWindows lists the most-queried exploration windows, a proxy for
 	// which academic periods students care about.
 	TopWindows []WindowCount `json:"topWindows,omitempty"`
@@ -178,6 +191,12 @@ func (l *Log) Snapshot() Stats {
 		}
 		if e.WriteAborted {
 			st.WriteAborts++
+		}
+		switch e.Cache {
+		case "hit":
+			st.CacheHits++
+		case "coalesced":
+			st.CacheCoalesced++
 		}
 		if e.Window != "" {
 			windows[e.Window]++
@@ -221,6 +240,17 @@ func (l *Log) Snapshot() Stats {
 		st.TopWindows = st.TopWindows[:10]
 	}
 	return st
+}
+
+// CacheStats mirrors the result cache's lifetime counters for the stats
+// surface.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Bytes     int64 `json:"bytes"`
+	Entries   int   `json:"entries"`
 }
 
 // quantile returns the q-quantile of sorted values (nearest-rank).

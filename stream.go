@@ -167,6 +167,101 @@ func (n *Navigator) topKStream(ctx context.Context, q Query, g Goal, ranker rank
 	return sum, err
 }
 
+// DeadlineStreamCollect is DeadlineStream with an opportunistic graph
+// collection riding along: paths are delivered to fn exactly as
+// DeadlineStream would, and when the run completes cleanly with at most
+// maxNodes graph nodes the materialised learning graph is returned too —
+// the same graph DeadlineCtx would have built. The graph is nil whenever
+// it cannot be collected faithfully: the run stopped early or failed, the
+// node count exceeded maxNodes (the condition DeadlineCtx reports as a
+// budget error), or Query.Workers > 1 (parallel node ids are not
+// globally unique). Collection never disturbs delivery — overflow simply
+// stops collecting while paths keep flowing.
+func (n *Navigator) DeadlineStreamCollect(ctx context.Context, q Query, maxNodes int, fn func(StreamedPath) error) (*Graph, Summary, error) {
+	return n.streamCollect(ctx, q, Goal{}, fn, maxNodes)
+}
+
+// GoalStreamCollect is GoalStream with the same opportunistic graph
+// collection as DeadlineStreamCollect.
+func (n *Navigator) GoalStreamCollect(ctx context.Context, q Query, g Goal, maxNodes int, fn func(StreamedPath) error) (*Graph, Summary, error) {
+	if g.inner == nil {
+		return nil, Summary{}, fmt.Errorf("coursenav: GoalStreamCollect requires a goal; use DeadlineStreamCollect for unconstrained runs")
+	}
+	return n.streamCollect(ctx, q, g, fn, maxNodes)
+}
+
+func (n *Navigator) streamCollect(ctx context.Context, q Query, g Goal, fn func(StreamedPath) error, maxNodes int) (*Graph, Summary, error) {
+	if q.Workers > 1 {
+		sum, err := n.stream(ctx, q, g, fn)
+		return nil, sum, err
+	}
+	if fn == nil {
+		return nil, Summary{}, fmt.Errorf("coursenav: streaming requires a callback")
+	}
+	if q.MergeStatuses {
+		return nil, Summary{}, fmt.Errorf("coursenav: streaming requires MergeStatuses off — merged runs lose path identity")
+	}
+	start, end, opt, err := n.compile(q)
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	var pruners []explore.Pruner
+	if g.inner != nil {
+		pruners = n.pruners(q, g)
+	}
+	// nodes starts at 1 for the root, matching the materialised run's
+	// tally, so overflow fires on exactly the graphs DeadlineCtx rejects.
+	cc := &cappedCollect{collect: explore.NewCollectSink(start), nodes: 1, max: maxNodes}
+	deliver := explore.SinkFunc(func(ev explore.Event) error {
+		if ev.Kind != explore.KindPath {
+			return nil
+		}
+		if err := fn(StreamedPath{Path: n.pathFromSteps(ev.Steps), Goal: ev.Goal}); err != nil {
+			if errors.Is(err, ErrStopStream) {
+				return explore.ErrStopEmit
+			}
+			return err
+		}
+		return nil
+	})
+	res, err := explore.Stream(ctx, n.cat, start, end, g.inner, pruners, opt, explore.Tee(cc, deliver))
+	sum := summarize(res)
+	if err != nil || cc.overflow {
+		return nil, sum, err
+	}
+	// Renumber into materialised order so the collected graph is
+	// indistinguishable — byte for byte once serialised — from the graph
+	// DeadlineCtx/GoalCtx would have built for the same query.
+	return &Graph{cat: n.cat, g: explore.MaterializedOrder(cc.collect.Graph())}, sum, nil
+}
+
+// cappedCollect feeds a CollectSink until the node count exceeds max,
+// then silently stops collecting (overflow). Collector trouble must never
+// abort the client-facing stream it tees with, so Emit never errors.
+type cappedCollect struct {
+	collect  *explore.CollectSink
+	nodes    int
+	max      int
+	overflow bool
+}
+
+func (c *cappedCollect) Emit(ev explore.Event) error {
+	if c.overflow {
+		return nil
+	}
+	if ev.Kind == explore.KindEdge {
+		c.nodes++
+		if c.max > 0 && c.nodes > c.max {
+			c.overflow = true
+			return nil
+		}
+	}
+	if c.collect.Emit(ev) != nil {
+		c.overflow = true
+	}
+	return nil
+}
+
 // WhatIfStream is CompareSelectionsCtx in streaming mode: each candidate
 // selection's impact is delivered to fn the moment its count completes,
 // in enumeration order rather than sorted impact order (every delivered
