@@ -11,6 +11,7 @@
 package coursenav_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -159,6 +160,79 @@ func BenchmarkFigure4RankedWorkload(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- DAG substrate: counting and what-if vs the tree walk ---------------
+
+// BenchmarkCountTreeVsDAG compares deadline counting on the two
+// substrates. The tree walk's cost scales with the number of paths; the
+// DAG's with the number of distinct (semester, completed-set) statuses,
+// which grows orders of magnitude slower — EXPERIMENTS.md records the
+// measured gap. The 8-semester empty-start rows are skipped: the status
+// DAG's edge count grows roughly three orders of magnitude per two added
+// semesters, so even the DAG build is far beyond interactive there (and
+// the tree walk's ~10^13 paths are hopeless).
+func BenchmarkCountTreeVsDAG(b *testing.B) {
+	substrates := []struct {
+		name string
+		s    explore.Substrate
+	}{
+		{"tree", explore.SubstrateTree},
+		{"dag", explore.SubstrateDAG},
+	}
+	for _, d := range []int{4, 6, 8} {
+		for _, sub := range substrates {
+			b.Run(fmt.Sprintf("semesters=%d/substrate=%s", d, sub.name), func(b *testing.B) {
+				if d >= 8 {
+					b.Skip("8-semester empty-start counting is infeasible on either substrate (DAG edges grow ~1000x per two semesters; the tree has ~10^13 paths)")
+				}
+				opt := benchOpt()
+				opt.Substrate = sub.s
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := explore.DeadlineCount(benchCat, benchStart(d), brandeis.EndTerm(), opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Paths), "paths")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWhatIfDelta compares what-if analysis (per-candidate path
+// deltas for the next term) on the two substrates. The DAG variant builds
+// the interned DAG once below the candidate roots and reads every delta
+// from shared bottom-up tallies instead of re-walking a tree per
+// candidate.
+func BenchmarkWhatIfDelta(b *testing.B) {
+	substrates := []struct {
+		name string
+		s    explore.Substrate
+	}{
+		{"tree", explore.SubstrateTree},
+		{"dag", explore.SubstrateDAG},
+	}
+	for _, d := range []int{5, 6} {
+		for _, sub := range substrates {
+			b.Run(fmt.Sprintf("semesters=%d/substrate=%s", d, sub.name), func(b *testing.B) {
+				opt := benchOpt()
+				opt.Substrate = sub.s
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					impacts, _, err := explore.CompareSelectionsCtx(context.Background(), benchCat,
+						benchStart(d), brandeis.EndTerm(), benchMajor, benchPruners(), opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(impacts) == 0 {
+						b.Fatal("no candidate selections")
+					}
+				}
+			})
+		}
 	}
 }
 

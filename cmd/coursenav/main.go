@@ -211,6 +211,8 @@ type studentFlags struct {
 	start     *string
 	end       *string
 	m         *int
+	substrate *string
+	workers   *int
 }
 
 func addStudentFlags(fs *flag.FlagSet) studentFlags {
@@ -219,6 +221,8 @@ func addStudentFlags(fs *flag.FlagSet) studentFlags {
 		start:     fs.String("start", "", "current semester, e.g. \"Fall 2013\""),
 		end:       fs.String("end", "", "end semester d, e.g. \"Fall 2015\""),
 		m:         fs.Int("m", 3, "max courses per semester (0 = unlimited)"),
+		substrate: fs.String("substrate", "auto", "search substrate: auto (counts use the status DAG), tree, dag"),
+		workers:   fs.Int("workers", 0, "parallelise counting across this many goroutines (0/1 = serial)"),
 	}
 }
 
@@ -234,6 +238,8 @@ func (sf studentFlags) query() coursenav.Query {
 		Start:      *sf.start,
 		End:        *sf.end,
 		MaxPerTerm: *sf.m,
+		Substrate:  *sf.substrate,
+		Workers:    *sf.workers,
 	}
 }
 
@@ -276,8 +282,12 @@ func addRenderFlags(fs *flag.FlagSet) renderFlags {
 }
 
 func printSummary(sum coursenav.Summary) {
-	fmt.Printf("paths=%d goalPaths=%d nodes=%d edges=%d prunedTime=%d prunedAvail=%d elapsed=%v\n",
-		sum.Paths, sum.GoalPaths, sum.Nodes, sum.Edges, sum.PrunedTime, sum.PrunedAvail, sum.Elapsed)
+	sub := ""
+	if sum.DAG {
+		sub = " substrate=dag"
+	}
+	fmt.Printf("paths=%d goalPaths=%d nodes=%d edges=%d prunedTime=%d prunedAvail=%d elapsed=%v%s\n",
+		sum.Paths, sum.GoalPaths, sum.Nodes, sum.Edges, sum.PrunedTime, sum.PrunedAvail, sum.Elapsed, sub)
 }
 
 // wantsGraph reports whether a graph render was requested; everything

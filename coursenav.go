@@ -366,6 +366,17 @@ type Query struct {
 	// Workers, when >1, parallelises counting queries (DeadlineCount,
 	// GoalPathsCount) across that many goroutines; tallies are exact.
 	Workers int
+	// Substrate selects the search structure: "" or "auto" lets each
+	// entry point choose (counting and what-if queries run on the
+	// interned-status DAG, which answers them in time proportional to the
+	// number of distinct statuses rather than the number of paths; path
+	// enumeration keeps the tree walk), "tree" forces the legacy walk
+	// everywhere, and "dag" forces the DAG — materialising queries
+	// (Deadline, GoalPaths) then fail, since a materialised learning
+	// graph is inherently per-path. Tallies are identical on either
+	// substrate; only Nodes/Edges bookkeeping differs (the DAG counts
+	// distinct statuses once).
+	Substrate string
 	// Budget bounds the run's wall clock, generated statuses and tallied
 	// paths. A run that exhausts a bound (or whose context is cancelled,
 	// on the *Ctx methods) ends with a partial result whose
@@ -406,12 +417,17 @@ func (n *Navigator) compile(q Query) (status.Status, term.Term, explore.Options,
 	if err != nil {
 		return zero, term.Term{}, explore.Options{}, err
 	}
+	sub, err := parseSubstrate(q.Substrate)
+	if err != nil {
+		return zero, term.Term{}, explore.Options{}, err
+	}
 	opt := explore.Options{
 		MaxPerTerm:    q.MaxPerTerm,
 		MergeStatuses: q.MergeStatuses,
 		MaxNodes:      q.MaxNodes,
 		MaxPathCost:   q.MaxPathCost,
 		Workers:       q.Workers,
+		Substrate:     sub,
 		Budget:        explore.Budget(q.Budget),
 	}
 	if len(q.Avoid) > 0 {
@@ -430,6 +446,20 @@ func (n *Navigator) compile(q Query) (status.Status, term.Term, explore.Options,
 		opt.Constraints = append(opt.Constraints, explore.MinPerTerm{Count: q.MinPerTerm})
 	}
 	return status.New(n.cat, start, x), end, opt, nil
+}
+
+// parseSubstrate maps Query.Substrate to the engine's enum.
+func parseSubstrate(s string) (explore.Substrate, error) {
+	switch s {
+	case "", "auto":
+		return explore.SubstrateAuto, nil
+	case "tree":
+		return explore.SubstrateTree, nil
+	case "dag":
+		return explore.SubstrateDAG, nil
+	default:
+		return 0, fmt.Errorf("coursenav: unknown substrate %q (want \"auto\", \"tree\" or \"dag\")", s)
+	}
 }
 
 func (n *Navigator) pruners(q Query, g Goal) []explore.Pruner {
@@ -457,6 +487,10 @@ type Summary struct {
 	Stopped string
 	// Truncated reports a partial run (equivalent to Stopped != "").
 	Truncated bool
+	// DAG reports that the run executed on the interned-status DAG
+	// substrate; Nodes and Edges then count distinct statuses and
+	// transitions rather than tree positions.
+	DAG bool
 }
 
 func summarize(r explore.Result) Summary {
@@ -466,6 +500,7 @@ func summarize(r explore.Result) Summary {
 		PrunedTime: r.PrunedTime, PrunedAvail: r.PrunedAvail,
 		Elapsed: r.Elapsed,
 		Stopped: r.Stopped, Truncated: r.Truncated,
+		DAG: r.DAG,
 	}
 }
 
@@ -496,13 +531,26 @@ func (n *Navigator) DeadlineCount(q Query) (Summary, error) {
 }
 
 // DeadlineCountCtx is DeadlineCount under a context (see DeadlineCtx).
+// Counting needs no per-path identity, so unless Query.Substrate forces
+// the tree walk the count runs on the interned-status DAG — cost scales
+// with distinct statuses, not paths, and the tallies are identical.
 func (n *Navigator) DeadlineCountCtx(ctx context.Context, q Query) (Summary, error) {
 	start, end, opt, err := n.compile(q)
 	if err != nil {
 		return Summary{}, err
 	}
+	opt.Substrate = countSubstrate(opt.Substrate)
 	res, err := explore.DeadlineCountCtx(ctx, n.cat, start, end, opt)
 	return summarize(res), err
+}
+
+// countSubstrate resolves SubstrateAuto for counting entry points: counts
+// run on the DAG unless the caller forced the tree walk.
+func countSubstrate(s explore.Substrate) explore.Substrate {
+	if s == explore.SubstrateAuto {
+		return explore.SubstrateDAG
+	}
+	return s
 }
 
 // GoalPaths materialises the goal-driven learning graph (§4.2) with the
@@ -531,11 +579,15 @@ func (n *Navigator) GoalPathsCount(q Query, g Goal) (Summary, error) {
 }
 
 // GoalPathsCountCtx is GoalPathsCount under a context (see DeadlineCtx).
+// Like DeadlineCountCtx, the count is DAG-accelerated unless
+// Query.Substrate forces the tree walk; both pruning strategies remain
+// admissible on the DAG (they depend only on the status, never the path).
 func (n *Navigator) GoalPathsCountCtx(ctx context.Context, q Query, g Goal) (Summary, error) {
 	start, end, opt, err := n.compile(q)
 	if err != nil {
 		return Summary{}, err
 	}
+	opt.Substrate = countSubstrate(opt.Substrate)
 	res, err := explore.GoalCountCtx(ctx, n.cat, start, end, g.inner, n.pruners(q, g), opt)
 	return summarize(res), err
 }
@@ -566,6 +618,9 @@ func (n *Navigator) topK(ctx context.Context, q Query, g Goal, ranker rank.Ranke
 	start, end, opt, err := n.compile(q)
 	if err != nil {
 		return nil, Summary{}, err
+	}
+	if opt.Substrate == explore.SubstrateDAG {
+		return nil, Summary{}, fmt.Errorf("coursenav: top-k search runs best-first over the tree; substrate \"dag\" does not apply")
 	}
 	res, err := explore.RankedCtx(ctx, n.cat, start, end, g.inner, ranker, k, n.pruners(q, g), opt)
 	sum := Summary{

@@ -146,6 +146,27 @@ func (s *Set) UnionInPlace(t Set) {
 	}
 }
 
+// SetTo replaces s's members with exactly the given members, each in
+// [0, n), reusing s's storage. Unlike FromMembers it never allocates once
+// s has capacity for n, so a hot loop can rebuild one scratch set per
+// iteration without touching the heap. It panics on out-of-range members.
+func (s *Set) SetTo(n int, members []int) {
+	need := (n + wordBits - 1) / wordBits
+	if need > len(s.words) {
+		s.words = make([]uint64, need)
+	}
+	w := s.words
+	for i := range w {
+		w[i] = 0
+	}
+	for _, m := range members {
+		if m < 0 || m >= n {
+			panic(fmt.Sprintf("bitset: member %d outside [0, %d)", m, n))
+		}
+		w[m/wordBits] |= 1 << (uint(m) % wordBits)
+	}
+}
+
 // Intersect returns s ∩ t as a new set.
 func (s Set) Intersect(t Set) Set {
 	n := len(s.words)

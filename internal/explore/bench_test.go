@@ -51,6 +51,52 @@ func BenchmarkClassify(b *testing.B) {
 	}
 }
 
+// BenchmarkDAGCount measures deadline counting on the interned-status DAG
+// substrate (the countOnly fast path). Gated by bench-regress: the DAG
+// build is allocation-heavy by design (slab chunks, intern tables), so
+// the baseline pins both its wall clock and its allocation profile.
+func BenchmarkDAGCount(b *testing.B) {
+	cat := brandeis.Catalog()
+	start := status.New(cat, brandeis.StartForSemesters(4), bitset.New(cat.Len()))
+	opt := Options{MaxPerTerm: brandeis.MaxPerTerm, Substrate: SubstrateDAG}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var paths int64
+	for i := 0; i < b.N; i++ {
+		res, err := DeadlineCount(cat, start, brandeis.EndTerm(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths = res.Paths
+	}
+	b.ReportMetric(float64(paths), "paths/op")
+}
+
+// BenchmarkDAGWhatIf measures what-if candidate deltas answered from one
+// shared DAG build (CompareSelections on the DAG substrate). Gated by
+// bench-regress alongside BenchmarkDAGCount.
+func BenchmarkDAGWhatIf(b *testing.B) {
+	cat := brandeis.Catalog()
+	goal, err := brandeis.Major(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := status.New(cat, brandeis.StartForSemesters(5), bitset.New(cat.Len()))
+	opt := Options{MaxPerTerm: brandeis.MaxPerTerm, Substrate: SubstrateDAG}
+	pruners := PaperPruners(cat, goal, opt.MaxPerTerm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		impacts, err := CompareSelections(cat, start, brandeis.EndTerm(), goal, pruners, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(impacts) == 0 {
+			b.Fatal("no candidate selections")
+		}
+	}
+}
+
 // BenchmarkSelections measures course-selection enumeration from a mid-path
 // status (the combinatorial inner loop of every expansion).
 func BenchmarkSelections(b *testing.B) {

@@ -1,0 +1,185 @@
+package explore
+
+import (
+	"sync"
+
+	"repro/internal/status"
+)
+
+// This file holds the DAG substrate's storage primitives. The profile of a
+// straightforward map[status.MapKey]*dagNode builder is dominated by the
+// runtime map (hashing and probing 56-byte keys across tens of millions of
+// entries) and by the garbage collector chasing one heap allocation per
+// node; at d=6 on the evaluation catalog that builder loses to the plain
+// tree walk despite doing 15x less classification work. The substrate
+// therefore brings its own storage:
+//
+//   - nodeSlab: chunked, pointer-stable bulk allocation of dagNodes, so a
+//     multi-million-node build costs thousands of allocations, not millions.
+//   - internTable: an open-addressed hash table with the 8-byte hashes in
+//     their own probe array (8 slots per cache line) and the key/pointer
+//     payload touched only on a hash match, so a probe costs ~1 cache miss
+//     and a hit ~2 — versus several for a runtime map at this key size.
+//   - dagInternShards: 64 lock-striped internTables for the parallel
+//     builder, sharded by the hash's top bits (the probe uses the low
+//     bits, so shard choice and probe order stay independent).
+
+// dagChunk is the nodeSlab chunk size: big enough to amortise allocation,
+// small enough that a modest DAG does not overshoot by much.
+const dagChunk = 1 << 13
+
+// nodeSlab bulk-allocates dagNodes in fixed-size chunks. Chunks are never
+// reallocated, so node pointers stay valid for the life of the build, and
+// iterating the chunks visits every allocated node in creation order.
+type nodeSlab struct {
+	chunks [][]dagNode
+}
+
+func (s *nodeSlab) alloc() *dagNode {
+	if k := len(s.chunks); k == 0 || len(s.chunks[k-1]) == dagChunk {
+		s.chunks = append(s.chunks, make([]dagNode, 0, dagChunk))
+	}
+	c := &s.chunks[len(s.chunks)-1]
+	*c = (*c)[:len(*c)+1]
+	return &(*c)[len(*c)-1]
+}
+
+// dagHash maps an interning key to a nonzero probe hash (zero marks an
+// empty slot in internTable's probe array).
+func dagHash(k status.MapKey) uint64 {
+	h := k.Hash()
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+// internSlot is an internTable payload entry: the full key (verified on
+// hash match, so a 64-bit hash collision can never merge two distinct
+// statuses) and the interned node.
+type internSlot struct {
+	key status.MapKey
+	n   *dagNode
+}
+
+// internTable is the open-addressed status interner: linear probing over
+// the hashes array, payload verified only on a hash match. Entries are
+// never deleted, so no tombstones are needed. The zero value is an empty
+// table ready for use.
+type internTable struct {
+	mask   uint64
+	hashes []uint64 // probe array; 0 = empty slot
+	slots  []internSlot
+	n      int
+}
+
+const internMinSize = 1 << 10
+
+// lookup returns the node interned under (h, k), or nil.
+func (t *internTable) lookup(h uint64, k status.MapKey) *dagNode {
+	if t.n == 0 {
+		return nil
+	}
+	i := h & t.mask
+	for {
+		switch hh := t.hashes[i]; {
+		case hh == 0:
+			return nil
+		case hh == h && t.slots[i].key == k:
+			return t.slots[i].n
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert adds (h, k) → n. The key must not already be present (callers
+// always lookup first); growth keeps the load factor under 3/4.
+func (t *internTable) insert(h uint64, k status.MapKey, n *dagNode) {
+	if (t.n+1)*4 > len(t.hashes)*3 {
+		t.grow()
+	}
+	i := h & t.mask
+	for t.hashes[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.hashes[i] = h
+	t.slots[i] = internSlot{key: k, n: n}
+	t.n++
+}
+
+func (t *internTable) grow() {
+	size := internMinSize
+	if len(t.hashes) > 0 {
+		size = len(t.hashes) * 2
+	}
+	oldH, oldS := t.hashes, t.slots
+	t.hashes = make([]uint64, size)
+	t.slots = make([]internSlot, size)
+	t.mask = uint64(size - 1)
+	for j, h := range oldH {
+		if h == 0 {
+			continue
+		}
+		i := h & t.mask
+		for t.hashes[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.hashes[i] = h
+		t.slots[i] = oldS[j]
+	}
+}
+
+// each calls fn for every entry, in table order.
+func (t *internTable) each(fn func(h uint64, k status.MapKey, n *dagNode)) {
+	for j, h := range t.hashes {
+		if h != 0 {
+			fn(h, t.slots[j].key, t.slots[j].n)
+		}
+	}
+}
+
+// dagInternShards is the concurrent interner for the parallel builder: 64
+// lock-striped internTables, the same striping as PR 1's parallel counting
+// memo. Whichever worker takes the shard lock first creates the node (mk
+// runs under the lock), so each distinct status is generated, classified
+// and queued exactly once across the pool.
+type dagInternShards struct {
+	shards [memoShards]dagInternShard
+}
+
+type dagInternShard struct {
+	mu  sync.Mutex
+	tab internTable
+	// Pad to keep neighbouring shard locks off one another's cache lines.
+	_ [24]byte
+}
+
+// getOrPut returns the node interned under (h, k), creating it via mk —
+// under the shard lock — on first sight. The second result reports
+// whether this call created the node.
+func (s *dagInternShards) getOrPut(h uint64, k status.MapKey, mk func() *dagNode) (*dagNode, bool) {
+	sh := &s.shards[h>>(64-memoShardBits)]
+	sh.mu.Lock()
+	if n := sh.tab.lookup(h, k); n != nil {
+		sh.mu.Unlock()
+		return n, false
+	}
+	n := mk()
+	sh.tab.insert(h, k, n)
+	sh.mu.Unlock()
+	return n, true
+}
+
+// put inserts an already-created node (used to migrate the serial
+// builder's roots into the shared interner before the pool starts).
+func (s *dagInternShards) put(h uint64, k status.MapKey, n *dagNode) {
+	sh := &s.shards[h>>(64-memoShardBits)]
+	sh.tab.insert(h, k, n)
+}
+
+// lookup resolves (h, k) without taking the shard lock. Only valid after
+// the worker pool has joined (the wait establishes the happens-before
+// edge); used by the post-build retally sweep.
+func (s *dagInternShards) lookup(h uint64, k status.MapKey) *dagNode {
+	return s.shards[h>>(64-memoShardBits)].tab.lookup(h, k)
+}

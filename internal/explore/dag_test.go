@@ -1,0 +1,375 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/brandeis"
+	"repro/internal/catalog"
+	"repro/internal/degree"
+)
+
+// dagOpt returns opt switched onto the DAG substrate.
+func dagOpt(opt Options) Options {
+	opt.Substrate = SubstrateDAG
+	return opt
+}
+
+// TestDAGDeadlineCountMatchesTree pins the substrate equivalence on the
+// paper's running example: identical path counts, strictly no more
+// generated statuses.
+func TestDAGDeadlineCountMatchesTree(t *testing.T) {
+	cat := fig3Catalog(t)
+	opt := Options{MaxPerTerm: 3}
+	tree, err := DeadlineCount(cat, emptyStart(cat, f11), s13, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag, err := DeadlineCount(cat, emptyStart(cat, f11), s13, dagOpt(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.Paths != tree.Paths || dag.GoalPaths != tree.GoalPaths {
+		t.Fatalf("dag %d/%d != tree %d/%d", dag.Paths, dag.GoalPaths, tree.Paths, tree.GoalPaths)
+	}
+	if !dag.DAG || tree.DAG {
+		t.Fatalf("DAG flags: dag=%v tree=%v", dag.DAG, tree.DAG)
+	}
+	if dag.Nodes > tree.Nodes {
+		t.Fatalf("dag generated %d distinct statuses > tree's %d visits", dag.Nodes, tree.Nodes)
+	}
+}
+
+// TestDAGGoalCountBrandeis checks the goal-driven DP (pruners active and
+// inactive) against the tree walk on the real evaluation catalog.
+func TestDAGGoalCountBrandeis(t *testing.T) {
+	cat := brandeis.Catalog()
+	goal, err := brandeis.Major(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := emptyStart(cat, f11.Add(4)) // Fall 2013
+	end := f11.Add(8)                    // Fall 2015
+	opt := Options{MaxPerTerm: 3}
+	for _, pruned := range []bool{true, false} {
+		var pruners []Pruner
+		if pruned {
+			pruners = PaperPruners(cat, goal, opt.MaxPerTerm)
+		}
+		tree, err := GoalCount(cat, start, end, goal, pruners, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dag, err := GoalCount(cat, start, end, goal, pruners, dagOpt(opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dag.Paths != tree.Paths || dag.GoalPaths != tree.GoalPaths {
+			t.Errorf("pruned=%v: dag %d/%d != tree %d/%d",
+				pruned, dag.Paths, dag.GoalPaths, tree.Paths, tree.GoalPaths)
+		}
+	}
+}
+
+// TestTreeDAGEquivalenceRandom is the substrate-equivalence property
+// suite: on randomized catalogs and queries, the DAG engine's deadline
+// counts and goal counts (under both paper pruners, and with a parallel
+// construction pool) are bit-identical to the serial tree walk's.
+func TestTreeDAGEquivalenceRandom(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		rc := newRandomCase(t, seed)
+		pruners := PaperPruners(rc.cat, rc.req, rc.opt.MaxPerTerm)
+
+		treeD, err := DeadlineCount(rc.cat, rc.startStatus(), rc.end, rc.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		treeG, err := GoalCount(rc.cat, rc.startStatus(), rc.end, rc.req, pruners, rc.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		treeN, err := GoalCount(rc.cat, rc.startStatus(), rc.end, rc.req, nil, rc.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, workers := range []int{1, 4} {
+			opt := dagOpt(rc.opt)
+			opt.Workers = workers
+			dagD, err := DeadlineCount(rc.cat, rc.startStatus(), rc.end, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dagD.Paths != treeD.Paths || dagD.GoalPaths != treeD.GoalPaths {
+				t.Fatalf("seed %d workers=%d: deadline dag %d/%d != tree %d/%d",
+					seed, workers, dagD.Paths, dagD.GoalPaths, treeD.Paths, treeD.GoalPaths)
+			}
+			dagG, err := GoalCount(rc.cat, rc.startStatus(), rc.end, rc.req, pruners, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dagG.Paths != treeG.Paths || dagG.GoalPaths != treeG.GoalPaths {
+				t.Fatalf("seed %d workers=%d: goal dag %d/%d != tree %d/%d",
+					seed, workers, dagG.Paths, dagG.GoalPaths, treeG.Paths, treeG.GoalPaths)
+			}
+			dagN, err := GoalCount(rc.cat, rc.startStatus(), rc.end, rc.req, nil, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dagN.Paths != treeN.Paths || dagN.GoalPaths != treeN.GoalPaths {
+				t.Fatalf("seed %d workers=%d: unpruned dag %d/%d != tree %d/%d",
+					seed, workers, dagN.Paths, dagN.GoalPaths, treeN.Paths, treeN.GoalPaths)
+			}
+			if workers > 1 && !dagG.Parallel && dagG.Nodes > 1 {
+				t.Errorf("seed %d: parallel DAG build did not report Parallel", seed)
+			}
+		}
+
+		// DAG structural tallies (distinct statuses, distinct transitions,
+		// per-strategy prune split) are deterministic: the parallel
+		// construction must reproduce the serial builder's exactly.
+		serialDAG, err := GoalCount(rc.cat, rc.startStatus(), rc.end, rc.req, pruners, dagOpt(rc.opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		popt := dagOpt(rc.opt)
+		popt.Workers = 4
+		parDAG, err := GoalCount(rc.cat, rc.startStatus(), rc.end, rc.req, pruners, popt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serialDAG.Nodes != parDAG.Nodes || serialDAG.Edges != parDAG.Edges ||
+			serialDAG.PrunedTime != parDAG.PrunedTime || serialDAG.PrunedAvail != parDAG.PrunedAvail {
+			t.Fatalf("seed %d: parallel DAG tallies %+v != serial %+v", seed, parDAG, serialDAG)
+		}
+	}
+}
+
+// TestTreeDAGWhatIfEquivalence: the shared-DAG what-if engine delivers
+// exactly the per-candidate deltas the per-candidate tree counts do, on
+// randomized catalogs, under both pruners and a parallel build pool.
+func TestTreeDAGWhatIfEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rc := newRandomCase(t, seed)
+		pruners := PaperPruners(rc.cat, rc.req, rc.opt.MaxPerTerm)
+		topt := rc.opt
+		topt.Substrate = SubstrateTree
+		tree, stopped, err := CompareSelectionsCtx(context.Background(),
+			rc.cat, rc.startStatus(), rc.end, rc.req, pruners, topt)
+		if err != nil || stopped != "" {
+			t.Fatalf("seed %d: tree what-if err=%v stopped=%q", seed, err, stopped)
+		}
+		for _, workers := range []int{1, 4} {
+			dopt := dagOpt(rc.opt)
+			dopt.Workers = workers
+			dag, stopped, err := CompareSelectionsCtx(context.Background(),
+				rc.cat, rc.startStatus(), rc.end, rc.req, pruners, dopt)
+			if err != nil || stopped != "" {
+				t.Fatalf("seed %d: dag what-if err=%v stopped=%q", seed, err, stopped)
+			}
+			if len(dag) != len(tree) {
+				t.Fatalf("seed %d workers=%d: %d candidates != tree's %d", seed, workers, len(dag), len(tree))
+			}
+			for i := range tree {
+				a, b := tree[i], dag[i]
+				if !a.Selection.Equal(b.Selection) || a.Paths != b.Paths ||
+					a.GoalPaths != b.GoalPaths || a.NextOptions != b.NextOptions {
+					t.Fatalf("seed %d workers=%d: impact %d differs: tree %+v dag %+v",
+						seed, workers, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestDAGStreamUnfold: a DAG-substrate stream lazily unfolds the merged
+// DAG back into full paths, in exactly the serial tree walk's depth-first
+// emission order.
+func TestDAGStreamUnfold(t *testing.T) {
+	cat := fig3Catalog(t)
+	opt := Options{MaxPerTerm: 3}
+	paths := func(opt Options) []string {
+		var out []string
+		sink := SinkFunc(func(ev Event) error {
+			if ev.Kind != KindPath {
+				return nil
+			}
+			parts := make([]string, len(ev.Steps))
+			for i, s := range ev.Steps {
+				parts[i] = "{" + strings.Join(cat.IDs(s.Selection), ",") + "}"
+			}
+			out = append(out, strings.Join(parts, "/"))
+			return nil
+		})
+		res, err := Stream(context.Background(), cat, emptyStart(cat, f11), s13, nil, nil, opt, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(res.Paths) != len(out) {
+			t.Fatalf("Result.Paths = %d, emitted %d", res.Paths, len(out))
+		}
+		return out
+	}
+	tree := paths(opt)
+	dag := paths(dagOpt(opt))
+	if len(tree) == 0 || len(tree) != len(dag) {
+		t.Fatalf("tree emitted %d paths, dag %d", len(tree), len(dag))
+	}
+	for i := range tree {
+		if tree[i] != dag[i] {
+			t.Fatalf("path %d: tree %q != dag %q", i, tree[i], dag[i])
+		}
+	}
+	// Early stop: the unfold honours ErrStopEmit and reports StopSink with
+	// exactly the delivered prefix.
+	var got int64
+	res, err := Stream(context.Background(), cat, emptyStart(cat, f11), s13, nil, nil, dagOpt(opt),
+		SinkFunc(func(ev Event) error {
+			if ev.Kind != KindPath {
+				return nil
+			}
+			if got++; got == 2 {
+				return ErrStopEmit
+			}
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopSink || res.Paths != 2 {
+		t.Fatalf("stopped=%q paths=%d, want sink/2", res.Stopped, res.Paths)
+	}
+}
+
+// TestDAGBudgets: budget bounds and cancellation end a DAG run with the
+// tree walk's partial-result contract (lower-bound tallies, reason named).
+func TestDAGBudgets(t *testing.T) {
+	cat := brandeis.Catalog()
+	goal, err := brandeis.Major(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := emptyStart(cat, f11.Add(4))
+	end := f11.Add(8)
+	opt := dagOpt(Options{MaxPerTerm: 3})
+	pruners := PaperPruners(cat, goal, opt.MaxPerTerm)
+
+	full, err := GoalCount(cat, start, end, goal, pruners, opt)
+	if err != nil || full.Stopped != "" {
+		t.Fatalf("unbudgeted run: err=%v stopped=%q", err, full.Stopped)
+	}
+
+	bopt := opt
+	bopt.Budget = Budget{MaxNodes: 25}
+	partial, err := GoalCount(cat, start, end, goal, pruners, bopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Stopped != StopMaxNodes || !partial.Truncated {
+		t.Fatalf("stopped = %q (truncated=%v), want max-nodes", partial.Stopped, partial.Truncated)
+	}
+	if partial.Nodes > 25 {
+		t.Fatalf("generated %d statuses under a 25-node budget", partial.Nodes)
+	}
+	if partial.Paths > full.Paths || partial.GoalPaths > full.GoalPaths {
+		t.Fatalf("stopped tallies %d/%d exceed full %d/%d",
+			partial.Paths, partial.GoalPaths, full.Paths, full.GoalPaths)
+	}
+
+	popt := opt
+	popt.Budget = Budget{MaxPaths: 3}
+	capped, err := DeadlineCount(cat, start, end, popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Stopped != StopMaxPaths {
+		t.Fatalf("path-budget stop = %q, want max-paths", capped.Stopped)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	canceled, err := GoalCountCtx(ctx, cat, start, end, goal, pruners, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canceled.Stopped != StopCanceled || canceled.Paths != 0 {
+		t.Fatalf("pre-canceled run: stopped=%q paths=%d", canceled.Stopped, canceled.Paths)
+	}
+}
+
+// TestDAGMaterializeRejected: the DAG substrate cannot materialise.
+func TestDAGMaterializeRejected(t *testing.T) {
+	cat := fig3Catalog(t)
+	if _, err := Deadline(cat, emptyStart(cat, f11), s13, dagOpt(Options{})); !errors.Is(err, ErrSubstrateDAGMaterialize) {
+		t.Fatalf("materialising DAG run: err = %v, want ErrSubstrateDAGMaterialize", err)
+	}
+	goal, err := degree.NewCourseSet(cat, "11A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Goal(cat, emptyStart(cat, f11), s13, goal, nil, dagOpt(Options{})); !errors.Is(err, ErrSubstrateDAGMaterialize) {
+		t.Fatalf("materialising DAG goal run: err = %v", err)
+	}
+}
+
+// TestSubstrateOption: validation and names.
+func TestSubstrateOption(t *testing.T) {
+	cat := fig3Catalog(t)
+	if _, err := DeadlineCount(cat, emptyStart(cat, f11), s13, Options{Substrate: Substrate(9)}); err == nil {
+		t.Error("unknown substrate accepted")
+	}
+	for sub, want := range map[Substrate]string{
+		SubstrateAuto: "auto", SubstrateTree: "tree", SubstrateDAG: "dag", Substrate(9): "Substrate(9)",
+	} {
+		if got := sub.String(); got != want {
+			t.Errorf("Substrate(%d).String() = %q, want %q", sub, got, want)
+		}
+	}
+	// SubstrateTree is explicitly the legacy walk.
+	tree, err := DeadlineCount(cat, emptyStart(cat, f11), s13, Options{Substrate: SubstrateTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := DeadlineCount(cat, emptyStart(cat, f11), s13, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Nodes != auto.Nodes || tree.Paths != auto.Paths || tree.DAG || auto.DAG {
+		t.Fatalf("SubstrateTree %+v != SubstrateAuto %+v", tree, auto)
+	}
+}
+
+// mustGoalSet is a tiny helper for goal construction in DAG tests.
+func mustGoalSet(t *testing.T, cat *catalog.Catalog, ids ...string) degree.Goal {
+	t.Helper()
+	g, err := degree.NewCourseSet(cat, ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestDAGWhatIfEndAdjacent: candidates landing on the end semester are
+// scored inline on the DAG path too.
+func TestDAGWhatIfEndAdjacent(t *testing.T) {
+	cat := fig3Catalog(t)
+	impacts, err := CompareSelections(cat, emptyStart(cat, f12), s13,
+		mustGoalSet(t, cat, "11A"), nil, dagOpt(Options{MaxPerTerm: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, imp := range impacts {
+		if imp.Selection.Equal(cat.MustSetOf("11A")) {
+			found = true
+			if imp.GoalPaths != 1 || imp.Paths != 1 {
+				t.Errorf("end-adjacent impact = %+v", imp)
+			}
+		}
+	}
+	if !found {
+		t.Error("11A candidate missing")
+	}
+}

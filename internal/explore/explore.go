@@ -59,6 +59,42 @@ func (p EmptyPolicy) String() string {
 	}
 }
 
+// Substrate selects the search structure an exploration runs against.
+type Substrate uint8
+
+const (
+	// SubstrateAuto lets the entry point choose. The legacy explore entry
+	// points resolve it to the tree walk (their documented tallies — node
+	// and edge counts, the per-strategy prune split, Parallel — are tree
+	// quantities); the façade's count-only paths resolve it to the DAG.
+	SubstrateAuto Substrate = iota
+	// SubstrateTree walks the search tree: cost scales with the number of
+	// paths. Required for materialising runs, and the only substrate whose
+	// Result reproduces the paper's Table 1/2 node tallies.
+	SubstrateTree
+	// SubstrateDAG interns statuses into the (semester, completed) DAG once
+	// and answers counting queries by bottom-up dynamic programming over
+	// distinct statuses — cost scales with |distinct statuses|, not
+	// |paths|. Result.Nodes/Edges/Pruned* then count distinct statuses.
+	// Streaming runs lazily unfold the DAG back into full paths.
+	// Materialising runs reject it (ErrSubstrateDAGMaterialize).
+	SubstrateDAG
+)
+
+// String returns the substrate name.
+func (s Substrate) String() string {
+	switch s {
+	case SubstrateAuto:
+		return "auto"
+	case SubstrateTree:
+		return "tree"
+	case SubstrateDAG:
+		return "dag"
+	default:
+		return fmt.Sprintf("Substrate(%d)", uint8(s))
+	}
+}
+
 // Options configures an exploration run.
 type Options struct {
 	// MaxPerTerm is the paper's m: the most courses the student will take
@@ -106,6 +142,10 @@ type Options struct {
 	// (Result.Stopped names the bound) and a nil error, unlike MaxNodes'
 	// hard ErrGraphTooLarge failure. The zero Budget imposes no bounds.
 	Budget Budget
+	// Substrate selects the search structure (tree walk or interned-status
+	// DAG); see Substrate. The zero value SubstrateAuto keeps the tree walk
+	// on these entry points.
+	Substrate Substrate
 }
 
 // ErrGraphTooLarge is returned when materialisation exceeds
@@ -145,6 +185,15 @@ type Result struct {
 	Stopped string
 	// Truncated reports a partial run (equivalent to Stopped != "").
 	Truncated bool
+	// DAG reports that the run was answered over the interned-status DAG
+	// substrate (SubstrateDAG). Nodes, Edges and the Pruned* tallies then
+	// count distinct statuses rather than tree visits; Paths/GoalPaths are
+	// the exact path counts either way. Counting runs additionally fold
+	// terminal children into the path tallies at edge level without
+	// interning them, so their Nodes counts only the distinct expandable
+	// and pruned statuses (streaming runs intern terminals too, for the
+	// unfold).
+	DAG bool
 }
 
 // PrunedTotal returns the total nodes cut by pruning strategies.
@@ -198,6 +247,12 @@ type engine struct {
 	// the sets are safe to retain in events, graphs and memo keys; see
 	// bitset.Arena.
 	arena bitset.Arena
+	// selScratch, when set, makes selections hand out this one reused set
+	// instead of a fresh arena allocation per selection. Only the DAG's
+	// counting builder enables it: that path consumes each selection before
+	// asking for the next and retains nothing, so the per-edge arena
+	// allocation (never recycled) would be pure waste at DAG scale.
+	selScratch *bitset.Set
 	// scratches and kidsFree are free lists for the walk's recursion-local
 	// buffers (combination enumeration state, expandMaterialized's child
 	// collection). The walk nests — a selections callback recurses into
@@ -252,6 +307,14 @@ func (e *engine) classify(st status.Status) (nodeClass, int) {
 	if !st.Term.Before(e.end) {
 		return classDeadline, 0
 	}
+	return e.classifyPruned(st)
+}
+
+// classifyPruned is classify's pruning stage, for callers that have
+// already ruled out the goal and deadline terminals (the DAG's counting
+// builder, which folds terminal children without ever deriving their
+// option sets).
+func (e *engine) classifyPruned(st status.Status) (nodeClass, int) {
 	minTake := 0
 	for _, p := range e.pruners {
 		prune, mt := p.Check(st, e.end)
@@ -312,7 +375,9 @@ func (e *engine) advance(st status.Status, w bitset.Set) status.Status {
 // selections enumerates the course selections W out of st, honouring
 // MaxPerTerm, the time-based minimum, and the empty-selection policy. The
 // set passed to fn is arena-backed, handed out exactly once, and owned by
-// the callee, exactly as if freshly allocated.
+// the callee, exactly as if freshly allocated — unless e.selScratch is
+// set, in which case every callback receives the same reused set and must
+// consume it before returning.
 func (e *engine) selections(st status.Status, minTake int, fn func(w bitset.Set) error) error {
 	n := e.cat.Len()
 	emitted := false
@@ -326,7 +391,13 @@ func (e *engine) selections(st status.Status, minTake int, fn func(w bitset.Set)
 		if len(comb) < minTake {
 			return true
 		}
-		w := e.arena.FromMembers(n, comb)
+		var w bitset.Set
+		if e.selScratch != nil {
+			e.selScratch.SetTo(n, comb)
+			w = *e.selScratch
+		} else {
+			w = e.arena.FromMembers(n, comb)
+		}
 		if !e.allowed(st, w) {
 			return true
 		}
@@ -346,7 +417,13 @@ func (e *engine) selections(st status.Status, minTake int, fn func(w bitset.Set)
 	case EmptyNever:
 	}
 	if emitEmpty {
-		w := e.arena.Make(n)
+		var w bitset.Set
+		if e.selScratch != nil {
+			e.selScratch.SetTo(n, nil)
+			w = *e.selScratch
+		} else {
+			w = e.arena.Make(n)
+		}
 		if e.allowed(st, w) {
 			return fn(w)
 		}

@@ -83,6 +83,13 @@ func GoalCountCtx(ctx context.Context, cat *catalog.Catalog, start status.Status
 // rather than each path. Serial, unmerged runs emit every path in
 // depth-first order and number nodes so a CollectSink can rebuild the
 // exact legacy graph.
+//
+// With Options.Substrate == SubstrateDAG the engine builds the
+// interned-status DAG first and lazily unfolds it into full paths: every
+// path is emitted (in the serial tree walk's depth-first order) even
+// though repeated subtrees were expanded only once. Only KindPath and
+// KindProgress events are emitted on this substrate — there is no
+// per-path node identity, so edge events (and CollectSink) do not apply.
 func Stream(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options, sink Sink) (Result, error) {
 	if sink == nil {
 		return Result{}, fmt.Errorf("explore: Stream requires a sink; use DeadlineCtx/GoalCtx for collected runs")
@@ -110,6 +117,8 @@ func validate(cat *catalog.Catalog, start status.Status, end term.Term, opt Opti
 		return fmt.Errorf("explore: negative MaxNodes %d", opt.MaxNodes)
 	case opt.Budget.Timeout < 0 || opt.Budget.MaxNodes < 0 || opt.Budget.MaxPaths < 0:
 		return fmt.Errorf("explore: negative budget %+v", opt.Budget)
+	case opt.Substrate > SubstrateDAG:
+		return fmt.Errorf("explore: unknown substrate %v", opt.Substrate)
 	}
 	return nil
 }
@@ -121,6 +130,12 @@ func validate(cat *catalog.Catalog, start status.Status, end term.Term, opt Opti
 func run(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options, materialize bool, sink Sink) (Result, error) {
 	if err := validate(cat, start, end, opt); err != nil {
 		return Result{}, err
+	}
+	if opt.Substrate == SubstrateDAG {
+		if materialize {
+			return Result{}, ErrSubstrateDAGMaterialize
+		}
+		return runDAG(ctx, cat, start, end, goal, pruners, opt, sink)
 	}
 	e := newEngine(cat, end, goal, pruners, opt)
 	e.ctl = newControl(ctx, opt.Budget)

@@ -8,48 +8,6 @@ import (
 	"repro/internal/status"
 )
 
-// memoShards is the shard count of the cross-worker counting memo. 64
-// shards keep lock contention negligible at any realistic worker count
-// while the per-shard maps stay dense.
-const memoShards = 64
-
-// sharedMemo is the concurrent (status → counts) memo parallel counting
-// shares across workers when MergeStatuses is on. A status's subtree tally
-// is deterministic, so two workers racing on the same key write the same
-// value and the memo never needs versioning — only shard-level mutexes.
-type sharedMemo struct {
-	shards [memoShards]memoShard
-}
-
-type memoShard struct {
-	mu sync.Mutex
-	m  map[status.MapKey][2]int64
-	_  [40]byte // pad to a cache line so neighbouring locks don't false-share
-}
-
-func newSharedMemo() *sharedMemo {
-	s := &sharedMemo{}
-	for i := range s.shards {
-		s.shards[i].m = map[status.MapKey][2]int64{}
-	}
-	return s
-}
-
-func (s *sharedMemo) get(k status.MapKey) ([2]int64, bool) {
-	sh := &s.shards[k.Hash()%memoShards]
-	sh.mu.Lock()
-	v, ok := sh.m[k]
-	sh.mu.Unlock()
-	return v, ok
-}
-
-func (s *sharedMemo) put(k status.MapKey, v [2]int64) {
-	sh := &s.shards[k.Hash()%memoShards]
-	sh.mu.Lock()
-	sh.m[k] = v
-	sh.mu.Unlock()
-}
-
 // task is one unit of parallel counting work: a status whose subtree tally
 // is still owed, its depth below the run's start (bounding re-splits), and
 // the root→status spine so streamed path events carry full paths.
@@ -68,34 +26,37 @@ func (t task) subtask(step Step, ch status.Status) task {
 	return task{st: ch, depth: t.depth + 1, steps: steps}
 }
 
-// taskQueue is the LIFO work pool counting workers draw from. A worker
-// that pops a task while the queue is starved splits it one level and
-// pushes the children back, so one skewed subtree redistributes across
-// idle workers instead of serialising the run.
-type taskQueue struct {
+// workQueue is the LIFO work pool parallel workers draw from: counting
+// workers pop subtree tasks, DAG-construction workers pop nodes owed an
+// expansion. A worker that pops an item while the queue is starved is told
+// so (hungry), the counting pool's signal to split the task one level and
+// push the children back, redistributing a skewed subtree across idle
+// workers instead of serialising the run.
+type workQueue[T any] struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	items    []task
+	items    []T
 	inflight int
 }
 
-func newTaskQueue(init []task) *taskQueue {
-	q := &taskQueue{items: init}
+func newWorkQueue[T any](init []T) *workQueue[T] {
+	q := &workQueue[T]{items: init}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-// pop blocks until a task is available or all work has drained (ok =
+// pop blocks until an item is available or all work has drained (ok =
 // false). hungry reports that the queue was near-empty at pop time — the
-// signal to split the task rather than count it in place.
-func (q *taskQueue) pop(workers int) (t task, hungry, ok bool) {
+// signal to split the item rather than process it in place.
+func (q *workQueue[T]) pop(workers int) (t T, hungry, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && q.inflight > 0 {
 		q.cond.Wait()
 	}
 	if len(q.items) == 0 {
-		return task{}, false, false
+		var zero T
+		return zero, false, false
 	}
 	t = q.items[len(q.items)-1]
 	q.items = q.items[:len(q.items)-1]
@@ -103,17 +64,17 @@ func (q *taskQueue) pop(workers int) (t task, hungry, ok bool) {
 	return t, len(q.items) < workers, true
 }
 
-// push hands a split-off subtask back to the pool.
-func (q *taskQueue) push(t task) {
+// push hands a split-off item back to the pool.
+func (q *workQueue[T]) push(t T) {
 	q.mu.Lock()
 	q.items = append(q.items, t)
 	q.mu.Unlock()
 	q.cond.Signal()
 }
 
-// done marks a popped task complete; when the last in-flight task finishes
+// done marks a popped item complete; when the last in-flight item finishes
 // with the queue empty, every waiting worker is released to exit.
-func (q *taskQueue) done() {
+func (q *workQueue[T]) done() {
 	q.mu.Lock()
 	q.inflight--
 	if q.inflight == 0 && len(q.items) == 0 {
@@ -176,7 +137,7 @@ func (e *engine) countParallel(start status.Status, workers int) ([2]int64, erro
 	if e.sink != nil {
 		sink = &lockedSink{ctl: e.ctl, next: e.sink}
 	}
-	queue := newTaskQueue(frontier)
+	queue := newWorkQueue(frontier)
 
 	var mu sync.Mutex // guards total, firstErr and the merged Result tallies
 	var firstErr error

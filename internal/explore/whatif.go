@@ -76,6 +76,14 @@ func CompareSelectionsCtx(ctx context.Context, cat *catalog.Catalog, start statu
 // Every delivered impact carries exact tallies. fn returning ErrStopEmit
 // ends the run cleanly with stopped == StopSink; any other error aborts
 // the run and is returned.
+//
+// Unless Options.Substrate forces the tree walk, candidates are scored
+// over one shared interned-status DAG (see whatIfDAG): subtrees common to
+// several candidates are counted once, and all impacts fall out of a
+// single bottom-up DP pass. The tree path re-counts per candidate but can
+// attribute partial work, so a budget-stopped tree run delivers the
+// candidates scored before the stop while a stopped DAG run delivers
+// none (per-candidate shares of a shared build are unattributable).
 func CompareSelectionsStream(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options, fn func(SelectionImpact) error) (string, error) {
 	if goal == nil {
 		return "", fmt.Errorf("explore: CompareSelections requires a goal")
@@ -85,6 +93,9 @@ func CompareSelectionsStream(ctx context.Context, cat *catalog.Catalog, start st
 	}
 	if err := validate(cat, start, end, opt); err != nil {
 		return "", err
+	}
+	if opt.Substrate != SubstrateTree {
+		return whatIfDAG(ctx, cat, start, end, goal, pruners, opt, fn)
 	}
 	e := newEngine(cat, end, goal, pruners, opt)
 	ctl := newControl(ctx, opt.Budget)
@@ -127,4 +138,85 @@ func CompareSelectionsStream(ctx context.Context, cat *catalog.Catalog, start st
 		stopped = StopSink
 	}
 	return stopped, err
+}
+
+// whatIfDAG scores every candidate selection over one shared
+// interned-status DAG: each candidate's resulting status is interned as a
+// root, the DAG below all roots is built once (statuses reachable from
+// several candidates are generated and expanded once, not once per
+// candidate), and a single bottom-up DP pass yields every candidate's
+// exact {paths, goal paths} delta. Candidates landing at the end semester
+// are their own path endpoint and are scored inline, exactly as the tree
+// path does. A budget-stopped build delivers no candidates — the shared
+// DP cannot attribute the partial work — and returns the stop reason.
+func whatIfDAG(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, goal degree.Goal, pruners []Pruner, opt Options, fn func(SelectionImpact) error) (string, error) {
+	e := newEngine(cat, end, goal, pruners, opt)
+	e.ctl = newControl(ctx, opt.Budget)
+	type candidate struct {
+		w                bitset.Set
+		child            status.Status
+		n                *dagNode // nil when scored inline (end-semester child)
+		paths, goalPaths int64
+		nextOptions      int
+		pending          bool // child must be interned as a DAG root
+	}
+	// Candidate enumeration runs before the builder exists: the builder
+	// installs the engine's selection scratch (engine.selScratch), and the
+	// candidate sets collected here must be retained, not reused.
+	var cands []candidate
+	stopped := ""
+	err := e.selections(start, 0, func(w bitset.Set) error {
+		if r := e.ctl.haltReason(); r != "" {
+			stopped = r
+			return errStopRun
+		}
+		child := e.advance(start, w)
+		c := candidate{w: w, nextOptions: child.Options.Len()}
+		if !child.Term.Before(end) {
+			// The child sits at the end semester: it is itself the path
+			// endpoint, a goal path iff the goal is now satisfied.
+			c.paths = 1
+			if e.goal.Satisfied(child.Completed) {
+				c.goalPaths = 1
+			}
+		} else {
+			c.child, c.pending = child, true
+		}
+		cands = append(cands, c)
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopRun) {
+		return stopped, err
+	}
+	b := newDAGBuilder(e, dagTally)
+	for i := range cands {
+		if cands[i].pending {
+			cands[i].n = b.add(cands[i].child, 0)
+		}
+	}
+	if stopped == "" {
+		if opt.Workers > 1 {
+			b.buildParallel(opt.Workers)
+		} else {
+			b.build()
+		}
+		b.retally()
+		stopped = e.ctl.reason()
+	}
+	if stopped != "" {
+		return stopped, nil
+	}
+	for _, c := range cands {
+		if c.n != nil {
+			c.paths, c.goalPaths = c.n.tally[0], c.n.tally[1]
+		}
+		impact := SelectionImpact{Selection: c.w, GoalPaths: c.goalPaths, Paths: c.paths, NextOptions: c.nextOptions}
+		if err := fn(impact); err != nil {
+			if errors.Is(err, ErrStopEmit) {
+				return StopSink, nil
+			}
+			return "", err
+		}
+	}
+	return "", nil
 }

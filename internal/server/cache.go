@@ -53,12 +53,25 @@ const maxCacheEntryBytes = 1 << 20
 // (statusRecorder) and the buffered one the cached path records into.
 type exploreAnnotator interface {
 	setExplore(window string, paths int64, stopped string)
+	setDAG(nodes int64)
 }
 
 // annotate attaches exploration details to the request's usage event.
 func annotate(w http.ResponseWriter, qs QuerySpec, paths int64, stopped string) {
 	if a, ok := w.(exploreAnnotator); ok {
 		a.setExplore(qs.Start+" → "+qs.End, paths, stopped)
+	}
+}
+
+// annotateDAG marks the usage event of a run the DAG substrate answered
+// (countOnly requests), recording its distinct-status count. Cache
+// replays never call it: dagAnswered counts computed runs only.
+func annotateDAG(w http.ResponseWriter, sum coursenav.Summary) {
+	if !sum.DAG {
+		return
+	}
+	if a, ok := w.(exploreAnnotator); ok {
+		a.setDAG(sum.Nodes)
 	}
 }
 
@@ -157,13 +170,15 @@ func (s *Server) runLimited(w http.ResponseWriter, r *http.Request, run http.Han
 // small; errors and partial results buffer equally and are simply not
 // cached.
 type bufferedResponse struct {
-	header  http.Header
-	buf     bytes.Buffer
-	status  int
-	wrote   bool
-	window  string
-	paths   int64
-	stopped string
+	header   http.Header
+	buf      bytes.Buffer
+	status   int
+	wrote    bool
+	window   string
+	paths    int64
+	stopped  string
+	dag      bool
+	dagNodes int64
 }
 
 func newBufferedResponse() *bufferedResponse {
@@ -188,12 +203,21 @@ func (b *bufferedResponse) setExplore(window string, paths int64, stopped string
 	b.window, b.paths, b.stopped = window, paths, stopped
 }
 
+func (b *bufferedResponse) setDAG(nodes int64) {
+	b.dag, b.dagNodes = true, nodes
+}
+
 // deliver replays the buffered response onto the real writer, forwarding
-// the usage annotations the handler recorded.
+// the usage annotations the handler recorded. The DAG marks are forwarded
+// only for the computing request itself (how == "miss"): a coalesced
+// follower shares the bytes but did not run the DAG engine.
 func (b *bufferedResponse) deliver(w http.ResponseWriter, how string) {
 	if rec, ok := w.(*statusRecorder); ok {
 		rec.cache = how
 		rec.window, rec.paths, rec.stopped = b.window, b.paths, b.stopped
+		if how == "miss" && b.dag {
+			rec.setDAG(b.dagNodes)
+		}
 	}
 	h := w.Header()
 	for k, vs := range b.header {

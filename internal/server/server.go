@@ -205,6 +205,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			StreamedPaths: rec.streamedPaths,
 			WriteAborted:  rec.writeErr != nil,
 			Cache:         rec.cache,
+			DAG:           rec.dag,
+			DAGNodes:      rec.dagNodes,
 			Duration:      time.Since(began),
 			Status:        rec.status,
 		})
@@ -254,10 +256,16 @@ type statusRecorder struct {
 	streamedPaths int64
 	writeErr      error
 	cache         string
+	dag           bool
+	dagNodes      int64
 }
 
 func (r *statusRecorder) setExplore(window string, paths int64, stopped string) {
 	r.window, r.paths, r.stopped = window, paths, stopped
+}
+
+func (r *statusRecorder) setDAG(nodes int64) {
+	r.dag, r.dagNodes = true, nodes
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -574,6 +582,10 @@ type summaryBody struct {
 	Stopped string `json:"stopped,omitempty"`
 	// Truncated mirrors Stopped != "": the tallies are lower bounds.
 	Truncated bool `json:"truncated,omitempty"`
+	// DAG reports that the run was answered on the interned-status DAG
+	// substrate (countOnly requests are); nodes/edges then count distinct
+	// statuses and transitions rather than tree positions.
+	DAG bool `json:"dag,omitempty"`
 }
 
 func toSummaryBody(sum coursenav.Summary) summaryBody {
@@ -584,6 +596,7 @@ func toSummaryBody(sum coursenav.Summary) summaryBody {
 		ElapsedMs: float64(sum.Elapsed.Microseconds()) / 1000,
 		Stopped:   sum.Stopped,
 		Truncated: sum.Truncated,
+		DAG:       sum.DAG,
 	}
 }
 
@@ -688,6 +701,7 @@ func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			annotate(w, req.Query, sum.Paths, sum.Stopped)
+			annotateDAG(w, sum)
 			s.writeExplore(w, sum, nil)
 			return
 		}
@@ -749,6 +763,7 @@ func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			annotate(w, req.Query, sum.GoalPaths, sum.Stopped)
+			annotateDAG(w, sum)
 			s.writeExplore(w, sum, nil)
 			return
 		}

@@ -462,3 +462,66 @@ func BenchmarkServerRankedEndpoint(b *testing.B) {
 		resp.Body.Close()
 	}
 }
+
+// TestCountOnlyDAGStats: countOnly requests run on the interned-status
+// DAG substrate — the response summary says so — and the usage stats
+// surface the dagAnswered/dagNodes counters.
+func TestCountOnlyDAGStats(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts, "/api/v1/explore/goal",
+		`{"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3,"countOnly":true},"goal":{"courses":["COSI 21A"]}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("countOnly status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Summary struct {
+			Nodes int64 `json:"nodes"`
+			DAG   bool  `json:"dag"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Summary.DAG {
+		t.Error("countOnly summary not marked dag")
+	}
+	if out.Summary.Nodes == 0 {
+		t.Error("countOnly summary reports zero distinct statuses")
+	}
+
+	// A materialising run stays on the tree and is not marked.
+	resp, body = post(t, ts, "/api/v1/explore/deadline",
+		`{"query":{"start":"Spring 2015","end":"Fall 2015","maxPerTerm":2}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deadline status %d", resp.StatusCode)
+	}
+	var mat struct {
+		Summary struct {
+			DAG bool `json:"dag"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(body, &mat); err != nil {
+		t.Fatal(err)
+	}
+	if mat.Summary.DAG {
+		t.Error("materialising run marked dag")
+	}
+
+	resp, body = get(t, ts, "/api/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st struct {
+		DAGAnswered int   `json:"dagAnswered"`
+		DAGNodes    int64 `json:"dagNodes"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DAGAnswered != 1 {
+		t.Errorf("stats dagAnswered = %d, want 1", st.DAGAnswered)
+	}
+	if st.DAGNodes != out.Summary.Nodes {
+		t.Errorf("stats dagNodes = %d, want the run's %d", st.DAGNodes, out.Summary.Nodes)
+	}
+}

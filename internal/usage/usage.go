@@ -48,6 +48,12 @@ type Event struct {
 	// (replayed), "coalesced" (shared an identical in-flight run) or
 	// "miss" (computed); empty for uncached surfaces.
 	Cache string `json:"cache,omitempty"`
+	// DAG reports that the exploration was answered on the interned-status
+	// DAG substrate (countOnly requests are); cache replays do not count.
+	DAG bool `json:"dag,omitempty"`
+	// DAGNodes is the number of distinct statuses the DAG run interned —
+	// the cost measure that replaces per-path work on that substrate.
+	DAGNodes int64 `json:"dagNodes,omitempty"`
 	// Duration is the handling latency.
 	Duration time.Duration `json:"durationNs"`
 	// Status is the HTTP status code returned.
@@ -151,6 +157,12 @@ type Stats struct {
 	// event ring, so bounded by its capacity).
 	CacheHits      int `json:"cacheHits"`
 	CacheCoalesced int `json:"cacheCoalesced"`
+	// DAGAnswered counts explorations the interned-status DAG substrate
+	// computed (countOnly requests; cache replays excluded) and DAGNodes
+	// the distinct statuses those runs interned — together the signal for
+	// how much counting work the DAG absorbs and at what cost.
+	DAGAnswered int   `json:"dagAnswered"`
+	DAGNodes    int64 `json:"dagNodes"`
 	// Cache is the live result-cache snapshot (counters since process
 	// start, unbounded by the ring), injected by the server when caching
 	// is enabled.
@@ -197,6 +209,10 @@ func (l *Log) Snapshot() Stats {
 			st.CacheHits++
 		case "coalesced":
 			st.CacheCoalesced++
+		}
+		if e.DAG {
+			st.DAGAnswered++
+			st.DAGNodes += e.DAGNodes
 		}
 		if e.Window != "" {
 			windows[e.Window]++

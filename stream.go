@@ -16,6 +16,18 @@ import (
 // and is returned as-is.
 var ErrStopStream = errors.New("coursenav: stop streaming")
 
+// ErrMergedStreamUnsupported reports a streaming request that cannot
+// honour Query.MergeStatuses: on the tree substrate a merged subtree is
+// walked once and loses per-path identity, and a collected stream
+// (DeadlineStreamCollect, GoalStreamCollect) needs exactly that per-path
+// node identity for its graph. Plain streams support MergeStatuses via
+// the DAG substrate's lazy unfold — statuses are interned (merged) during
+// construction and every full path is still emitted — so leave
+// Query.Substrate as "auto"/"dag" for DeadlineStream and GoalStream, or
+// turn MergeStatuses off. Test with errors.Is.
+var ErrMergedStreamUnsupported = errors.New(
+	"coursenav: this stream cannot merge statuses (per-path identity is lost on the tree substrate); use DeadlineStream/GoalStream with substrate auto or dag — the DAG's lazy unfold merges statuses and still emits every path — or turn MergeStatuses off")
+
 // StreamedPath is one incrementally delivered learning path.
 type StreamedPath struct {
 	Path
@@ -43,10 +55,17 @@ func (n *Navigator) pathFromSteps(steps []explore.Step) Path {
 // Table-2-scale windows interactive. The run honours ctx and
 // Query.Budget exactly like DeadlineCtx; a stopped run has delivered a
 // prefix of the paths and the returned Summary names the cause. fn may
-// return ErrStopStream to stop early. Query.MergeStatuses is rejected
-// (merged runs lose path identity), and Query.MaxNodes is ignored — the
+// return ErrStopStream to stop early. Query.MaxNodes is ignored — the
 // hard node cap exists to bound materialised graphs, which streaming
 // runs never build (use Query.Budget.MaxNodes to bound work).
+//
+// Query.MergeStatuses is supported by routing the run onto the DAG
+// substrate: the engine interns (merges) statuses while building the
+// interned-status DAG, then lazily unfolds it so every full path is
+// still delivered, in the serial tree walk's depth-first order.
+// Combining MergeStatuses with Substrate "tree" returns
+// ErrMergedStreamUnsupported — the tree walk cannot merge without losing
+// path identity.
 //
 // With Query.Workers > 1 the engine fans out and paths arrive in
 // nondeterministic order (the multiset is exact); fn is never called
@@ -71,12 +90,17 @@ func (n *Navigator) stream(ctx context.Context, q Query, g Goal, fn func(Streame
 	if fn == nil {
 		return Summary{}, fmt.Errorf("coursenav: streaming requires a callback")
 	}
-	if q.MergeStatuses {
-		return Summary{}, fmt.Errorf("coursenav: streaming requires MergeStatuses off — merged runs lose path identity")
-	}
 	start, end, opt, err := n.compile(q)
 	if err != nil {
 		return Summary{}, err
+	}
+	if q.MergeStatuses {
+		// A merged stream runs on the DAG: interned construction, lazy
+		// unfold, every path still emitted (see DeadlineStream).
+		if opt.Substrate == explore.SubstrateTree {
+			return Summary{}, ErrMergedStreamUnsupported
+		}
+		opt.Substrate = explore.SubstrateDAG
 	}
 	var pruners []explore.Pruner
 	if g.inner != nil {
@@ -191,15 +215,18 @@ func (n *Navigator) GoalStreamCollect(ctx context.Context, q Query, g Goal, maxN
 }
 
 func (n *Navigator) streamCollect(ctx context.Context, q Query, g Goal, fn func(StreamedPath) error, maxNodes int) (*Graph, Summary, error) {
+	if q.MergeStatuses {
+		// Collection rebuilds the materialised graph from edge events,
+		// which only the tree walk produces; the DAG unfold has no per-path
+		// node identity to collect.
+		return nil, Summary{}, ErrMergedStreamUnsupported
+	}
 	if q.Workers > 1 {
 		sum, err := n.stream(ctx, q, g, fn)
 		return nil, sum, err
 	}
 	if fn == nil {
 		return nil, Summary{}, fmt.Errorf("coursenav: streaming requires a callback")
-	}
-	if q.MergeStatuses {
-		return nil, Summary{}, fmt.Errorf("coursenav: streaming requires MergeStatuses off — merged runs lose path identity")
 	}
 	start, end, opt, err := n.compile(q)
 	if err != nil {

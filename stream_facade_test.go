@@ -137,8 +137,14 @@ func TestStreamArgumentErrors(t *testing.T) {
 	}
 	merged := q
 	merged.MergeStatuses = true
-	if _, err := nav.GoalStream(ctx, merged, major, func(StreamedPath) error { return nil }); err == nil {
-		t.Error("MergeStatuses accepted by streaming")
+	merged.Substrate = "tree"
+	if _, err := nav.GoalStream(ctx, merged, major, func(StreamedPath) error { return nil }); !errors.Is(err, ErrMergedStreamUnsupported) {
+		t.Errorf("MergeStatuses on the tree substrate: err = %v, want ErrMergedStreamUnsupported", err)
+	}
+	badSub := q
+	badSub.Substrate = "quantum"
+	if _, err := nav.DeadlineStream(ctx, badSub, func(StreamedPath) error { return nil }); err == nil {
+		t.Error("unknown substrate accepted")
 	}
 	if _, err := nav.TopKStream(ctx, q, major, "time", 1, nil); err == nil {
 		t.Error("nil callback accepted by TopKStream")
@@ -306,5 +312,65 @@ func TestStreamCancellation(t *testing.T) {
 	}
 	if sum.Stopped != "canceled" || !sum.Truncated {
 		t.Errorf("summary = {stopped:%q truncated:%v}, want {canceled true}", sum.Stopped, sum.Truncated)
+	}
+}
+
+// TestStreamMergedDAG: streaming accepts MergeStatuses by lazily
+// unfolding the interned-status DAG — every path is still delivered, in
+// the same order as the unmerged serial tree stream — while the collected
+// variants keep rejecting it with the typed sentinel.
+func TestStreamMergedDAG(t *testing.T) {
+	nav, major := Brandeis()
+	ctx := context.Background()
+	q := Query{Start: "Fall 2013", End: "Fall 2015", MaxPerTerm: 3}
+
+	var plain []string
+	if _, err := nav.GoalStream(ctx, q, major, func(p StreamedPath) error {
+		plain = append(plain, p.Path.String())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := q
+	merged.MergeStatuses = true
+	var unfolded []string
+	sum, err := nav.GoalStream(ctx, merged, major, func(p StreamedPath) error {
+		unfolded = append(unfolded, p.Path.String())
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("merged stream: %v", err)
+	}
+	if !sum.DAG {
+		t.Error("merged stream did not report Summary.DAG")
+	}
+	if len(unfolded) != len(plain) {
+		t.Fatalf("merged stream delivered %d paths, tree stream %d", len(unfolded), len(plain))
+	}
+	for i := range plain {
+		if unfolded[i] != plain[i] {
+			t.Fatalf("path %d differs: dag %q, tree %q", i, unfolded[i], plain[i])
+		}
+	}
+
+	// Forcing the DAG without MergeStatuses unfolds too.
+	forced := q
+	forced.Substrate = "dag"
+	var n int
+	if _, err := nav.DeadlineStream(ctx, forced, func(StreamedPath) error { n++; return nil }); err != nil {
+		t.Fatalf("forced dag stream: %v", err)
+	}
+	if n == 0 {
+		t.Error("forced dag stream delivered nothing")
+	}
+
+	// Collected streams need per-path node identity: typed rejection.
+	nop := func(StreamedPath) error { return nil }
+	if _, _, err := nav.GoalStreamCollect(ctx, merged, major, 0, nop); !errors.Is(err, ErrMergedStreamUnsupported) {
+		t.Errorf("GoalStreamCollect merged: err = %v, want ErrMergedStreamUnsupported", err)
+	}
+	if _, _, err := nav.DeadlineStreamCollect(ctx, merged, 0, nop); !errors.Is(err, ErrMergedStreamUnsupported) {
+		t.Errorf("DeadlineStreamCollect merged: err = %v, want ErrMergedStreamUnsupported", err)
 	}
 }
