@@ -6,9 +6,15 @@
 GO ?= go
 
 .PHONY: check vet lint build test race race-short bench bench-smoke fuzz-short \
-	bench-regress bench-baseline
+	bench-regress bench-baseline routes-guard
 
-check: lint build race-short race fuzz-short bench-smoke bench-regress
+check: lint build routes-guard race-short race fuzz-short bench-smoke bench-regress
+
+# API.md's endpoint table and the registered mux patterns must stay
+# equal in both directions — a new route lands with its documentation
+# or not at all.
+routes-guard:
+	$(GO) test -run 'TestRouteInventoryMatchesDocs' ./internal/server/
 
 vet:
 	$(GO) vet ./...

@@ -6,26 +6,38 @@
 //	coursenav-server [-addr :8080] [-catalog file.json]
 //	                 [-dump catalog.txt] [-schedule schedule.txt]
 //	                 [-first "Fall 2011"] [-last "Fall 2015"] [-lenient]
+//	                 [-tenants manifest.json]
 //	                 [-node-budget 500000] [-history-years 4]
 //	                 [-request-timeout 10s] [-max-concurrent 64]
+//	                 [-tenant-max-concurrent 0] [-cache-bytes 67108864]
 //
 // Without a catalog source the embedded Brandeis-like evaluation dataset
 // is served. -catalog loads catalog JSON; -dump (optionally with
 // -schedule) ingests raw registrar text through the back-end parsers,
 // and -lenient quarantines malformed records instead of failing the
-// import. See API.md for the endpoint reference; a quick check:
+// import. Either way the catalog becomes the "default" tenant, served
+// on the bare /api/v1/... routes.
+//
+// -tenants loads a multi-tenant manifest instead: each entry hosts one
+// institution's catalog in isolation under /api/v1/t/{tenant}/... with
+// its own snapshot generations, result-cache partition (a fair share of
+// -cache-bytes) and concurrency quota (-tenant-max-concurrent, or the
+// entry's own maxConcurrent). Relative paths in the manifest resolve
+// against the manifest's directory. See API.md for the manifest format;
+// a quick check:
 //
 //	curl localhost:8080/api/v1/catalog
+//	curl localhost:8080/api/v1/t/acme/catalog
 //	curl -X POST localhost:8080/api/v1/explore/ranked -d '{
 //	  "query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3},
 //	  "goal":{"courses":["COSI 11A","COSI 21A"]},"ranking":"time","k":3}'
 //
-// When a file-backed catalog source is configured, the server supports
-// hot reload: POST /api/v1/admin/reload (or SIGHUP) re-parses the
-// source, validates it with the integrity checker and atomically swaps
-// it in; a failing parse or validation leaves the serving catalog
-// untouched. In-flight explorations always finish on the snapshot they
-// started with.
+// When a tenant has a file-backed catalog source, it supports hot
+// reload: POST /api/v1[/t/{tenant}]/admin/reload re-parses the source,
+// validates it with the integrity checker and atomically swaps it in; a
+// failing parse or validation leaves the serving catalog untouched.
+// SIGHUP reloads every tenant the same way. In-flight explorations
+// always finish on the snapshot they started with.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and lets
 // in-flight explorations finish (each is already bounded by
@@ -38,7 +50,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
@@ -46,8 +57,8 @@ import (
 	"syscall"
 	"time"
 
-	"repro"
 	"repro/internal/server"
+	"repro/internal/tenant"
 	"repro/internal/usage"
 )
 
@@ -59,19 +70,32 @@ func main() {
 	firstTerm := flag.String("first", "Fall 2011", "first term of the -dump schedule window")
 	lastTerm := flag.String("last", "Fall 2015", "last term of the -dump schedule window")
 	lenient := flag.Bool("lenient", false, "quarantine malformed -dump records instead of failing the import")
+	tenantsPath := flag.String("tenants", "", "multi-tenant manifest JSON (alternative to -catalog/-dump)")
 	nodeBudget := flag.Int("node-budget", server.DefaultNodeBudget, "per-request learning-graph node budget")
 	histYears := flag.Int("history-years", 4, "synthetic offering-history length for reliability ranking")
 	seed := flag.Int64("seed", 1, "history synthesis seed")
 	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request exploration wall-clock cap")
 	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent, "in-flight explorations before shedding load with 429")
+	tenantMaxConcurrent := flag.Int("tenant-max-concurrent", 0, "per-tenant in-flight exploration quota (0 = global limit only)")
+	cacheBytes := flag.Int64("cache-bytes", server.DefaultCacheBytes, "result-cache byte budget, carved fairly across tenants")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (trusted networks only)")
 	flag.Parse()
 	if *catalogPath != "" && *dumpPath != "" {
 		log.Fatal("coursenav-server: -catalog and -dump are mutually exclusive")
 	}
+	if *tenantsPath != "" && (*catalogPath != "" || *dumpPath != "") {
+		log.Fatal("coursenav-server: -tenants and -catalog/-dump are mutually exclusive")
+	}
 
-	load := newLoader(*catalogPath, *dumpPath, *schedulePath, *firstTerm, *lastTerm, *lenient, *histYears, *seed)
+	// The single-catalog flags are exactly a one-tenant spec; the same
+	// loader plumbing serves both modes.
+	defaultSpec := tenant.Spec{
+		ID: tenant.Default, Catalog: *catalogPath, Dump: *dumpPath, Schedule: *schedulePath,
+		First: *firstTerm, Last: *lastTerm, Lenient: *lenient,
+		HistoryYears: *histYears, Seed: *seed,
+	}
+	load := server.Loader(defaultSpec.Loader(""))
 	nav, rep, err := load()
 	if err != nil {
 		log.Fatalf("coursenav-server: %v", err)
@@ -95,8 +119,23 @@ func main() {
 	s.NodeBudget = *nodeBudget
 	s.RequestTimeout = *requestTimeout
 	s.MaxConcurrent = *maxConcurrent
+	s.TenantMaxConcurrent = *tenantMaxConcurrent
+	s.CacheBytes = *cacheBytes
+	s.Cache.SetBudget(*cacheBytes) // single-tenant share until a manifest grows the fleet
 	if *catalogPath != "" || *dumpPath != "" {
 		s.Loader = load // embedded dataset has nothing on disk to re-read
+	}
+	if *tenantsPath != "" {
+		m, baseDir, err := tenant.Load(*tenantsPath)
+		if err != nil {
+			log.Fatalf("coursenav-server: %v", err)
+		}
+		for _, st := range s.LoadTenants(m, baseDir) {
+			if !st.OK {
+				log.Fatalf("coursenav-server: tenant %s: %s", st.Tenant, st.Reason)
+			}
+			log.Printf("coursenav-server: tenant %s: %d courses (generation %d)", st.Tenant, st.Courses, st.Generation)
+		}
 	}
 	if *pprofOn {
 		s.EnablePprof()
@@ -112,27 +151,30 @@ func main() {
 	defer stop()
 
 	// SIGHUP triggers the same validate-then-swap reload as the admin
-	// endpoint; the outcome lands in the usage counters either way.
+	// endpoints, across every tenant; each outcome lands in the usage
+	// counters attributed to its tenant.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
 			began := time.Now()
-			st := s.ReloadNow()
-			outcome, status := "applied", http.StatusOK
-			if !st.OK {
-				outcome, status = "rejected", http.StatusUnprocessableEntity
-				log.Printf("coursenav-server: SIGHUP reload rejected: %s", st.Reason)
-			} else {
-				log.Printf("coursenav-server: SIGHUP reload applied: generation %d, %d courses", st.Generation, st.Courses)
+			for _, st := range s.ReloadAll() {
+				outcome, status := "applied", http.StatusOK
+				if !st.OK {
+					outcome, status = "rejected", http.StatusUnprocessableEntity
+					log.Printf("coursenav-server: SIGHUP reload: tenant %s rejected: %s", st.Tenant, st.Reason)
+				} else {
+					log.Printf("coursenav-server: SIGHUP reload: tenant %s applied: generation %d, %d courses", st.Tenant, st.Generation, st.Courses)
+				}
+				s.Usage.Record(usage.Event{
+					When:     time.Now(),
+					Endpoint: "SIGHUP reload",
+					Tenant:   st.Tenant,
+					Reload:   outcome,
+					Duration: time.Since(began),
+					Status:   status,
+				})
 			}
-			s.Usage.Record(usage.Event{
-				When:     time.Now(),
-				Endpoint: "SIGHUP reload",
-				Reload:   outcome,
-				Duration: time.Since(began),
-				Status:   status,
-			})
 		}
 	}()
 
@@ -159,67 +201,6 @@ func main() {
 		log.Fatalf("coursenav-server: %v", err)
 	}
 	log.Printf("coursenav-server: bye")
-}
-
-// newLoader builds the catalog-loading function used both at startup and
-// for every hot reload, so a reload sees exactly what a restart would.
-func newLoader(catalogPath, dumpPath, schedulePath, firstTerm, lastTerm string, lenient bool, histYears int, seed int64) server.Loader {
-	return func() (*coursenav.Navigator, *coursenav.ImportReport, error) {
-		var (
-			nav *coursenav.Navigator
-			rep *coursenav.ImportReport
-			err error
-		)
-		switch {
-		case dumpPath != "":
-			nav, rep, err = loadDump(dumpPath, schedulePath, firstTerm, lastTerm, lenient)
-		case catalogPath != "":
-			nav, err = loadJSON(catalogPath)
-		default:
-			nav, _ = coursenav.Brandeis()
-		}
-		if err != nil {
-			return nil, rep, err
-		}
-		if err := nav.UseSyntheticHistory(histYears, seed); err != nil {
-			return nil, rep, fmt.Errorf("history: %v", err)
-		}
-		return nav, rep, nil
-	}
-}
-
-func loadJSON(path string) (*coursenav.Navigator, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return coursenav.NewFromJSON(f)
-}
-
-func loadDump(dumpPath, schedulePath, firstTerm, lastTerm string, lenient bool) (*coursenav.Navigator, *coursenav.ImportReport, error) {
-	df, err := os.Open(dumpPath)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer df.Close()
-	var schedule *os.File
-	if schedulePath != "" {
-		schedule, err = os.Open(schedulePath)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer schedule.Close()
-	}
-	var sched io.Reader // typed nil *os.File would defeat the nil check inside
-	if schedule != nil {
-		sched = schedule
-	}
-	if lenient {
-		return coursenav.NewFromRegistrarDumpLenient(df, sched, firstTerm, lastTerm)
-	}
-	nav, err := coursenav.NewFromRegistrarDump(df, sched, firstTerm, lastTerm)
-	return nav, nil, err
 }
 
 func logRequests(next http.Handler) http.Handler {

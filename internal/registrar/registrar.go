@@ -282,8 +282,8 @@ func parseScheduleRecords(r io.Reader, cal *term.Calendar, lenient bool) (map[st
 // description by the Prerequisite and Schedule parsers; explicit schedule
 // records (ParseScheduleRecords) may be merged on top via MergeSchedule.
 // Offerings from phrases are expanded over [first, last]. The first
-// malformed record aborts the parse; use ParseCatalogDumpLenient to
-// quarantine bad records instead.
+// malformed record (including a duplicate course ID) aborts the parse;
+// use ParseCatalogDumpLenient to quarantine bad records instead.
 func ParseCatalogDump(r io.Reader, first, last term.Term) ([]catalog.CourseSpec, error) {
 	specs, _, err := parseCatalogDump(r, first, last, false)
 	return specs, err
@@ -344,7 +344,10 @@ func parseCatalogDump(r io.Reader, first, last term.Term, lenient bool) ([]catal
 			})
 			return nil
 		}
-		if lenient && seen[cur.ID] {
+		if seen[cur.ID] {
+			if !lenient {
+				return fmt.Errorf("registrar: line %d: duplicate course %q", courseLn, cur.ID)
+			}
 			diags = append(diags, Diagnostic{
 				Line: courseLn, Course: cur.ID, Field: "course",
 				Severity: SevError, Msg: fmt.Sprintf("duplicate course %q", cur.ID),

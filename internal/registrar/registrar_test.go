@@ -215,3 +215,27 @@ func TestMergeSchedule(t *testing.T) {
 		t.Error("unknown course record accepted")
 	}
 }
+
+// TestParseCatalogDumpDuplicateCourse: both modes treat a repeated
+// course ID as a defect — strict aborts naming the line, lenient keeps
+// the first record and quarantines the repeat. (The two must agree:
+// FuzzParseCatalogDumpLenient holds strict-accepted inputs to zero
+// lenient error diagnostics.)
+func TestParseCatalogDumpDuplicateCourse(t *testing.T) {
+	dump := "course: SI 1\ndescription: First.\n\ncourse: SI 1\ndescription: Again.\n"
+	if _, err := ParseCatalogDump(strings.NewReader(dump), f11, f13); err == nil {
+		t.Error("strict mode accepted a duplicate course ID")
+	} else if !strings.Contains(err.Error(), `duplicate course "SI 1"`) || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("strict duplicate error = %v", err)
+	}
+	specs, diags, err := ParseCatalogDumpLenient(strings.NewReader(dump), f11, f13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].ID != "SI 1" {
+		t.Fatalf("lenient specs = %+v, want the first SI 1 only", specs)
+	}
+	if Errors(diags) != 1 {
+		t.Errorf("lenient diagnostics = %v, want one duplicate error", diags)
+	}
+}

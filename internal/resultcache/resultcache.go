@@ -151,6 +151,12 @@ func (c *Cache) put(k Key, e *Entry) {
 		c.byKey[k] = c.ll.PushFront(&node{key: k, ent: e})
 		c.bytes += e.size()
 	}
+	c.evictToBudget()
+}
+
+// evictToBudget drops least-recently-used entries until bytes fit the
+// budget. Caller holds mu.
+func (c *Cache) evictToBudget() {
 	for c.bytes > c.budget {
 		el := c.ll.Back()
 		if el == nil {
@@ -162,6 +168,24 @@ func (c *Cache) put(k Key, e *Entry) {
 		c.bytes -= n.ent.size()
 		c.evictions.Add(1)
 	}
+}
+
+// SetBudget changes the byte budget, evicting least-recently-used
+// entries until the resident set fits. The multi-tenant server uses it
+// to re-carve fair partition shares out of the global budget whenever
+// the tenant registry grows or shrinks.
+func (c *Cache) SetBudget(budget int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = budget
+	c.evictToBudget()
+}
+
+// Budget returns the current byte budget.
+func (c *Cache) Budget() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget
 }
 
 // Join registers interest in computing k. The first caller becomes the

@@ -228,3 +228,40 @@ func TestConcurrentMixedUse(t *testing.T) {
 	wg.Wait()
 	c.Stats() // must not race either
 }
+
+// TestSetBudgetEvictsToFit: shrinking the budget (the multi-tenant
+// fair-share re-carve) evicts LRU entries until the resident set fits,
+// keeping the most recently used entries; growing it evicts nothing.
+func TestSetBudgetEvictsToFit(t *testing.T) {
+	c := New(10 * (entryOverhead + 4))
+	for i := 0; i < 10; i++ {
+		c.Put(key(0, fmt.Sprintf("k%02d", i)), ent("xxxx"))
+	}
+	if st := c.Stats(); st.Entries != 10 || st.Evictions != 0 {
+		t.Fatalf("warm-up: %+v", st)
+	}
+	// Touch the three newest-by-use entries so eviction order is pinned.
+	for _, s := range []string{"k07", "k08", "k09"} {
+		if _, ok := c.Get(key(0, s)); !ok {
+			t.Fatalf("warm entry %s missing", s)
+		}
+	}
+	c.SetBudget(3 * (entryOverhead + 4))
+	if got := c.Budget(); got != 3*(entryOverhead+4) {
+		t.Fatalf("Budget() = %d", got)
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 7 {
+		t.Fatalf("after shrink: %+v, want 3 entries / 7 evictions", st)
+	}
+	for _, s := range []string{"k07", "k08", "k09"} {
+		if _, ok := c.Get(key(0, s)); !ok {
+			t.Errorf("recently used entry %s evicted by shrink", s)
+		}
+	}
+	// Growing changes nothing until new puts use the headroom.
+	c.SetBudget(20 * (entryOverhead + 4))
+	if st := c.Stats(); st.Entries != 3 {
+		t.Errorf("grow evicted entries: %+v", st)
+	}
+}

@@ -132,10 +132,13 @@ func canonCourseSet(nav *coursenav.Navigator, ids *[]string) {
 	*ids = out
 }
 
-// exploreKey derives the cache key for a canonicalized request, or
-// ok=false when caching is disabled.
-func (s *Server) exploreKey(gen uint64, endpoint string, req *ExploreRequest) (resultcache.Key, bool) {
-	if s.Cache == nil {
+// exploreKey derives the cache key for a canonicalized request against
+// one tenant's cache partition, or ok=false when that partition is
+// disabled. Keys never collide across tenants because each tenant owns
+// a separate Cache instance — the partition, not the key, carries the
+// tenant.
+func exploreKey(c *resultcache.Cache, gen uint64, endpoint string, req *ExploreRequest) (resultcache.Key, bool) {
+	if c == nil {
 		return resultcache.Key{}, false
 	}
 	blob, err := json.Marshal(req)
@@ -152,13 +155,13 @@ func shedLoad(w http.ResponseWriter) {
 		"server is at its exploration concurrency limit; retry shortly")
 }
 
-// runLimited runs an exploration under the concurrency semaphore,
-// shedding load when saturated. It is the whole cached-path story when
-// the cache is disabled.
-func (s *Server) runLimited(w http.ResponseWriter, r *http.Request, run http.HandlerFunc) {
-	release, ok := s.acquire()
+// runLimited runs an exploration under the two-level admission control
+// (tenant quota, then global semaphore), shedding load when either is
+// saturated. It is the whole cached-path story when the tenant's cache
+// partition is disabled.
+func (s *Server) runLimited(t *tenantState, w http.ResponseWriter, r *http.Request, run http.HandlerFunc) {
+	release, ok := s.acquireFor(t, w)
 	if !ok {
-		shedLoad(w)
 		return
 	}
 	defer release()
@@ -246,17 +249,18 @@ func replay(w http.ResponseWriter, ent *resultcache.Entry, how string) {
 // cache the result when it is a complete 200 within the entry cap. run
 // receives a buffered writer; all its error paths buffer and deliver
 // normally, they just never populate the cache.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, req *ExploreRequest, endpoint string, gen uint64, run http.HandlerFunc) {
-	key, cacheable := s.exploreKey(gen, endpoint, req)
+func (s *Server) serveCached(t *tenantState, w http.ResponseWriter, r *http.Request, req *ExploreRequest, endpoint string, gen uint64, run http.HandlerFunc) {
+	cache := t.resultCache()
+	key, cacheable := exploreKey(cache, gen, endpoint, req)
 	if !cacheable {
-		s.runLimited(w, r, run)
+		s.runLimited(t, w, r, run)
 		return
 	}
-	if ent, ok := s.Cache.Get(key); ok {
+	if ent, ok := cache.Get(key); ok {
 		replay(w, ent, "hit")
 		return
 	}
-	f, leader := s.Cache.Join(key)
+	f, leader := cache.Join(key)
 	if !leader {
 		if ent := f.Wait(r.Context()); ent != nil {
 			replay(w, ent, "coalesced")
@@ -271,13 +275,12 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, req *Explor
 		// flight: finish it empty on any non-normal exit.
 		defer func() {
 			if !finished {
-				s.Cache.Finish(key, f, nil)
+				cache.Finish(key, f, nil)
 			}
 		}()
 	}
-	release, ok := s.acquire()
+	release, ok := s.acquireFor(t, w)
 	if !ok {
-		shedLoad(w)
 		return
 	}
 	defer release()
@@ -292,10 +295,10 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, req *Explor
 		}
 	}
 	if leader {
-		s.Cache.Finish(key, f, ent)
+		cache.Finish(key, f, ent)
 		finished = true
 	} else if ent != nil {
-		s.Cache.Put(key, ent)
+		cache.Put(key, ent)
 	}
 	bw.deliver(w, "miss")
 }

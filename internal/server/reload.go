@@ -1,10 +1,12 @@
-// Hot reload: the server holds its Navigator behind an atomic snapshot
-// pointer. A reload re-parses the catalog source, validates the result
-// with the integrity checker, and atomically swaps the pointer on
-// success; on any failure the old snapshot keeps serving — rollback is
-// the absence of the swap, so there is never a torn or half-loaded
-// catalog. In-flight requests hold the snapshot they started with and
-// are never disturbed.
+// Hot reload: every tenant holds its Navigator behind an atomic
+// snapshot pointer. A reload re-parses that tenant's catalog source,
+// validates the result with the integrity checker, and atomically swaps
+// the pointer on success; on any failure the old snapshot keeps serving
+// — rollback is the absence of the swap, so there is never a torn or
+// half-loaded catalog. In-flight requests hold the snapshot they
+// started with and are never disturbed, and tenants reload
+// independently: swapping one catalog never touches another tenant's
+// snapshot or cache partition.
 package server
 
 import (
@@ -25,6 +27,9 @@ type Loader func() (*coursenav.Navigator, *coursenav.ImportReport, error)
 type ReloadStatus struct {
 	// OK reports whether the new catalog was swapped in.
 	OK bool `json:"ok"`
+	// Tenant is the tenant the attempt targeted ("default" for the bare
+	// admin route and ReloadNow).
+	Tenant string `json:"tenant,omitempty"`
 	// Generation counts successful swaps since the server started; it is
 	// the generation now serving (unchanged when the reload was
 	// rejected).
@@ -41,51 +46,70 @@ type ReloadStatus struct {
 	Quarantined []string               `json:"quarantined,omitempty"`
 }
 
-// ReloadNow runs one reload attempt: load a candidate catalog via the
-// configured Loader, gate it on the integrity validator, swap it in
-// atomically on success. On any failure the serving snapshot is left
-// untouched and the returned status says why. Concurrent calls are
-// serialised; requests in flight during a swap finish on the snapshot
-// they started with.
+// ReloadNow runs one reload attempt for the DEFAULT tenant: load a
+// candidate catalog via the configured Loader, gate it on the integrity
+// validator, swap it in atomically on success. On any failure the
+// serving snapshot is left untouched and the returned status says why.
+// Concurrent calls are serialised; requests in flight during a swap
+// finish on the snapshot they started with.
 func (s *Server) ReloadNow() ReloadStatus {
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
-	st := ReloadStatus{Generation: s.generation.Load()}
-	if s.Loader == nil {
-		st.Reason = "hot reload is not configured: the server was started without a reloadable catalog source"
-		return st
+	st, _ := s.defaultTenant().reload(nil)
+	return st
+}
+
+// reload runs one reload attempt for this tenant. A non-nil newLoader
+// replaces the tenant's catalog source, but only commits together with
+// the swap — a source that fails to load or validate leaves the old
+// loader AND the old catalog serving (the manifest-update path relies
+// on this). configured is false when the tenant has no loader at all.
+func (t *tenantState) reload(newLoader Loader) (st ReloadStatus, configured bool) {
+	mu := t.reloadMutex()
+	mu.Lock()
+	defer mu.Unlock()
+	st = ReloadStatus{Tenant: t.id, Generation: t.gen()}
+	loader := newLoader
+	if loader == nil {
+		loader = t.catalogLoader()
 	}
-	nav, rep, err := s.Loader()
+	if loader == nil {
+		st.Reason = "hot reload is not configured: the tenant has no reloadable catalog source"
+		return st, false
+	}
+	nav, rep, err := loader()
 	if rep != nil {
 		st.Diagnostics = rep.Diagnostics
 		st.Quarantined = rep.Quarantined
 	}
 	if err != nil {
 		st.Reason = "loading catalog: " + err.Error()
-		return st
+		return st, true
 	}
 	if nav == nil {
 		st.Reason = "loader returned no catalog"
-		return st
+		return st, true
 	}
 	report := nav.Integrity()
 	st.Integrity = &report
 	if !report.OK() {
 		st.Reason = "catalog failed integrity validation: " + report.Summary()
-		return st
+		return st, true
 	}
 	st.Courses = nav.NumCourses()
-	s.nav.Store(nav)
-	st.Generation = s.generation.Add(1)
-	if s.Cache != nil {
-		// Every cached result and in-flight coalesced run belongs to the
-		// catalog just replaced; the generation bump makes old entries
-		// unreachable and Invalidate drops them (and the flight map) so
-		// stale work cannot poison the new snapshot.
-		s.Cache.Invalidate(st.Generation)
+	t.storeNav(nav)
+	st.Generation = t.bumpGen()
+	if c := t.resultCache(); c != nil {
+		// Every cached result and in-flight coalesced run in THIS tenant's
+		// partition belongs to the catalog just replaced; the generation
+		// bump makes old entries unreachable and Invalidate drops them (and
+		// the flight map) so stale work cannot poison the new snapshot.
+		// Other tenants' partitions are untouched.
+		c.Invalidate(st.Generation)
+	}
+	if newLoader != nil {
+		t.setLoader(newLoader)
 	}
 	st.OK = true
-	return st
+	return st, true
 }
 
 // reloadFailure is the body of a rejected reload: the unified error
@@ -96,13 +120,13 @@ type reloadFailure struct {
 	Reload ReloadStatus `json:"reload"`
 }
 
-func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if s.Loader == nil {
+func (s *Server) handleReload(t *tenantState, w http.ResponseWriter, r *http.Request) {
+	st, configured := t.reload(nil)
+	if !configured {
 		writeErr(w, http.StatusNotImplemented, CodeReloadUnavailable,
-			"hot reload is not configured; start the server with a reloadable catalog source")
+			"hot reload is not configured; give tenant %q a reloadable catalog source", t.id)
 		return
 	}
-	st := s.ReloadNow()
 	if rec, ok := w.(*statusRecorder); ok {
 		if st.OK {
 			rec.reload = "applied"
@@ -111,7 +135,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !st.OK {
-		log.Printf("server: reload rejected: %s", st.Reason)
+		log.Printf("server: tenant %s: reload rejected: %s", t.id, st.Reason)
 		writeJSON(w, http.StatusUnprocessableEntity, reloadFailure{
 			Error: errorInfo{
 				Code:    CodeReloadRejected,
@@ -122,6 +146,6 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	log.Printf("server: reload applied: generation %d, %d courses", st.Generation, st.Courses)
+	log.Printf("server: tenant %s: reload applied: generation %d, %d courses", t.id, st.Generation, st.Courses)
 	writeJSON(w, http.StatusOK, st)
 }

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// docRow matches an endpoint-table row in API.md:
+//
+//	| GET | `/api/v1[/t/{tenant}]/catalog` | all courses |
+var docRow = regexp.MustCompile("(?m)^\\| (GET|POST|PUT|DELETE|PATCH) \\| `([^`]+)` \\|")
+
+// docRoutes parses API.md's endpoint table into the set of mux
+// patterns it documents, expanding the optional [/t/{tenant}] segment
+// into both spellings and normalising "/" onto the mux's "/{$}".
+func docRoutes(t *testing.T) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile("../../API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := make(map[string]bool)
+	add := func(method, path string) {
+		if path == "/" {
+			path = "/{$}"
+		}
+		routes[method+" "+path] = true
+	}
+	for _, m := range docRow.FindAllStringSubmatch(string(raw), -1) {
+		method, path := m[1], m[2]
+		if i := strings.Index(path, "[/t/{tenant}]"); i >= 0 {
+			rest := path[i+len("[/t/{tenant}]"):]
+			add(method, path[:i]+rest)
+			add(method, path[:i]+"/t/{tenant}"+rest)
+			continue
+		}
+		add(method, path)
+	}
+	if len(routes) == 0 {
+		t.Fatal("no endpoint-table rows found in API.md")
+	}
+	return routes
+}
+
+// TestRouteInventoryMatchesDocs: every registered mux pattern is
+// documented in API.md's endpoint table, and every documented route is
+// registered. A drift on either side fails `make check`.
+func TestRouteInventoryMatchesDocs(t *testing.T) {
+	nav, _ := coursenav.Brandeis()
+	registered := New(nav).Routes()
+	documented := docRoutes(t)
+
+	seen := make(map[string]bool, len(registered))
+	for _, r := range registered {
+		seen[r] = true
+		if !documented[r] {
+			t.Errorf("registered route %q is missing from API.md's endpoint table", r)
+		}
+	}
+	var docList []string
+	for r := range documented {
+		docList = append(docList, r)
+		if !seen[r] {
+			t.Errorf("API.md documents %q but the server does not register it", r)
+		}
+	}
+	sort.Strings(docList)
+	if len(registered) != len(seen) {
+		t.Errorf("duplicate mux patterns registered: %v", registered)
+	}
+	t.Logf("%d routes registered and documented", len(seen))
+}

@@ -1,26 +1,34 @@
 // Package server implements CourseNavigator's front-end service (paper
 // §3, Figure 2) as a JSON-over-HTTP API on the public coursenav façade.
 //
-// All routes live under a versioned prefix; the unversioned /api/...
-// forms are aliases kept for one release and answer byte-for-byte
-// identically:
+// The service is multi-tenant: one process hosts a registry of
+// independent catalogs (one per institution), each served in isolation
+// under /api/v1/t/{tenant}/... with its own snapshot generations,
+// result-cache partition and concurrency quota. The bare /api/v1/...
+// routes resolve to the "default" tenant, so single-tenant deployments
+// keep their pre-tenancy URLs:
 //
-//	GET  /healthz                        liveness probe
-//	GET  /api/v1/catalog                 all courses
-//	GET  /api/v1/courses/{id}            one course
-//	GET  /api/v1/options                 current option set Y
-//	                                     (?term=Fall 2013&completed=...)
-//	POST /api/v1/explore/deadline        deadline-driven paths
-//	POST /api/v1/explore/goal            goal-driven paths
-//	POST /api/v1/explore/ranked          top-k ranked paths
-//	POST /api/v1/explore/whatif          rank this semester's selections
-//	POST /api/v1/audit                   degree-progress report
-//	GET  /api/v1/stats                   aggregated usage statistics
-//	POST /api/v1/admin/reload            catalog hot-reload (v1 only)
-//	GET  /                               embedded single-page visualizer
+//	GET  /healthz                             liveness probe
+//	GET  /api/v1[/t/{tenant}]/catalog         all courses
+//	GET  /api/v1[/t/{tenant}]/courses/{id}    one course
+//	GET  /api/v1[/t/{tenant}]/options         current option set Y
+//	                                          (?term=Fall 2013&completed=...)
+//	POST /api/v1[/t/{tenant}]/explore/deadline  deadline-driven paths
+//	POST /api/v1[/t/{tenant}]/explore/goal      goal-driven paths
+//	POST /api/v1[/t/{tenant}]/explore/ranked    top-k ranked paths
+//	POST /api/v1[/t/{tenant}]/explore/whatif    rank this semester's selections
+//	POST /api/v1[/t/{tenant}]/audit             degree-progress report
+//	POST /api/v1[/t/{tenant}]/admin/reload      catalog hot-reload
+//	GET  /api/v1/t/{tenant}/stats             one tenant's usage statistics
+//	GET  /api/v1/stats                        fleet-wide usage aggregate
+//	GET  /api/v1/admin/tenants                list the tenant registry
+//	POST /api/v1/admin/tenants                load a tenant manifest
+//	GET  /                                    embedded single-page visualizer
 //
-// The explore endpoints share one request shape (ExploreRequest) with
-// per-endpoint extras, and every error is the unified envelope
+// The unversioned /api/... aliases of the first release are gone; they
+// answer 404 with a detail hint pointing at /api/v1/. The explore
+// endpoints share one request shape (ExploreRequest) with per-endpoint
+// extras, and every error is the unified envelope
 // {"error":{"code","message","detail"}} — see API.md at the repository
 // root for the full reference.
 //
@@ -28,16 +36,19 @@
 // from the client connection and capped at RequestTimeout (optionally
 // lowered per request via the budget field), so a client disconnect or
 // an adversarial window stops the engine within one node expansion and
-// returns the partial result with summary.stopped set. A semaphore
-// bounds concurrent explorations; beyond it the service sheds load with
-// 429 + Retry-After instead of queueing unboundedly. Materialised graphs
-// additionally respect the hard NodeBudget (422 budget_exceeded), the
-// condition the paper's Table 2 reports as "N/A".
+// returns the partial result with summary.stopped set. Admission is
+// two-level: a per-tenant quota (429 tenant_overloaded) is taken before
+// the process-wide semaphore (429 overloaded), so one tenant's burst
+// cannot starve the others; both shed with Retry-After instead of
+// queueing unboundedly. Materialised graphs additionally respect the
+// hard NodeBudget (422 budget_exceeded), the condition the paper's
+// Table 2 reports as "N/A".
 //
-// The catalog is served from an atomic snapshot pointer; see reload.go
-// for the hot-reload path (validate-then-swap with rollback). Handler
-// panics are recovered into the internal error envelope with a logged
-// stack, so a poisoned request cannot take the process down.
+// Each tenant's catalog is served from an atomic snapshot pointer; see
+// reload.go for the hot-reload path (validate-then-swap with rollback)
+// and tenant.go for the registry. Handler panics are recovered into the
+// internal error envelope with a logged stack, so a poisoned request
+// cannot take the process down.
 package server
 
 import (
@@ -57,6 +68,7 @@ import (
 	"repro"
 	"repro/internal/explore"
 	"repro/internal/resultcache"
+	"repro/internal/tenant"
 	"repro/internal/usage"
 )
 
@@ -82,18 +94,23 @@ const (
 	CodeNotFound          = "not_found"
 	CodeBudgetExceeded    = "budget_exceeded"
 	CodeOverloaded        = "overloaded"
+	CodeTenantOverloaded  = "tenant_overloaded"
+	CodeUnknownTenant     = "unknown_tenant"
 	CodeInternal          = "internal"
 	CodeReloadRejected    = "reload_rejected"
 	CodeReloadUnavailable = "reload_unavailable"
 )
 
-// Server wires a Navigator into an http.Handler.
+// Server wires a registry of Navigators into an http.Handler.
 //
-// The navigator is held behind an atomic snapshot pointer: every request
-// reads the pointer once on entry and runs entirely against that
-// snapshot, so a hot reload (ReloadNow, POST /api/v1/admin/reload)
-// swapping in a new catalog never disturbs explorations already in
-// flight.
+// Each tenant's navigator is held behind an atomic snapshot pointer:
+// every request reads the pointer once on entry and runs entirely
+// against that snapshot, so a hot reload (ReloadNow, POST
+// .../admin/reload) swapping in a new catalog never disturbs
+// explorations already in flight. The exported nav/generation/Cache/
+// Loader fields below ARE the default tenant's state — tenant.go's
+// registry aliases them — so single-tenant call sites keep working
+// unchanged.
 type Server struct {
 	nav atomic.Pointer[coursenav.Navigator]
 	mux *http.ServeMux
@@ -104,34 +121,53 @@ type Server struct {
 	// DefaultRequestTimeout). Clients may lower it per request via the
 	// budget field, never raise it.
 	RequestTimeout time.Duration
-	// MaxConcurrent bounds in-flight explorations (default
-	// DefaultMaxConcurrent); set before the first request is served.
+	// MaxConcurrent bounds in-flight explorations across ALL tenants
+	// (default DefaultMaxConcurrent); set before the first request is
+	// served.
 	MaxConcurrent int
+	// TenantMaxConcurrent caps each tenant's in-flight explorations
+	// (429 tenant_overloaded) unless the tenant's manifest entry sets its
+	// own. 0 (the default) leaves tenants bounded only by the global
+	// semaphore. Set before the first request is served.
+	TenantMaxConcurrent int
+	// CacheBytes is the global result-cache byte budget carved into fair
+	// per-tenant partition shares whenever the registry grows or shrinks
+	// (0 means DefaultCacheBytes). Set before adding tenants.
+	CacheBytes int64
 	// Usage records every API call for the /api/v1/stats aggregate (§6's
-	// "collect and analyze usage logs").
+	// "collect and analyze usage logs"); tenant-scoped traffic is
+	// attributed per tenant.
 	Usage *usage.Log
-	// Loader, when set, enables hot reload: ReloadNow and the
-	// /api/v1/admin/reload endpoint re-parse the catalog source through
-	// it. Set before the first request is served.
+	// Loader, when set, enables hot reload for the DEFAULT tenant:
+	// ReloadNow and the /api/v1/admin/reload endpoint re-parse the
+	// catalog source through it. Set before the first request is served.
 	Loader Loader
-	// Cache is the snapshot-versioned result cache serving repeated
-	// identical explore requests without re-exploring (see cache.go). New
-	// installs one with DefaultCacheBytes; set nil to disable caching.
+	// Cache is the DEFAULT tenant's snapshot-versioned result-cache
+	// partition, serving repeated identical explore requests without
+	// re-exploring (see cache.go). New installs one with
+	// DefaultCacheBytes; set nil to disable caching for that tenant.
 	Cache *resultcache.Cache
 
-	sem        chan struct{} // lazily sized from MaxConcurrent on first acquire
-	reloadMu   sync.Mutex    // serialises reload attempts
-	generation atomic.Uint64 // successful swaps since start
+	sem        chan struct{}
+	semOnce    sync.Once     // sizes sem from MaxConcurrent on first acquire
+	reloadMu   sync.Mutex    // serialises default-tenant reload attempts
+	generation atomic.Uint64 // default tenant's successful swaps since start
+
+	registry   atomic.Pointer[map[string]*tenantState] // copy-on-write; see tenant.go
+	registryMu sync.Mutex                              // serialises registry mutations
+	routes     []string                                // every registered mux pattern
 }
 
-// Navigator returns the currently serving catalog snapshot. Handlers
-// read it once per request; callers may use it for diagnostics.
+// Navigator returns the default tenant's currently serving catalog
+// snapshot. Handlers read it once per request; callers may use it for
+// diagnostics.
 func (s *Server) Navigator() *coursenav.Navigator { return s.nav.Load() }
 
-// Generation returns the number of successful catalog swaps since start.
+// Generation returns the default tenant's successful catalog swaps
+// since start.
 func (s *Server) Generation() uint64 { return s.generation.Load() }
 
-// New returns a Server for the given navigator.
+// New returns a Server serving nav as its default tenant.
 func New(nav *coursenav.Navigator) *Server {
 	s := &Server{
 		NodeBudget:       DefaultNodeBudget,
@@ -142,47 +178,67 @@ func New(nav *coursenav.Navigator) *Server {
 		Cache:            resultcache.New(DefaultCacheBytes),
 	}
 	s.nav.Store(nav)
+	def := &tenantState{id: tenant.Default, srv: s, def: true}
+	reg := map[string]*tenantState{tenant.Default: def}
+	s.registry.Store(&reg)
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, h)
+		s.routes = append(s.routes, pattern)
+	}
+	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	// Every API route is registered twice: under the canonical /api/v1
-	// prefix and under the legacy /api alias (kept for one release).
-	// Both prefixes hit the same handler, so alias responses are
-	// byte-for-byte identical to their v1 counterparts.
+	// Every tenant-scoped route is registered twice: under the
+	// /api/v1/t/{tenant} prefix, and bare under /api/v1 resolving to the
+	// default tenant (backward compatibility for single-tenant
+	// deployments). Both forms hit the same handler with the resolved
+	// tenant, so responses are byte-for-byte identical.
 	for _, rt := range []struct {
 		pattern string
-		h       http.HandlerFunc
+		h       tenantHandler
 	}{
 		{"GET /catalog", s.handleCatalog},
 		{"GET /courses/{id}", s.handleCourse},
 		{"GET /options", s.handleOptions},
-		// Explore handlers manage the concurrency semaphore themselves
-		// (via serveCached/runLimited): cache hits and coalesced followers
+		// Explore handlers manage the concurrency quotas themselves (via
+		// serveCached/runLimited): cache hits and coalesced followers
 		// never occupy an exploration slot.
 		{"POST /explore/deadline", s.handleDeadline},
 		{"POST /explore/goal", s.handleGoal},
 		{"POST /explore/ranked", s.handleRanked},
 		{"POST /explore/whatif", s.handleWhatIf},
 		{"POST /audit", s.handleAudit},
-		{"GET /stats", s.handleStats},
+		{"POST /admin/reload", s.handleReload},
 	} {
 		method, path, _ := strings.Cut(rt.pattern, " ")
-		mux.HandleFunc(method+" /api/v1"+path, rt.h)
-		mux.HandleFunc(method+" /api"+path, rt.h)
+		handle(method+" /api/v1"+path, s.withDefault(rt.h))
+		handle(method+" /api/v1/t/{tenant}"+path, s.withTenant(rt.h))
 	}
-	// Admin surface: v1 only, no legacy alias.
-	mux.HandleFunc("POST /api/v1/admin/reload", s.handleReload)
-	mux.HandleFunc("GET /{$}", s.handleUI)
+	// Stats: the tenant-scoped form reports one tenant; the bare form is
+	// the fleet-wide aggregate, not a default-tenant alias.
+	handle("GET /api/v1/t/{tenant}/stats", s.withTenant(s.handleTenantStats))
+	handle("GET /api/v1/stats", s.handleStats)
+	handle("GET /api/v1/admin/tenants", s.handleTenantsList)
+	handle("POST /api/v1/admin/tenants", s.handleTenantsLoad)
+	handle("GET /{$}", s.handleUI)
 	s.mux = mux
 	return s
 }
 
+// Routes returns every mux pattern registered by New, for the
+// route-inventory guard that keeps API.md in sync with the surface.
+// Opt-in extras (EnablePprof) are excluded.
+func (s *Server) Routes() []string {
+	return append([]string(nil), s.routes...)
+}
+
 // ServeHTTP implements http.Handler, recording every request in the
-// usage log under its canonical v1 endpoint (alias traffic aggregates
-// with v1 traffic). A handler panic is recovered into the v1 internal
-// error envelope with a logged stack, so one poisoned request cannot
-// kill the process.
+// usage log under its canonical endpoint (tenant-scoped traffic is
+// recorded under the bare path with the tenant attributed separately).
+// A handler panic is recovered into the v1 internal error envelope with
+// a logged stack, so one poisoned request cannot kill the process.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	began := time.Now()
@@ -197,6 +253,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.Usage.Record(usage.Event{
 			When:          time.Now(),
 			Endpoint:      r.Method + " " + canonicalPath(r.URL.Path),
+			Tenant:        rec.tenant,
 			Window:        rec.window,
 			Paths:         rec.paths,
 			Stopped:       rec.stopped,
@@ -211,27 +268,42 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			Status:        rec.status,
 		})
 	}()
+	// The unversioned /api/... aliases of the first release are retired.
+	// The check runs before mux dispatch (a catch-all "/api/" pattern
+	// would shadow the mux's 405 Method-Not-Allowed answers for real v1
+	// paths), so retired paths get a pointed 404 instead of a bare one.
+	if strings.HasPrefix(r.URL.Path, "/api/") && !strings.HasPrefix(r.URL.Path, "/api/v1/") {
+		writeErrDetail(rec, http.StatusNotFound, CodeNotFound,
+			"the unversioned /api/... aliases were removed; use the /api/v1/ form of this path",
+			"unknown path %s", r.URL.Path)
+		return
+	}
 	s.mux.ServeHTTP(rec, r)
 }
 
-// canonicalPath maps a legacy /api/... alias to its /api/v1/... form.
+// canonicalPath strips the tenant segment from a tenant-scoped path so
+// usage aggregates per logical endpoint: /api/v1/t/acme/explore/goal is
+// recorded as /api/v1/explore/goal (with the tenant on the event).
 func canonicalPath(p string) string {
-	if strings.HasPrefix(p, "/api/") && !strings.HasPrefix(p, "/api/v1/") {
-		return "/api/v1" + strings.TrimPrefix(p, "/api")
+	if rest, ok := strings.CutPrefix(p, "/api/v1/t/"); ok {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			return "/api/v1" + rest[i:]
+		}
+		return "/api/v1"
 	}
 	return p
 }
 
-// acquire reserves a concurrency slot, returning its release func, or
-// ok=false when the server is saturated.
+// acquire reserves a global concurrency slot, returning its release
+// func, or ok=false when the server is saturated.
 func (s *Server) acquire() (release func(), ok bool) {
-	if s.sem == nil {
+	s.semOnce.Do(func() {
 		n := s.MaxConcurrent
 		if n <= 0 {
 			n = DefaultMaxConcurrent
 		}
 		s.sem = make(chan struct{}, n)
-	}
+	})
 	select {
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem }, true
@@ -248,6 +320,7 @@ type statusRecorder struct {
 	http.ResponseWriter
 	status        int
 	wroteHeader   bool
+	tenant        string
 	window        string
 	paths         int64
 	stopped       string
@@ -291,20 +364,35 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
+// globalStats is the fleet-wide /api/v1/stats body: the cross-tenant
+// usage aggregate (flattened, so single-tenant clients see the same
+// shape as before tenancy) plus a per-tenant breakdown. Cache counters
+// are summed across every tenant's partition.
+type globalStats struct {
+	usage.Stats
+	Tenants []tenantOverview `json:"tenants"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.Usage.Snapshot()
-	if s.Cache != nil {
-		cs := s.Cache.Stats()
-		snap.Cache = &usage.CacheStats{
-			Hits:      cs.Hits,
-			Misses:    cs.Misses,
-			Coalesced: cs.Coalesced,
-			Evictions: cs.Evictions,
-			Bytes:     cs.Bytes,
-			Entries:   cs.Entries,
+	var agg usage.CacheStats
+	cached := false
+	for _, t := range s.tenantsSorted() {
+		if c := t.resultCache(); c != nil {
+			cs := c.Stats()
+			agg.Hits += cs.Hits
+			agg.Misses += cs.Misses
+			agg.Coalesced += cs.Coalesced
+			agg.Evictions += cs.Evictions
+			agg.Bytes += cs.Bytes
+			agg.Entries += cs.Entries
+			cached = true
 		}
 	}
-	writeJSON(w, http.StatusOK, snap)
+	if cached {
+		snap.Cache = &agg
+	}
+	writeJSON(w, http.StatusOK, globalStats{Stats: snap, Tenants: s.overviews()})
 }
 
 // errorBody is the unified v1 error envelope.
@@ -355,13 +443,13 @@ func (s *Server) writeNavErr(w http.ResponseWriter, err error) {
 	}
 }
 
-func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Navigator().Courses())
+func (s *Server) handleCatalog(t *tenantState, w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, t.navigator().Courses())
 }
 
-func (s *Server) handleCourse(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCourse(t *tenantState, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	c, ok := s.Navigator().Course(id)
+	c, ok := t.navigator().Course(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, CodeUnknownCourse, "unknown course %q", id)
 		return
@@ -369,7 +457,7 @@ func (s *Server) handleCourse(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c)
 }
 
-func (s *Server) handleOptions(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleOptions(t *tenantState, w http.ResponseWriter, r *http.Request) {
 	termLabel := r.URL.Query().Get("term")
 	if termLabel == "" {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "missing ?term=")
@@ -381,7 +469,7 @@ func (s *Server) handleOptions(w http.ResponseWriter, r *http.Request) {
 			completed = append(completed, strings.TrimSpace(c))
 		}
 	}
-	opts, err := s.Navigator().FeasibleNow(completed, termLabel)
+	opts, err := t.navigator().FeasibleNow(completed, termLabel)
 	if err != nil {
 		s.writeNavErr(w, err)
 		return
@@ -653,7 +741,7 @@ func (s *Server) renderExploreBody(w io.Writer, sum coursenav.Summary, g *course
 	return err
 }
 
-func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDeadline(t *tenantState, w http.ResponseWriter, r *http.Request) {
 	var req ExploreRequest
 	if !decode(w, r, &req) {
 		return
@@ -665,16 +753,15 @@ func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
 	// the navigator first and bumps the generation after, so gen is never
 	// newer than nav and a result is never cached under a catalog that
 	// did not produce it.
-	gen := s.generation.Load()
-	nav := s.Navigator()
+	gen := t.gen()
+	nav := t.navigator()
 	canonicalize(nav, &req)
 	if wantsStream(r) {
 		if !streamable(w, &req) {
 			return
 		}
-		release, ok := s.acquire()
+		release, ok := s.acquireFor(t, w)
 		if !ok {
-			shedLoad(w)
 			return
 		}
 		defer release()
@@ -685,13 +772,13 @@ func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
 			return sum, err
 		})
 		if complete && collected != nil {
-			if key, ok := s.exploreKey(gen, "deadline", &req); ok {
-				s.Cache.Put(key, s.graphEntry(req.Query, sum, collected, sum.Paths))
+			if key, ok := exploreKey(t.resultCache(), gen, "deadline", &req); ok {
+				t.resultCache().Put(key, s.graphEntry(req.Query, sum, collected, sum.Paths))
 			}
 		}
 		return
 	}
-	s.serveCached(w, r, &req, "deadline", gen, func(w http.ResponseWriter, r *http.Request) {
+	s.serveCached(t, w, r, &req, "deadline", gen, func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := s.runCtx(r, req.Budget)
 		defer cancel()
 		if req.Query.CountOnly {
@@ -711,7 +798,7 @@ func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGoal(t *tenantState, w http.ResponseWriter, r *http.Request) {
 	var req ExploreRequest
 	if !decode(w, r, &req) {
 		return
@@ -719,8 +806,8 @@ func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
 	if !req.checkExtras(w, "explore/goal", true, false) {
 		return
 	}
-	gen := s.generation.Load()
-	nav := s.Navigator()
+	gen := t.gen()
+	nav := t.navigator()
 	canonicalize(nav, &req)
 	if wantsStream(r) {
 		if !streamable(w, &req) {
@@ -730,9 +817,8 @@ func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		release, okAcq := s.acquire()
+		release, okAcq := s.acquireFor(t, w)
 		if !okAcq {
-			shedLoad(w)
 			return
 		}
 		defer release()
@@ -743,13 +829,13 @@ func (s *Server) handleGoal(w http.ResponseWriter, r *http.Request) {
 			return sum, err
 		})
 		if complete && collected != nil {
-			if key, ok := s.exploreKey(gen, "goal", &req); ok {
-				s.Cache.Put(key, s.graphEntry(req.Query, sum, collected, sum.GoalPaths))
+			if key, ok := exploreKey(t.resultCache(), gen, "goal", &req); ok {
+				t.resultCache().Put(key, s.graphEntry(req.Query, sum, collected, sum.GoalPaths))
 			}
 		}
 		return
 	}
-	s.serveCached(w, r, &req, "goal", gen, func(w http.ResponseWriter, r *http.Request) {
+	s.serveCached(t, w, r, &req, "goal", gen, func(w http.ResponseWriter, r *http.Request) {
 		goal, ok := s.goal(nav, w, &req)
 		if !ok {
 			return
@@ -778,13 +864,13 @@ type rankedResponse struct {
 	Paths   []coursenav.Path `json:"paths"`
 }
 
-func (s *Server) handleRanked(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRanked(t *tenantState, w http.ResponseWriter, r *http.Request) {
 	var req ExploreRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	gen := s.generation.Load()
-	nav := s.Navigator()
+	gen := t.gen()
+	nav := t.navigator()
 	canonicalize(nav, &req)
 	if wantsStream(r) {
 		if !streamable(w, &req) {
@@ -794,9 +880,8 @@ func (s *Server) handleRanked(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		release, okAcq := s.acquire()
+		release, okAcq := s.acquireFor(t, w)
 		if !okAcq {
-			shedLoad(w)
 			return
 		}
 		defer release()
@@ -818,13 +903,13 @@ func (s *Server) handleRanked(w http.ResponseWriter, r *http.Request) {
 			return nav.TopKStream(ctx, s.query(req.Query, req.Budget), goal, req.Ranking, req.K, collect)
 		})
 		if complete {
-			if key, ok := s.exploreKey(gen, "ranked", &req); ok {
-				s.Cache.Put(key, s.rankedEntry(req.Query, sum, ranked))
+			if key, ok := exploreKey(t.resultCache(), gen, "ranked", &req); ok {
+				t.resultCache().Put(key, s.rankedEntry(req.Query, sum, ranked))
 			}
 		}
 		return
 	}
-	s.serveCached(w, r, &req, "ranked", gen, func(w http.ResponseWriter, r *http.Request) {
+	s.serveCached(t, w, r, &req, "ranked", gen, func(w http.ResponseWriter, r *http.Request) {
 		goal, ok := s.goal(nav, w, &req)
 		if !ok {
 			return
@@ -856,7 +941,7 @@ type auditRequest struct {
 	MaxPerTerm int      `json:"maxPerTerm,omitempty"`
 }
 
-func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAudit(t *tenantState, w http.ResponseWriter, r *http.Request) {
 	var req auditRequest
 	if !decode(w, r, &req) {
 		return
@@ -865,7 +950,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "audit requires a degree goal")
 		return
 	}
-	nav := s.Navigator()
+	nav := t.navigator()
 	goal, err := nav.GoalDegree(req.Goal.Degree...)
 	if err != nil {
 		s.writeNavErr(w, err)
@@ -887,7 +972,7 @@ type whatIfResponse struct {
 	Stopped string `json:"stopped,omitempty"`
 }
 
-func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWhatIf(t *tenantState, w http.ResponseWriter, r *http.Request) {
 	var req ExploreRequest
 	if !decode(w, r, &req) {
 		return
@@ -895,8 +980,8 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	if !req.checkExtras(w, "explore/whatif", true, false) {
 		return
 	}
-	gen := s.generation.Load()
-	nav := s.Navigator()
+	gen := t.gen()
+	nav := t.navigator()
 	canonicalize(nav, &req)
 	if wantsStream(r) {
 		if !streamable(w, &req) {
@@ -906,9 +991,8 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		release, okAcq := s.acquire()
+		release, okAcq := s.acquireFor(t, w)
 		if !okAcq {
-			shedLoad(w)
 			return
 		}
 		defer release()
@@ -918,7 +1002,7 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		s.streamWhatIf(w, r, &req, nav, goal)
 		return
 	}
-	s.serveCached(w, r, &req, "whatif", gen, func(w http.ResponseWriter, r *http.Request) {
+	s.serveCached(t, w, r, &req, "whatif", gen, func(w http.ResponseWriter, r *http.Request) {
 		goal, ok := s.goal(nav, w, &req)
 		if !ok {
 			return

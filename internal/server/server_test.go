@@ -58,7 +58,7 @@ func TestHealthz(t *testing.T) {
 
 func TestCatalogAndCourse(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := get(t, ts, "/api/catalog")
+	resp, body := get(t, ts, "/api/v1/catalog")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("catalog status %d", resp.StatusCode)
 	}
@@ -66,11 +66,11 @@ func TestCatalogAndCourse(t *testing.T) {
 	if err := json.Unmarshal(body, &courses); err != nil || len(courses) != 38 {
 		t.Fatalf("catalog: %v, %d courses", err, len(courses))
 	}
-	resp, body = get(t, ts, "/api/courses/COSI 21A")
+	resp, body = get(t, ts, "/api/v1/courses/COSI 21A")
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "COSI 11A") {
 		t.Errorf("course: %d %s", resp.StatusCode, body)
 	}
-	resp, _ = get(t, ts, "/api/courses/NOPE")
+	resp, _ = get(t, ts, "/api/v1/courses/NOPE")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown course status = %d", resp.StatusCode)
 	}
@@ -78,7 +78,7 @@ func TestCatalogAndCourse(t *testing.T) {
 
 func TestOptionsEndpoint(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := get(t, ts, "/api/options?term=Fall+2013")
+	resp, body := get(t, ts, "/api/v1/options?term=Fall+2013")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("options status %d: %s", resp.StatusCode, body)
 	}
@@ -88,7 +88,7 @@ func TestOptionsEndpoint(t *testing.T) {
 	if err := json.Unmarshal(body, &out); err != nil || len(out.Options) != 3 {
 		t.Errorf("options = %v (%v)", out.Options, err)
 	}
-	resp, body = get(t, ts, "/api/options?term=Spring+2014&completed=COSI+11A,COSI+29A")
+	resp, body = get(t, ts, "/api/v1/options?term=Spring+2014&completed=COSI+11A,COSI+29A")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("options status %d: %s", resp.StatusCode, body)
 	}
@@ -99,17 +99,17 @@ func TestOptionsEndpoint(t *testing.T) {
 	if !strings.Contains(joined, "COSI 21A") || !strings.Contains(joined, "COSI 12B") {
 		t.Errorf("options after intro = %v", out.Options)
 	}
-	if resp, _ := get(t, ts, "/api/options"); resp.StatusCode != http.StatusBadRequest {
+	if resp, _ := get(t, ts, "/api/v1/options"); resp.StatusCode != http.StatusBadRequest {
 		t.Error("missing term accepted")
 	}
-	if resp, _ := get(t, ts, "/api/options?term=nope"); resp.StatusCode != http.StatusBadRequest {
+	if resp, _ := get(t, ts, "/api/v1/options?term=nope"); resp.StatusCode != http.StatusBadRequest {
 		t.Error("bad term accepted")
 	}
 }
 
 func TestDeadlineEndpoint(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := post(t, ts, "/api/explore/deadline",
+	resp, body := post(t, ts, "/api/v1/explore/deadline",
 		`{"query":{"start":"Spring 2015","end":"Fall 2015","maxPerTerm":2}}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("deadline status %d: %s", resp.StatusCode, body)
@@ -128,7 +128,7 @@ func TestDeadlineEndpoint(t *testing.T) {
 		t.Errorf("deadline response: %+v", out)
 	}
 	// countOnly drops the graph.
-	resp, body = post(t, ts, "/api/explore/deadline",
+	resp, body = post(t, ts, "/api/v1/explore/deadline",
 		`{"query":{"start":"Spring 2015","end":"Fall 2015","maxPerTerm":2,"countOnly":true}}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("countOnly status %d", resp.StatusCode)
@@ -148,7 +148,7 @@ func TestDeadlineBudget(t *testing.T) {
 	s.NodeBudget = 50
 	ts := httptest.NewServer(s)
 	defer ts.Close()
-	resp, body := post(t, ts, "/api/explore/deadline",
+	resp, body := post(t, ts, "/api/v1/explore/deadline",
 		`{"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3}}`)
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("budget status = %d: %s", resp.StatusCode, body)
@@ -161,7 +161,7 @@ func TestDeadlineBudget(t *testing.T) {
 func TestGoalEndpoint(t *testing.T) {
 	ts := newTestServer(t)
 	// Degree-goal query over a feasible window.
-	resp, body := post(t, ts, "/api/explore/goal", `{
+	resp, body := post(t, ts, "/api/v1/explore/goal", `{
 		"query":{"start":"Spring 2014","end":"Fall 2015","maxPerTerm":3,
 		         "completed":["COSI 11A","COSI 29A","COSI 2A"]},
 		"goal":{"courses":["COSI 12B","COSI 21A","COSI 21B","COSI 30A","COSI 31A"]}}`)
@@ -182,13 +182,13 @@ func TestGoalEndpoint(t *testing.T) {
 		t.Errorf("no goal paths: %s", body)
 	}
 	// Expression and degree goals work too.
-	resp, _ = post(t, ts, "/api/explore/goal", `{
+	resp, _ = post(t, ts, "/api/v1/explore/goal", `{
 		"query":{"start":"Fall 2014","end":"Fall 2015","maxPerTerm":2},
 		"goal":{"expr":"COSI 11A and COSI 29A"}}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("expr goal status %d", resp.StatusCode)
 	}
-	resp, _ = post(t, ts, "/api/explore/goal", `{
+	resp, _ = post(t, ts, "/api/v1/explore/goal", `{
 		"query":{"start":"Fall 2014","end":"Fall 2015","maxPerTerm":2},
 		"goal":{"degree":[{"Name":"intro","Count":2,"Courses":["COSI 11A","COSI 29A","COSI 2A"]}]}}`)
 	if resp.StatusCode != http.StatusOK {
@@ -203,7 +203,7 @@ func TestGoalEndpoint(t *testing.T) {
 		`{"query":{"start":"Fall 2014","end":"Fall 2015"},"goal":{"expr":"((("}}`,
 		`{"unknown_field":1}`,
 	} {
-		resp, _ := post(t, ts, "/api/explore/goal", bad)
+		resp, _ := post(t, ts, "/api/v1/explore/goal", bad)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("bad goal request %q: status %d", bad, resp.StatusCode)
 		}
@@ -212,7 +212,7 @@ func TestGoalEndpoint(t *testing.T) {
 
 func TestRankedEndpoint(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := post(t, ts, "/api/explore/ranked", `{
+	resp, body := post(t, ts, "/api/v1/explore/ranked", `{
 		"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3},
 		"goal":{"degree":[
 			{"Name":"core","Count":7,"Courses":["COSI 11A","COSI 12B","COSI 21A","COSI 21B","COSI 29A","COSI 30A","COSI 31A"]},
@@ -242,13 +242,13 @@ func TestRankedEndpoint(t *testing.T) {
 		}
 	}
 	// k and ranking validation.
-	resp, _ = post(t, ts, "/api/explore/ranked", `{
+	resp, _ = post(t, ts, "/api/v1/explore/ranked", `{
 		"query":{"start":"Fall 2014","end":"Fall 2015"},
 		"goal":{"courses":["COSI 11A"]},"k":0}`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Error("k=0 accepted")
 	}
-	resp, _ = post(t, ts, "/api/explore/ranked", `{
+	resp, _ = post(t, ts, "/api/v1/explore/ranked", `{
 		"query":{"start":"Fall 2014","end":"Fall 2015"},
 		"goal":{"courses":["COSI 11A"]},"ranking":"magic","k":1}`)
 	if resp.StatusCode != http.StatusBadRequest {
@@ -258,7 +258,7 @@ func TestRankedEndpoint(t *testing.T) {
 
 func TestMethodRouting(t *testing.T) {
 	ts := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/api/explore/deadline")
+	resp, err := http.Get(ts.URL + "/api/v1/explore/deadline")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,15 +266,23 @@ func TestMethodRouting(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET on POST endpoint: %d", resp.StatusCode)
 	}
-	resp2, _ := post(t, ts, "/api/nope", "{}")
+	resp2, _ := post(t, ts, "/api/v1/nope", "{}")
 	if resp2.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown path: %d", resp2.StatusCode)
+	}
+	// The retired unversioned aliases 404 with a hint at the v1 form.
+	resp3, body := post(t, ts, "/api/explore/deadline", "{}")
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("retired alias: %d", resp3.StatusCode)
+	}
+	if !strings.Contains(string(body), "/api/v1/") || !strings.Contains(string(body), `"not_found"`) {
+		t.Errorf("retired alias body missing hint: %s", body)
 	}
 }
 
 func TestRankedEndpointWeightsAndConstraints(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := post(t, ts, "/api/explore/ranked", `{
+	resp, body := post(t, ts, "/api/v1/explore/ranked", `{
 		"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3,
 		         "avoid":["COSI 2A"],"maxTermWorkload":32},
 		"goal":{"degree":[
@@ -303,7 +311,7 @@ func TestRankedEndpointWeightsAndConstraints(t *testing.T) {
 
 func TestAuditEndpoint(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := post(t, ts, "/api/audit", `{
+	resp, body := post(t, ts, "/api/v1/audit", `{
 		"completed":["COSI 11A","COSI 29A","COSI 2A"],
 		"goal":{"degree":[
 			{"Name":"core","Count":7,"Courses":["COSI 11A","COSI 12B","COSI 21A","COSI 21B","COSI 29A","COSI 30A","COSI 31A"]},
@@ -331,11 +339,11 @@ func TestAuditEndpoint(t *testing.T) {
 		t.Error("9 slots in 2 semesters reported reachable")
 	}
 	// Validation.
-	resp, _ = post(t, ts, "/api/audit", `{"completed":[],"goal":{"courses":["COSI 11A"]}}`)
+	resp, _ = post(t, ts, "/api/v1/audit", `{"completed":[],"goal":{"courses":["COSI 11A"]}}`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Error("non-degree goal accepted")
 	}
-	resp, _ = post(t, ts, "/api/audit", `{"goal":{"degree":[{"Name":"g","Count":1,"Courses":["NOPE"]}]}}`)
+	resp, _ = post(t, ts, "/api/v1/audit", `{"goal":{"degree":[{"Name":"g","Count":1,"Courses":["NOPE"]}]}}`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Error("unknown course accepted")
 	}
@@ -343,7 +351,7 @@ func TestAuditEndpoint(t *testing.T) {
 
 func TestWhatIfEndpoint(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := post(t, ts, "/api/explore/whatif", `{
+	resp, body := post(t, ts, "/api/v1/explore/whatif", `{
 		"query":{"start":"Spring 2014","end":"Spring 2016","maxPerTerm":3,
 		         "completed":["COSI 11A","COSI 29A"]},
 		"goal":{"degree":[
@@ -372,7 +380,7 @@ func TestWhatIfEndpoint(t *testing.T) {
 	if out.Selections[0].GoalPaths == 0 {
 		t.Error("best selection preserves no goal paths")
 	}
-	resp, _ = post(t, ts, "/api/explore/whatif", `{"query":{"start":"x","end":"y"},"goal":{"courses":["COSI 11A"]}}`)
+	resp, _ = post(t, ts, "/api/v1/explore/whatif", `{"query":{"start":"x","end":"y"},"goal":{"courses":["COSI 11A"]}}`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Error("bad terms accepted")
 	}
@@ -381,13 +389,13 @@ func TestWhatIfEndpoint(t *testing.T) {
 func TestStatsEndpoint(t *testing.T) {
 	ts := newTestServer(t)
 	// Generate traffic: two explorations and one error.
-	post(t, ts, "/api/explore/deadline",
+	post(t, ts, "/api/v1/explore/deadline",
 		`{"query":{"start":"Spring 2015","end":"Fall 2015","maxPerTerm":2,"countOnly":true}}`)
-	post(t, ts, "/api/explore/deadline",
+	post(t, ts, "/api/v1/explore/deadline",
 		`{"query":{"start":"Spring 2015","end":"Fall 2015","maxPerTerm":2,"countOnly":true}}`)
-	post(t, ts, "/api/explore/goal", `not json`)
+	post(t, ts, "/api/v1/explore/goal", `not json`)
 
-	resp, body := get(t, ts, "/api/stats")
+	resp, body := get(t, ts, "/api/v1/stats")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats status %d", resp.StatusCode)
 	}
@@ -410,7 +418,7 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Total != 3 || st.Errors != 1 {
 		t.Errorf("total=%d errors=%d", st.Total, st.Errors)
 	}
-	// Legacy-alias traffic aggregates under the canonical v1 endpoint.
+	// Tenant-prefixed traffic aggregates under the bare canonical endpoint.
 	if len(st.Endpoints) == 0 || st.Endpoints[0].Endpoint != "POST /api/v1/explore/deadline" ||
 		st.Endpoints[0].Requests != 2 {
 		t.Errorf("endpoints = %+v", st.Endpoints)
@@ -451,7 +459,7 @@ func BenchmarkServerRankedEndpoint(b *testing.B) {
 	          "ranking":"time","k":10}`
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		resp, err := http.Post(ts.URL+"/api/explore/ranked", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/api/v1/explore/ranked", "application/json", strings.NewReader(body))
 		if err != nil {
 			b.Fatal(err)
 		}

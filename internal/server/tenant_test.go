@@ -1,0 +1,388 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/usage"
+)
+
+// dumpLoader builds a Loader over inline registrar text, the tenant
+// fixture counterpart of navFromDump.
+func dumpLoader(dump string) Loader {
+	return func() (*coursenav.Navigator, *coursenav.ImportReport, error) {
+		nav, err := coursenav.NewFromRegistrarDump(strings.NewReader(dump), nil, "Fall 2012", "Fall 2013")
+		return nav, nil, err
+	}
+}
+
+// newTenantServer returns a server hosting the default (embedded)
+// catalog plus tenants "alpha" (2 courses) and "beta" (3 courses).
+func newTenantServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, ts := newV1Server(t)
+	for id, dump := range map[string]string{"alpha": reloadDumpSmall, "beta": reloadDumpBig} {
+		if st := s.AddTenant(id, dumpLoader(dump), 0); !st.OK {
+			t.Fatalf("AddTenant(%s): %s", id, st.Reason)
+		}
+	}
+	return s, ts
+}
+
+// TestTenantServingIsolation: concurrent requests against three tenants
+// each answer from their own catalog.
+func TestTenantServingIsolation(t *testing.T) {
+	_, ts := newTenantServer(t)
+	cases := []struct {
+		path string
+		want int // courses in that tenant's catalog
+	}{
+		{"/api/v1/catalog", 38},
+		{"/api/v1/t/alpha/catalog", 2},
+		{"/api/v1/t/beta/catalog", 3},
+	}
+	var wg sync.WaitGroup
+	for _, tc := range cases {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(path string, want int) {
+				defer wg.Done()
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				var courses []json.RawMessage
+				if err := json.NewDecoder(resp.Body).Decode(&courses); err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				if len(courses) != want {
+					t.Errorf("%s: %d courses, want %d", path, len(courses), want)
+				}
+			}(tc.path, tc.want)
+		}
+	}
+	wg.Wait()
+}
+
+// TestTenantCacheIsolationOnReload: reloading tenant alpha invalidates
+// only alpha's cache partition — beta's entry survives and replays
+// byte-identically.
+func TestTenantCacheIsolationOnReload(t *testing.T) {
+	_, ts := newTenantServer(t)
+	body := `{"query":{"start":"Fall 2012","end":"Fall 2013","maxPerTerm":1}}`
+	warm := func(tenantID string) []byte {
+		resp, b := post(t, ts, "/api/v1/t/"+tenantID+"/explore/deadline", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s explore: %d (%s)", tenantID, resp.StatusCode, b)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "miss" {
+			t.Fatalf("%s warmup X-Cache = %q, want miss", tenantID, got)
+		}
+		return b
+	}
+	warm("alpha")
+	betaBody := warm("beta")
+
+	resp, b := post(t, ts, "/api/v1/t/alpha/admin/reload", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alpha reload: %d (%s)", resp.StatusCode, b)
+	}
+	var st ReloadStatus
+	// AddTenant's initial load was generation 1; the reload is 2.
+	if err := json.Unmarshal(b, &st); err != nil || st.Tenant != "alpha" || st.Generation != 2 {
+		t.Fatalf("alpha reload status = %+v (%v)", st, err)
+	}
+
+	// Beta's entry survived alpha's reload: a hit, byte-for-byte.
+	resp, b = post(t, ts, "/api/v1/t/beta/explore/deadline", body)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("beta after alpha reload X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b, betaBody) {
+		t.Errorf("beta replay diverged:\n was: %s\n now: %s", betaBody, b)
+	}
+	// Alpha's partition was invalidated: a fresh miss.
+	resp, _ = post(t, ts, "/api/v1/t/alpha/explore/deadline", body)
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("alpha after reload X-Cache = %q, want miss", got)
+	}
+}
+
+// TestTenantQuotaIsolation: exhausting tenant alpha's concurrency quota
+// sheds alpha's explorations with 429 tenant_overloaded while beta and
+// the default tenant proceed; releasing the quota restores service.
+func TestTenantQuotaIsolation(t *testing.T) {
+	s, ts := newV1Server(t)
+	for id, dump := range map[string]string{"alpha": reloadDumpSmall, "beta": reloadDumpBig} {
+		if st := s.AddTenant(id, dumpLoader(dump), 1); !st.OK {
+			t.Fatalf("AddTenant(%s): %s", id, st.Reason)
+		}
+	}
+	alpha, ok := s.lookup("alpha")
+	if !ok {
+		t.Fatal("alpha not registered")
+	}
+	release, ok := alpha.acquireQuota()
+	if !ok {
+		t.Fatal("could not take alpha's only quota slot")
+	}
+
+	body := `{"query":{"start":"Fall 2012","end":"Fall 2013","maxPerTerm":1,"countOnly":true}}`
+	resp, b := post(t, ts, "/api/v1/t/alpha/explore/deadline", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated alpha: %d (%s)", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("missing Retry-After on tenant saturation")
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeTenantOverloaded {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeTenantOverloaded)
+	}
+
+	// Beta and the default tenant are unaffected by alpha's saturation.
+	if resp, b := post(t, ts, "/api/v1/t/beta/explore/deadline", body); resp.StatusCode != http.StatusOK {
+		t.Errorf("beta during alpha saturation: %d (%s)", resp.StatusCode, b)
+	}
+	defBody := `{"query":{"start":"Spring 2015","end":"Fall 2015","maxPerTerm":2,"countOnly":true}}`
+	if resp, b := post(t, ts, "/api/v1/explore/deadline", defBody); resp.StatusCode != http.StatusOK {
+		t.Errorf("default during alpha saturation: %d (%s)", resp.StatusCode, b)
+	}
+
+	release()
+	if resp, b := post(t, ts, "/api/v1/t/alpha/explore/deadline", body); resp.StatusCode != http.StatusOK {
+		t.Errorf("alpha after release: %d (%s)", resp.StatusCode, b)
+	}
+}
+
+// TestTenantResolution: unknown tenants 404 with the unknown_tenant
+// code, and tenant IDs are canonicalised (trimmed, case-folded) before
+// lookup.
+func TestTenantResolution(t *testing.T) {
+	_, ts := newTenantServer(t)
+	resp, b := get(t, ts, "/api/v1/t/nope/catalog")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant: %d", resp.StatusCode)
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeUnknownTenant {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeUnknownTenant)
+	}
+	if !strings.Contains(env.Error.Detail, "/api/v1/admin/tenants") {
+		t.Errorf("detail does not point at the tenant listing: %q", env.Error.Detail)
+	}
+	for _, spelled := range []string{"ALPHA", "Alpha", "%20alpha%20"} {
+		resp, b := get(t, ts, "/api/v1/t/"+spelled+"/catalog")
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("tenant spelled %q: %d (%s)", spelled, resp.StatusCode, b)
+		}
+	}
+}
+
+// TestDefaultTenantEquivalence: the bare /api/v1/... routes and the
+// explicit /api/v1/t/default/... routes serve the same tenant — same
+// bytes, same cache partition.
+func TestDefaultTenantEquivalence(t *testing.T) {
+	_, ts := newTenantServer(t)
+	_, bare := get(t, ts, "/api/v1/catalog")
+	_, scoped := get(t, ts, "/api/v1/t/default/catalog")
+	if !bytes.Equal(bare, scoped) {
+		t.Error("bare and /t/default catalogs diverged")
+	}
+	body := `{"query":{"start":"Spring 2015","end":"Fall 2015","maxPerTerm":2}}`
+	resp, first := post(t, ts, "/api/v1/explore/deadline", body)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("bare explore: %d, X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	resp, second := post(t, ts, "/api/v1/t/default/explore/deadline", body)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("/t/default explore X-Cache = %q, want hit (shared partition)", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("bare and /t/default explore bodies diverged")
+	}
+}
+
+// TestTenantStats: per-tenant stats report only that tenant's traffic;
+// the global aggregate spans all tenants and lists per-tenant rows.
+func TestTenantStats(t *testing.T) {
+	_, ts := newTenantServer(t)
+	get(t, ts, "/api/v1/t/alpha/catalog")
+	get(t, ts, "/api/v1/t/alpha/catalog")
+	get(t, ts, "/api/v1/t/beta/catalog")
+	get(t, ts, "/api/v1/catalog")
+
+	resp, b := get(t, ts, "/api/v1/t/alpha/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alpha stats: %d", resp.StatusCode)
+	}
+	var ast struct {
+		Tenant  string `json:"tenant"`
+		Courses int    `json:"courses"`
+		usage.Stats
+	}
+	if err := json.Unmarshal(b, &ast); err != nil {
+		t.Fatal(err)
+	}
+	if ast.Tenant != "alpha" || ast.Courses != 2 || ast.Total != 2 {
+		t.Errorf("alpha stats = tenant %q courses %d total %d, want alpha/2/2", ast.Tenant, ast.Courses, ast.Total)
+	}
+
+	resp, b = get(t, ts, "/api/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("global stats: %d", resp.StatusCode)
+	}
+	var gst struct {
+		Total   int `json:"total"`
+		Tenants []struct {
+			Tenant   string `json:"tenant"`
+			Requests int    `json:"requests"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(b, &gst); err != nil {
+		t.Fatal(err)
+	}
+	if gst.Total != 5 { // 4 catalog fetches + the alpha stats call
+		t.Errorf("global total = %d, want 5", gst.Total)
+	}
+	want := map[string]int{"alpha": 3, "beta": 1, "default": 1}
+	if len(gst.Tenants) != 3 {
+		t.Fatalf("tenants rows = %+v, want 3", gst.Tenants)
+	}
+	for _, row := range gst.Tenants {
+		if row.Requests != want[row.Tenant] {
+			t.Errorf("tenant %s requests = %d, want %d", row.Tenant, row.Requests, want[row.Tenant])
+		}
+	}
+}
+
+// TestAdminTenants: the registry listing and the manifest-POST surface.
+func TestAdminTenants(t *testing.T) {
+	_, ts := newTenantServer(t)
+	get(t, ts, "/api/v1/t/alpha/catalog") // listing rows join lifetime counts
+	resp, b := get(t, ts, "/api/v1/admin/tenants")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d", resp.StatusCode)
+	}
+	var listing struct {
+		Tenants []tenantOverview `json:"tenants"`
+	}
+	if err := json.Unmarshal(b, &listing); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(listing.Tenants))
+	for i, row := range listing.Tenants {
+		ids[i] = row.Tenant
+		if row.Tenant == "alpha" && row.Requests != 1 {
+			t.Errorf("alpha listing requests = %d, want 1", row.Requests)
+		}
+	}
+	if got := strings.Join(ids, ","); got != "alpha,beta,default" {
+		t.Errorf("listing = %s, want alpha,beta,default", got)
+	}
+
+	// A manifest entry with no source hosts the embedded dataset.
+	resp, b = post(t, ts, "/api/v1/admin/tenants", `{"tenants":[{"id":"gamma"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest POST: %d (%s)", resp.StatusCode, b)
+	}
+	var loaded tenantsLoadResult
+	if err := json.Unmarshal(b, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Results) != 1 || !loaded.Results[0].OK || loaded.Results[0].Tenant != "gamma" {
+		t.Fatalf("manifest results = %+v", loaded.Results)
+	}
+	if resp, _ := get(t, ts, "/api/v1/t/gamma/catalog"); resp.StatusCode != http.StatusOK {
+		t.Errorf("gamma not serving after manifest POST: %d", resp.StatusCode)
+	}
+
+	// Invalid manifests are rejected whole; a valid manifest naming an
+	// unloadable source reports the per-entry failure without installing.
+	if resp, _ := post(t, ts, "/api/v1/admin/tenants", `{"tenants":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty manifest: %d, want 400", resp.StatusCode)
+	}
+	resp, b = post(t, ts, "/api/v1/admin/tenants", `{"tenants":[{"id":"delta","catalog":"/no/such/file.json"}]}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad source: %d (%s), want 422", resp.StatusCode, b)
+	}
+	if resp, _ := get(t, ts, "/api/v1/t/delta/catalog"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("delta installed despite failed load: %d", resp.StatusCode)
+	}
+}
+
+// TestAddTenantRejectsBadCatalogs: the integrity gate and ID validation
+// guard registration exactly as they guard reloads.
+func TestAddTenantRejectsBadCatalogs(t *testing.T) {
+	s, _ := newV1Server(t)
+	if st := s.AddTenant("cyclic", dumpLoader(reloadDumpCyclic), 0); st.OK || !strings.Contains(st.Reason, "integrity") {
+		t.Errorf("cyclic catalog admitted: %+v", st)
+	}
+	if _, ok := s.lookup("cyclic"); ok {
+		t.Error("rejected tenant is in the registry")
+	}
+	if st := s.AddTenant("Bad ID!", dumpLoader(reloadDumpSmall), 0); st.OK {
+		t.Error("invalid tenant id admitted")
+	}
+	// Updating an existing tenant through AddTenant swaps its catalog.
+	if st := s.AddTenant("up", dumpLoader(reloadDumpSmall), 0); !st.OK {
+		t.Fatalf("AddTenant(up): %s", st.Reason)
+	}
+	st := s.AddTenant("up", dumpLoader(reloadDumpBig), 0)
+	if !st.OK || st.Courses != 3 || st.Generation != 2 {
+		t.Errorf("update status = %+v, want 3 courses at generation 2", st)
+	}
+}
+
+// TestCacheRebalance: growing the registry re-carves the byte budget
+// into equal partition shares.
+func TestCacheRebalance(t *testing.T) {
+	s, _ := newV1Server(t)
+	s.CacheBytes = 3 << 20
+	s.Cache.SetBudget(3 << 20)
+	for i, id := range []string{"alpha", "beta"} {
+		if st := s.AddTenant(id, dumpLoader(reloadDumpSmall), 0); !st.OK {
+			t.Fatalf("AddTenant %d: %s", i, st.Reason)
+		}
+	}
+	want := int64(1 << 20) // 3 MiB over 3 partitions
+	for _, id := range []string{"alpha", "beta"} {
+		tn, _ := s.lookup(id)
+		if got := tn.resultCache().Budget(); got != want {
+			t.Errorf("%s partition budget = %d, want %d", id, got, want)
+		}
+	}
+	if got := s.Cache.Budget(); got != want {
+		t.Errorf("default partition budget = %d, want %d", got, want)
+	}
+}
+
+// TestTenantUsageAttribution: tenant-scoped traffic is recorded under
+// the bare canonical endpoint with the tenant attributed on the event.
+func TestTenantUsageAttribution(t *testing.T) {
+	s, ts := newTenantServer(t)
+	get(t, ts, "/api/v1/t/alpha/catalog")
+	events := s.Usage.Events()
+	if len(events) != 1 {
+		t.Fatalf("%d events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Endpoint != "GET /api/v1/catalog" || e.Tenant != "alpha" {
+		t.Errorf("event = endpoint %q tenant %q, want GET /api/v1/catalog under alpha", e.Endpoint, e.Tenant)
+	}
+}

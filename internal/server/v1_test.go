@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"io"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -43,80 +42,11 @@ type v1Summary struct {
 }
 
 // elapsedRe masks the only nondeterministic byte range in explore
-// responses so alias parity can compare the rest byte-for-byte.
+// responses so tests can compare the rest byte-for-byte.
 var elapsedRe = regexp.MustCompile(`"elapsedMs":[0-9.e+-]+`)
 
 func maskElapsed(b []byte) string {
 	return elapsedRe.ReplaceAllString(string(b), `"elapsedMs":X`)
-}
-
-// TestV1AliasParity: every legacy /api/... route answers byte-for-byte
-// identically to its /api/v1/... counterpart (modulo the elapsed-time
-// measurement), across the whole surface and for both success and error
-// responses.
-func TestV1AliasParity(t *testing.T) {
-	_, ts := newV1Server(t)
-	cases := []struct {
-		name   string
-		method string
-		path   string // without the /api or /api/v1 prefix
-		body   string
-	}{
-		{"catalog", "GET", "/catalog", ""},
-		{"course", "GET", "/courses/COSI 21A", ""},
-		{"course-missing", "GET", "/courses/NOPE", ""},
-		{"options", "GET", "/options?term=Fall+2013", ""},
-		{"options-missing-term", "GET", "/options", ""},
-		{"deadline-count", "POST", "/explore/deadline",
-			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2,"countOnly":true}}`},
-		{"deadline-graph", "POST", "/explore/deadline",
-			`{"query":{"start":"Fall 2013","end":"Spring 2014","maxPerTerm":1}}`},
-		{"goal", "POST", "/explore/goal",
-			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2,"countOnly":true},"goal":{"courses":["COSI 21A"]}}`},
-		{"ranked", "POST", "/explore/ranked",
-			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2},"goal":{"courses":["COSI 21A"]},"ranking":"time","k":2}`},
-		{"whatif", "POST", "/explore/whatif",
-			`{"query":{"start":"Fall 2013","end":"Fall 2014","maxPerTerm":2},"goal":{"courses":["COSI 21A"]}}`},
-		{"audit", "POST", "/audit",
-			`{"goal":{"degree":[{"Name":"intro","Count":1,"Courses":["COSI 11A","COSI 12B"]}]},"now":"Fall 2013","deadline":"Fall 2014","maxPerTerm":2}`},
-		{"bad-body", "POST", "/explore/goal", `not json`},
-		{"budget-truncated", "POST", "/explore/deadline",
-			`{"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3,"countOnly":true},"budget":{"maxNodes":5}}`},
-	}
-	do := func(method, url, body string) (*http.Response, string) {
-		t.Helper()
-		var resp *http.Response
-		var err error
-		if method == "GET" {
-			resp, err = http.Get(url)
-		} else {
-			resp, err = http.Post(url, "application/json", strings.NewReader(body))
-		}
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		b, err := io.ReadAll(resp.Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return resp, maskElapsed(b)
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			v1Resp, v1Body := do(tc.method, ts.URL+"/api/v1"+tc.path, tc.body)
-			aliasResp, aliasBody := do(tc.method, ts.URL+"/api"+tc.path, tc.body)
-			if v1Resp.StatusCode != aliasResp.StatusCode {
-				t.Fatalf("status diverged: v1=%d alias=%d", v1Resp.StatusCode, aliasResp.StatusCode)
-			}
-			if v1Body != aliasBody {
-				t.Errorf("bodies diverged:\n v1:    %s\n alias: %s", v1Body, aliasBody)
-			}
-			if ct := v1Resp.Header.Get("Content-Type"); ct != aliasResp.Header.Get("Content-Type") {
-				t.Errorf("content-type diverged: %q vs %q", ct, aliasResp.Header.Get("Content-Type"))
-			}
-		})
-	}
 }
 
 // TestV1ErrorEnvelope: every v1 error response carries the unified
@@ -330,11 +260,6 @@ func TestV1Saturation(t *testing.T) {
 	}
 	if env.Error.Code != CodeOverloaded {
 		t.Errorf("code = %q, want %q", env.Error.Code, CodeOverloaded)
-	}
-	// The legacy alias saturates identically.
-	if aliasResp, _ := post(t, ts, "/api/explore/deadline",
-		`{"query":{"start":"Fall 2013","end":"Spring 2014","maxPerTerm":1,"countOnly":true}}`); aliasResp.StatusCode != http.StatusTooManyRequests {
-		t.Errorf("alias status = %d, want 429", aliasResp.StatusCode)
 	}
 	// Cheap read endpoints are not behind the limiter.
 	if catResp, _ := get(t, ts, "/api/v1/catalog"); catResp.StatusCode != http.StatusOK {

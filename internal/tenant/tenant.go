@@ -1,0 +1,232 @@
+// Package tenant defines the multi-tenant vocabulary of the serving
+// layer: tenant identifiers and their canonical form, and the manifest
+// format that describes a fleet of catalogs for one server to host.
+//
+// A tenant is one institution's catalog served in isolation — its own
+// snapshot generations, result-cache partition and concurrency quota —
+// under the /api/v1/t/{tenant}/... route prefix. The package is
+// deliberately small and mechanism-free: the registry that holds live
+// tenant state lives in internal/server; here are only the pure pieces
+// (ID rules, manifest parsing, source-to-loader plumbing) that the
+// server, the CLI and the tests all share.
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+)
+
+// Default is the tenant ID the bare (tenant-less) /api/v1/... routes
+// resolve to, so single-tenant deployments keep their pre-tenancy URLs.
+const Default = "default"
+
+// MaxIDLen bounds a canonical tenant ID's length.
+const MaxIDLen = 64
+
+// Canonical maps a user-supplied tenant ID to its canonical form:
+// surrounding whitespace trimmed and ASCII letters case-folded to
+// lower case — the same trim/case-fold contract catalog.Canonical
+// applies to course IDs, so "/api/v1/t/ Brandeis /..." and
+// "/api/v1/t/brandeis/..." name the same tenant.
+func Canonical(id string) string {
+	return strings.ToLower(strings.TrimSpace(id))
+}
+
+// ValidID reports whether a canonical ID is acceptable: 1–64 characters
+// drawn from [a-z0-9._-], starting with a letter or digit. The charset
+// keeps IDs unambiguous inside URL paths and file names.
+func ValidID(id string) bool {
+	if id == "" || len(id) > MaxIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Spec describes one tenant's catalog source in a manifest. Exactly one
+// of Catalog (catalog JSON) or Dump (raw registrar text, optionally
+// with Schedule) may be set; with neither, the embedded evaluation
+// dataset is served — handy for demos and tests.
+type Spec struct {
+	// ID is the tenant identifier (canonicalised by Parse).
+	ID string `json:"id"`
+	// Catalog is a catalog JSON file path.
+	Catalog string `json:"catalog,omitempty"`
+	// Dump is a raw registrar catalog dump path (alternative to Catalog).
+	Dump string `json:"dump,omitempty"`
+	// Schedule overlays registrar schedule records on Dump.
+	Schedule string `json:"schedule,omitempty"`
+	// Lenient quarantines malformed Dump records instead of failing.
+	Lenient bool `json:"lenient,omitempty"`
+	// First and Last bound the Dump schedule window (defaults
+	// "Fall 2011" … "Fall 2015", matching the server flags).
+	First string `json:"first,omitempty"`
+	Last  string `json:"last,omitempty"`
+	// MaxConcurrent caps this tenant's in-flight explorations; 0 inherits
+	// the server's per-tenant default.
+	MaxConcurrent int `json:"maxConcurrent,omitempty"`
+	// HistoryYears and Seed configure the synthetic offering history for
+	// reliability ranking (defaults 4 and 1, matching the server flags).
+	HistoryYears int   `json:"historyYears,omitempty"`
+	Seed         int64 `json:"seed,omitempty"`
+}
+
+// Manifest is the fleet description a server loads at startup
+// (-tenants manifest.json) or via POST /api/v1/admin/tenants.
+type Manifest struct {
+	Tenants []Spec `json:"tenants"`
+}
+
+// Parse reads and validates a manifest: strict JSON, every ID
+// canonicalised and valid, no duplicates, at most one catalog source
+// per entry.
+func Parse(r io.Reader) (Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("tenant manifest: %v", err)
+	}
+	if len(m.Tenants) == 0 {
+		return Manifest{}, fmt.Errorf("tenant manifest: no tenants listed")
+	}
+	seen := make(map[string]bool, len(m.Tenants))
+	for i := range m.Tenants {
+		sp := &m.Tenants[i]
+		sp.ID = Canonical(sp.ID)
+		if !ValidID(sp.ID) {
+			return Manifest{}, fmt.Errorf("tenant manifest: entry %d: invalid tenant id %q", i, sp.ID)
+		}
+		if seen[sp.ID] {
+			return Manifest{}, fmt.Errorf("tenant manifest: duplicate tenant id %q", sp.ID)
+		}
+		seen[sp.ID] = true
+		if sp.Catalog != "" && sp.Dump != "" {
+			return Manifest{}, fmt.Errorf("tenant manifest: tenant %q: catalog and dump are mutually exclusive", sp.ID)
+		}
+		if sp.Schedule != "" && sp.Dump == "" {
+			return Manifest{}, fmt.Errorf("tenant manifest: tenant %q: schedule requires dump", sp.ID)
+		}
+	}
+	return m, nil
+}
+
+// Load parses the manifest at path and returns it with the directory
+// relative source paths resolve against (the manifest's own directory,
+// so a manifest can sit next to its catalogs).
+func Load(path string) (Manifest, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Manifest{}, "", err
+	}
+	defer f.Close()
+	m, err := Parse(f)
+	if err != nil {
+		return Manifest{}, "", fmt.Errorf("%s: %v", path, err)
+	}
+	return m, filepath.Dir(path), nil
+}
+
+// LoadFunc produces a freshly built Navigator (plus the lenient-import
+// report when applicable). It is the tenant-package spelling of
+// server.Loader: the two have identical underlying types, so a LoadFunc
+// converts directly.
+type LoadFunc func() (*coursenav.Navigator, *coursenav.ImportReport, error)
+
+// Loader builds the catalog-loading function for this spec. Relative
+// source paths resolve against baseDir. The returned function re-reads
+// the source on every call, so hot reloads see exactly what a restart
+// would.
+func (sp Spec) Loader(baseDir string) LoadFunc {
+	first, last := sp.First, sp.Last
+	if first == "" {
+		first = "Fall 2011"
+	}
+	if last == "" {
+		last = "Fall 2015"
+	}
+	histYears, seed := sp.HistoryYears, sp.Seed
+	if histYears == 0 {
+		histYears = 4
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	resolve := func(p string) string {
+		if p == "" || filepath.IsAbs(p) || baseDir == "" {
+			return p
+		}
+		return filepath.Join(baseDir, p)
+	}
+	catalogPath, dumpPath, schedulePath := resolve(sp.Catalog), resolve(sp.Dump), resolve(sp.Schedule)
+	return func() (*coursenav.Navigator, *coursenav.ImportReport, error) {
+		var (
+			nav *coursenav.Navigator
+			rep *coursenav.ImportReport
+			err error
+		)
+		switch {
+		case dumpPath != "":
+			nav, rep, err = loadDump(dumpPath, schedulePath, first, last, sp.Lenient)
+		case catalogPath != "":
+			nav, err = loadJSON(catalogPath)
+		default:
+			nav, _ = coursenav.Brandeis()
+		}
+		if err != nil {
+			return nil, rep, err
+		}
+		if err := nav.UseSyntheticHistory(histYears, seed); err != nil {
+			return nil, rep, fmt.Errorf("history: %v", err)
+		}
+		return nav, rep, nil
+	}
+}
+
+func loadJSON(path string) (*coursenav.Navigator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return coursenav.NewFromJSON(f)
+}
+
+func loadDump(dumpPath, schedulePath, firstTerm, lastTerm string, lenient bool) (*coursenav.Navigator, *coursenav.ImportReport, error) {
+	df, err := os.Open(dumpPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer df.Close()
+	var sched io.Reader
+	if schedulePath != "" {
+		sf, err := os.Open(schedulePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer sf.Close()
+		sched = sf
+	}
+	if lenient {
+		return coursenav.NewFromRegistrarDumpLenient(df, sched, firstTerm, lastTerm)
+	}
+	nav, err := coursenav.NewFromRegistrarDump(df, sched, firstTerm, lastTerm)
+	return nav, nil, err
+}

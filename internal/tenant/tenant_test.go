@@ -1,0 +1,111 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"brandeis", "brandeis"},
+		{" Brandeis ", "brandeis"},
+		{"ACME-U", "acme-u"},
+		{"\tdefault\n", "default"},
+	}
+	for _, tc := range cases {
+		if got := Canonical(tc.in); got != tc.want {
+			t.Errorf("Canonical(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestValidID(t *testing.T) {
+	valid := []string{"a", "brandeis", "acme-u", "u.2024", "x_y", strings.Repeat("a", MaxIDLen)}
+	for _, id := range valid {
+		if !ValidID(id) {
+			t.Errorf("ValidID(%q) = false, want true", id)
+		}
+	}
+	invalid := []string{"", "-lead", ".lead", "_lead", "has space", "Upper", "slash/y",
+		strings.Repeat("a", MaxIDLen+1), "tenant\x00"}
+	for _, id := range invalid {
+		if ValidID(id) {
+			t.Errorf("ValidID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestParseValidatesManifest(t *testing.T) {
+	good := `{"tenants":[{"id":" Brandeis "},{"id":"acme","maxConcurrent":4}]}`
+	m, err := Parse(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(m.Tenants) != 2 || m.Tenants[0].ID != "brandeis" || m.Tenants[1].MaxConcurrent != 4 {
+		t.Errorf("manifest = %+v", m)
+	}
+
+	bad := []struct{ name, doc string }{
+		{"empty", `{"tenants":[]}`},
+		{"no-id", `{"tenants":[{"catalog":"x.json"}]}`},
+		{"bad-id", `{"tenants":[{"id":"a b"}]}`},
+		{"dup-id", `{"tenants":[{"id":"a"},{"id":" A "}]}`},
+		{"two-sources", `{"tenants":[{"id":"a","catalog":"x.json","dump":"y.txt"}]}`},
+		{"schedule-without-dump", `{"tenants":[{"id":"a","schedule":"s.txt"}]}`},
+		{"unknown-field", `{"tenants":[{"id":"a","nope":1}]}`},
+		{"not-json", `nope`},
+	}
+	for _, tc := range bad {
+		if _, err := Parse(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: Parse accepted %s", tc.name, tc.doc)
+		}
+	}
+}
+
+func TestLoaderEmbeddedAndJSON(t *testing.T) {
+	// No source: the embedded evaluation dataset.
+	nav, rep, err := Spec{ID: "demo"}.Loader("")()
+	if err != nil || rep != nil {
+		t.Fatalf("embedded loader: nav err %v, report %v", err, rep)
+	}
+	if nav.NumCourses() == 0 {
+		t.Fatal("embedded loader produced an empty catalog")
+	}
+
+	// A catalog JSON source, resolved relative to baseDir.
+	dir := t.TempDir()
+	doc := `[{"id":"XX 1","title":"One","offered":["Fall 2013"],"workload":4}]`
+	if err := os.WriteFile(filepath.Join(dir, "cat.json"), []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	nav, _, err = Spec{ID: "filebacked", Catalog: "cat.json"}.Loader(dir)()
+	if err != nil {
+		t.Fatalf("json loader: %v", err)
+	}
+	if nav.NumCourses() != 1 {
+		t.Errorf("json loader: %d courses, want 1", nav.NumCourses())
+	}
+
+	// A missing source errors rather than silently serving nothing.
+	if _, _, err := (Spec{ID: "gone", Catalog: "missing.json"}.Loader(dir))(); err == nil {
+		t.Error("missing catalog file loaded without error")
+	}
+}
+
+func TestLoadResolvesBaseDir(t *testing.T) {
+	dir := t.TempDir()
+	manifest := `{"tenants":[{"id":"a","catalog":"cat.json"}]}`
+	path := filepath.Join(dir, "tenants.json")
+	if err := os.WriteFile(path, []byte(manifest), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	m, base, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != dir || len(m.Tenants) != 1 {
+		t.Errorf("Load = %+v base %q, want base %q", m, base, dir)
+	}
+}

@@ -21,9 +21,14 @@ type Event struct {
 	// When is the request completion time.
 	When time.Time `json:"when"`
 	// Endpoint is the normalised route, e.g.
-	// "POST /api/v1/explore/goal" (alias traffic is recorded under its
-	// canonical v1 path).
+	// "POST /api/v1/explore/goal" (tenant-prefixed /api/v1/t/{tenant}/...
+	// traffic is recorded under the bare canonical path, with the tenant
+	// in Tenant).
 	Endpoint string `json:"endpoint"`
+	// Tenant is the tenant the request was served for ("default" on the
+	// bare /api/v1/... routes); empty for tenant-less surfaces (healthz,
+	// the global stats aggregate, the admin tenants API, the UI).
+	Tenant string `json:"tenant,omitempty"`
 	// Window is the exploration window ("Fall 2013 → Fall 2015"), empty
 	// for non-exploration endpoints.
 	Window string `json:"window,omitempty"`
@@ -173,9 +178,65 @@ type Stats struct {
 	TopWindows []WindowCount `json:"topWindows,omitempty"`
 }
 
-// Snapshot aggregates the log.
+// Snapshot aggregates the log across all tenants.
 func (l *Log) Snapshot() Stats {
-	events := l.Events()
+	return aggregate(l.Events())
+}
+
+// SnapshotTenant aggregates only the events recorded for one tenant, for
+// the per-tenant /api/v1/t/{tenant}/stats surface.
+func (l *Log) SnapshotTenant(tenant string) Stats {
+	all := l.Events()
+	events := make([]Event, 0, len(all))
+	for _, e := range all {
+		if e.Tenant == tenant {
+			events = append(events, e)
+		}
+	}
+	return aggregate(events)
+}
+
+// TenantCount is one tenant's request/error totals from the event ring.
+type TenantCount struct {
+	Tenant   string `json:"tenant"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+}
+
+// TenantCounts returns per-tenant request totals (busiest first, then by
+// ID), used by the global stats aggregate. Tenant-less events (healthz,
+// admin surfaces, the UI) are not attributed.
+func (l *Log) TenantCounts() []TenantCount {
+	byTenant := map[string]*TenantCount{}
+	for _, e := range l.Events() {
+		if e.Tenant == "" {
+			continue
+		}
+		tc := byTenant[e.Tenant]
+		if tc == nil {
+			tc = &TenantCount{Tenant: e.Tenant}
+			byTenant[e.Tenant] = tc
+		}
+		tc.Requests++
+		if e.Status >= 400 {
+			tc.Errors++
+		}
+	}
+	out := make([]TenantCount, 0, len(byTenant))
+	for _, tc := range byTenant {
+		out = append(out, *tc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Requests != out[j].Requests {
+			return out[i].Requests > out[j].Requests
+		}
+		return out[i].Tenant < out[j].Tenant
+	})
+	return out
+}
+
+// aggregate folds a slice of events into a Stats.
+func aggregate(events []Event) Stats {
 	byEndpoint := map[string][]Event{}
 	windows := map[string]int{}
 	st := Stats{Total: len(events)}
