@@ -6,9 +6,9 @@
 GO ?= go
 
 .PHONY: check vet lint build test race race-short bench bench-smoke fuzz-short \
-	bench-regress bench-baseline routes-guard
+	bench-regress bench-baseline routes-guard chaos-short
 
-check: lint build routes-guard race-short race fuzz-short bench-smoke bench-regress
+check: lint build routes-guard chaos-short race-short race fuzz-short bench-smoke bench-regress
 
 # API.md's endpoint table and the registered mux patterns must stay
 # equal in both directions — a new route lands with its documentation
@@ -43,6 +43,16 @@ race:
 # parallel-drain and semaphore paths.
 race-short:
 	$(GO) test -race -timeout 90s ./internal/explore/... ./internal/server/...
+
+# The resilience gate: the chaos fault-injection suite (reload-source,
+# handler-entry and mid-stream faults), the overload/brownout/breaker
+# behaviours and the shutdown-under-load drain, all under the race
+# detector. CI uploads the log on failure.
+chaos-short:
+	$(GO) test -race -timeout 120s ./internal/chaos/ ./internal/admission/
+	$(GO) test -race -timeout 120s \
+		-run 'Chaos|Queue|Shed|Brownout|Degraded|Breaker|Stale|Healthz|StatsOverload|OverloadMix|ShutdownUnderLoad' \
+		./internal/server/
 
 # Bounded fuzz smoke over the ingestion parsers (grammar round-trip,
 # prerequisite extraction, lenient/strict differential). go test allows

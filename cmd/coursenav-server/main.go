@@ -9,7 +9,8 @@
 //	                 [-tenants manifest.json]
 //	                 [-node-budget 500000] [-history-years 4]
 //	                 [-request-timeout 10s] [-max-concurrent 64]
-//	                 [-tenant-max-concurrent 0] [-cache-bytes 67108864]
+//	                 [-tenant-max-concurrent 0] [-admission-queue 64]
+//	                 [-brownout=true] [-cache-bytes 67108864]
 //
 // Without a catalog source the embedded Brandeis-like evaluation dataset
 // is served. -catalog loads catalog JSON; -dump (optionally with
@@ -75,8 +76,10 @@ func main() {
 	histYears := flag.Int("history-years", 4, "synthetic offering-history length for reliability ranking")
 	seed := flag.Int64("seed", 1, "history synthesis seed")
 	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request exploration wall-clock cap")
-	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent, "in-flight explorations before shedding load with 429")
+	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent, "in-flight explorations before the admission queue engages")
 	tenantMaxConcurrent := flag.Int("tenant-max-concurrent", 0, "per-tenant in-flight exploration quota (0 = global limit only)")
+	admissionQueue := flag.Int("admission-queue", server.DefaultAdmissionQueue, "cost-aware admission queue depth; 0 sheds instantly at the concurrency limit")
+	brownout := flag.Bool("brownout", true, "serve stale cached results and clamp budgets while degraded")
 	cacheBytes := flag.Int64("cache-bytes", server.DefaultCacheBytes, "result-cache byte budget, carved fairly across tenants")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (trusted networks only)")
@@ -120,6 +123,8 @@ func main() {
 	s.RequestTimeout = *requestTimeout
 	s.MaxConcurrent = *maxConcurrent
 	s.TenantMaxConcurrent = *tenantMaxConcurrent
+	s.AdmissionQueue = *admissionQueue
+	s.Brownout = *brownout
 	s.CacheBytes = *cacheBytes
 	s.Cache.SetBudget(*cacheBytes) // single-tenant share until a manifest grows the fleet
 	if *catalogPath != "" || *dumpPath != "" {

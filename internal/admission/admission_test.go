@@ -1,0 +1,325 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		Slots:        1,
+		QueueDepth:   4,
+		QueueTimeout: 200 * time.Millisecond,
+		CostlyMs:     100,
+		DegradeHold:  50 * time.Millisecond,
+	}
+}
+
+func TestAcquireImmediate(t *testing.T) {
+	c := New(testConfig())
+	rel, out := c.Acquire(context.Background(), 1)
+	if out != Admitted || rel == nil {
+		t.Fatalf("outcome = %v, want Admitted", out)
+	}
+	rel()
+	rel() // double release must be a no-op, not a slot underflow
+	if rel2, out2 := c.Acquire(context.Background(), 1); out2 != Admitted {
+		t.Fatalf("after release: %v, want Admitted", out2)
+	} else {
+		rel2()
+	}
+}
+
+// TestQueueAdmitsCheapOnRelease: a cheap request queues when saturated
+// and is admitted as soon as the slot frees.
+func TestQueueAdmitsCheapOnRelease(t *testing.T) {
+	c := New(testConfig())
+	rel, _ := c.Acquire(context.Background(), 1)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		rel()
+	}()
+	began := time.Now()
+	rel2, out := c.Acquire(context.Background(), 1) // cheap: queues
+	if out != AdmittedQueued {
+		t.Fatalf("outcome = %v, want AdmittedQueued", out)
+	}
+	if waited := time.Since(began); waited < 10*time.Millisecond {
+		t.Errorf("admitted after %v, want an actual queue wait", waited)
+	}
+	rel2()
+	if got := c.Snapshot().Queued; got != 1 {
+		t.Errorf("queued counter = %d, want 1", got)
+	}
+}
+
+// TestShedCostlyWhenSaturated: an expensive request is shed instantly
+// while cheap ones still queue.
+func TestShedCostlyWhenSaturated(t *testing.T) {
+	c := New(testConfig())
+	rel, _ := c.Acquire(context.Background(), 1)
+	defer rel()
+	began := time.Now()
+	r, out := c.Acquire(context.Background(), 500) // >= CostlyMs
+	if out != ShedCostly || r != nil {
+		t.Fatalf("outcome = %v, want ShedCostly", out)
+	}
+	if time.Since(began) > 50*time.Millisecond {
+		t.Error("costly shed was not instant")
+	}
+	if got := c.Snapshot().ShedCostly; got != 1 {
+		t.Errorf("shedCostly = %d, want 1", got)
+	}
+	if !ShedCostly.Shed() || Admitted.Shed() || AdmittedQueued.Shed() {
+		t.Error("Outcome.Shed misclassifies")
+	}
+}
+
+// TestShedQueueFull: waiters at depth shed further cheap arrivals.
+func TestShedQueueFull(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 2
+	cfg.QueueTimeout = time.Second
+	c := New(cfg)
+	rel, _ := c.Acquire(context.Background(), 1)
+	defer rel()
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r, _ := c.Acquire(ctx, 1); r != nil {
+				r()
+			}
+		}()
+	}
+	// Wait for both waiters to be registered.
+	for i := 0; i < 200 && c.Snapshot().Waiters < 2; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if _, out := c.Acquire(context.Background(), 1); out != ShedQueueFull {
+		t.Errorf("outcome = %v, want ShedQueueFull", out)
+	}
+	cancel()
+	wg.Wait()
+}
+
+// TestQueueTimeout: a queued request whose wait exceeds QueueTimeout is
+// shed with ShedTimeout; same for its own context expiring.
+func TestQueueTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueTimeout = 30 * time.Millisecond
+	c := New(cfg)
+	rel, _ := c.Acquire(context.Background(), 1)
+	defer rel()
+	if _, out := c.Acquire(context.Background(), 1); out != ShedTimeout {
+		t.Errorf("queue-timeout outcome = %v, want ShedTimeout", out)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	cfg.QueueTimeout = time.Second
+	c2 := New(cfg)
+	rel2, _ := c2.Acquire(context.Background(), 1)
+	defer rel2()
+	if _, out := c2.Acquire(ctx, 1); out != ShedTimeout {
+		t.Errorf("ctx-expiry outcome = %v, want ShedTimeout", out)
+	}
+}
+
+// TestQueueDisabled: QueueDepth 0 restores the instant-shed semaphore.
+func TestQueueDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 0
+	c := New(cfg)
+	rel, _ := c.Acquire(context.Background(), 1)
+	defer rel()
+	began := time.Now()
+	if _, out := c.Acquire(context.Background(), 1); out != ShedQueueFull {
+		t.Errorf("outcome = %v, want ShedQueueFull", out)
+	}
+	if time.Since(began) > 50*time.Millisecond {
+		t.Error("queue-disabled shed was not instant")
+	}
+}
+
+// TestStateTransitions: ok → pressured under saturation, degraded after
+// a shed, back to ok once the hold elapses and pressure clears.
+func TestStateTransitions(t *testing.T) {
+	c := New(testConfig())
+	if got := c.State(); got != StateOK {
+		t.Fatalf("idle state = %v, want ok", got)
+	}
+	rel, _ := c.Acquire(context.Background(), 1)
+	if got := c.State(); got != StatePressured {
+		t.Errorf("saturated state = %v, want pressured", got)
+	}
+	c.Acquire(context.Background(), 500) // costly shed latches degraded
+	if got := c.State(); got != StateDegraded {
+		t.Errorf("post-shed state = %v, want degraded", got)
+	}
+	rel()
+	time.Sleep(60 * time.Millisecond) // past DegradeHold
+	if got := c.State(); got != StateOK {
+		t.Errorf("recovered state = %v, want ok", got)
+	}
+	if StateOK.String() != "ok" || StatePressured.String() != "pressured" || StateDegraded.String() != "degraded" {
+		t.Error("state labels drifted")
+	}
+}
+
+// TestRetryAfterReflectsQueueState: the hint grows with observed run
+// time and queue depth, and stays within [1, 60].
+func TestRetryAfterReflectsQueueState(t *testing.T) {
+	c := New(testConfig())
+	if got := c.RetryAfter(); got != 1 {
+		t.Errorf("idle RetryAfter = %d, want 1", got)
+	}
+	// Observe long runs to drive the mean up: ~3s each.
+	rel, _ := c.Acquire(context.Background(), 1)
+	c.observeRun(3 * time.Second)
+	c.observeRun(3 * time.Second)
+	c.observeRun(3 * time.Second)
+	defer rel()
+	if got := c.RetryAfter(); got < 2 {
+		t.Errorf("RetryAfter with 3s mean runs = %d, want >= 2", got)
+	}
+	c.observeRun(10 * time.Minute)
+	if got := c.RetryAfter(); got > 60 {
+		t.Errorf("RetryAfter = %d, want capped at 60", got)
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	c := New(testConfig())
+	rel, _ := c.Acquire(context.Background(), 1)
+	c.Acquire(context.Background(), 500) // shed costly
+	snap := c.Snapshot()
+	if snap.InFlight != 1 || snap.Slots != 1 || snap.ShedCostly != 1 || snap.State != "degraded" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	rel()
+	if got := c.Snapshot().InFlight; got != 0 {
+		t.Errorf("post-release inFlight = %d", got)
+	}
+}
+
+// TestAcquireConcurrent: many goroutines through a small pool — every
+// admitted request releases, nothing deadlocks, counters balance
+// (run under -race).
+func TestAcquireConcurrent(t *testing.T) {
+	cfg := testConfig()
+	cfg.Slots = 4
+	cfg.QueueDepth = 8
+	cfg.QueueTimeout = time.Second
+	c := New(cfg)
+	var wg sync.WaitGroup
+	var admitted, shed atomic64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cost := float64(1)
+			if i%4 == 0 {
+				cost = 500
+			}
+			rel, out := c.Acquire(context.Background(), cost)
+			if out.Shed() {
+				shed.add(1)
+				return
+			}
+			admitted.add(1)
+			time.Sleep(time.Millisecond)
+			rel()
+		}(i)
+	}
+	wg.Wait()
+	if c.Snapshot().InFlight != 0 {
+		t.Errorf("slots leaked: %+v", c.Snapshot())
+	}
+	if admitted.load()+shed.load() != 64 {
+		t.Errorf("admitted %d + shed %d != 64", admitted.load(), shed.load())
+	}
+}
+
+// Estimator tests.
+
+func TestSeedCostMonotone(t *testing.T) {
+	base := SeedCost(Hint{Terms: 3, Branch: 2})
+	deeper := SeedCost(Hint{Terms: 6, Branch: 2})
+	broader := SeedCost(Hint{Terms: 3, Branch: 4})
+	if deeper <= base {
+		t.Errorf("deeper horizon not dearer: %v <= %v", deeper, base)
+	}
+	if broader <= base {
+		t.Errorf("broader terms not dearer: %v <= %v", broader, base)
+	}
+	counted := SeedCost(Hint{Terms: 6, Branch: 2, CountOnly: true})
+	if counted >= deeper {
+		t.Errorf("countOnly not discounted: %v >= %v", counted, deeper)
+	}
+	capped := SeedCost(Hint{Terms: 1000, Branch: 2})
+	if capped != SeedCost(Hint{Terms: maxSeedTerms, Branch: 2}) {
+		t.Error("horizon cap not applied")
+	}
+}
+
+func TestEstimatorObservationOverridesSeed(t *testing.T) {
+	e := NewEstimator()
+	key := [32]byte{1}
+	hint := Hint{Terms: 6, Branch: 3}
+	seed, observed := e.Estimate(key, hint)
+	if observed {
+		t.Fatal("fresh key reported observed")
+	}
+	e.Observe(key, 5*time.Millisecond)
+	got, observed := e.Estimate(key, hint)
+	if !observed {
+		t.Fatal("observed key reported unobserved")
+	}
+	if got == seed || got > 6 {
+		t.Errorf("observed estimate = %vms, want ~5ms (seed was %v)", got, seed)
+	}
+	// EWMA moves toward new observations without jumping to them.
+	e.Observe(key, 105*time.Millisecond)
+	moved, _ := e.Estimate(key, hint)
+	if moved <= got || moved >= 105 {
+		t.Errorf("EWMA after 105ms observation = %v, want between %v and 105", moved, got)
+	}
+}
+
+func TestEstimatorNilSafe(t *testing.T) {
+	var e *Estimator
+	if ms, observed := e.Estimate([32]byte{}, Hint{Terms: 2, Branch: 1}); observed || ms <= 0 {
+		t.Errorf("nil estimator: %v, %v", ms, observed)
+	}
+	e.Observe([32]byte{}, time.Second) // must not panic
+	if e.Len() != 0 {
+		t.Error("nil Len != 0")
+	}
+}
+
+func TestEstimatorCap(t *testing.T) {
+	e := NewEstimator()
+	var key [32]byte
+	for i := 0; i < obsCap+10; i++ {
+		key[0], key[1], key[2] = byte(i), byte(i>>8), byte(i>>16)
+		e.Observe(key, time.Millisecond)
+	}
+	if got := e.Len(); got > obsCap {
+		t.Errorf("observation map grew past the cap: %d > %d", got, obsCap)
+	}
+}
+
+// atomic64 is a tiny test helper (avoids importing sync/atomic with a
+// name clash against the package under test's fields).
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

@@ -1,0 +1,142 @@
+// The cost estimator: every admission decision needs a per-request cost
+// before the request has run. Two sources, in preference order:
+//
+//  1. Observed cost. The server records each computed exploration's wall
+//     time under its canonical request key (the same digest the result
+//     cache uses, minus the generation), folded into a per-key EWMA. A
+//     key seen before is estimated at its own history — by far the best
+//     predictor for the paper's tweak-one-knob-and-re-explore workload.
+//
+//  2. A depth/breadth seed for keys never observed. The
+//     course-prerequisite-network results (Zuev & Stavrinides: breadth,
+//     depth and flux of prerequisite networks) show exploration cost is
+//     predictable from how deep the horizon reaches and how broad each
+//     term's choice set is; the seed models that as base·(1+branch)^terms
+//     — exponential in the semester horizon with the per-term branching
+//     as the base — divided by a flat discount for count-only runs,
+//     which the interned-status DAG substrate answers at a cost that
+//     scales with distinct statuses rather than paths.
+//
+// The estimate orders requests for shedding; it does not need to be
+// accurate in absolute terms, only monotone in true cost — cheap vs
+// costly is the decision boundary, and observation repairs any seed
+// misranking after one computation.
+package admission
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Hint carries the depth/breadth features that seed a cost estimate for
+// a request whose key was never observed.
+type Hint struct {
+	// Terms is the horizon length in semesters (start → end inclusive).
+	Terms int
+	// Branch is the per-term branching proxy (the request's maxPerTerm).
+	Branch float64
+	// CountOnly marks tally-only runs, answered on the DAG substrate at a
+	// fraction of enumeration cost.
+	CountOnly bool
+}
+
+const (
+	// seedBaseMs scales the seed formula; with branch 3 and a five-term
+	// horizon the seed lands at ~512ms — past the default costly
+	// threshold, as a five-term exhaustive enumeration should.
+	seedBaseMs = 0.5
+	// countOnlyDiscount divides count-only seeds (DAG-substrate runs).
+	countOnlyDiscount = 16
+	// maxSeedTerms caps the exponent: past ten semesters every request is
+	// equally "very expensive" and float blowup serves nobody.
+	maxSeedTerms = 10
+	// obsCap bounds the observation map; the working set of distinct
+	// canonical requests between reloads is far smaller.
+	obsCap = 4096
+	// ewmaAlpha weights a new observation against a key's history.
+	ewmaAlpha = 0.3
+)
+
+// SeedCost is the depth/breadth heuristic for an unobserved request.
+func SeedCost(h Hint) float64 {
+	terms := h.Terms
+	if terms <= 0 {
+		terms = 4 // unparseable window: assume a middling horizon
+	}
+	if terms > maxSeedTerms {
+		terms = maxSeedTerms
+	}
+	branch := h.Branch
+	if branch <= 0 {
+		branch = 3
+	}
+	ms := seedBaseMs * math.Pow(1+branch, float64(terms))
+	if h.CountOnly {
+		ms /= countOnlyDiscount
+	}
+	return ms
+}
+
+// Estimator maps canonical request keys to observed cost EWMAs. All
+// methods are safe for concurrent use; the zero value is not usable,
+// construct with NewEstimator.
+type Estimator struct {
+	mu  sync.Mutex
+	obs map[[32]byte]float64
+}
+
+// NewEstimator returns an empty estimator.
+func NewEstimator() *Estimator {
+	return &Estimator{obs: map[[32]byte]float64{}}
+}
+
+// Estimate returns the estimated cost (ms) for key: the key's observed
+// EWMA when one exists (observed true), the Hint-seeded heuristic
+// otherwise. A nil estimator seeds only.
+func (e *Estimator) Estimate(key [32]byte, h Hint) (ms float64, observed bool) {
+	if e == nil {
+		return SeedCost(h), false
+	}
+	e.mu.Lock()
+	v, ok := e.obs[key]
+	e.mu.Unlock()
+	if ok {
+		return v, true
+	}
+	return SeedCost(h), false
+}
+
+// Observe folds one computed run's wall time into key's EWMA. A nil
+// estimator ignores the observation.
+func (e *Estimator) Observe(key [32]byte, d time.Duration) {
+	if e == nil {
+		return
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v, ok := e.obs[key]; ok {
+		e.obs[key] = v + ewmaAlpha*(ms-v)
+		return
+	}
+	if len(e.obs) >= obsCap {
+		// Drop an arbitrary entry: the map is a working set, not a ledger,
+		// and any evicted key re-seeds then re-learns in one observation.
+		for k := range e.obs {
+			delete(e.obs, k)
+			break
+		}
+	}
+	e.obs[key] = ms
+}
+
+// Len reports the number of keys with observations.
+func (e *Estimator) Len() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.obs)
+}

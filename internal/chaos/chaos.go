@@ -1,0 +1,178 @@
+// Package chaos is the fault-injection layer behind the resilience test
+// suite. Production code exposes named seams — places where the outside
+// world can fail — and calls Fire at each one; an Injector armed by a
+// test decides, deterministically under its seed, whether that call
+// experiences injected latency, an error, or a panic. A nil *Injector is
+// always safe to Fire, so the seams cost one pointer check when chaos is
+// off.
+//
+// The server's seams:
+//
+//	reload.read    a tenant's catalog source read (Loader invocation)
+//	handler.entry  request dispatch, before any handler runs
+//	stream.write   one NDJSON record write mid-stream
+//
+// The package also provides the failure-injecting io wrappers the
+// ingestion tests use (absorbing the former internal/faultio): Reader
+// delivers a prefix of its payload then fails, SlowReader throttles a
+// payload into small, delayed chunks (a slow disk or a stalling network
+// peer).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Seam names one fault-injection point in production code.
+type Seam string
+
+// The server's registered seams.
+const (
+	// ReloadRead fires when a tenant reload is about to read its catalog
+	// source; an error here is a source failure (feeding the reload
+	// retry/breaker machinery), a panic simulates a loader crash.
+	ReloadRead Seam = "reload.read"
+	// HandlerEntry fires on request dispatch before the mux runs; latency
+	// delays every request, an error answers 503, a panic exercises the
+	// recovery middleware.
+	HandlerEntry Seam = "handler.entry"
+	// StreamWrite fires before each NDJSON record write; an error
+	// simulates the client socket dying mid-stream, latency simulates a
+	// slow reader applying backpressure, a panic exercises the in-band
+	// stream error path.
+	StreamWrite Seam = "stream.write"
+)
+
+// ErrInjected is the default error an armed fault fires with.
+var ErrInjected = errors.New("chaos: injected failure")
+
+// PanicValue is what a Panic fault panics with, so recovery paths can
+// tell an injected panic from a real one.
+type PanicValue struct{ Seam Seam }
+
+func (p PanicValue) String() string {
+	return fmt.Sprintf("chaos: injected panic at seam %s", p.Seam)
+}
+
+// Fault describes what happens when an armed seam fires: first the
+// latency is served, then the panic or the error. The zero Fault fires
+// as a no-op (useful to count seam traversals via Calls).
+type Fault struct {
+	// Latency is slept before the fault resolves.
+	Latency time.Duration
+	// Err is returned from Fire; nil with Panic false injects latency
+	// only. Use ErrInjected when any error will do.
+	Err error
+	// Panic makes Fire panic with PanicValue{Seam}.
+	Panic bool
+	// P is the per-call firing probability, decided by the injector's
+	// seeded source; outside (0,1) the fault fires on every call.
+	P float64
+	// After skips the first After calls at the seam before firing.
+	After int
+	// Limit caps the number of fires; 0 means unlimited.
+	Limit int
+}
+
+type armed struct {
+	f     Fault
+	calls int
+	fired int
+}
+
+// Injector holds the armed faults. All methods are safe for concurrent
+// use, and probability decisions come from the seeded source, so a run
+// with the same seed and the same serialised seam traffic fires
+// identically.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seams map[Seam]*armed
+}
+
+// New returns an Injector whose probabilistic decisions derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), seams: map[Seam]*armed{}}
+}
+
+// Arm installs (or replaces) the fault at seam, resetting its counters.
+func (in *Injector) Arm(s Seam, f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seams[s] = &armed{f: f}
+}
+
+// Disarm removes the fault at seam; subsequent Fires are no-ops.
+func (in *Injector) Disarm(s Seam) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.seams, s)
+}
+
+// DisarmAll removes every armed fault — "the faults clear".
+func (in *Injector) DisarmAll() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seams = map[Seam]*armed{}
+}
+
+// Calls reports how many times the seam was traversed while armed.
+func (in *Injector) Calls(s Seam) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if a, ok := in.seams[s]; ok {
+		return a.calls
+	}
+	return 0
+}
+
+// Fired reports how many times the seam's fault actually fired.
+func (in *Injector) Fired(s Seam) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if a, ok := in.seams[s]; ok {
+		return a.fired
+	}
+	return 0
+}
+
+// Fire traverses the seam: a nil injector or an unarmed seam returns nil
+// immediately; an armed seam serves its fault's latency, then panics or
+// returns its error. The fire decision is made under the injector lock
+// (so counters and the seeded source stay consistent); the latency sleep
+// happens outside it.
+func (in *Injector) Fire(s Seam) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	a, ok := in.seams[s]
+	if !ok {
+		in.mu.Unlock()
+		return nil
+	}
+	a.calls++
+	fire := a.calls > a.f.After && (a.f.Limit == 0 || a.fired < a.f.Limit)
+	if fire && a.f.P > 0 && a.f.P < 1 {
+		fire = in.rng.Float64() < a.f.P
+	}
+	if fire {
+		a.fired++
+	}
+	f := a.f
+	in.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if f.Panic {
+		panic(PanicValue{Seam: s})
+	}
+	return f.Err
+}

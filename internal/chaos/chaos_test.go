@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFireUnarmedAndNil(t *testing.T) {
+	var nilInj *Injector
+	if err := nilInj.Fire(HandlerEntry); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	in := New(1)
+	if err := in.Fire(HandlerEntry); err != nil {
+		t.Fatalf("unarmed seam fired: %v", err)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	in := New(1)
+	in.Arm(ReloadRead, Fault{Err: ErrInjected})
+	if err := in.Fire(ReloadRead); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	custom := errors.New("disk on fire")
+	in.Arm(ReloadRead, Fault{Err: custom})
+	if err := in.Fire(ReloadRead); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	in := New(1)
+	in.Arm(StreamWrite, Fault{Panic: true})
+	defer func() {
+		p := recover()
+		pv, ok := p.(PanicValue)
+		if !ok || pv.Seam != StreamWrite {
+			t.Fatalf("recovered %v, want PanicValue{StreamWrite}", p)
+		}
+		if !strings.Contains(pv.String(), "stream.write") {
+			t.Errorf("PanicValue.String() = %q", pv.String())
+		}
+	}()
+	_ = in.Fire(StreamWrite)
+	t.Fatal("Fire did not panic")
+}
+
+func TestLatencyFault(t *testing.T) {
+	in := New(1)
+	in.Arm(HandlerEntry, Fault{Latency: 30 * time.Millisecond})
+	began := time.Now()
+	if err := in.Fire(HandlerEntry); err != nil {
+		t.Fatalf("latency-only fault returned %v", err)
+	}
+	if d := time.Since(began); d < 30*time.Millisecond {
+		t.Errorf("Fire returned after %v, want >= 30ms", d)
+	}
+}
+
+// TestAfterAndLimit: After skips the leading calls, Limit caps the
+// fires, and both counters report exactly what happened.
+func TestAfterAndLimit(t *testing.T) {
+	in := New(1)
+	in.Arm(StreamWrite, Fault{Err: ErrInjected, After: 2, Limit: 3})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if in.Fire(StreamWrite) != nil {
+			fired++
+			if i < 2 {
+				t.Fatalf("fired on call %d, want the first 2 skipped", i)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Errorf("fired %d times, want 3 (Limit)", fired)
+	}
+	if got := in.Calls(StreamWrite); got != 10 {
+		t.Errorf("Calls = %d, want 10", got)
+	}
+	if got := in.Fired(StreamWrite); got != 3 {
+		t.Errorf("Fired = %d, want 3", got)
+	}
+}
+
+// TestProbabilityDeterministicUnderSeed: two injectors with the same
+// seed make identical probabilistic decisions; a different seed makes a
+// different pattern (over enough trials to be overwhelmingly likely).
+func TestProbabilityDeterministicUnderSeed(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := New(seed)
+		in.Arm(HandlerEntry, Fault{Err: ErrInjected, P: 0.5})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Fire(HandlerEntry) != nil
+		}
+		return out
+	}
+	a, b, c := pattern(42), pattern(42), pattern(7)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed produced different firing patterns")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical 200-call firing patterns")
+	}
+	var fires int
+	for _, f := range a {
+		if f {
+			fires++
+		}
+	}
+	if fires < 50 || fires > 150 {
+		t.Errorf("P=0.5 fired %d/200 times, far from expectation", fires)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	in := New(1)
+	in.Arm(ReloadRead, Fault{Err: ErrInjected})
+	in.Arm(HandlerEntry, Fault{Err: ErrInjected})
+	in.Disarm(ReloadRead)
+	if err := in.Fire(ReloadRead); err != nil {
+		t.Fatalf("disarmed seam fired: %v", err)
+	}
+	in.DisarmAll()
+	if err := in.Fire(HandlerEntry); err != nil {
+		t.Fatalf("seam fired after DisarmAll: %v", err)
+	}
+}
+
+// Reader tests (ported from the former internal/faultio suite).
+
+func TestReaderDeliversPrefixThenFails(t *testing.T) {
+	r := &Reader{R: strings.NewReader("hello, world"), FailAfter: 5}
+	b, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(b) != "hello" {
+		t.Errorf("prefix = %q, want %q", b, "hello")
+	}
+}
+
+func TestReaderCustomError(t *testing.T) {
+	custom := errors.New("disk on fire")
+	r := &Reader{R: strings.NewReader("payload"), FailAfter: 3, Err: custom}
+	if _, err := io.ReadAll(r); !errors.Is(err, custom) {
+		t.Errorf("err = %v, want custom error", err)
+	}
+}
+
+// TestReaderShortPayload: the payload running out before the injection
+// point still injects the fault — never a clean EOF — so tests always
+// exercise the error path they mean to.
+func TestReaderShortPayload(t *testing.T) {
+	r := &Reader{R: strings.NewReader("ab"), FailAfter: 100}
+	b, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(b) != "ab" {
+		t.Errorf("payload = %q", b)
+	}
+}
+
+func TestReaderFailAfterZero(t *testing.T) {
+	r := &Reader{R: strings.NewReader("never seen"), FailAfter: 0}
+	if n, err := r.Read(make([]byte, 8)); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Errorf("Read = %d, %v; want 0, ErrInjected", n, err)
+	}
+}
+
+// TestSlowReader: the payload arrives complete but in capped, delayed
+// chunks.
+func TestSlowReader(t *testing.T) {
+	payload := "twelve bytes"
+	sr := &SlowReader{R: strings.NewReader(payload), Delay: 2 * time.Millisecond, Chunk: 3}
+	began := time.Now()
+	b, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != payload {
+		t.Errorf("payload = %q, want %q", b, payload)
+	}
+	// 12 bytes at 3 per read = 4 payload reads (plus the EOF probe), each
+	// delayed 2ms.
+	if sr.Reads() < 4 {
+		t.Errorf("Reads = %d, want >= 4 (chunking not applied)", sr.Reads())
+	}
+	if d := time.Since(began); d < 8*time.Millisecond {
+		t.Errorf("ReadAll took %v, want >= 8ms of injected delay", d)
+	}
+}
+
+// TestInjectorConcurrent: concurrent Fire/Arm/counter traffic is
+// race-clean (run under -race) and every fire is accounted.
+func TestInjectorConcurrent(t *testing.T) {
+	in := New(1)
+	in.Arm(HandlerEntry, Fault{Err: ErrInjected, Limit: 64})
+	done := make(chan int)
+	for g := 0; g < 8; g++ {
+		go func() {
+			n := 0
+			for i := 0; i < 100; i++ {
+				if in.Fire(HandlerEntry) != nil {
+					n++
+				}
+			}
+			done <- n
+		}()
+	}
+	total := 0
+	for g := 0; g < 8; g++ {
+		total += <-done
+	}
+	if total != 64 {
+		t.Errorf("total fires = %d, want exactly Limit=64", total)
+	}
+	if got := in.Calls(HandlerEntry); got != 800 {
+		t.Errorf("Calls = %d, want 800", got)
+	}
+}

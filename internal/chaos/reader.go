@@ -1,0 +1,77 @@
+// Failure-injecting io wrappers (absorbing the former internal/faultio).
+package chaos
+
+import (
+	"io"
+	"time"
+)
+
+// Reader yields at most FailAfter bytes of R, then returns Err. The
+// ingestion and hot-reload tests use it to prove that a data source
+// dying mid-read surfaces as a hard error (never a silently truncated
+// import) and that a reload aborted mid-parse leaves the serving
+// snapshot untouched.
+type Reader struct {
+	// R is the underlying payload.
+	R io.Reader
+	// FailAfter is the number of bytes to deliver before failing.
+	FailAfter int
+	// Err is the error to return once FailAfter bytes were read; nil
+	// means ErrInjected.
+	Err error
+
+	read int
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.read >= r.FailAfter {
+		return 0, r.err()
+	}
+	if remaining := r.FailAfter - r.read; len(p) > remaining {
+		p = p[:remaining]
+	}
+	n, err := r.R.Read(p)
+	r.read += n
+	if err == io.EOF {
+		// The payload ran out before the injection point: the fault is
+		// still injected, not EOF, so callers exercise the error path.
+		return n, r.err()
+	}
+	return n, err
+}
+
+func (r *Reader) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// SlowReader throttles R: every Read sleeps Delay and delivers at most
+// Chunk bytes, simulating a slow disk or a stalling peer so timeout and
+// backpressure paths get exercised.
+type SlowReader struct {
+	R io.Reader
+	// Delay is slept before every Read of the underlying payload.
+	Delay time.Duration
+	// Chunk caps the bytes delivered per Read; 0 means no cap.
+	Chunk int
+
+	reads int
+}
+
+// Read implements io.Reader.
+func (s *SlowReader) Read(p []byte) (int, error) {
+	if s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	if s.Chunk > 0 && len(p) > s.Chunk {
+		p = p[:s.Chunk]
+	}
+	s.reads++
+	return s.R.Read(p)
+}
+
+// Reads reports how many Read calls reached the underlying payload.
+func (s *SlowReader) Reads() int { return s.reads }

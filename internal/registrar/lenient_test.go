@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/faultio"
+	"repro/internal/chaos"
 	"repro/internal/term"
 )
 
@@ -146,14 +146,14 @@ func TestParsePrereqLenient(t *testing.T) {
 // TestLenientReadFailure: an I/O fault mid-read is a hard error even in
 // lenient mode — a dying source must never look like a shorter catalog.
 func TestLenientReadFailure(t *testing.T) {
-	r := &faultio.Reader{R: strings.NewReader(sampleDump), FailAfter: 40}
+	r := &chaos.Reader{R: strings.NewReader(sampleDump), FailAfter: 40}
 	_, _, err := ParseCatalogDumpLenient(r, f11, f13)
-	if !errors.Is(err, faultio.ErrInjected) {
+	if !errors.Is(err, chaos.ErrInjected) {
 		t.Errorf("catalog read fault = %v, want ErrInjected", err)
 	}
-	sr := &faultio.Reader{R: strings.NewReader("COSI 11A | Fall 2011\nCOSI 11A | Fall 2012\n"), FailAfter: 10}
+	sr := &chaos.Reader{R: strings.NewReader("COSI 11A | Fall 2011\nCOSI 11A | Fall 2012\n"), FailAfter: 10}
 	_, _, err = ParseScheduleRecordsLenient(sr, term.TwoSeason)
-	if !errors.Is(err, faultio.ErrInjected) {
+	if !errors.Is(err, chaos.ErrInjected) {
 		t.Errorf("schedule read fault = %v, want ErrInjected", err)
 	}
 }

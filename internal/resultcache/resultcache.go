@@ -16,6 +16,14 @@
 // share the rendered result. A leader that cannot produce a cacheable result
 // finishes the flight with nil, and followers fall back to computing
 // individually — coalescing is an optimisation, never a correctness gate.
+//
+// Invalidation retains the displaced generation's entries in a stale side
+// table (keyed by request hash alone) for the server's brownout mode:
+// when degraded, a request that misses the live cache may be answered from
+// the previous snapshot's entry, marked stale, instead of being shed. The
+// side table is replaced wholesale on every Invalidate, so it only ever
+// holds the immediately preceding generation — staleness is bounded at one
+// snapshot generation by construction.
 package resultcache
 
 import (
@@ -95,8 +103,9 @@ type Cache struct {
 	byKey   map[Key]*list.Element
 	bytes   int64
 	flights map[Key]*Flight
+	stale   map[[sha256.Size]byte]*Entry // previous generation only
 
-	hits, misses, coalesced, evictions atomic.Int64
+	hits, misses, coalesced, evictions, staleHits atomic.Int64
 }
 
 type node struct {
@@ -218,15 +227,41 @@ func (c *Cache) Finish(k Key, f *Flight, e *Entry) {
 	close(f.done)
 }
 
+// Stale returns the previous generation's entry matching k's request hash,
+// if one survived the last Invalidate. k must carry the current generation —
+// a key minted against an older snapshot gets nothing (its "stale" answer
+// would be two or more generations old). The entry replays exactly as it was
+// rendered; the caller is responsible for marking the response stale.
+func (c *Cache) Stale(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k.Gen != c.gen {
+		return nil, false
+	}
+	e, ok := c.stale[k.Hash]
+	if ok {
+		c.staleHits.Add(1)
+	}
+	return e, ok
+}
+
 // Invalidate installs a new catalog generation: every cached entry and every
-// registered flight belongs to the old snapshot and is dropped. In-flight
-// leaders still Finish their (now unregistered) flights, so followers that
-// joined before the reload wake normally; the stale entry is rejected by
-// put's generation check.
+// registered flight belongs to the old snapshot and is dropped from the live
+// table. In-flight leaders still Finish their (now unregistered) flights, so
+// followers that joined before the reload wake normally; the stale entry is
+// rejected by put's generation check.
+//
+// The dropped generation's entries move to the stale side table, replacing
+// whatever it held, so Stale serves at most one generation back.
 func (c *Cache) Invalidate(gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen = gen
+	stale := make(map[[sha256.Size]byte]*Entry, len(c.byKey))
+	for k, el := range c.byKey {
+		stale[k.Hash] = el.Value.(*node).ent
+	}
+	c.stale = stale
 	c.ll.Init()
 	c.byKey = map[Key]*list.Element{}
 	c.bytes = 0
@@ -235,25 +270,29 @@ func (c *Cache) Invalidate(gen uint64) {
 
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Coalesced int64 `json:"coalesced"`
-	Evictions int64 `json:"evictions"`
-	Bytes     int64 `json:"bytes"`
-	Entries   int   `json:"entries"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Coalesced    int64 `json:"coalesced"`
+	Evictions    int64 `json:"evictions"`
+	Bytes        int64 `json:"bytes"`
+	Entries      int   `json:"entries"`
+	StaleEntries int   `json:"staleEntries"`
+	StaleHits    int64 `json:"staleHits"`
 }
 
 // Stats returns the current counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	bytes, entries := c.bytes, len(c.byKey)
+	bytes, entries, staleEntries := c.bytes, len(c.byKey), len(c.stale)
 	c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Evictions: c.evictions.Load(),
-		Bytes:     bytes,
-		Entries:   entries,
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Coalesced:    c.coalesced.Load(),
+		Evictions:    c.evictions.Load(),
+		Bytes:        bytes,
+		Entries:      entries,
+		StaleEntries: staleEntries,
+		StaleHits:    c.staleHits.Load(),
 	}
 }

@@ -265,3 +265,50 @@ func TestSetBudgetEvictsToFit(t *testing.T) {
 		t.Errorf("grow evicted entries: %+v", st)
 	}
 }
+
+// TestStaleRetainsExactlyOneGeneration: Invalidate moves the displaced
+// entries into the stale table; the next Invalidate replaces them, so a
+// hash from two generations back gets nothing — staleness is bounded at
+// one snapshot generation.
+func TestStaleRetainsExactlyOneGeneration(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(key(0, "survivor"), ent("gen0 body"))
+	if _, ok := c.Stale(key(0, "survivor")); ok {
+		t.Fatal("stale hit before any invalidation")
+	}
+	c.Invalidate(1)
+	if _, ok := c.Get(key(1, "survivor")); ok {
+		t.Fatal("live hit across generations")
+	}
+	e, ok := c.Stale(key(1, "survivor"))
+	if !ok || string(e.Body) != "gen0 body" {
+		t.Fatalf("stale = %v, %v; want the gen0 body", e, ok)
+	}
+	// A key minted against the old generation must not see stale data.
+	if _, ok := c.Stale(key(0, "survivor")); ok {
+		t.Error("stale served for a non-current-generation key")
+	}
+	st := c.Stats()
+	if st.StaleEntries != 1 || st.StaleHits != 1 {
+		t.Errorf("stats = %+v, want 1 stale entry / 1 stale hit", st)
+	}
+	// Second reload: gen0 entries are gone for good.
+	c.Invalidate(2)
+	if _, ok := c.Stale(key(2, "survivor")); ok {
+		t.Error("entry survived two invalidations — staleness unbounded")
+	}
+	if st := c.Stats(); st.StaleEntries != 0 {
+		t.Errorf("stale entries after empty-gen reload = %d, want 0", st.StaleEntries)
+	}
+}
+
+// TestStaleMissesUnknownHash: only hashes actually cached in the previous
+// generation are served stale.
+func TestStaleMissesUnknownHash(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(key(0, "a"), ent("a body"))
+	c.Invalidate(1)
+	if _, ok := c.Stale(key(1, "never-cached")); ok {
+		t.Error("stale hit for a hash that was never cached")
+	}
+}

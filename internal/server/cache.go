@@ -31,7 +31,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"log"
 	"net/http"
 	"sort"
 	"strings"
@@ -148,19 +150,12 @@ func exploreKey(c *resultcache.Cache, gen uint64, endpoint string, req *ExploreR
 	return resultcache.KeyFor(gen, endpoint, blob), true
 }
 
-// shedLoad answers 429: the server is at its exploration concurrency limit.
-func shedLoad(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
-	writeErr(w, http.StatusTooManyRequests, CodeOverloaded,
-		"server is at its exploration concurrency limit; retry shortly")
-}
-
 // runLimited runs an exploration under the two-level admission control
-// (tenant quota, then global semaphore), shedding load when either is
-// saturated. It is the whole cached-path story when the tenant's cache
-// partition is disabled.
-func (s *Server) runLimited(t *tenantState, w http.ResponseWriter, r *http.Request, run http.HandlerFunc) {
-	release, ok := s.acquireFor(t, w)
+// (tenant quota, then the global cost-aware queue), shedding load when
+// either refuses. It is the whole cached-path story when the tenant's
+// cache partition is disabled.
+func (s *Server) runLimited(t *tenantState, w http.ResponseWriter, r *http.Request, req *ExploreRequest, endpoint string, run http.HandlerFunc) {
+	release, ok := s.admitExplore(t, w, r, req, endpoint)
 	if !ok {
 		return
 	}
@@ -249,16 +244,33 @@ func replay(w http.ResponseWriter, ent *resultcache.Entry, how string) {
 // cache the result when it is a complete 200 within the entry cap. run
 // receives a buffered writer; all its error paths buffer and deliver
 // normally, they just never populate the cache.
+//
+// Brownout behaviour (stale-while-revalidate): while the service is
+// degraded, a miss whose request was cached in the PREVIOUS snapshot
+// generation is answered from that stale entry immediately — marked
+// X-Cache: stale with "degraded":true in the envelope — and the fresh
+// computation happens in the background when a slot is free, populating
+// the live cache for the next request. A request shed by admission gets
+// the same stale fallback before the error goes out: a slightly old
+// answer beats a 429 for the paper's interactive workload, and staleness
+// is bounded at one generation by the cache's construction.
 func (s *Server) serveCached(t *tenantState, w http.ResponseWriter, r *http.Request, req *ExploreRequest, endpoint string, gen uint64, run http.HandlerFunc) {
 	cache := t.resultCache()
 	key, cacheable := exploreKey(cache, gen, endpoint, req)
 	if !cacheable {
-		s.runLimited(t, w, r, run)
+		s.runLimited(t, w, r, req, endpoint, run)
 		return
 	}
 	if ent, ok := cache.Get(key); ok {
 		replay(w, ent, "hit")
 		return
+	}
+	if s.Brownout && s.degradedNow() {
+		if ent, ok := cache.Stale(key); ok {
+			replayStale(w, ent)
+			s.revalidate(t, r, cache, key, run)
+			return
+		}
 	}
 	f, leader := cache.Join(key)
 	if !leader {
@@ -279,11 +291,22 @@ func (s *Server) serveCached(t *tenantState, w http.ResponseWriter, r *http.Requ
 			}
 		}()
 	}
-	release, ok := s.acquireFor(t, w)
+	res, ok := s.admit(t, r, req, endpoint)
 	if !ok {
+		// Shed — but a stale entry, when one exists, turns the shed into a
+		// served response: degraded beats denied.
+		if s.Brownout {
+			if ent, sok := cache.Stale(key); sok {
+				annotateAdmission(w, res.outcome)
+				replayStale(w, ent)
+				return
+			}
+		}
+		s.writeShed(t, w, res)
 		return
 	}
-	defer release()
+	annotateAdmission(w, res.outcome)
+	defer res.release()
 	bw := newBufferedResponse()
 	run(bw, r)
 	var ent *resultcache.Entry
@@ -301,6 +324,87 @@ func (s *Server) serveCached(t *tenantState, w http.ResponseWriter, r *http.Requ
 		cache.Put(key, ent)
 	}
 	bw.deliver(w, "miss")
+}
+
+// degradedSuffix is spliced into a replayed body's top-level object when
+// it is served stale, so clients can tell a brownout answer from a live
+// one without parsing headers. Every cached body is a complete JSON
+// object ending "}\n", so the splice point is the final close brace.
+var degradedSuffix = []byte(`,"degraded":true`)
+
+// injectDegraded returns body with "degraded":true added to its
+// top-level object. The body is returned unchanged if no close brace is
+// found (cannot happen for entries the server itself rendered).
+func injectDegraded(body []byte) []byte {
+	i := bytes.LastIndexByte(body, '}')
+	if i < 0 {
+		return body
+	}
+	out := make([]byte, 0, len(body)+len(degradedSuffix))
+	out = append(out, body[:i]...)
+	out = append(out, degradedSuffix...)
+	out = append(out, body[i:]...)
+	return out
+}
+
+// replayStale writes a previous-generation cache entry as a brownout
+// response: X-Cache: stale, "degraded":true in the body, recorded in
+// usage as a degraded stale serve.
+func replayStale(w http.ResponseWriter, ent *resultcache.Entry) {
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.cache = "stale"
+		rec.degraded = true
+		rec.window, rec.paths = ent.Window, ent.Paths
+	}
+	w.Header().Set("X-Cache", "stale")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(injectDegraded(ent.Body))
+}
+
+// revalidate computes a fresh answer for a stale-served request in the
+// background — the stale-while-revalidate half of brownout mode. It is
+// strictly best-effort: it runs only when it can take a slot without
+// queueing (degraded means slots are scarce) and when no identical
+// computation is already in flight, and it gives up silently on any
+// failure (the next request just misses again).
+func (s *Server) revalidate(t *tenantState, r *http.Request, cache *resultcache.Cache, key resultcache.Key, run http.HandlerFunc) {
+	f, leader := cache.Join(key)
+	if !leader {
+		return
+	}
+	release, ok := s.adm().TryAcquire()
+	if !ok {
+		cache.Finish(key, f, nil)
+		return
+	}
+	// The request context dies when the handler returns; the background
+	// run gets a fresh one bounded by runCtx's usual caps.
+	bg := r.Clone(context.Background())
+	go func() {
+		defer release()
+		finished := false
+		defer func() {
+			if p := recover(); p != nil {
+				log.Printf("server: tenant %s: panic in background revalidation: %v", t.id, p)
+			}
+			if !finished {
+				cache.Finish(key, f, nil)
+			}
+		}()
+		bw := newBufferedResponse()
+		run(bw, bg)
+		var ent *resultcache.Entry
+		if bw.status == http.StatusOK && bw.stopped == "" && bw.buf.Len() <= maxCacheEntryBytes {
+			ent = &resultcache.Entry{
+				Body:   append([]byte(nil), bw.buf.Bytes()...),
+				Paths:  bw.paths,
+				Window: bw.window,
+			}
+		}
+		cache.Finish(key, f, ent)
+		finished = true
+	}()
 }
 
 // graphEntry renders the non-streaming explore envelope for a graph

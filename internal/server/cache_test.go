@@ -402,6 +402,7 @@ func TestSaturatedLeaderWakesFollowers(t *testing.T) {
 	nav, _ := coursenav.Brandeis()
 	s := New(nav)
 	s.MaxConcurrent = 1
+	s.AdmissionQueue = 0 // instant shed: the follower must 429, not queue
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	// Occupy the only slot.

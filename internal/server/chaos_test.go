@@ -1,0 +1,346 @@
+// The chaos suite: fault injection at the server's seams (reload-source
+// reads, handler entry, mid-stream writes) proving the overload-
+// resilience story end to end — graceful degradation while faults are
+// armed, well-formed envelopes and NDJSON only (never a torn response),
+// and full recovery once the faults clear. Deterministic under the
+// injector's seed; `make chaos-short` runs it under -race.
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/chaos"
+)
+
+// newChaosServer builds a default-tenant server over the small reload
+// dump with an armed-able injector and a loader serving the big dump.
+func newChaosServer(t *testing.T, seed int64) (*Server, *httptest.Server, *chaos.Injector) {
+	t.Helper()
+	s := New(navFromDump(t, reloadDumpSmall))
+	s.Loader = func() (*coursenav.Navigator, *coursenav.ImportReport, error) {
+		return navFromDump(t, reloadDumpBig), nil, nil
+	}
+	inj := chaos.New(seed)
+	s.Chaos = inj
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, inj
+}
+
+// reloadFailureBody mirrors the 422 reload rejection: envelope + status.
+type reloadFailureBody struct {
+	Error struct {
+		Code   string `json:"code"`
+		Detail string `json:"detail"`
+	} `json:"error"`
+	Reload ReloadStatus `json:"reload"`
+}
+
+func decodeReloadFailure(t *testing.T, body []byte) reloadFailureBody {
+	t.Helper()
+	var rf reloadFailureBody
+	if err := json.Unmarshal(body, &rf); err != nil {
+		t.Fatalf("reload failure body: %v (%s)", err, body)
+	}
+	return rf
+}
+
+// An injected reload-source read error rejects the reload with the
+// usual 422 envelope, serving continues on the old catalog, and once
+// the fault clears the next reload applies cleanly.
+func TestChaosReloadSourceError(t *testing.T) {
+	s, ts, inj := newChaosServer(t, 1)
+	s.ReloadRetries = -1 // single attempt: this test is about the rejection shape
+
+	inj.Arm(chaos.ReloadRead, chaos.Fault{Err: chaos.ErrInjected})
+	resp, body := postReload(t, ts)
+	if resp.StatusCode != 422 {
+		t.Fatalf("faulted reload status = %d, want 422 (%s)", resp.StatusCode, body)
+	}
+	rf := decodeReloadFailure(t, body)
+	if rf.Error.Code != CodeReloadRejected {
+		t.Errorf("code = %q, want %q", rf.Error.Code, CodeReloadRejected)
+	}
+	if !strings.Contains(rf.Reload.Reason, "injected failure") {
+		t.Errorf("reason %q does not surface the injected source error", rf.Reload.Reason)
+	}
+	// The old catalog keeps serving, well-formed.
+	if catResp, catBody := get(t, ts, "/api/v1/catalog"); catResp.StatusCode != 200 {
+		t.Fatalf("catalog during reload faults: %d (%s)", catResp.StatusCode, catBody)
+	}
+
+	inj.DisarmAll()
+	resp, body = postReload(t, ts)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-recovery reload status = %d, want 200 (%s)", resp.StatusCode, body)
+	}
+	var st ReloadStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.OK || st.Courses != 3 {
+		t.Errorf("post-recovery reload = %+v, want ok with 3 courses", st)
+	}
+}
+
+// A transient source fault (fires once) is absorbed by the retry loop:
+// the reload still applies and the breaker never sees the failure.
+func TestChaosReloadRetryAbsorbsTransientFault(t *testing.T) {
+	s, ts, inj := newChaosServer(t, 1)
+	s.ReloadBackoff = time.Millisecond
+
+	inj.Arm(chaos.ReloadRead, chaos.Fault{Err: chaos.ErrInjected, Limit: 1})
+	resp, body := postReload(t, ts)
+	if resp.StatusCode != 200 {
+		t.Fatalf("reload with one transient fault: %d, want 200 (%s)", resp.StatusCode, body)
+	}
+	if inj.Calls(chaos.ReloadRead) != 2 {
+		t.Errorf("source reads = %d, want 2 (failed once, retried once)", inj.Calls(chaos.ReloadRead))
+	}
+	if s.defaultTenant().breakerOpen() {
+		t.Error("breaker open after a retried-and-absorbed transient fault")
+	}
+}
+
+// Repeated source failures trip the per-tenant circuit breaker: further
+// attempts are refused without touching the source, health reports
+// degraded, and after the cooldown (faults cleared) a reload applies
+// and the fleet returns to ok with the breaker closed.
+func TestChaosReloadBreakerTripsAndRecovers(t *testing.T) {
+	s, ts, inj := newChaosServer(t, 1)
+	s.ReloadRetries = -1
+	s.BreakerThreshold = 2
+	s.BreakerCooldown = 50 * time.Millisecond
+
+	inj.Arm(chaos.ReloadRead, chaos.Fault{Err: chaos.ErrInjected})
+	if _, body := postReload(t, ts); decodeReloadFailure(t, body).Reload.BreakerTripped {
+		t.Fatal("breaker tripped on the first failure, threshold is 2")
+	}
+	if _, body := postReload(t, ts); !decodeReloadFailure(t, body).Reload.BreakerTripped {
+		t.Fatal("breaker did not trip on the second consecutive failure")
+	}
+	reads := inj.Calls(chaos.ReloadRead)
+	_, body := postReload(t, ts)
+	rf := decodeReloadFailure(t, body)
+	if !rf.Reload.BreakerOpen {
+		t.Fatalf("third attempt not refused by the open breaker: %+v", rf.Reload)
+	}
+	if got := inj.Calls(chaos.ReloadRead); got != reads {
+		t.Errorf("open breaker still read the source (%d reads, want %d)", got, reads)
+	}
+
+	// The open breaker is visible on the health surface...
+	var hb healthBody
+	if _, hbody := get(t, ts, "/api/v1/healthz"); json.Unmarshal(hbody, &hb) != nil || hb.State != "degraded" {
+		t.Errorf("healthz state with open breaker = %q, want degraded", hb.State)
+	}
+	foundOpen := false
+	for _, row := range hb.Tenants {
+		if row.Tenant == "default" && row.Breaker == "open" {
+			foundOpen = true
+		}
+	}
+	if !foundOpen {
+		t.Errorf("healthz tenants = %+v, want default breaker open", hb.Tenants)
+	}
+	// ...and in the usage counters.
+	if _, stats := get(t, ts, "/api/v1/stats"); !strings.Contains(string(stats), `"breakerOpen":`) {
+		t.Error("stats missing the breakerOpen counter")
+	}
+
+	// Faults clear, cooldown passes: the reload applies, the breaker
+	// closes, the fleet is ok again.
+	inj.DisarmAll()
+	time.Sleep(s.BreakerCooldown + 10*time.Millisecond)
+	if resp, body := postReload(t, ts); resp.StatusCode != 200 {
+		t.Fatalf("post-cooldown reload = %d, want 200 (%s)", resp.StatusCode, body)
+	}
+	hb = healthBody{}
+	if _, hbody := get(t, ts, "/api/v1/healthz"); json.Unmarshal(hbody, &hb) != nil || hb.State != "ok" {
+		t.Errorf("post-recovery healthz state = %q, want ok", hb.State)
+	}
+	for _, row := range hb.Tenants {
+		if row.Breaker != "closed" {
+			t.Errorf("post-recovery breaker for %s = %q, want closed", row.Tenant, row.Breaker)
+		}
+	}
+}
+
+// An injected loader panic is contained as a rejection — never a crash.
+func TestChaosReloadPanicContained(t *testing.T) {
+	s, ts, inj := newChaosServer(t, 1)
+	s.ReloadRetries = -1
+	inj.Arm(chaos.ReloadRead, chaos.Fault{Panic: true})
+	resp, body := postReload(t, ts)
+	if resp.StatusCode != 422 {
+		t.Fatalf("panicked reload status = %d, want 422 (%s)", resp.StatusCode, body)
+	}
+	if reason := decodeReloadFailure(t, body).Reload.Reason; !strings.Contains(reason, "panicked") {
+		t.Errorf("reason %q does not report the contained panic", reason)
+	}
+	if catResp, _ := get(t, ts, "/api/v1/catalog"); catResp.StatusCode != 200 {
+		t.Error("serving did not survive the loader panic")
+	}
+}
+
+// Injected source latency beyond the loader timeout bounds the reload
+// attempt instead of hanging the reload mutex.
+func TestChaosReloadLatencyTimesOut(t *testing.T) {
+	s, ts, inj := newChaosServer(t, 1)
+	s.ReloadRetries = -1
+	s.LoaderTimeout = 20 * time.Millisecond
+	inj.Arm(chaos.ReloadRead, chaos.Fault{Latency: 500 * time.Millisecond})
+	resp, body := postReload(t, ts)
+	if resp.StatusCode != 422 {
+		t.Fatalf("slow-source reload status = %d, want 422 (%s)", resp.StatusCode, body)
+	}
+	if reason := decodeReloadFailure(t, body).Reload.Reason; !strings.Contains(reason, "timed out") {
+		t.Errorf("reason %q does not report the timeout", reason)
+	}
+}
+
+// Handler-entry faults: an injected error answers a well-formed 503
+// envelope, an injected panic the recovery's 500 envelope, and traffic
+// flows normally once disarmed.
+func TestChaosHandlerEntryFaults(t *testing.T) {
+	_, ts, inj := newChaosServer(t, 1)
+
+	inj.Arm(chaos.HandlerEntry, chaos.Fault{Err: chaos.ErrInjected})
+	resp, body := get(t, ts, "/api/v1/catalog")
+	if resp.StatusCode != 503 {
+		t.Fatalf("entry-fault status = %d, want 503", resp.StatusCode)
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != CodeInternal {
+		t.Errorf("entry-fault envelope = %s (err %v), want code %q", body, err, CodeInternal)
+	}
+
+	inj.Arm(chaos.HandlerEntry, chaos.Fault{Panic: true})
+	resp, body = get(t, ts, "/api/v1/catalog")
+	if resp.StatusCode != 500 {
+		t.Fatalf("entry-panic status = %d, want 500", resp.StatusCode)
+	}
+	env = envelope{}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != CodeInternal {
+		t.Errorf("entry-panic envelope = %s (err %v), want code %q", body, err, CodeInternal)
+	}
+
+	inj.DisarmAll()
+	if resp, _ := get(t, ts, "/api/v1/catalog"); resp.StatusCode != 200 {
+		t.Errorf("post-recovery catalog = %d, want 200", resp.StatusCode)
+	}
+}
+
+// ndjsonLines splits an NDJSON body and asserts every line parses.
+func ndjsonLines(t *testing.T, body []byte) []map[string]json.RawMessage {
+	t.Helper()
+	var out []map[string]json.RawMessage
+	for i, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		var rec map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("NDJSON line %d is not valid JSON: %v (%q)", i, err, line)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Regression (the streaming-panic bug): a panic after the NDJSON header
+// is on the wire must end the stream with an in-band {"error":...}
+// record — parseable NDJSON to the last byte — not a truncated or
+// corrupted stream.
+func TestChaosMidStreamPanicEmitsErrorRecord(t *testing.T) {
+	_, ts, inj := newChaosServer(t, 1)
+	// Let the header and the first record through, then panic on the
+	// next write.
+	inj.Arm(chaos.StreamWrite, chaos.Fault{Panic: true, After: 1})
+	resp, body := post(t, ts, "/api/v1/explore/deadline?stream=1",
+		`{"query":{"start":"Fall 2012","end":"Fall 2013","maxPerTerm":1}}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream status = %d, want 200 (the header was already committed)", resp.StatusCode)
+	}
+	recs := ndjsonLines(t, body)
+	if len(recs) < 2 {
+		t.Fatalf("stream delivered %d records, want the pre-panic path record plus the error record", len(recs))
+	}
+	last := recs[len(recs)-1]
+	if _, ok := last["error"]; !ok {
+		t.Fatalf("stream did not end with an in-band error record: %v", last)
+	}
+	var ei errorInfo
+	if err := json.Unmarshal(last["error"], &ei); err != nil || ei.Code != CodeInternal {
+		t.Errorf("in-band error = %s (err %v), want code %q", last["error"], err, CodeInternal)
+	}
+	for _, rec := range recs[:len(recs)-1] {
+		if _, ok := rec["path"]; !ok {
+			t.Errorf("pre-panic record is not a path record: %v", rec)
+		}
+	}
+	if _, ok := recs[len(recs)-1]["summary"]; ok {
+		t.Error("a panicked stream must not also carry a summary record")
+	}
+}
+
+// An injected mid-stream write error behaves like the client socket
+// dying: the delivered prefix is valid NDJSON and the run is aborted
+// without a trailing record (nothing can be sent to a dead socket).
+func TestChaosMidStreamWriteErrorCutsStream(t *testing.T) {
+	_, ts, inj := newChaosServer(t, 1)
+	inj.Arm(chaos.StreamWrite, chaos.Fault{Err: chaos.ErrInjected, After: 1})
+	resp, body := post(t, ts, "/api/v1/explore/deadline?stream=1",
+		`{"query":{"start":"Fall 2012","end":"Fall 2013","maxPerTerm":1}}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream status = %d, want 200", resp.StatusCode)
+	}
+	recs := ndjsonLines(t, body)
+	if len(recs) != 1 {
+		t.Fatalf("cut stream delivered %d records, want exactly the 1 pre-fault record", len(recs))
+	}
+	if _, ok := recs[0]["path"]; !ok {
+		t.Errorf("delivered record is not a path record: %v", recs[0])
+	}
+	// Recovery: with the fault cleared the same stream completes with a
+	// trailing summary.
+	inj.DisarmAll()
+	_, body = post(t, ts, "/api/v1/explore/deadline?stream=1",
+		`{"query":{"start":"Fall 2012","end":"Fall 2013","maxPerTerm":1}}`)
+	recs = ndjsonLines(t, body)
+	if _, ok := recs[len(recs)-1]["summary"]; !ok {
+		t.Errorf("post-recovery stream does not end with a summary: %v", recs[len(recs)-1])
+	}
+}
+
+// Probabilistic faults are deterministic under the injector's seed:
+// the same seed over the same serialised request sequence fires
+// identically.
+func TestChaosDeterministicUnderSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		_, ts, inj := newChaosServer(t, seed)
+		inj.Arm(chaos.HandlerEntry, chaos.Fault{Err: chaos.ErrInjected, P: 0.5})
+		statuses := make([]int, 0, 20)
+		for i := 0; i < 20; i++ {
+			resp, _ := get(t, ts, "/api/v1/catalog")
+			statuses = append(statuses, resp.StatusCode)
+		}
+		return statuses
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: seed 42 produced %d then %d — not deterministic", i, a[i], b[i])
+		}
+	}
+	saw503, saw200 := false, false
+	for _, st := range a {
+		saw503 = saw503 || st == 503
+		saw200 = saw200 || st == 200
+	}
+	if !saw503 || !saw200 {
+		t.Errorf("P=0.5 fault over 20 requests fired always or never: %v", a)
+	}
+}

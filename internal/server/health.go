@@ -1,0 +1,64 @@
+// GET /api/v1/healthz: the brownout/breaker health surface.
+//
+// /healthz stays the bare liveness probe (is the process up). This
+// endpoint reports how gracefully the service is currently serving: the
+// admission controller's brownout state, its live queue snapshot, and
+// each tenant's circuit-breaker position. It always answers 200 — a
+// degraded service is still a serving service, and load balancers that
+// should stop sending traffic have the JSON state to key off.
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/admission"
+)
+
+// tenantHealth is one tenant's row in the health body.
+type tenantHealth struct {
+	Tenant     string `json:"tenant"`
+	Generation uint64 `json:"generation"`
+	// Breaker is "closed" or "open" (reload attempts refused until the
+	// cooldown expires; serving continues on the last good catalog).
+	Breaker string `json:"breaker"`
+}
+
+// healthBody is the GET /api/v1/healthz response.
+type healthBody struct {
+	// State is "ok", "pressured" or "degraded"; a tenant with an open
+	// breaker reports at least "degraded".
+	State     string             `json:"state"`
+	Admission admission.Snapshot `json:"admission"`
+	Tenants   []tenantHealth     `json:"tenants"`
+}
+
+// healthState folds the admission controller's brownout state with the
+// tenant breakers: any open breaker makes the fleet degraded (it is
+// serving a catalog it can no longer refresh).
+func (s *Server) healthState() string {
+	state := s.adm().State()
+	if state != admission.StateDegraded {
+		for _, t := range s.tenantsSorted() {
+			if t.breakerOpen() {
+				return admission.StateDegraded.String()
+			}
+		}
+	}
+	return state.String()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	tenants := make([]tenantHealth, 0)
+	for _, t := range s.tenantsSorted() {
+		row := tenantHealth{Tenant: t.id, Generation: t.gen(), Breaker: "closed"}
+		if t.breakerOpen() {
+			row.Breaker = "open"
+		}
+		tenants = append(tenants, row)
+	}
+	writeJSON(w, http.StatusOK, healthBody{
+		State:     s.healthState(),
+		Admission: s.adm().Snapshot(),
+		Tenants:   tenants,
+	})
+}

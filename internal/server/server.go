@@ -21,6 +21,7 @@
 //	POST /api/v1[/t/{tenant}]/admin/reload      catalog hot-reload
 //	GET  /api/v1/t/{tenant}/stats             one tenant's usage statistics
 //	GET  /api/v1/stats                        fleet-wide usage aggregate
+//	GET  /api/v1/healthz                      brownout/breaker health detail
 //	GET  /api/v1/admin/tenants                list the tenant registry
 //	POST /api/v1/admin/tenants                load a tenant manifest
 //	GET  /                                    embedded single-page visualizer
@@ -38,11 +39,15 @@
 // an adversarial window stops the engine within one node expansion and
 // returns the partial result with summary.stopped set. Admission is
 // two-level: a per-tenant quota (429 tenant_overloaded) is taken before
-// the process-wide semaphore (429 overloaded), so one tenant's burst
-// cannot starve the others; both shed with Retry-After instead of
-// queueing unboundedly. Materialised graphs additionally respect the
-// hard NodeBudget (422 budget_exceeded), the condition the paper's
-// Table 2 reports as "N/A".
+// the process-wide cost-aware admission queue (admit.go, internal/
+// admission), so one tenant's burst cannot starve the others. Under
+// saturation cheap requests wait briefly in a bounded queue while
+// expensive uncached ones are shed first, every shed carrying an honest
+// Retry-After derived from live queue state; sustained pressure trips
+// the brownout ladder (stale cache serving, clamped budgets — see
+// cache.go and GET /api/v1/healthz). Materialised graphs additionally
+// respect the hard NodeBudget (422 budget_exceeded), the condition the
+// paper's Table 2 reports as "N/A".
 //
 // Each tenant's catalog is served from an atomic snapshot pointer; see
 // reload.go for the hot-reload path (validate-then-swap with rollback)
@@ -66,6 +71,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/admission"
+	"repro/internal/chaos"
 	"repro/internal/explore"
 	"repro/internal/resultcache"
 	"repro/internal/tenant"
@@ -125,6 +132,53 @@ type Server struct {
 	// (default DefaultMaxConcurrent); set before the first request is
 	// served.
 	MaxConcurrent int
+	// AdmissionQueue bounds the number of cheap requests waiting for an
+	// exploration slot when the pool is saturated; 0 disables queueing
+	// (every saturated request sheds instantly, the pre-queue semantics).
+	// New sets DefaultAdmissionQueue; set before the first request.
+	AdmissionQueue int
+	// QueueTimeout caps one request's wait in the admission queue
+	// (default admission.DefaultQueueTimeout). Set before the first
+	// request.
+	QueueTimeout time.Duration
+	// CostlyMs is the estimated-cost threshold (ms) above which a request
+	// is shed rather than queued when the pool is saturated (default
+	// admission.DefaultCostlyMs). Set before the first request.
+	CostlyMs float64
+	// Brownout gates the degraded-mode reactions (stale cache serving,
+	// budget clamps); the health state itself is always derived. New sets
+	// true.
+	Brownout bool
+	// BrownoutHold is the degraded-state hysteresis window (default
+	// admission.DefaultDegradeHold). Set before the first request.
+	BrownoutHold time.Duration
+	// DegradedTimeout and DegradedMaxNodes clamp each admitted
+	// exploration's soft budget while degraded, trading completeness for
+	// fast well-formed partial results (defaults DefaultDegradedTimeout /
+	// DefaultDegradedMaxNodes).
+	DegradedTimeout  time.Duration
+	DegradedMaxNodes int64
+	// Estimator prices requests for admission (per-key observed history
+	// over the depth/breadth seed). New installs one; nil falls back to
+	// seed-only estimates.
+	Estimator *admission.Estimator
+	// Chaos, when set, injects faults at the server's chaos seams
+	// (handler entry, mid-stream writes, reload-source reads) for the
+	// fault-injection test harness. nil in production.
+	Chaos *chaos.Injector
+	// BreakerThreshold is the consecutive reload-source failure count
+	// that trips a tenant's circuit breaker (default
+	// DefaultBreakerThreshold); BreakerCooldown how long a tripped
+	// breaker refuses reload attempts (default DefaultBreakerCooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ReloadRetries is how many times a failed reload-source read is
+	// retried before counting as a failure (default DefaultReloadRetries;
+	// negative disables retries); ReloadBackoff the base delay between
+	// attempts, doubled each retry. LoaderTimeout caps one loader call.
+	ReloadRetries int
+	ReloadBackoff time.Duration
+	LoaderTimeout time.Duration
 	// TenantMaxConcurrent caps each tenant's in-flight explorations
 	// (429 tenant_overloaded) unless the tenant's manifest entry sets its
 	// own. 0 (the default) leaves tenants bounded only by the global
@@ -148,8 +202,8 @@ type Server struct {
 	// DefaultCacheBytes; set nil to disable caching for that tenant.
 	Cache *resultcache.Cache
 
-	sem        chan struct{}
-	semOnce    sync.Once     // sizes sem from MaxConcurrent on first acquire
+	admission  *admission.Controller
+	admOnce    sync.Once     // builds the controller from the knobs on first acquire
 	reloadMu   sync.Mutex    // serialises default-tenant reload attempts
 	generation atomic.Uint64 // default tenant's successful swaps since start
 
@@ -174,6 +228,9 @@ func New(nav *coursenav.Navigator) *Server {
 		MaxResponseNodes: DefaultMaxResponseNodes,
 		RequestTimeout:   DefaultRequestTimeout,
 		MaxConcurrent:    DefaultMaxConcurrent,
+		AdmissionQueue:   DefaultAdmissionQueue,
+		Brownout:         true,
+		Estimator:        admission.NewEstimator(),
 		Usage:            usage.NewLog(4096),
 		Cache:            resultcache.New(DefaultCacheBytes),
 	}
@@ -220,6 +277,7 @@ func New(nav *coursenav.Navigator) *Server {
 	// the fleet-wide aggregate, not a default-tenant alias.
 	handle("GET /api/v1/t/{tenant}/stats", s.withTenant(s.handleTenantStats))
 	handle("GET /api/v1/stats", s.handleStats)
+	handle("GET /api/v1/healthz", s.handleHealthz)
 	handle("GET /api/v1/admin/tenants", s.handleTenantsList)
 	handle("POST /api/v1/admin/tenants", s.handleTenantsLoad)
 	handle("GET /{$}", s.handleUI)
@@ -245,7 +303,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		if p := recover(); p != nil {
 			log.Printf("server: panic handling %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
-			if !rec.wroteHeader {
+			switch {
+			case rec.ndjson && rec.writeErr == nil:
+				// The stream already committed to NDJSON framing (200 went
+				// out), so the envelope path would splice a JSON object into
+				// the middle of a record stream. Close with an in-band
+				// {"error":...} terminal record instead — the protocol's own
+				// failure marker — so the client sees a well-formed stream
+				// that ended in a declared error, never a torn one.
+				if b, err := json.Marshal(errorBody{Error: errorInfo{
+					Code:    CodeInternal,
+					Message: fmt.Sprintf("internal server error mid-stream handling %s %s", r.Method, r.URL.Path),
+				}}); err == nil {
+					_, _ = rec.Write(append(b, '\n'))
+					rec.Flush()
+				}
+			case !rec.wroteHeader:
 				writeErr(rec, http.StatusInternalServerError, CodeInternal,
 					"internal server error handling %s %s", r.Method, r.URL.Path)
 			}
@@ -264,10 +337,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			Cache:         rec.cache,
 			DAG:           rec.dag,
 			DAGNodes:      rec.dagNodes,
+			Admission:     rec.admission,
+			Breaker:       rec.breaker,
+			Degraded:      rec.degraded,
 			Duration:      time.Since(began),
 			Status:        rec.status,
 		})
 	}()
+	// The handler-entry chaos seam: an injected error answers 503 before
+	// dispatch, injected latency delays it, an injected panic exercises
+	// the recovery envelope above. A nil injector is a no-op.
+	if err := s.Chaos.Fire(chaos.HandlerEntry); err != nil {
+		writeErr(rec, http.StatusServiceUnavailable, CodeInternal,
+			"injected fault at handler entry: %v", err)
+		return
+	}
 	// The unversioned /api/... aliases of the first release are retired.
 	// The check runs before mux dispatch (a catch-all "/api/" pattern
 	// would shadow the mux's 405 Method-Not-Allowed answers for real v1
@@ -294,22 +378,13 @@ func canonicalPath(p string) string {
 	return p
 }
 
-// acquire reserves a global concurrency slot, returning its release
-// func, or ok=false when the server is saturated.
+// acquire reserves a global concurrency slot without queueing,
+// returning its release func, or ok=false when the server is saturated.
+// It is the legacy instant-acquire hook (tests hold slots through it);
+// request admission goes through admit (admit.go), which prices the
+// request and may queue it.
 func (s *Server) acquire() (release func(), ok bool) {
-	s.semOnce.Do(func() {
-		n := s.MaxConcurrent
-		if n <= 0 {
-			n = DefaultMaxConcurrent
-		}
-		s.sem = make(chan struct{}, n)
-	})
-	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, true
-	default:
-		return nil, false
-	}
+	return s.adm().TryAcquire()
 }
 
 // statusRecorder captures the response status and lets handlers annotate
@@ -331,6 +406,14 @@ type statusRecorder struct {
 	cache         string
 	dag           bool
 	dagNodes      int64
+	admission     string
+	breaker       string
+	degraded      bool
+	// ndjson marks that the response committed to NDJSON stream framing
+	// (the stream writer put the 200 + x-ndjson header on the wire), so
+	// the panic recovery must close the stream with an in-band error
+	// record rather than an envelope.
+	ndjson bool
 }
 
 func (r *statusRecorder) setExplore(window string, paths int64, stopped string) {
@@ -370,7 +453,12 @@ func (r *statusRecorder) Flush() {
 // are summed across every tenant's partition.
 type globalStats struct {
 	usage.Stats
-	Tenants []tenantOverview `json:"tenants"`
+	// Health is the brownout state ("ok", "pressured", "degraded" —
+	// breaker-open tenants count as degraded) and Admission the live
+	// controller snapshot behind it.
+	Health    string             `json:"health"`
+	Admission admission.Snapshot `json:"admission"`
+	Tenants   []tenantOverview   `json:"tenants"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -386,13 +474,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			agg.Evictions += cs.Evictions
 			agg.Bytes += cs.Bytes
 			agg.Entries += cs.Entries
+			agg.StaleEntries += cs.StaleEntries
+			agg.StaleHits += cs.StaleHits
 			cached = true
 		}
 	}
 	if cached {
 		snap.Cache = &agg
 	}
-	writeJSON(w, http.StatusOK, globalStats{Stats: snap, Tenants: s.overviews()})
+	writeJSON(w, http.StatusOK, globalStats{
+		Stats:     snap,
+		Health:    s.healthState(),
+		Admission: s.adm().Snapshot(),
+		Tenants:   s.overviews(),
+	})
 }
 
 // errorBody is the unified v1 error envelope.
@@ -618,6 +713,18 @@ func (s *Server) query(qs QuerySpec, b *BudgetSpec) coursenav.Query {
 		q.Budget.MaxNodes = b.MaxNodes
 		q.Budget.MaxPaths = b.MaxPaths
 	}
+	// Brownout clamp: while degraded, every run gets a soft node cap so
+	// it returns a well-formed partial result (summary.stopped set)
+	// instead of holding a slot for a full-budget exploration.
+	if s.degradedNow() {
+		clamp := s.DegradedMaxNodes
+		if clamp <= 0 {
+			clamp = DefaultDegradedMaxNodes
+		}
+		if q.Budget.MaxNodes <= 0 || q.Budget.MaxNodes > clamp {
+			q.Budget.MaxNodes = clamp
+		}
+	}
 	return q
 }
 
@@ -633,6 +740,17 @@ func (s *Server) runCtx(r *http.Request, b *BudgetSpec) (context.Context, contex
 	if b != nil && b.TimeoutMs > 0 {
 		if d := time.Duration(b.TimeoutMs) * time.Millisecond; d < timeout {
 			timeout = d
+		}
+	}
+	// Brownout clamp: degraded mode trades run length for queue drain —
+	// the engine returns its partial result when the lowered cap fires.
+	if s.degradedNow() {
+		clamp := s.DegradedTimeout
+		if clamp <= 0 {
+			clamp = DefaultDegradedTimeout
+		}
+		if clamp < timeout {
+			timeout = clamp
 		}
 	}
 	return context.WithTimeout(r.Context(), timeout)
@@ -760,7 +878,7 @@ func (s *Server) handleDeadline(t *tenantState, w http.ResponseWriter, r *http.R
 		if !streamable(w, &req) {
 			return
 		}
-		release, ok := s.acquireFor(t, w)
+		release, ok := s.admitExplore(t, w, r, &req, "deadline")
 		if !ok {
 			return
 		}
@@ -817,7 +935,7 @@ func (s *Server) handleGoal(t *tenantState, w http.ResponseWriter, r *http.Reque
 		if !ok {
 			return
 		}
-		release, okAcq := s.acquireFor(t, w)
+		release, okAcq := s.admitExplore(t, w, r, &req, "goal")
 		if !okAcq {
 			return
 		}
@@ -880,7 +998,7 @@ func (s *Server) handleRanked(t *tenantState, w http.ResponseWriter, r *http.Req
 		if !ok {
 			return
 		}
-		release, okAcq := s.acquireFor(t, w)
+		release, okAcq := s.admitExplore(t, w, r, &req, "ranked")
 		if !okAcq {
 			return
 		}
@@ -991,7 +1109,7 @@ func (s *Server) handleWhatIf(t *tenantState, w http.ResponseWriter, r *http.Req
 		if !ok {
 			return
 		}
-		release, okAcq := s.acquireFor(t, w)
+		release, okAcq := s.admitExplore(t, w, r, &req, "whatif")
 		if !okAcq {
 			return
 		}

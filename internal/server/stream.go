@@ -24,6 +24,7 @@ import (
 	"net/http"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/explore"
 )
 
@@ -56,13 +57,14 @@ type streamWriter struct {
 	w       http.ResponseWriter
 	enc     *json.Encoder
 	flush   func()
+	chaos   *chaos.Injector
 	started bool
 	err     error
 	paths   int64
 }
 
-func newStreamWriter(w http.ResponseWriter) *streamWriter {
-	sw := &streamWriter{w: w, enc: json.NewEncoder(w)}
+func (s *Server) newStreamWriter(w http.ResponseWriter) *streamWriter {
+	sw := &streamWriter{w: w, enc: json.NewEncoder(w), chaos: s.Chaos}
 	if f, ok := w.(http.Flusher); ok {
 		sw.flush = f.Flush
 	}
@@ -74,8 +76,23 @@ func (sw *streamWriter) record(v interface{}) error {
 	if sw.err != nil {
 		return sw.err
 	}
+	// The mid-stream-write chaos seam: an injected error behaves exactly
+	// like the transport dying (the run aborts, usage reports a write
+	// abort); an injected panic exercises the in-band error-record
+	// recovery; injected latency models a slow reader applying
+	// backpressure. Fires before the header too — a pre-start failure is
+	// a client that died between request and first record.
+	if err := sw.chaos.Fire(chaos.StreamWrite); err != nil {
+		sw.err = err
+		return err
+	}
 	if !sw.started {
 		sw.started = true
+		if rec, ok := sw.w.(*statusRecorder); ok {
+			// Once the NDJSON header is on the wire the plain error envelope
+			// is no longer expressible; the panic recovery keys off this.
+			rec.ndjson = true
+		}
 		sw.w.Header().Set("Content-Type", "application/x-ndjson")
 		sw.w.WriteHeader(http.StatusOK)
 	}
@@ -134,7 +151,7 @@ func (s *Server) finishStream(w http.ResponseWriter, sw *streamWriter, err error
 func (s *Server) streamPaths(w http.ResponseWriter, r *http.Request, req *ExploreRequest, run func(context.Context, func(coursenav.StreamedPath) error) (coursenav.Summary, error)) (coursenav.Summary, bool) {
 	ctx, cancel := s.runCtx(r, req.Budget)
 	defer cancel()
-	sw := newStreamWriter(w)
+	sw := s.newStreamWriter(w)
 	sum, err := run(ctx, func(p coursenav.StreamedPath) error {
 		if err := sw.record(pathRecord{Path: p}); err != nil {
 			return err
@@ -168,7 +185,7 @@ type whatIfSummaryRecord struct {
 func (s *Server) streamWhatIf(w http.ResponseWriter, r *http.Request, req *ExploreRequest, nav *coursenav.Navigator, goal coursenav.Goal) {
 	ctx, cancel := s.runCtx(r, req.Budget)
 	defer cancel()
-	sw := newStreamWriter(w)
+	sw := s.newStreamWriter(w)
 	var n int64
 	stopped, err := nav.WhatIfStream(ctx, s.query(req.Query, req.Budget), goal, func(im coursenav.SelectionImpact) error {
 		if err := sw.record(selectionRecord{Selection: im}); err != nil {

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro"
 	"repro/internal/resultcache"
@@ -56,6 +57,21 @@ type tenantState struct {
 	maxConcurrent int
 	quota         chan struct{} // built once on first acquire; nil = no quota
 	quotaOnce     sync.Once
+
+	// Circuit breaker over this tenant's reload source (reload.go).
+	// breakerFails counts consecutive source failures (guarded by the
+	// reload mutex); breakerOpenUntil is the unix-nano deadline an open
+	// breaker refuses reload attempts until (atomic — the health surface
+	// reads it without the mutex; 0 = closed).
+	breakerFails     int
+	breakerOpenUntil atomic.Int64
+}
+
+// breakerOpen reports whether the tenant's reload breaker currently
+// refuses attempts.
+func (t *tenantState) breakerOpen() bool {
+	until := t.breakerOpenUntil.Load()
+	return until > 0 && time.Now().UnixNano() < until
 }
 
 func (t *tenantState) navigator() *coursenav.Navigator {
@@ -141,26 +157,6 @@ func (t *tenantState) acquireQuota() (release func(), ok bool) {
 	default:
 		return nil, false
 	}
-}
-
-// acquireFor takes both admission levels for an exploration — the
-// tenant's quota first, then the global semaphore — writing the
-// appropriate 429 (tenant_overloaded vs overloaded) itself on failure.
-// Quota-before-semaphore means a saturated tenant is named as such
-// instead of burning a global slot to find out.
-func (s *Server) acquireFor(t *tenantState, w http.ResponseWriter) (release func(), ok bool) {
-	relQuota, ok := t.acquireQuota()
-	if !ok {
-		shedTenant(w, t.id)
-		return nil, false
-	}
-	relGlobal, ok := s.acquire()
-	if !ok {
-		relQuota()
-		shedLoad(w)
-		return nil, false
-	}
-	return func() { relGlobal(); relQuota() }, true
 }
 
 // shedTenant answers 429: the tenant is at its concurrency quota.
@@ -395,12 +391,14 @@ func (s *Server) handleTenantStats(t *tenantState, w http.ResponseWriter, _ *htt
 	if c := t.resultCache(); c != nil {
 		cs := c.Stats()
 		snap.Cache = &usage.CacheStats{
-			Hits:      cs.Hits,
-			Misses:    cs.Misses,
-			Coalesced: cs.Coalesced,
-			Evictions: cs.Evictions,
-			Bytes:     cs.Bytes,
-			Entries:   cs.Entries,
+			Hits:         cs.Hits,
+			Misses:       cs.Misses,
+			Coalesced:    cs.Coalesced,
+			Evictions:    cs.Evictions,
+			Bytes:        cs.Bytes,
+			Entries:      cs.Entries,
+			StaleEntries: cs.StaleEntries,
+			StaleHits:    cs.StaleHits,
 		}
 	}
 	writeJSON(w, http.StatusOK, tenantStatsBody{

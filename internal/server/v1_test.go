@@ -241,6 +241,7 @@ func TestV1StatsCounters(t *testing.T) {
 func TestV1Saturation(t *testing.T) {
 	s, ts := newV1Server(t)
 	s.MaxConcurrent = 1
+	s.AdmissionQueue = 0 // instant shed: this test is about the hard limit, not the queue
 	release, ok := s.acquire()
 	if !ok {
 		t.Fatal("could not take the only slot")

@@ -50,9 +50,22 @@ type Event struct {
 	// client went away while path records were still flowing.
 	WriteAborted bool `json:"writeAborted,omitempty"`
 	// Cache is the result-cache disposition of an explore request: "hit"
-	// (replayed), "coalesced" (shared an identical in-flight run) or
-	// "miss" (computed); empty for uncached surfaces.
+	// (replayed), "coalesced" (shared an identical in-flight run), "miss"
+	// (computed) or "stale" (brownout replay of the previous snapshot's
+	// entry); empty for uncached surfaces.
 	Cache string `json:"cache,omitempty"`
+	// Admission is how the admission controller disposed of the request
+	// when it did anything beyond an instant admit: "queued" (waited for a
+	// slot), "shed_costly", "shed_queue_full" or "queue_timeout"; empty
+	// for instant admits and unadmitted surfaces.
+	Admission string `json:"admission,omitempty"`
+	// Breaker marks circuit-breaker activity on a reload attempt:
+	// "tripped" (this failure opened the breaker) or "open" (the attempt
+	// was refused by an already-open breaker); empty otherwise.
+	Breaker string `json:"breaker,omitempty"`
+	// Degraded reports the response was served under brownout degradation
+	// (stale replay or clamped budgets).
+	Degraded bool `json:"degraded,omitempty"`
 	// DAG reports that the exploration was answered on the interned-status
 	// DAG substrate (countOnly requests are); cache replays do not count.
 	DAG bool `json:"dag,omitempty"`
@@ -155,8 +168,8 @@ type Stats struct {
 	// outcomes (admin endpoint and SIGHUP), so operators can see how
 	// often new registrar data arrives and how often the integrity gate
 	// turns it away.
-	ReloadsApplied  int             `json:"reloadsApplied"`
-	ReloadsRejected int             `json:"reloadsRejected"`
+	ReloadsApplied  int `json:"reloadsApplied"`
+	ReloadsRejected int `json:"reloadsRejected"`
 	// CacheHits/CacheCoalesced count explore requests answered from the
 	// result cache or by sharing an identical in-flight run (from the
 	// event ring, so bounded by its capacity).
@@ -168,6 +181,20 @@ type Stats struct {
 	// how much counting work the DAG absorbs and at what cost.
 	DAGAnswered int   `json:"dagAnswered"`
 	DAGNodes    int64 `json:"dagNodes"`
+	// Overload-resilience counters (never omitted — operators alert on
+	// them, so a zero must be visibly a zero). Queued counts requests that
+	// waited in the admission queue before running; ShedCostly requests
+	// shed for crossing the cost threshold while saturated; ShedQueueFull
+	// requests shed with the queue at depth; QueueTimeouts queued requests
+	// that timed out waiting; StaleServed brownout replays of the previous
+	// snapshot's cache entries; BreakerOpen reload attempts refused or
+	// tripped by a tenant's circuit breaker.
+	Queued        int `json:"queued"`
+	ShedCostly    int `json:"shedCostly"`
+	ShedQueueFull int `json:"shedQueueFull"`
+	QueueTimeouts int `json:"queueTimeouts"`
+	StaleServed   int `json:"staleServed"`
+	BreakerOpen   int `json:"breakerOpen"`
 	// Cache is the live result-cache snapshot (counters since process
 	// start, unbounded by the ring), injected by the server when caching
 	// is enabled.
@@ -270,6 +297,21 @@ func aggregate(events []Event) Stats {
 			st.CacheHits++
 		case "coalesced":
 			st.CacheCoalesced++
+		case "stale":
+			st.StaleServed++
+		}
+		switch e.Admission {
+		case "queued":
+			st.Queued++
+		case "shed_costly":
+			st.ShedCostly++
+		case "shed_queue_full":
+			st.ShedQueueFull++
+		case "queue_timeout":
+			st.QueueTimeouts++
+		}
+		if e.Breaker != "" {
+			st.BreakerOpen++
 		}
 		if e.DAG {
 			st.DAGAnswered++
@@ -322,12 +364,14 @@ func aggregate(events []Event) Stats {
 // CacheStats mirrors the result cache's lifetime counters for the stats
 // surface.
 type CacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Coalesced int64 `json:"coalesced"`
-	Evictions int64 `json:"evictions"`
-	Bytes     int64 `json:"bytes"`
-	Entries   int   `json:"entries"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Coalesced    int64 `json:"coalesced"`
+	Evictions    int64 `json:"evictions"`
+	Bytes        int64 `json:"bytes"`
+	Entries      int   `json:"entries"`
+	StaleEntries int   `json:"staleEntries"`
+	StaleHits    int64 `json:"staleHits"`
 }
 
 // quantile returns the q-quantile of sorted values (nearest-rank).

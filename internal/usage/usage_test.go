@@ -1,6 +1,8 @@
 package usage
 
 import (
+	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -150,5 +152,47 @@ func TestConcurrentRecording(t *testing.T) {
 	st := l.Snapshot()
 	if st.Total != 64 {
 		t.Errorf("Total = %d", st.Total)
+	}
+}
+
+// TestSnapshotOverloadCounters: the admission, stale-serve and breaker
+// annotations aggregate into the overload-resilience counters.
+func TestSnapshotOverloadCounters(t *testing.T) {
+	l := NewLog(32)
+	l.Record(Event{Endpoint: "POST /api/v1/explore/goal", Admission: "queued", Status: 200})
+	l.Record(Event{Endpoint: "POST /api/v1/explore/goal", Admission: "queued", Status: 200})
+	l.Record(Event{Endpoint: "POST /api/v1/explore/goal", Admission: "shed_costly", Status: 429})
+	l.Record(Event{Endpoint: "POST /api/v1/explore/goal", Admission: "shed_queue_full", Status: 429})
+	l.Record(Event{Endpoint: "POST /api/v1/explore/goal", Admission: "queue_timeout", Status: 503})
+	l.Record(Event{Endpoint: "POST /api/v1/explore/goal", Cache: "stale", Degraded: true, Status: 200})
+	l.Record(Event{Endpoint: "POST /api/v1/admin/reload", Breaker: "tripped", Reload: "rejected", Status: 422})
+	l.Record(Event{Endpoint: "POST /api/v1/admin/reload", Breaker: "open", Reload: "rejected", Status: 422})
+	l.Record(Event{Endpoint: "POST /api/v1/explore/goal", Status: 200}) // plain admit: no counter
+	st := l.Snapshot()
+	if st.Queued != 2 {
+		t.Errorf("Queued = %d, want 2", st.Queued)
+	}
+	if st.ShedCostly != 1 || st.ShedQueueFull != 1 || st.QueueTimeouts != 1 {
+		t.Errorf("sheds = %d/%d/%d, want 1/1/1", st.ShedCostly, st.ShedQueueFull, st.QueueTimeouts)
+	}
+	if st.StaleServed != 1 {
+		t.Errorf("StaleServed = %d, want 1", st.StaleServed)
+	}
+	if st.BreakerOpen != 2 {
+		t.Errorf("BreakerOpen = %d, want 2", st.BreakerOpen)
+	}
+}
+
+// TestOverloadCountersNeverOmitted: operators alert on these fields, so
+// they must serialize even at zero.
+func TestOverloadCountersNeverOmitted(t *testing.T) {
+	b, err := json.Marshal(NewLog(1).Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"queued"`, `"shedCostly"`, `"shedQueueFull"`, `"queueTimeouts"`, `"staleServed"`, `"breakerOpen"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("zero-valued %s omitted from stats JSON", key)
+		}
 	}
 }
