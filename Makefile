@@ -6,9 +6,9 @@
 GO ?= go
 
 .PHONY: check vet lint build test race race-short bench bench-smoke fuzz-short \
-	bench-regress bench-baseline routes-guard chaos-short
+	bench-regress bench-baseline routes-guard chaos-short cohort-short
 
-check: lint build routes-guard chaos-short race-short race fuzz-short bench-smoke bench-regress
+check: lint build routes-guard chaos-short cohort-short race-short race fuzz-short bench-smoke bench-regress
 
 # API.md's endpoint table and the registered mux patterns must stay
 # equal in both directions — a new route lands with its documentation
@@ -54,6 +54,14 @@ chaos-short:
 		-run 'Chaos|Queue|Shed|Brownout|Degraded|Breaker|Stale|Healthz|StatsOverload|OverloadMix|ShutdownUnderLoad' \
 		./internal/server/
 
+# The batch-simulation gate: the scenario/cohort engine plus the cohort
+# endpoint's streaming, cancellation, coalescing and cohort-of-1
+# equivalence tests, under the race detector. CI uploads the log on
+# failure.
+cohort-short:
+	$(GO) test -race -timeout 120s ./internal/cohort/
+	$(GO) test -race -timeout 120s -run 'Cohort|WhatIf' ./internal/server/
+
 # Bounded fuzz smoke over the ingestion parsers (grammar round-trip,
 # prerequisite extraction, lenient/strict differential). go test allows
 # one -fuzz target per invocation, hence one line per target. The
@@ -78,7 +86,7 @@ bench-smoke:
 # installed (CI installs it), a human-readable delta is printed too.
 # Keep the -bench pattern and -benchtime in sync with bench-baseline —
 # allocs/op amortisation depends on the iteration count.
-BENCH_GATE = GoalStream$$|GoalMaterialize$$|FrontierHeapGeneric$$|FrontierHeapBoxed$$|ExploreCold$$|ExploreWarm$$|ExploreCoalesced$$|DAGCount$$|DAGWhatIf$$
+BENCH_GATE = GoalStream$$|GoalMaterialize$$|FrontierHeapGeneric$$|FrontierHeapBoxed$$|ExploreCold$$|ExploreWarm$$|ExploreCoalesced$$|CohortReplanCold$$|CohortReplanWarm$$|DAGCount$$|DAGWhatIf$$
 BENCH_DIR  = .bench
 BENCH_RUN  = $(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -benchtime 20x ./internal/explore/ ./internal/server/
 

@@ -17,6 +17,8 @@
 //	audit       degree-progress report against the embedded CS major
 //	plan        validate a hand-written plan file against the catalog rules
 //	whatif      rank this semester's selections by preserved goal paths
+//	cohort      replan a whole cohort against a catalog scenario (batch
+//	            what-if): per-student delay/stranding records + aggregate
 //	impact      analyse a schedule revision: diff two catalogs, path-space
 //	            delta, and which existing plans break
 //
@@ -45,13 +47,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 
 	"repro"
 	"repro/internal/catalog"
+	"repro/internal/cohort"
 	"repro/internal/degree"
 	"repro/internal/impact"
 	"repro/internal/term"
@@ -77,7 +82,7 @@ func run(args []string) error {
 	schedulePath := global.String("schedule", "", "schedule records file (with -registrar)")
 	window := global.String("window", "Fall 2011,Fall 2015", "schedule window for -registrar, \"first,last\"")
 	global.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: coursenav [global flags] <catalog|lint|options|deadline|goal|rank|audit|plan|whatif|impact> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: coursenav [global flags] <catalog|lint|options|deadline|goal|rank|audit|plan|whatif|cohort|impact> [flags]")
 		global.PrintDefaults()
 	}
 	if err := global.Parse(args); err != nil {
@@ -154,6 +159,8 @@ func run(args []string) error {
 		return a.cmdPlan(cmdArgs)
 	case "whatif":
 		return a.cmdWhatIf(cmdArgs)
+	case "cohort":
+		return a.cmdCohort(cmdArgs)
 	case "impact":
 		return cmdImpact(cmdArgs)
 	default:
@@ -596,6 +603,221 @@ func (a *app) cmdWhatIf(args []string) error {
 	if dead > 0 {
 		fmt.Printf("%d selections close off the goal entirely\n", dead)
 	}
+	return nil
+}
+
+// parseChanges parses a scenario change list: semicolon-separated
+// entries of the form "COURSE@Term" or "COURSE@Term|Term" (the terms the
+// course is cancelled from / added to).
+func parseChanges(s string) ([]cohort.Change, error) {
+	var out []cohort.Change
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		course, terms, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("change %q: want COURSE@Term or COURSE@Term|Term", entry)
+		}
+		ch := cohort.Change{Course: strings.TrimSpace(course)}
+		for _, t := range strings.Split(terms, "|") {
+			if t = strings.TrimSpace(t); t != "" {
+				ch.Terms = append(ch.Terms, t)
+			}
+		}
+		if ch.Course == "" || len(ch.Terms) == 0 {
+			return nil, fmt.Errorf("change %q: want COURSE@Term or COURSE@Term|Term", entry)
+		}
+		out = append(out, ch)
+	}
+	return out, nil
+}
+
+// cmdCohort replans a whole cohort against a catalog scenario — the
+// batch form of whatif. Members come from a transcript file or are
+// synthesized from a seed; each is replanned through the same engine a
+// single-student query uses, with identical sub-requests memoised.
+func (a *app) cmdCohort(args []string) error {
+	fs := flag.NewFlagSet("cohort", flag.ContinueOnError)
+	start := fs.String("start", "", "synthesis window start, e.g. \"Fall 2013\" (with -synthesize)")
+	end := fs.String("end", "", "deadline semester d every member is replanned against")
+	m := fs.Int("m", 3, "max courses per semester (0 = unlimited)")
+	gf := addGoalFlags(fs)
+	transcripts := fs.String("transcripts", "", "member source: transcript file (internal/transcript format)")
+	synthesize := fs.Int("synthesize", 0, "member source: synthesize this many students from -member-seed")
+	memberSeed := fs.Int64("member-seed", 1, "cohort synthesis seed (with -synthesize)")
+	cancel := fs.String("cancel", "", "scenario: cancel offerings, \"COURSE@Term|Term;COURSE@Term\"")
+	add := fs.String("add", "", "scenario: add offerings, same form as -cancel")
+	samples := fs.Int("samples", 0, "Monte-Carlo offering-schedule samples for reliability (0 = off)")
+	scenarioSeed := fs.Int64("scenario-seed", 1, "schedule sampling seed (with -samples)")
+	histYears := fs.Int("history-years", cohort.DefaultHistoryYears, "offering-history length for sampling")
+	released := fs.String("released", "", "last term with a published schedule (default: -start)")
+	horizon := fs.Int("horizon", cohort.DefaultHorizon, "semesters past -end to probe for delay")
+	baseline := fs.Bool("baseline", false, "also count each member's paths under the unmodified catalog")
+	detail := fs.Bool("detail", false, "embed each member's what-if replan in the NDJSON records")
+	ndjson := fs.Bool("ndjson", false, "emit the API's NDJSON records instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *end == "" {
+		return fmt.Errorf("cohort: -end is required")
+	}
+	if (*transcripts != "") == (*synthesize > 0) {
+		return fmt.Errorf("cohort: set exactly one member source: -transcripts or -synthesize")
+	}
+	set := 0
+	for _, on := range []bool{*gf.courses != "", *gf.expr != "", *gf.major} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return fmt.Errorf("set exactly one of -goal-courses, -goal-expr, -major")
+	}
+	// Goals are catalog-bound: every variant (scenario delta, each
+	// sampled schedule, the baseline) rebuilds the goal on its own
+	// catalog.
+	makeGoal := func(nav *coursenav.Navigator) (coursenav.Goal, error) {
+		switch {
+		case *gf.major:
+			return nav.BrandeisMajor()
+		case *gf.courses != "":
+			var ids []string
+			for _, c := range strings.Split(*gf.courses, ",") {
+				ids = append(ids, strings.TrimSpace(c))
+			}
+			return nav.GoalCourses(ids...)
+		default:
+			return nav.GoalExpr(*gf.expr)
+		}
+	}
+
+	sc := cohort.Scenario{
+		Samples:         *samples,
+		Seed:            *scenarioSeed,
+		HistoryYears:    *histYears,
+		ReleasedThrough: *released,
+	}
+	var err error
+	if sc.Cancel, err = parseChanges(*cancel); err != nil {
+		return fmt.Errorf("-cancel: %v", err)
+	}
+	if sc.Add, err = parseChanges(*add); err != nil {
+		return fmt.Errorf("-add: %v", err)
+	}
+	sc.Canonicalize(a.nav.CanonicalCourse)
+	if sc.ReleasedThrough == "" {
+		sc.ReleasedThrough = *start
+	}
+	cat := a.nav.Catalog()
+	scenCat, err := sc.Apply(cat)
+	if err != nil {
+		return err
+	}
+	scenNav := a.nav
+	if scenCat != cat {
+		scenNav = coursenav.NewFromCatalog(scenCat)
+	}
+	sampleCats, err := sc.SampleSchedules(scenCat)
+	if err != nil {
+		return err
+	}
+	sampleNavs := make([]*coursenav.Navigator, len(sampleCats))
+	for i, c := range sampleCats {
+		sampleNavs[i] = coursenav.NewFromCatalog(c)
+	}
+
+	var members []cohort.Member
+	if *transcripts != "" {
+		f, err := os.Open(*transcripts)
+		if err != nil {
+			return err
+		}
+		trs, err := transcript.Parse(f, cat.Calendar())
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if members, err = cohort.FromTranscripts(cat, trs, *m); err != nil {
+			return err
+		}
+	} else {
+		if *start == "" {
+			return fmt.Errorf("cohort: -synthesize requires -start")
+		}
+		startT, err := term.Parse(cat.Calendar(), *start)
+		if err != nil {
+			return err
+		}
+		endT, err := term.Parse(cat.Calendar(), *end)
+		if err != nil {
+			return err
+		}
+		goal, err := makeGoal(a.nav)
+		if err != nil {
+			return err
+		}
+		members, err = cohort.Synthesize(cat, goal.Inner(), startT, endT, *m, *synthesize,
+			rand.New(rand.NewSource(*memberSeed)))
+		if err != nil {
+			return err
+		}
+	}
+
+	runner := cohort.Runner{
+		Planner: &cohort.NavPlanner{
+			Base:       a.nav,
+			Scenario:   scenNav,
+			Samples:    sampleNavs,
+			MakeGoal:   makeGoal,
+			MaxPerTerm: *m,
+		},
+		Opts: cohort.Options{
+			End:      *end,
+			Horizon:  *horizon,
+			Baseline: *baseline,
+			Detail:   *detail,
+			Samples:  *samples,
+			Calendar: cat.Calendar(),
+		},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	sum, err := runner.Run(context.Background(), members, func(rec cohort.MemberRecord) error {
+		if *ndjson {
+			return enc.Encode(struct {
+				Member cohort.MemberRecord `json:"member"`
+			}{rec})
+		}
+		line := fmt.Sprintf("%-10s goalPaths=%d", rec.Student, rec.GoalPaths)
+		if rec.Baseline != nil {
+			line += fmt.Sprintf(" baseline=%d", *rec.Baseline)
+		}
+		if rec.Delay > 0 {
+			line += fmt.Sprintf(" delay=%d", rec.Delay)
+		}
+		if rec.Stranded {
+			line += " STRANDED"
+		}
+		if rec.Reliability != nil {
+			line += fmt.Sprintf(" reliability=%.2f", *rec.Reliability)
+		}
+		if rec.Error != "" {
+			line += " error=" + rec.Error
+		}
+		fmt.Println(line)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if *ndjson {
+		return enc.Encode(struct {
+			Summary cohort.Summary `json:"summary"`
+		}{sum})
+	}
+	fmt.Printf("members=%d affected=%d delayed=%d stranded=%d errors=%d meanDelay=%.2f units=%d reused=%d\n",
+		sum.Members, sum.Affected, sum.Delayed, sum.Stranded, sum.Errors, sum.MeanDelay, sum.Units, sum.Coalesced)
 	return nil
 }
 

@@ -58,6 +58,33 @@ func Brandeis() (*Navigator, Goal) {
 	return &Navigator{cat: cat}, Goal{inner: major}
 }
 
+// NewFromCatalog wraps an already-built catalog. It is module-internal
+// plumbing (the signature names an internal type): cohort scenario
+// application builds delta catalogs — a cancelled course, a revised
+// schedule, a Monte-Carlo offering sample — and serves explorations over
+// them through the ordinary Navigator surface.
+func NewFromCatalog(cat *catalog.Catalog) *Navigator {
+	return &Navigator{cat: cat}
+}
+
+// Catalog exposes the navigator's underlying catalog for module-internal
+// callers (cohort construction parses transcripts and synthesises members
+// against it). The catalog is immutable once built.
+func (n *Navigator) Catalog() *catalog.Catalog { return n.cat }
+
+// BrandeisMajor rebuilds the embedded CS-major goal against this
+// navigator's catalog. Goals are catalog-bound, so a scenario variant of
+// the embedded catalog (a cancelled course, a sampled schedule) needs
+// its own major goal; it errors when the catalog lacks the major's
+// courses.
+func (n *Navigator) BrandeisMajor() (Goal, error) {
+	major, err := brandeis.Major(n.cat)
+	if err != nil {
+		return Goal{}, err
+	}
+	return Goal{inner: major}, nil
+}
+
 // NewFromJSON builds a Navigator from a catalog JSON document (an array
 // of course specs; see Navigator.WriteCatalogJSON for the schema).
 func NewFromJSON(r io.Reader) (*Navigator, error) {
@@ -291,6 +318,11 @@ func (g Goal) String() string {
 	}
 	return g.inner.String()
 }
+
+// Inner exposes the wrapped degree.Goal for module-internal callers
+// (the signature names an internal type): cohort synthesis feeds it to
+// the transcript generator, which predates the façade wrapper.
+func (g Goal) Inner() degree.Goal { return g.inner }
 
 // GoalCourses builds the complete-all-of goal.
 func (n *Navigator) GoalCourses(ids ...string) (Goal, error) {

@@ -1,0 +1,126 @@
+package cohort
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro"
+)
+
+// NavPlanner executes cohort units directly on façade navigators — the
+// in-process substrate the CLI and tests use. Counting units are
+// memoised by (variant, position, deadline), so members sharing a
+// canonical sub-request reuse each other's results just like the
+// server's result cache would (CountResult.Reused reports it). The
+// planner is not safe for concurrent use.
+type NavPlanner struct {
+	// Base, Scenario and Samples are the catalog variants; Scenario may
+	// equal Base for an empty scenario.
+	Base     *coursenav.Navigator
+	Scenario *coursenav.Navigator
+	Samples  []*coursenav.Navigator
+	// MakeGoal builds the goal against one variant's catalog (goals are
+	// catalog-bound, so each variant needs its own).
+	MakeGoal func(*coursenav.Navigator) (coursenav.Goal, error)
+	// MaxPerTerm bounds elections per semester in every unit.
+	MaxPerTerm int
+
+	memo  map[string]CountResult
+	goals map[*coursenav.Navigator]coursenav.Goal
+}
+
+func (p *NavPlanner) nav(v Variant) (*coursenav.Navigator, string, error) {
+	switch v.Kind {
+	case KindScenario:
+		return p.Scenario, "s", nil
+	case KindBase:
+		return p.Base, "b", nil
+	case KindSample:
+		if v.Sample < 0 || v.Sample >= len(p.Samples) {
+			return nil, "", fmt.Errorf("cohort: sample %d out of range", v.Sample)
+		}
+		return p.Samples[v.Sample], fmt.Sprintf("m%d", v.Sample), nil
+	}
+	return nil, "", fmt.Errorf("cohort: unknown variant kind %d", v.Kind)
+}
+
+func (p *NavPlanner) goalFor(nav *coursenav.Navigator) (coursenav.Goal, error) {
+	if g, ok := p.goals[nav]; ok {
+		return g, nil
+	}
+	g, err := p.MakeGoal(nav)
+	if err != nil {
+		return coursenav.Goal{}, err
+	}
+	if p.goals == nil {
+		p.goals = map[*coursenav.Navigator]coursenav.Goal{}
+	}
+	p.goals[nav] = g
+	return g, nil
+}
+
+// Count implements Planner on the façade's counting engine.
+func (p *NavPlanner) Count(ctx context.Context, m Member, end string, v Variant) (CountResult, error) {
+	nav, vid, err := p.nav(v)
+	if err != nil {
+		return CountResult{}, err
+	}
+	key := vid + "|" + end + "|" + m.Start + "|" + strings.Join(m.Completed, ",")
+	if c, ok := p.memo[key]; ok {
+		c.Reused = true
+		return c, nil
+	}
+	goal, err := p.goalFor(nav)
+	if err != nil {
+		return CountResult{}, err
+	}
+	sum, err := nav.GoalPathsCountCtx(ctx, coursenav.Query{
+		Completed:  m.Completed,
+		Start:      m.Start,
+		End:        end,
+		MaxPerTerm: p.MaxPerTerm,
+	}, goal)
+	if err != nil {
+		return CountResult{}, err
+	}
+	c := CountResult{GoalPaths: sum.GoalPaths, Stopped: sum.Stopped}
+	if c.Stopped == "" {
+		if p.memo == nil {
+			p.memo = map[string]CountResult{}
+		}
+		p.memo[key] = c
+	}
+	return c, nil
+}
+
+// navReplanBody mirrors the server whatif response shape so CLI records
+// read the same as API ones.
+type navReplanBody struct {
+	Selections []coursenav.SelectionImpact `json:"selections"`
+	Stopped    string                      `json:"stopped,omitempty"`
+}
+
+// Replan implements Planner: the member's next-semester selection
+// comparison against the scenario catalog.
+func (p *NavPlanner) Replan(ctx context.Context, m Member, end string) (Replan, error) {
+	goal, err := p.goalFor(p.Scenario)
+	if err != nil {
+		return Replan{}, err
+	}
+	impacts, stopped, err := p.Scenario.CompareSelectionsCtx(ctx, coursenav.Query{
+		Completed:  m.Completed,
+		Start:      m.Start,
+		End:        end,
+		MaxPerTerm: p.MaxPerTerm,
+	}, goal)
+	if err != nil {
+		return Replan{}, err
+	}
+	body, err := json.Marshal(navReplanBody{Selections: impacts, Stopped: stopped})
+	if err != nil {
+		return Replan{}, err
+	}
+	return Replan{Body: body}, nil
+}

@@ -1,0 +1,287 @@
+package cohort
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// VariantKind selects which catalog a unit of work runs against.
+type VariantKind int
+
+const (
+	// KindScenario is the scenario catalog (the delta applied) — the
+	// default variant every member is replanned under.
+	KindScenario VariantKind = iota
+	// KindBase is the unmodified catalog, for baseline comparison.
+	KindBase
+	// KindSample is one Monte-Carlo-sampled schedule (Variant.Sample
+	// picks which).
+	KindSample
+)
+
+// Variant addresses one catalog variant of the scenario.
+type Variant struct {
+	Kind   VariantKind
+	Sample int
+}
+
+// CountResult is the outcome of one counting unit: the member's
+// goal-reaching path tally to the given deadline.
+type CountResult struct {
+	GoalPaths int64
+	// Stopped names why the count ended early (budget clamp); the tally
+	// is then a lower bound.
+	Stopped string
+	// Reused reports the unit was served without recomputation — a
+	// result-cache hit or a flight coalesced with an identical unit.
+	Reused bool
+}
+
+// Replan is the outcome of one what-if unit: the rendered selection
+// comparison for a member's next semester, byte-identical to the
+// interactive whatif endpoint's response body.
+type Replan struct {
+	Body   []byte
+	Reused bool
+}
+
+// Planner executes cohort units of work. Implementations decide the
+// execution substrate: the server routes units through its cache/
+// admission pipeline, NavPlanner runs façade calls directly. A unit
+// error fails that member (recorded, the run continues) unless it is
+// the context's own cancellation, which aborts the whole run.
+type Planner interface {
+	// Count tallies the member's goal-reaching paths from their start
+	// through end against the variant's catalog.
+	Count(ctx context.Context, m Member, end string, v Variant) (CountResult, error)
+	// Replan scores the member's next-semester selections against the
+	// scenario catalog (the interactive what-if question, batch form).
+	Replan(ctx context.Context, m Member, end string) (Replan, error)
+}
+
+// Options configures a cohort run.
+type Options struct {
+	// End is the deadline every member is replanned against.
+	End string
+	// Horizon is how many semesters past End to probe when a member has
+	// no on-time path, bounding the delay measurement (default
+	// DefaultHorizon). A member with no path within the horizon is
+	// stranded.
+	Horizon int
+	// Baseline additionally counts each member's paths under the
+	// unmodified catalog, so records carry scenario-vs-base deltas.
+	Baseline bool
+	// Detail embeds each member's scenario replan (the what-if body) in
+	// their record.
+	Detail bool
+	// Samples is the Monte-Carlo sample count (0 = no reliability).
+	Samples int
+	// Calendar parses End and steps the delay probe (default
+	// term.TwoSeason).
+	Calendar *term.Calendar
+}
+
+// DefaultHorizon bounds the delay probe when Options.Horizon is unset.
+const DefaultHorizon = 4
+
+// MemberRecord is one streamed per-student result.
+type MemberRecord struct {
+	Student string `json:"student"`
+	// GoalPaths is the member's goal-reaching path count by End under
+	// the scenario.
+	GoalPaths int64 `json:"goalPaths"`
+	// Baseline is the same count under the unmodified catalog (present
+	// only when the run compares baselines).
+	Baseline *int64 `json:"baseline,omitempty"`
+	// Affected: the scenario changed this member's outlook — a delay, a
+	// stranding, or a different path count than baseline.
+	Affected bool `json:"affected"`
+	// Delay is the extra semesters past End until a goal path exists
+	// (0 = on time).
+	Delay int `json:"delay"`
+	// Stranded: no goal path exists within the probe horizon.
+	Stranded bool `json:"stranded,omitempty"`
+	// Reliability is the fraction of sampled schedules under which the
+	// member still reaches the goal by End (present only when sampling).
+	Reliability *float64 `json:"reliability,omitempty"`
+	// Replan is the member's what-if comparison body (detail runs only).
+	Replan json.RawMessage `json:"replan,omitempty"`
+	// Stopped names a budget clamp on the member's scenario count; the
+	// tallies are then lower bounds.
+	Stopped string `json:"stopped,omitempty"`
+	// Error records a failed unit (shed by admission, bad window); the
+	// member's other fields are then partial.
+	Error string `json:"error,omitempty"`
+}
+
+// Summary is the trailing aggregate of a cohort run. Only these
+// accumulators are held across members — the runner's memory is O(one
+// member), not O(cohort).
+type Summary struct {
+	Members  int `json:"members"`
+	Affected int `json:"affected"`
+	Delayed  int `json:"delayed"`
+	Stranded int `json:"stranded"`
+	Errors   int `json:"errors"`
+	// DelayHistogram[d-1] counts members delayed exactly d semesters.
+	DelayHistogram []int `json:"delayHistogram,omitempty"`
+	// MeanDelay averages over delayed members only.
+	MeanDelay float64 `json:"meanDelay"`
+	// MeanReliability averages member reliability (sampling runs only).
+	MeanReliability *float64 `json:"meanReliability,omitempty"`
+	// Units counts sub-explorations issued; Coalesced how many of them
+	// were served without recomputation (cache hit or coalesced flight)
+	// — the measure of how much work member overlap saved.
+	Units     int64 `json:"units"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+// Runner drives a cohort run: each member replanned as sub-explorations
+// through the Planner, one record emitted per member as soon as it is
+// decided, aggregates accumulated along the way.
+type Runner struct {
+	Planner Planner
+	Opts    Options
+}
+
+// Run replans every member, calling emit once per member in order, and
+// returns the aggregate summary. Processing is strictly streaming: no
+// per-member state survives its emit call. A context cancellation or an
+// emit error aborts the run (the summary then covers the members
+// processed so far); per-member unit failures are recorded on the
+// member's record and do not stop the run.
+func (r *Runner) Run(ctx context.Context, members []Member, emit func(MemberRecord) error) (Summary, error) {
+	cal := r.Opts.Calendar
+	if cal == nil {
+		cal = term.TwoSeason
+	}
+	horizon := r.Opts.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	end, err := term.Parse(cal, r.Opts.End)
+	if err != nil {
+		return Summary{}, fmt.Errorf("cohort: end: %v", err)
+	}
+	sum := Summary{DelayHistogram: make([]int, horizon)}
+	delayTotal := 0
+	relTotal, relMembers := 0.0, 0
+	for _, m := range members {
+		if err := ctx.Err(); err != nil {
+			return sum, err
+		}
+		rec := MemberRecord{Student: m.Student}
+		fail := func(err error) {
+			if rec.Error == "" {
+				rec.Error = err.Error()
+			}
+		}
+		count := func(e term.Term, v Variant) (CountResult, bool) {
+			c, err := r.Planner.Count(ctx, m, e.Label(), v)
+			sum.Units++
+			if err != nil {
+				fail(err)
+				return c, false
+			}
+			if c.Reused {
+				sum.Coalesced++
+			}
+			return c, true
+		}
+		scen, ok := count(end, Variant{Kind: KindScenario})
+		if ok {
+			rec.GoalPaths = scen.GoalPaths
+			rec.Stopped = scen.Stopped
+			if r.Opts.Baseline {
+				if base, bok := count(end, Variant{Kind: KindBase}); bok {
+					b := base.GoalPaths
+					rec.Baseline = &b
+				}
+			}
+			if scen.GoalPaths == 0 && rec.Error == "" {
+				// No on-time path: probe successive deadlines for the first
+				// semester a path reappears; none within the horizon means
+				// the member is stranded by the scenario.
+				rec.Stranded = true
+				for d := 1; d <= horizon; d++ {
+					c, pok := count(end.Add(d), Variant{Kind: KindScenario})
+					if !pok {
+						break
+					}
+					if c.GoalPaths > 0 {
+						rec.Delay, rec.Stranded = d, false
+						break
+					}
+				}
+			}
+			if r.Opts.Samples > 0 && rec.Error == "" {
+				reach, n := 0, 0
+				for i := 0; i < r.Opts.Samples; i++ {
+					c, sok := count(end, Variant{Kind: KindSample, Sample: i})
+					if !sok {
+						break
+					}
+					n++
+					if c.GoalPaths > 0 {
+						reach++
+					}
+				}
+				if n > 0 {
+					rel := float64(reach) / float64(n)
+					rec.Reliability = &rel
+					relTotal += rel
+					relMembers++
+				}
+			}
+			if r.Opts.Detail && rec.Error == "" {
+				rp, err := r.Planner.Replan(ctx, m, r.Opts.End)
+				sum.Units++
+				if err != nil {
+					fail(err)
+				} else {
+					rec.Replan = json.RawMessage(bytes.TrimSpace(rp.Body))
+					if rp.Reused {
+						sum.Coalesced++
+					}
+				}
+			}
+			rec.Affected = rec.Stranded || rec.Delay > 0 ||
+				(rec.Baseline != nil && *rec.Baseline != rec.GoalPaths)
+		}
+		if err := ctx.Err(); err != nil {
+			// A cancelled context fails every remaining unit instantly;
+			// abort instead of emitting one error record per member.
+			return sum, err
+		}
+		sum.Members++
+		if rec.Error != "" {
+			sum.Errors++
+		}
+		if rec.Affected {
+			sum.Affected++
+		}
+		if rec.Stranded {
+			sum.Stranded++
+		}
+		if rec.Delay > 0 {
+			sum.Delayed++
+			sum.DelayHistogram[rec.Delay-1]++
+			delayTotal += rec.Delay
+		}
+		if err := emit(rec); err != nil {
+			return sum, err
+		}
+	}
+	if sum.Delayed > 0 {
+		sum.MeanDelay = float64(delayTotal) / float64(sum.Delayed)
+	}
+	if relMembers > 0 {
+		mr := relTotal / float64(relMembers)
+		sum.MeanReliability = &mr
+	}
+	return sum, nil
+}

@@ -55,7 +55,23 @@ func Default() Params {
 
 // Generate builds the catalog described by p. The schedule window starts
 // at Fall 2011.
+//
+// Seeding contract: all randomness flows from p.Seed — equal Params
+// generate byte-identical catalogs on every run and platform, and the
+// package-level math/rand state is never touched. Pipelines composing
+// catalog generation with further seeded steps (cohort synthesis,
+// history generation) should call GenerateRand with one shared
+// *rand.Rand so a single seed reproduces the whole pipeline.
 func Generate(p Params) (*catalog.Catalog, error) {
+	return GenerateRand(p, rand.New(rand.NewSource(p.Seed)))
+}
+
+// GenerateRand is Generate drawing from a caller-owned random source
+// (p.Seed is ignored): the generator consumes rng in a fixed order, so an
+// equal-state rng yields an identical catalog and sequential calls
+// sharing one rng form a single deterministic stream. rng must not be
+// shared concurrently.
+func GenerateRand(p Params, rng *rand.Rand) (*catalog.Catalog, error) {
 	switch {
 	case p.Courses < 2:
 		return nil, fmt.Errorf("datagen: need at least 2 courses, got %d", p.Courses)
@@ -67,8 +83,9 @@ func Generate(p Params) (*catalog.Catalog, error) {
 		return nil, fmt.Errorf("datagen: IntroFraction %g out of (0,1]", p.IntroFraction)
 	case p.OfferProb <= 0 || p.OfferProb > 1:
 		return nil, fmt.Errorf("datagen: OfferProb %g out of (0,1]", p.OfferProb)
+	case rng == nil:
+		return nil, fmt.Errorf("datagen: nil rng")
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
 	intro := int(float64(p.Courses)*p.IntroFraction + 0.5)
 	if intro < 1 {
 		intro = 1

@@ -166,6 +166,61 @@ func GenerateHistory(cat *catalog.Catalog, years int, seed int64) (*History, err
 	return h, nil
 }
 
+// SampleOfferings draws one plausible future schedule: offerings in terms
+// up to and including releasedThrough are kept exactly as published (the
+// released window is certain), while for every later term in the
+// catalog's schedule window each course is offered with its historical
+// same-season frequency. The returned catalog is one Monte-Carlo sample
+// of the uncertain schedule; replanning a cohort against many samples
+// estimates how reliably each member's plan survives schedule flux
+// (paper §4.3.1's prob(c,s), applied to whole schedules instead of
+// single rankings).
+//
+// All randomness flows from rng, consumed in a fixed order: an
+// equal-state rng yields an identical sample, and sequential calls
+// sharing one rng form a deterministic sample sequence.
+func SampleOfferings(cat *catalog.Catalog, hist *History, releasedThrough term.Term, rng *rand.Rand) (*catalog.Catalog, error) {
+	if hist == nil {
+		return nil, fmt.Errorf("sched: nil history")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sched: nil rng")
+	}
+	if releasedThrough.IsZero() || releasedThrough.Calendar() != cat.Calendar() {
+		return nil, fmt.Errorf("sched: releasedThrough term invalid")
+	}
+	last := cat.LastTerm()
+	if last.IsZero() {
+		return nil, fmt.Errorf("sched: catalog has no schedule to sample")
+	}
+	b := catalog.NewBuilder(cat.Calendar())
+	for i := 0; i < cat.Len(); i++ {
+		course := cat.Course(i)
+		var offered []term.Term
+		for _, t := range course.Offered {
+			if !t.After(releasedThrough) {
+				offered = append(offered, t)
+			}
+		}
+		for t := releasedThrough.Next(); !t.After(last); t = t.Next() {
+			if rng.Float64() < hist.Frequency(i, t.Season()) {
+				offered = append(offered, t)
+			}
+		}
+		if len(offered) == 0 {
+			// A course sampled as never offered would be structurally
+			// unreachable, turning a schedule-flux question into a
+			// catalog-integrity one; keep its rarest published offering.
+			if len(course.Offered) > 0 {
+				offered = append(offered, course.Offered[0])
+			}
+		}
+		course.Offered = offered
+		b.Add(course)
+	}
+	return b.Build()
+}
+
 // Project extends a catalog's schedule beyond the released window with
 // offerings predicted from history: for every term in
 // (releasedThrough, horizon], a course is projected as offered in the

@@ -17,6 +17,7 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"net/http"
@@ -124,9 +125,12 @@ type admitResult struct {
 // admit prices the request and takes both admission levels: the
 // tenant's instant-shed quota, then the global cost-aware queue. On
 // admission the release func returns both slots and records the run's
-// wall time under the request's cost key. Nothing is written to w on a
-// shed — the caller answers (writeShed, or a stale fallback first).
-func (s *Server) admit(t *tenantState, r *http.Request, req *ExploreRequest, endpoint string) (admitResult, bool) {
+// wall time under the request's cost key. Nothing is written on a shed
+// — the caller answers (writeShed, a stale fallback, or a per-member
+// error record in a cohort run). It takes a context, not an
+// *http.Request: cohort units admit one sub-exploration at a time under
+// the job's context, through exactly this gate.
+func (s *Server) admit(t *tenantState, ctx context.Context, req *ExploreRequest, endpoint string) (admitResult, bool) {
 	relQuota, ok := t.acquireQuota()
 	if !ok {
 		return admitResult{tenantShed: true}, false
@@ -138,7 +142,7 @@ func (s *Server) admit(t *tenantState, r *http.Request, req *ExploreRequest, end
 		est = admission.SeedCost(hint)
 	}
 	wasDegraded := s.degradedNow()
-	release, outcome := s.adm().Acquire(r.Context(), est)
+	release, outcome := s.adm().Acquire(ctx, est)
 	if outcome.Shed() {
 		relQuota()
 		return admitResult{outcome: outcome, degraded: wasDegraded, retryAfter: s.adm().RetryAfter()}, false
@@ -210,7 +214,7 @@ func (s *Server) writeShed(t *tenantState, w http.ResponseWriter, res admitResul
 // stale fallback (the streaming branches): it answers the shed itself
 // and returns ok=false.
 func (s *Server) admitExplore(t *tenantState, w http.ResponseWriter, r *http.Request, req *ExploreRequest, endpoint string) (release func(), ok bool) {
-	res, ok := s.admit(t, r, req, endpoint)
+	res, ok := s.admit(t, r.Context(), req, endpoint)
 	if !ok {
 		s.writeShed(t, w, res)
 		return nil, false

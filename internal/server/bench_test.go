@@ -64,6 +64,55 @@ func BenchmarkExploreWarm(b *testing.B) {
 	}
 }
 
+// benchCohortBody replans a small cohort against a cancelled offering,
+// with a detail replan per member so each member issues several units.
+// Two members share a canonical position so the coalescing path is on
+// the measured profile even cold.
+const benchCohortBody = `{"scenario":{"cancel":[{"course":"COSI 21A","terms":["Spring 2014"]}]},` +
+	`"members":[{"student":"A","completed":["COSI 11A","COSI 12B"],"start":"Fall 2014"},` +
+	`{"student":"B","completed":["COSI 12B","COSI 11A"],"start":"Fall 2014"},` +
+	`{"student":"C","completed":["COSI 11A"],"start":"Spring 2014"},` +
+	`{"student":"D","completed":[],"start":"Fall 2013"}],` +
+	`"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":2},` +
+	`"goal":{"courses":["COSI 21A"]},"baseline":true,"detail":true}`
+
+func benchCohort(b *testing.B, s *Server) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/cohort", strings.NewReader(benchCohortBody))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkCohortReplanCold measures the full batch pipeline with an
+// empty result cache each iteration: every member's units decode,
+// canonicalize, pass admission and recompute.
+func BenchmarkCohortReplanCold(b *testing.B) {
+	s := newBenchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cache.Invalidate(0)
+		benchCohort(b, s)
+	}
+}
+
+// BenchmarkCohortReplanWarm measures the cache-coalesced batch path:
+// the first job primes every unit's entry, so each timed job answers
+// all members from the result cache.
+func BenchmarkCohortReplanWarm(b *testing.B) {
+	s := newBenchServer(b)
+	benchCohort(b, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchCohort(b, s)
+	}
+}
+
 // BenchmarkExploreCoalesced measures a thundering herd on a cold key:
 // each iteration invalidates the cache and fires 8 identical requests
 // concurrently, so one leader computes while the followers coalesce

@@ -291,7 +291,7 @@ func (s *Server) serveCached(t *tenantState, w http.ResponseWriter, r *http.Requ
 			}
 		}()
 	}
-	res, ok := s.admit(t, r, req, endpoint)
+	res, ok := s.admit(t, r.Context(), req, endpoint)
 	if !ok {
 		// Shed — but a stale entry, when one exists, turns the shed into a
 		// served response: degraded beats denied.

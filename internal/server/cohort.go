@@ -1,0 +1,444 @@
+// The cohort endpoint: batch scenario simulation on the unit-of-work
+// layer (unit.go).
+//
+// POST /api/v1[/t/{tenant}]/cohort replans every member of a cohort
+// against a catalog scenario and streams one NDJSON record per student
+// — O(member) memory regardless of cohort size — with a trailing
+// aggregate summary. Each member decomposes into counting (and
+// optionally what-if) units executed through runUnit, so every unit is
+// individually priced by the admission estimator, individually budgeted
+// (RequestTimeout and brownout clamps apply per unit, not per job), and
+// keyed into the tenant's result cache: members sharing a canonical
+// sub-request coalesce with each other and with interactive traffic.
+// For an empty scenario the units use the interactive endpoints' own
+// cache key space ("goal", "whatif"), so a cohort-of-1 detail replan is
+// byte-identical to the corresponding /api/v1/explore/whatif response —
+// a tested invariant. Non-empty scenarios fold the scenario digest into
+// the key space so deltas can never alias the live catalog.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/cohort"
+	"repro/internal/resultcache"
+	"repro/internal/term"
+	"repro/internal/transcript"
+)
+
+// maxCohortBodyBytes caps the cohort request body. Inline transcripts
+// or explicit member lists for institutional cohorts are far larger
+// than an interactive request, so the cap is its own, not decode()'s.
+const maxCohortBodyBytes = 16 << 20
+
+// Cohort job shape limits: honest 400s beat unbounded fan-out.
+const (
+	maxCohortMembers = 100_000
+	maxCohortSamples = 64
+	maxCohortHorizon = 16
+)
+
+// synthesizeSpec asks the server to synthesise the cohort from seeds:
+// n goal-reaching students generated over [query.start, query.end] and
+// truncated to random mid-degree positions. Equal (catalog, goal,
+// window, n, seed) synthesise byte-identical cohorts.
+type synthesizeSpec struct {
+	N    int   `json:"n"`
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// cohortRequest is the POST /api/v1/cohort body. Exactly one member
+// source — members, transcripts or synthesize — must be set.
+type cohortRequest struct {
+	// Scenario is the catalog delta to replan against; the zero value
+	// replans against the live catalog.
+	Scenario cohort.Scenario `json:"scenario"`
+	// Members lists explicit replanning positions.
+	Members []cohort.Member `json:"members,omitempty"`
+	// Transcripts carries inline transcript text (the dump format of
+	// internal/transcript); members derive from replaying them.
+	Transcripts string `json:"transcripts,omitempty"`
+	// Synthesize generates the cohort from seeds.
+	Synthesize *synthesizeSpec `json:"synthesize,omitempty"`
+	// Query templates every member's sub-exploration: end (required) is
+	// the common deadline, maxPerTerm/avoid/workload bounds apply to all
+	// members. completed/start/countOnly are per-member and rejected.
+	Query QuerySpec `json:"query"`
+	// Goal is the degree goal every member is replanned toward.
+	Goal *GoalSpec `json:"goal,omitempty"`
+	// Budget bounds each member's sub-explorations individually.
+	Budget *BudgetSpec `json:"budget,omitempty"`
+	// Horizon bounds the delay probe (semesters past end; default 4).
+	Horizon int `json:"horizon,omitempty"`
+	// Baseline adds an unmodified-catalog count per member.
+	Baseline bool `json:"baseline,omitempty"`
+	// Detail embeds each member's what-if replan body in their record.
+	Detail bool `json:"detail,omitempty"`
+}
+
+type cohortMemberRecord struct {
+	Member cohort.MemberRecord `json:"member"`
+}
+
+type cohortSummaryRecord struct {
+	Summary cohort.Summary `json:"summary"`
+}
+
+func (s *Server) handleCohort(t *tenantState, w http.ResponseWriter, r *http.Request) {
+	var req cohortRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCohortBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Generation before navigator, as everywhere: results are never keyed
+	// under a newer generation than the catalog that produced them.
+	gen := t.gen()
+	nav := t.navigator()
+	cat := nav.Catalog()
+
+	if req.Goal == nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "missing goal")
+		return
+	}
+	if req.Query.CountOnly {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			"query.countOnly does not apply to cohort: member units are counting runs already")
+		return
+	}
+	if len(req.Query.Completed) > 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			"query.completed does not apply to cohort: members carry their own completed sets")
+		return
+	}
+	sources := 0
+	if len(req.Members) > 0 {
+		sources++
+	}
+	if strings.TrimSpace(req.Transcripts) != "" {
+		sources++
+	}
+	if req.Synthesize != nil {
+		sources++
+	}
+	if sources != 1 {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			"provide exactly one member source: members, transcripts or synthesize")
+		return
+	}
+	if req.Horizon < 0 || req.Horizon > maxCohortHorizon {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			"horizon must be in [0, %d]", maxCohortHorizon)
+		return
+	}
+	if req.Scenario.Samples < 0 || req.Scenario.Samples > maxCohortSamples {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			"scenario.samples must be in [0, %d]", maxCohortSamples)
+		return
+	}
+
+	// Canonicalize the shared template once; member fields are folded in
+	// per unit. The same canonical forms derive cache keys, so identical
+	// positions coalesce across members, jobs and interactive requests.
+	tmpl := &ExploreRequest{Query: req.Query, Goal: req.Goal, Budget: req.Budget}
+	canonicalize(nav, tmpl)
+	req.Query, req.Goal = tmpl.Query, tmpl.Goal
+	if req.Query.End == "" {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "missing query.end (the cohort deadline)")
+		return
+	}
+	if _, err := term.Parse(cat.Calendar(), req.Query.End); err != nil {
+		s.writeNavErr(w, err)
+		return
+	}
+
+	// Scenario catalogs: the delta applied once per job, Monte-Carlo
+	// schedules sampled from the scenario catalog (deltas compose with
+	// sampling).
+	req.Scenario.Canonicalize(nav.CanonicalCourse)
+	if req.Scenario.ReleasedThrough == "" {
+		req.Scenario.ReleasedThrough = req.Query.Start
+	}
+	scenCat, err := req.Scenario.Apply(cat)
+	if err != nil {
+		s.writeNavErr(w, err)
+		return
+	}
+	scenNav := nav
+	if scenCat != cat {
+		scenNav = coursenav.NewFromCatalog(scenCat)
+	}
+	sampleCats, err := req.Scenario.SampleSchedules(scenCat)
+	if err != nil {
+		s.writeNavErr(w, err)
+		return
+	}
+	sampleNavs := make([]*coursenav.Navigator, len(sampleCats))
+	for i, sc := range sampleCats {
+		sampleNavs[i] = coursenav.NewFromCatalog(sc)
+	}
+
+	members, err := s.cohortMembers(nav, cat, &req)
+	if err != nil {
+		s.writeNavErr(w, err)
+		return
+	}
+	if len(members) > maxCohortMembers {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			"cohort of %d exceeds the %d-member limit", len(members), maxCohortMembers)
+		return
+	}
+
+	pl := &serverPlanner{
+		s: s, t: t, gen: gen,
+		baseNav: nav, scenNav: scenNav, sampleNavs: sampleNavs,
+		scenario: &req.Scenario,
+		goalSpec: *req.Goal,
+		template: req.Query,
+		budget:   req.Budget,
+	}
+	runner := cohort.Runner{
+		Planner: pl,
+		Opts: cohort.Options{
+			End:      req.Query.End,
+			Horizon:  req.Horizon,
+			Baseline: req.Baseline,
+			Detail:   req.Detail,
+			Samples:  req.Scenario.Samples,
+			Calendar: cat.Calendar(),
+		},
+	}
+	// The job runs under the client connection's context: mid-stream
+	// cancellation stops the in-flight unit within one engine step and
+	// aborts the run. Budgets and RequestTimeout apply per UNIT (inside
+	// the planner), not to the job — a 10k-member job legitimately
+	// outlives any single exploration's cap.
+	sw := s.newStreamWriter(w)
+	sum, runErr := runner.Run(r.Context(), members, func(rec cohort.MemberRecord) error {
+		return sw.record(cohortMemberRecord{Member: rec})
+	})
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.cohort = true
+		rec.cohortMembers = int64(sum.Members)
+		rec.cohortCoalesced = sum.Coalesced
+		rec.cohortCancelled = runErr != nil &&
+			(errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) || sw.err != nil)
+		rec.window = req.Query.Start + " → " + req.Query.End
+		rec.paths = int64(sum.Members)
+	}
+	s.finishStream(w, sw, runErr, cohortSummaryRecord{Summary: sum})
+}
+
+// cohortMembers resolves the request's member source into canonical
+// members: completed sets resolved/sorted/deduplicated and starts
+// trimmed, so equal positions produce equal unit cache keys.
+func (s *Server) cohortMembers(nav *coursenav.Navigator, cat *catalog.Catalog, req *cohortRequest) ([]cohort.Member, error) {
+	var members []cohort.Member
+	switch {
+	case len(req.Members) > 0:
+		members = req.Members
+		for i := range members {
+			canonCourseSet(nav, &members[i].Completed)
+			members[i].Start = strings.TrimSpace(members[i].Start)
+			if members[i].Start == "" {
+				return nil, fmt.Errorf("member %d (%s) missing start", i, members[i].Student)
+			}
+			if members[i].Student == "" {
+				members[i].Student = fmt.Sprintf("M%04d", i+1)
+			}
+		}
+	case strings.TrimSpace(req.Transcripts) != "":
+		trs, err := transcript.Parse(strings.NewReader(req.Transcripts), cat.Calendar())
+		if err != nil {
+			return nil, err
+		}
+		members, err = cohort.FromTranscripts(nav.Catalog(), trs, req.Query.MaxPerTerm)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		sp := req.Synthesize
+		if sp.N <= 0 || sp.N > maxCohortMembers {
+			return nil, fmt.Errorf("synthesize.n must be in [1, %d]", maxCohortMembers)
+		}
+		if req.Query.Start == "" {
+			return nil, fmt.Errorf("synthesize requires query.start (the generation window's first semester)")
+		}
+		start, err := term.Parse(cat.Calendar(), req.Query.Start)
+		if err != nil {
+			return nil, err
+		}
+		end, err := term.Parse(cat.Calendar(), req.Query.End)
+		if err != nil {
+			return nil, err
+		}
+		goal, err := buildGoal(nav, *req.Goal)
+		if err != nil {
+			return nil, err
+		}
+		members, err = cohort.Synthesize(nav.Catalog(), goal.Inner(), start, end,
+			req.Query.MaxPerTerm, sp.N, rand.New(rand.NewSource(sp.Seed)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return members, nil
+}
+
+// serverPlanner executes cohort units through the serving pipeline:
+// each unit is an ExploreRequest in the same canonical form the
+// interactive handlers produce, run through runUnit (cache → coalesce →
+// admission → engine). Variant selection maps to endpoint key spaces:
+// the base catalog uses the interactive endpoints' own spaces ("goal",
+// "whatif") — as does an empty scenario — while a non-empty delta and
+// each Monte-Carlo sample get digest-suffixed spaces of their own.
+type serverPlanner struct {
+	s          *Server
+	t          *tenantState
+	gen        uint64
+	baseNav    *coursenav.Navigator
+	scenNav    *coursenav.Navigator
+	sampleNavs []*coursenav.Navigator
+	scenario   *cohort.Scenario
+	goalSpec   GoalSpec
+	template   QuerySpec
+	budget     *BudgetSpec
+
+	goals map[*coursenav.Navigator]coursenav.Goal
+}
+
+// variant resolves a cohort variant to its navigator and endpoint key
+// space. kind is the interactive endpoint name the unit piggybacks on.
+func (p *serverPlanner) variant(v cohort.Variant, kind string) (*coursenav.Navigator, string, error) {
+	switch v.Kind {
+	case cohort.KindBase:
+		return p.baseNav, kind, nil
+	case cohort.KindScenario:
+		if p.scenario.Empty() {
+			return p.scenNav, kind, nil
+		}
+		return p.scenNav, kind + "|cohort:" + p.scenario.Digest(), nil
+	case cohort.KindSample:
+		if v.Sample < 0 || v.Sample >= len(p.sampleNavs) {
+			return nil, "", fmt.Errorf("cohort: sample %d out of range", v.Sample)
+		}
+		return p.sampleNavs[v.Sample], kind + "|cohort:" + p.scenario.SampleKey(v.Sample), nil
+	}
+	return nil, "", fmt.Errorf("cohort: unknown variant kind %d", v.Kind)
+}
+
+func (p *serverPlanner) goalFor(nav *coursenav.Navigator) (coursenav.Goal, error) {
+	if g, ok := p.goals[nav]; ok {
+		return g, nil
+	}
+	g, err := buildGoal(nav, p.goalSpec)
+	if err != nil {
+		return coursenav.Goal{}, err
+	}
+	if p.goals == nil {
+		p.goals = map[*coursenav.Navigator]coursenav.Goal{}
+	}
+	p.goals[nav] = g
+	return g, nil
+}
+
+// unitReq folds one member into the job's canonical template. The
+// template and member are already canonical, so the result marshals to
+// the same blob an interactive request with these fields would.
+func (p *serverPlanner) unitReq(m cohort.Member, end string, countOnly bool) *ExploreRequest {
+	qs := p.template
+	qs.Completed = m.Completed
+	qs.Start = m.Start
+	qs.End = end
+	qs.CountOnly = countOnly
+	goal := p.goalSpec
+	return &ExploreRequest{Query: qs, Goal: &goal, Budget: p.budget}
+}
+
+// Count implements cohort.Planner: a goal countOnly unit, exactly the
+// interactive countOnly goal exploration (DAG substrate and all) keyed
+// into the variant's endpoint space.
+func (p *serverPlanner) Count(ctx context.Context, m cohort.Member, end string, v cohort.Variant) (cohort.CountResult, error) {
+	nav, endpoint, err := p.variant(v, "goal")
+	if err != nil {
+		return cohort.CountResult{}, err
+	}
+	req := p.unitReq(m, end, true)
+	var stopped string
+	ent, how, err := p.s.runUnit(ctx, p.t, p.gen, endpoint, req, func(ctx context.Context) (*resultcache.Entry, bool, error) {
+		ctx, cancel := p.s.unitCtx(ctx, req.Budget)
+		defer cancel()
+		goal, err := p.goalFor(nav)
+		if err != nil {
+			return nil, false, err
+		}
+		sum, err := nav.GoalPathsCountCtx(ctx, p.s.query(req.Query, req.Budget), goal)
+		if err != nil {
+			return nil, false, err
+		}
+		stopped = sum.Stopped
+		var buf bytes.Buffer
+		if err := p.s.renderExploreBody(&buf, sum, nil); err != nil {
+			return nil, false, err
+		}
+		ent := &resultcache.Entry{
+			Body:   buf.Bytes(),
+			Paths:  sum.GoalPaths,
+			Window: req.Query.Start + " → " + req.Query.End,
+		}
+		return ent, sum.Stopped == "" && buf.Len() <= maxCacheEntryBytes, nil
+	})
+	if err != nil {
+		return cohort.CountResult{}, err
+	}
+	return cohort.CountResult{GoalPaths: ent.Paths, Stopped: stopped, Reused: how != "miss"}, nil
+}
+
+// Replan implements cohort.Planner: the member's what-if unit against
+// the scenario catalog. The rendered entry body is byte-identical to
+// the interactive whatif endpoint's response (both are
+// json.Marshal(whatIfResponse) + '\n'), so for an empty scenario the
+// unit shares the interactive "whatif" cache space in both directions.
+func (p *serverPlanner) Replan(ctx context.Context, m cohort.Member, end string) (cohort.Replan, error) {
+	nav, endpoint, err := p.variant(cohort.Variant{Kind: cohort.KindScenario}, "whatif")
+	if err != nil {
+		return cohort.Replan{}, err
+	}
+	req := p.unitReq(m, end, false)
+	ent, how, err := p.s.runUnit(ctx, p.t, p.gen, endpoint, req, func(ctx context.Context) (*resultcache.Entry, bool, error) {
+		ctx, cancel := p.s.unitCtx(ctx, req.Budget)
+		defer cancel()
+		goal, err := p.goalFor(nav)
+		if err != nil {
+			return nil, false, err
+		}
+		impacts, stopped, err := nav.CompareSelectionsCtx(ctx, p.s.query(req.Query, req.Budget), goal)
+		if err != nil {
+			return nil, false, err
+		}
+		blob, err := json.Marshal(whatIfResponse{Selections: impacts, Stopped: stopped})
+		if err != nil {
+			return nil, false, err
+		}
+		ent := &resultcache.Entry{
+			Body:   append(blob, '\n'),
+			Paths:  int64(len(impacts)),
+			Window: req.Query.Start + " → " + req.Query.End,
+		}
+		return ent, stopped == "" && len(ent.Body) <= maxCacheEntryBytes, nil
+	})
+	if err != nil {
+		return cohort.Replan{}, err
+	}
+	return cohort.Replan{Body: ent.Body, Reused: how != "miss"}, nil
+}

@@ -266,6 +266,9 @@ func New(nav *coursenav.Navigator) *Server {
 		{"POST /explore/goal", s.handleGoal},
 		{"POST /explore/ranked", s.handleRanked},
 		{"POST /explore/whatif", s.handleWhatIf},
+		// Cohort jobs run each member as an individually admitted unit
+		// (runUnit), so the job itself occupies no exploration slot either.
+		{"POST /cohort", s.handleCohort},
 		{"POST /audit", s.handleAudit},
 		{"POST /admin/reload", s.handleReload},
 	} {
@@ -324,24 +327,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		s.Usage.Record(usage.Event{
-			When:          time.Now(),
-			Endpoint:      r.Method + " " + canonicalPath(r.URL.Path),
-			Tenant:        rec.tenant,
-			Window:        rec.window,
-			Paths:         rec.paths,
-			Stopped:       rec.stopped,
-			Reload:        rec.reload,
-			Streamed:      rec.streamed,
-			StreamedPaths: rec.streamedPaths,
-			WriteAborted:  rec.writeErr != nil,
-			Cache:         rec.cache,
-			DAG:           rec.dag,
-			DAGNodes:      rec.dagNodes,
-			Admission:     rec.admission,
-			Breaker:       rec.breaker,
-			Degraded:      rec.degraded,
-			Duration:      time.Since(began),
-			Status:        rec.status,
+			When:            time.Now(),
+			Endpoint:        r.Method + " " + canonicalPath(r.URL.Path),
+			Tenant:          rec.tenant,
+			Window:          rec.window,
+			Paths:           rec.paths,
+			Stopped:         rec.stopped,
+			Reload:          rec.reload,
+			Streamed:        rec.streamed,
+			StreamedPaths:   rec.streamedPaths,
+			WriteAborted:    rec.writeErr != nil,
+			Cache:           rec.cache,
+			DAG:             rec.dag,
+			DAGNodes:        rec.dagNodes,
+			Admission:       rec.admission,
+			Breaker:         rec.breaker,
+			Degraded:        rec.degraded,
+			Cohort:          rec.cohort,
+			CohortMembers:   rec.cohortMembers,
+			CohortCoalesced: rec.cohortCoalesced,
+			CohortCancelled: rec.cohortCancelled,
+			Duration:        time.Since(began),
+			Status:          rec.status,
 		})
 	}()
 	// The handler-entry chaos seam: an injected error answers 503 before
@@ -414,6 +421,13 @@ type statusRecorder struct {
 	// the panic recovery must close the stream with an in-band error
 	// record rather than an envelope.
 	ndjson bool
+	// Cohort job tallies (see cohort.go): members replanned, units
+	// answered from the cache or a coalesced flight, and whether the
+	// job ended by client cancellation mid-stream.
+	cohort          bool
+	cohortMembers   int64
+	cohortCoalesced int64
+	cohortCancelled bool
 }
 
 func (r *statusRecorder) setExplore(window string, paths int64, stopped string) {
@@ -733,6 +747,15 @@ func (s *Server) query(qs QuerySpec, b *BudgetSpec) coursenav.Query {
 // request budget when given. Client disconnects and timer expiry both
 // cancel the engine mid-run.
 func (s *Server) runCtx(r *http.Request, b *BudgetSpec) (context.Context, context.CancelFunc) {
+	return s.unitCtx(r.Context(), b)
+}
+
+// unitCtx is runCtx's context-based core, shared with the cohort
+// pipeline: each cohort member's sub-exploration gets its own
+// RequestTimeout-capped (and brownout-clamped) context derived from the
+// job's, so one slow unit cannot consume the whole job's wall clock and
+// a cancelled job stops the running unit mid-engine.
+func (s *Server) unitCtx(ctx context.Context, b *BudgetSpec) (context.Context, context.CancelFunc) {
 	timeout := s.RequestTimeout
 	if timeout <= 0 {
 		timeout = DefaultRequestTimeout
@@ -753,7 +776,7 @@ func (s *Server) runCtx(r *http.Request, b *BudgetSpec) (context.Context, contex
 			timeout = clamp
 		}
 	}
-	return context.WithTimeout(r.Context(), timeout)
+	return context.WithTimeout(ctx, timeout)
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {

@@ -1,0 +1,116 @@
+// The unit-of-work layer: one canonical exploration executed through
+// the full serving pipeline — result cache, singleflight coalescing,
+// two-level cost-aware admission — without an http.ResponseWriter in
+// sight.
+//
+// The interactive handlers grew this pipeline request-by-request
+// (serveCached keeps the HTTP-specific outer shell: stale-while-
+// revalidate, envelope errors, usage annotation). runUnit is the same
+// pipeline refactored for callers that issue MANY explorations per
+// request: the cohort endpoint replans each member as one unit here, so
+// every member is individually costed by the admission estimator,
+// individually budgeted (unitCtx), and keyed into the same result cache
+// interactive traffic uses — members sharing a canonical sub-request
+// coalesce with each other and with live interactive requests instead
+// of recomputing.
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/resultcache"
+)
+
+// unitShedError reports a unit refused by admission. Cohort records it
+// on the member and continues; batch callers can rate the shed via
+// Result (outcome string) and RetryAfter.
+type unitShedError struct {
+	res admitResult
+}
+
+func (e *unitShedError) Error() string {
+	if e.res.tenantShed {
+		return "unit shed: tenant concurrency quota exhausted"
+	}
+	return "unit shed: " + e.res.outcome.String()
+}
+
+// shedResult exposes the admission decision behind a unit error, when
+// there is one.
+func shedResult(err error) (admitResult, bool) {
+	if se, ok := err.(*unitShedError); ok {
+		return se.res, true
+	}
+	return admitResult{}, false
+}
+
+// runUnit executes one canonicalized exploration unit against a
+// tenant's snapshot generation:
+//
+//  1. cache Get — an identical completed unit replays instantly ("hit")
+//  2. flight Join — an identical in-flight unit is awaited ("coalesced")
+//  3. admission — the unit is priced and admitted through the same
+//     two-level gate as an interactive request (shed → *unitShedError)
+//  4. exec computes the entry; cacheOK entries are published to the
+//     cache/flight for followers ("miss")
+//
+// exec receives the caller's context and must apply its own unitCtx
+// budget. The returned entry is never nil on success; how is one of
+// "hit", "coalesced", "miss". A leader that fails finishes its flight
+// empty so followers compute individually rather than hang.
+func (s *Server) runUnit(ctx context.Context, t *tenantState, gen uint64, endpoint string, req *ExploreRequest, exec func(context.Context) (*resultcache.Entry, bool, error)) (*resultcache.Entry, string, error) {
+	cache := t.resultCache()
+	key, cacheable := exploreKey(cache, gen, endpoint, req)
+	var flight *resultcache.Flight
+	leader := false
+	if cacheable {
+		if ent, ok := cache.Get(key); ok {
+			return ent, "hit", nil
+		}
+		flight, leader = cache.Join(key)
+		if !leader {
+			if ent := flight.Wait(ctx); ent != nil {
+				return ent, "coalesced", nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, "", err
+			}
+			// The leader produced nothing cacheable (error, budget-stopped
+			// run, oversized render): compute individually.
+		}
+	}
+	finished := false
+	if leader {
+		// A panicking or failing exec must not leave followers blocked on
+		// the flight: finish it empty on any non-publishing exit.
+		defer func() {
+			if !finished {
+				cache.Finish(key, flight, nil)
+			}
+		}()
+	}
+	res, ok := s.admit(t, ctx, req, endpoint)
+	if !ok {
+		return nil, "", &unitShedError{res: res}
+	}
+	defer res.release()
+	ent, cacheOK, err := exec(ctx)
+	if err != nil {
+		return nil, "", err
+	}
+	if ent == nil {
+		return nil, "", fmt.Errorf("server: unit exec returned no entry")
+	}
+	publish := ent
+	if !cacheOK {
+		publish = nil
+	}
+	if leader {
+		cache.Finish(key, flight, publish)
+		finished = true
+	} else if cacheable && publish != nil {
+		cache.Put(key, publish)
+	}
+	return ent, "miss", nil
+}

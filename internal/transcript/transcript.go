@@ -137,11 +137,29 @@ func FollowsGraph(cat *catalog.Catalog, g *graph.Graph, tr Transcript) bool {
 // the first goal-satisfying status, like the goal-driven algorithm's end
 // nodes. It fails if a goal-reaching walk cannot be found (unsatisfiable
 // configuration).
+//
+// Seeding contract: all randomness flows from the explicit seed — equal
+// (catalog, goal, window, maxPerTerm, n, seed) inputs produce byte-
+// identical transcripts on every run and platform. Generate never touches
+// the package-level math/rand state. Callers composing several generation
+// steps into one reproducible pipeline (e.g. cohort synthesis) should use
+// GenerateRand and thread a single *rand.Rand through every step.
 func Generate(cat *catalog.Catalog, goal degree.Goal, start, end term.Term, maxPerTerm, n int, seed int64) ([]Transcript, error) {
+	return GenerateRand(cat, goal, start, end, maxPerTerm, n, rand.New(rand.NewSource(seed)))
+}
+
+// GenerateRand is Generate drawing from a caller-owned random source: the
+// generator consumes rng in a fixed order, so an equal-state rng yields
+// identical transcripts, and sequential calls sharing one rng form a
+// single deterministic stream (the second call continues where the first
+// stopped). rng must not be shared concurrently.
+func GenerateRand(cat *catalog.Catalog, goal degree.Goal, start, end term.Term, maxPerTerm, n int, rng *rand.Rand) ([]Transcript, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("transcript: n must be positive")
 	}
-	rng := rand.New(rand.NewSource(seed))
+	if rng == nil {
+		return nil, fmt.Errorf("transcript: nil rng")
+	}
 	pruners := explore.PaperPruners(cat, goal, maxPerTerm)
 	out := make([]Transcript, 0, n)
 	for i := 0; i < n; i++ {

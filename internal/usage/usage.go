@@ -72,6 +72,15 @@ type Event struct {
 	// DAGNodes is the number of distinct statuses the DAG run interned —
 	// the cost measure that replaces per-path work on that substrate.
 	DAGNodes int64 `json:"dagNodes,omitempty"`
+	// Cohort marks a batch cohort-simulation job (POST /api/v1/cohort);
+	// CohortMembers is how many members the job replanned before ending,
+	// CohortCoalesced how many of its units were answered by the result
+	// cache or an in-flight twin instead of fresh computation, and
+	// CohortCancelled whether the client cancelled the job mid-stream.
+	Cohort          bool  `json:"cohort,omitempty"`
+	CohortMembers   int64 `json:"cohortMembers,omitempty"`
+	CohortCoalesced int64 `json:"cohortCoalesced,omitempty"`
+	CohortCancelled bool  `json:"cohortCancelled,omitempty"`
 	// Duration is the handling latency.
 	Duration time.Duration `json:"durationNs"`
 	// Status is the HTTP status code returned.
@@ -195,6 +204,16 @@ type Stats struct {
 	QueueTimeouts int `json:"queueTimeouts"`
 	StaleServed   int `json:"staleServed"`
 	BreakerOpen   int `json:"breakerOpen"`
+	// Cohort-job counters (never omitted, same alerting contract as the
+	// overload counters above). CohortJobs counts batch simulation jobs,
+	// CohortMembers the students they replanned, CohortCancelled jobs cut
+	// by client disconnect mid-stream, and CohortCoalesced member units
+	// answered from the result cache or an in-flight twin — the measure
+	// of how much batch work the unit cache absorbs.
+	CohortJobs      int   `json:"cohortJobs"`
+	CohortMembers   int64 `json:"cohortMembers"`
+	CohortCancelled int   `json:"cohortCancelled"`
+	CohortCoalesced int64 `json:"cohortCoalesced"`
 	// Cache is the live result-cache snapshot (counters since process
 	// start, unbounded by the ring), injected by the server when caching
 	// is enabled.
@@ -316,6 +335,14 @@ func aggregate(events []Event) Stats {
 		if e.DAG {
 			st.DAGAnswered++
 			st.DAGNodes += e.DAGNodes
+		}
+		if e.Cohort {
+			st.CohortJobs++
+			st.CohortMembers += e.CohortMembers
+			st.CohortCoalesced += e.CohortCoalesced
+			if e.CohortCancelled {
+				st.CohortCancelled++
+			}
 		}
 		if e.Window != "" {
 			windows[e.Window]++
