@@ -79,6 +79,7 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent, "in-flight explorations before the admission queue engages")
 	tenantMaxConcurrent := flag.Int("tenant-max-concurrent", 0, "per-tenant in-flight exploration quota (0 = global limit only)")
 	admissionQueue := flag.Int("admission-queue", server.DefaultAdmissionQueue, "cost-aware admission queue depth; 0 sheds instantly at the concurrency limit")
+	cohortWorkers := flag.Int("cohort-workers", server.DefaultCohortWorkers, "default cohort member-pipeline width when the request leaves workers unset")
 	brownout := flag.Bool("brownout", true, "serve stale cached results and clamp budgets while degraded")
 	cacheBytes := flag.Int64("cache-bytes", server.DefaultCacheBytes, "result-cache byte budget, carved fairly across tenants")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
@@ -124,6 +125,7 @@ func main() {
 	s.MaxConcurrent = *maxConcurrent
 	s.TenantMaxConcurrent = *tenantMaxConcurrent
 	s.AdmissionQueue = *admissionQueue
+	s.CohortWorkers = *cohortWorkers
 	s.Brownout = *brownout
 	s.CacheBytes = *cacheBytes
 	s.Cache.SetBudget(*cacheBytes) // single-tenant share until a manifest grows the fleet

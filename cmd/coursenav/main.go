@@ -657,6 +657,8 @@ func (a *app) cmdCohort(args []string) error {
 	baseline := fs.Bool("baseline", false, "also count each member's paths under the unmodified catalog")
 	detail := fs.Bool("detail", false, "embed each member's what-if replan in the NDJSON records")
 	ndjson := fs.Bool("ndjson", false, "emit the API's NDJSON records instead of the table")
+	workers := fs.Int("workers", 1, "member-pipeline width (records stay in member order; output is identical at any width)")
+	shared := fs.Bool("shared", true, "count on the cross-member shared DAG substrate (false = dedicated run per unit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -765,14 +767,32 @@ func (a *app) cmdCohort(args []string) error {
 		}
 	}
 
+	np := &cohort.NavPlanner{
+		Base:       a.nav,
+		Scenario:   scenNav,
+		Samples:    sampleNavs,
+		MakeGoal:   makeGoal,
+		MaxPerTerm: *m,
+	}
+	var planner cohort.Planner = np
+	var sp *cohort.SharedPlanner
+	if *shared {
+		// Counting units run on one interned DAG + tally memo per catalog
+		// variant, shared across all members; replans keep the dedicated
+		// path. Identical results either way — -shared=false is the
+		// apples-to-apples comparison switch.
+		sp = &cohort.SharedPlanner{
+			Inner:    np,
+			Base:     a.nav,
+			Scenario: scenNav,
+			Samples:  sampleNavs,
+			MakeGoal: makeGoal,
+			Query:    coursenav.Query{MaxPerTerm: *m},
+		}
+		planner = sp
+	}
 	runner := cohort.Runner{
-		Planner: &cohort.NavPlanner{
-			Base:       a.nav,
-			Scenario:   scenNav,
-			Samples:    sampleNavs,
-			MakeGoal:   makeGoal,
-			MaxPerTerm: *m,
-		},
+		Planner: planner,
 		Opts: cohort.Options{
 			End:      *end,
 			Horizon:  *horizon,
@@ -780,6 +800,7 @@ func (a *app) cmdCohort(args []string) error {
 			Detail:   *detail,
 			Samples:  *samples,
 			Calendar: cat.Calendar(),
+			Workers:  *workers,
 		},
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -818,6 +839,11 @@ func (a *app) cmdCohort(args []string) error {
 	}
 	fmt.Printf("members=%d affected=%d delayed=%d stranded=%d errors=%d meanDelay=%.2f units=%d reused=%d\n",
 		sum.Members, sum.Affected, sum.Delayed, sum.Stranded, sum.Errors, sum.MeanDelay, sum.Units, sum.Coalesced)
+	if sp != nil {
+		st := sp.Stats()
+		fmt.Printf("substrate: statuses=%d hits=%d dpReused=%d builds=%d evictions=%d\n",
+			st.Statuses, st.Hits, st.DPReused, st.Builds, st.Evictions)
+	}
 	return nil
 }
 

@@ -449,9 +449,21 @@ func (n *Navigator) compile(q Query) (status.Status, term.Term, explore.Options,
 	if err != nil {
 		return zero, term.Term{}, explore.Options{}, err
 	}
-	sub, err := parseSubstrate(q.Substrate)
+	opt, err := n.compileOptions(q)
 	if err != nil {
 		return zero, term.Term{}, explore.Options{}, err
+	}
+	return status.New(n.cat, start, x), end, opt, nil
+}
+
+// compileOptions builds the engine options and constraints from a query,
+// ignoring its start/end/completed fields. Split from compile so callers
+// holding a query *template* — a cohort request whose members each bring
+// their own start and completed set — can compile the shared parts once.
+func (n *Navigator) compileOptions(q Query) (explore.Options, error) {
+	sub, err := parseSubstrate(q.Substrate)
+	if err != nil {
+		return explore.Options{}, err
 	}
 	opt := explore.Options{
 		MaxPerTerm:    q.MaxPerTerm,
@@ -465,7 +477,7 @@ func (n *Navigator) compile(q Query) (status.Status, term.Term, explore.Options,
 	if len(q.Avoid) > 0 {
 		avoid, err := explore.NewAvoid(n.cat, q.Avoid...)
 		if err != nil {
-			return zero, term.Term{}, explore.Options{}, err
+			return explore.Options{}, err
 		}
 		opt.Constraints = append(opt.Constraints, avoid)
 	}
@@ -477,7 +489,7 @@ func (n *Navigator) compile(q Query) (status.Status, term.Term, explore.Options,
 	if q.MinPerTerm > 0 {
 		opt.Constraints = append(opt.Constraints, explore.MinPerTerm{Count: q.MinPerTerm})
 	}
-	return status.New(n.cat, start, x), end, opt, nil
+	return opt, nil
 }
 
 // parseSubstrate maps Query.Substrate to the engine's enum.
@@ -623,6 +635,89 @@ func (n *Navigator) GoalPathsCountCtx(ctx context.Context, q Query, g Goal) (Sum
 	res, err := explore.GoalCountCtx(ctx, n.cat, start, end, g.inner, n.pruners(q, g), opt)
 	return summarize(res), err
 }
+
+// GoalPathsCountHorizons counts goal paths for every deadline in
+// [end, end+horizon] — end from the query, horizon extra semesters — in
+// ONE run: the returned slice has horizon+1 entries, entry i the
+// GoalPaths total the same query with deadline end+i would report. A
+// cohort runner probing "how many semesters late does this member
+// graduate?" pays one counting run instead of horizon+1. The Summary is
+// the run's (its Paths/GoalPaths are relative to end+horizon).
+func (n *Navigator) GoalPathsCountHorizons(q Query, g Goal, horizon int) ([]int64, Summary, error) {
+	return n.GoalPathsCountHorizonsCtx(context.Background(), q, g, horizon)
+}
+
+// GoalPathsCountHorizonsCtx is GoalPathsCountHorizons under a context
+// (see DeadlineCtx).
+func (n *Navigator) GoalPathsCountHorizonsCtx(ctx context.Context, q Query, g Goal, horizon int) ([]int64, Summary, error) {
+	start, end, opt, err := n.compile(q)
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	mr, err := explore.GoalCountMultiCtx(ctx, n.cat, start, end, horizon, g.inner, n.pruners(q, g), opt)
+	return mr.GoalPathsAt, summarize(mr.Result), err
+}
+
+// SharedCounts is one SharedCounter query's answer; see
+// explore.SharedCounts.
+type SharedCounts = explore.SharedCounts
+
+// SharedCounterStats snapshots a SharedCounter's lifetime tallies; see
+// explore.SharedStats.
+type SharedCounterStats = explore.SharedStats
+
+// SharedCounter answers goal-path counts for many start positions
+// against ONE (catalog, goal, deadline, options) variant from a shared
+// interned-status substrate: the cost of a whole cohort scales with the
+// distinct statuses reachable across all members, not with per-member
+// rebuilds. Safe for concurrent use; see explore.SharedCounter.
+type SharedCounter struct {
+	nav   *Navigator
+	inner *explore.SharedCounter
+}
+
+// NewSharedCounter builds a shared counter from a query template — its
+// End and option/constraint fields pin the variant; Start and Completed
+// are ignored (each Counts call brings its own). horizon extends the
+// answered deadlines to [end, end+horizon]; maxStatuses bounds interned
+// statuses (0 = default).
+func (n *Navigator) NewSharedCounter(q Query, g Goal, horizon int, maxStatuses int64) (*SharedCounter, error) {
+	if q.End == "" {
+		return nil, fmt.Errorf("coursenav: empty end term: a shared counter needs a deadline semester, e.g. \"Fall 2015\"")
+	}
+	end, err := term.Parse(term.TwoSeason, q.End)
+	if err != nil {
+		return nil, fmt.Errorf("coursenav: end (deadline) term: %v", err)
+	}
+	opt, err := n.compileOptions(q)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := explore.NewSharedCounter(n.cat, end, horizon, g.inner, n.pruners(q, g), opt, maxStatuses)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedCounter{nav: n, inner: inner}, nil
+}
+
+// Counts answers one member position: completed course IDs plus the
+// first semester of the remaining plan. GoalPaths[h] is the goal-path
+// total under deadline end+h; Paths the maximal-path total under the
+// farthest deadline.
+func (c *SharedCounter) Counts(ctx context.Context, completed []string, start string) (SharedCounts, error) {
+	st, err := term.Parse(term.TwoSeason, start)
+	if err != nil {
+		return SharedCounts{}, fmt.Errorf("coursenav: start term: %v", err)
+	}
+	x, err := c.nav.cat.SetOf(completed...)
+	if err != nil {
+		return SharedCounts{}, err
+	}
+	return c.inner.Counts(ctx, status.New(c.nav.cat, st, x))
+}
+
+// Stats snapshots the counter's lifetime tallies.
+func (c *SharedCounter) Stats() SharedCounterStats { return c.inner.Stats() }
 
 // Rankings names the ranking functions TopK accepts.
 func Rankings() []string { return []string{"time", "workload", "reliability"} }

@@ -1,0 +1,287 @@
+package cohort
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/term"
+)
+
+// TestPlannerMemoKeyCanonical pins the memo-key canonicalisation:
+// permuted, duplicated or alias spellings of the same completed set
+// describe the same position and must hit the same memo entry. (A raw
+// strings.Join over the input slice would key them apart.)
+func TestPlannerMemoKeyCanonical(t *testing.T) {
+	nav, _ := brandeis(t)
+	p := navPlanner(nav, nav, nil)
+	ctx := context.Background()
+	first := Member{Student: "A", Completed: []string{"COSI 11A", "COSI 12B"}, Start: "Fall 2014"}
+	c1, err := p.Count(ctx, first, "Fall 2015", Variant{Kind: KindScenario})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Reused {
+		t.Fatal("first count claims reuse")
+	}
+	variants := []Member{
+		{Student: "B", Completed: []string{"COSI 12B", "COSI 11A"}, Start: "Fall 2014"},
+		{Student: "C", Completed: []string{"COSI 11A", "COSI 12B", "COSI 11A"}, Start: "Fall 2014"},
+	}
+	for _, m := range variants {
+		c, err := p.Count(ctx, m, "Fall 2015", Variant{Kind: KindScenario})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Reused {
+			t.Errorf("member %s (%v) missed the memo for an equal position", m.Student, m.Completed)
+		}
+		if c.GoalPaths != c1.GoalPaths {
+			t.Errorf("member %s: %d paths, want %d", m.Student, c.GoalPaths, c1.GoalPaths)
+		}
+	}
+	// Same canonicalisation on the multi-deadline memo.
+	if _, err := p.CountHorizons(ctx, first, "Fall 2015", 2, Variant{Kind: KindScenario}); err != nil {
+		t.Fatal(err)
+	}
+	hc, err := p.CountHorizons(ctx, variants[0], "Fall 2015", 2, Variant{Kind: KindScenario})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hc.Reused {
+		t.Error("permuted completed set missed the multi-deadline memo")
+	}
+	// Different positions must NOT collapse onto one entry.
+	other, err := p.Count(ctx, Member{Student: "D", Completed: []string{"COSI 11A"}, Start: "Fall 2014"}, "Fall 2015", Variant{Kind: KindScenario})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Reused {
+		t.Error("a different position hit the memo")
+	}
+}
+
+// probePlanner scripts the delay probe's failure modes on top of fixed
+// count results.
+type probePlanner struct {
+	horizons func() (HorizonCounts, error)
+	probes   int
+}
+
+func (p *probePlanner) Count(context.Context, Member, string, Variant) (CountResult, error) {
+	return CountResult{GoalPaths: 0}, nil
+}
+
+func (p *probePlanner) CountHorizons(context.Context, Member, string, int, Variant) (HorizonCounts, error) {
+	p.probes++
+	return p.horizons()
+}
+
+func (p *probePlanner) Replan(context.Context, Member, string) (Replan, error) {
+	return Replan{}, nil
+}
+
+// TestProbeFailureDoesNotStrand is the probe-error regression: a failed
+// or budget-clamped delay probe proves nothing about the member, so the
+// record must carry the error (or the clamp) and NOT a stranded verdict.
+// It also pins the probe's cost: exactly one counting unit per stranded
+// member, not one per deadline.
+func TestProbeFailureDoesNotStrand(t *testing.T) {
+	run := func(p *probePlanner) (MemberRecord, Summary) {
+		t.Helper()
+		r := Runner{Planner: p, Opts: Options{End: "Fall 2015", Horizon: 3}}
+		var rec MemberRecord
+		sum, err := r.Run(context.Background(), []Member{{Student: "S1", Start: "Fall 2013"}},
+			func(mr MemberRecord) error { rec = mr; return nil })
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rec, sum
+	}
+
+	failing := &probePlanner{horizons: func() (HorizonCounts, error) {
+		return HorizonCounts{}, errors.New("probe shed by admission")
+	}}
+	rec, sum := run(failing)
+	if rec.Stranded || sum.Stranded != 0 {
+		t.Errorf("failed probe stranded the member: %+v", rec)
+	}
+	if rec.Error == "" || sum.Errors != 1 {
+		t.Errorf("failed probe left no error: %+v / %+v", rec, sum)
+	}
+	if failing.probes != 1 {
+		t.Errorf("probe issued %d multi-deadline units, want 1", failing.probes)
+	}
+
+	clamped := &probePlanner{horizons: func() (HorizonCounts, error) {
+		return HorizonCounts{GoalPaths: []int64{0, 0, 0, 0}, Stopped: "max-nodes"}, nil
+	}}
+	rec, sum = run(clamped)
+	if rec.Stranded || sum.Stranded != 0 {
+		t.Errorf("clamped probe stranded the member: %+v", rec)
+	}
+	if rec.Error != "" {
+		t.Errorf("clamped probe is not an error: %+v", rec)
+	}
+
+	stranded := &probePlanner{horizons: func() (HorizonCounts, error) {
+		return HorizonCounts{GoalPaths: []int64{0, 0, 0, 0}}, nil
+	}}
+	rec, sum = run(stranded)
+	if !rec.Stranded || sum.Stranded != 1 {
+		t.Errorf("complete all-zero probe did not strand: %+v", rec)
+	}
+
+	delayed := &probePlanner{horizons: func() (HorizonCounts, error) {
+		return HorizonCounts{GoalPaths: []int64{0, 0, 5, 9}}, nil
+	}}
+	rec, _ = run(delayed)
+	if rec.Stranded || rec.Delay != 2 {
+		t.Errorf("delay = %d stranded = %v, want 2/false", rec.Delay, rec.Stranded)
+	}
+}
+
+// testCohort synthesizes a deterministic mixed cohort (on-time, delayed
+// and stranded members) against a scenario cancelling COSI 21A for two
+// semesters.
+func testCohort(t *testing.T, n int) (*NavPlanner, *SharedPlanner, []Member) {
+	t.Helper()
+	nav, major := brandeis(t)
+	sc := Scenario{Cancel: []Change{{Course: "COSI 21A", Terms: []string{"Spring 2014", "Fall 2014"}}}}
+	sc.Canonicalize(nav.CanonicalCourse)
+	scenCat, err := sc.Apply(nav.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenNav := coursenav.NewFromCatalog(scenCat)
+	start, _ := term.Parse(term.TwoSeason, "Fall 2013")
+	end, _ := term.Parse(term.TwoSeason, "Fall 2015")
+	members, err := Synthesize(nav.Catalog(), major.Inner(), start, end, 3, n, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := navPlanner(nav, scenNav, nil)
+	sp := &SharedPlanner{
+		Inner:    np,
+		Base:     nav,
+		Scenario: scenNav,
+		MakeGoal: np.MakeGoal,
+		Query:    coursenav.Query{MaxPerTerm: np.MaxPerTerm},
+	}
+	return np, sp, members
+}
+
+// runNDJSON drives a runner and renders the exact NDJSON a server
+// stream would carry: one member record per line plus the summary.
+func runNDJSON(t *testing.T, r *Runner, members []Member) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	sum, err := r.Run(context.Background(), members, func(rec MemberRecord) error {
+		return enc.Encode(rec)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := enc.Encode(sum); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelMatchesSerialByteIdentical is the parallel-pipeline
+// property: at workers=8 the NDJSON stream — records in member order
+// AND the trailing summary — is byte-identical to the serial run's.
+// The shared-substrate planner keeps even the coalescing tallies
+// order-independent, so the whole stream is comparable.
+func TestParallelMatchesSerialByteIdentical(t *testing.T) {
+	_, spSerial, members := testCohort(t, 24)
+	_, spParallel, _ := testCohort(t, 24)
+	opts := Options{End: "Fall 2015", Horizon: 2, Baseline: true, Detail: true}
+
+	serialOpts := opts
+	serialOpts.Workers = 1
+	serial := runNDJSON(t, &Runner{Planner: spSerial, Opts: serialOpts}, members)
+
+	parOpts := opts
+	parOpts.Workers = 8
+	parallel := runNDJSON(t, &Runner{Planner: spParallel, Opts: parOpts}, members)
+
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel stream diverged from serial:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestSharedPlannerMatchesNavPlanner is the substrate-equivalence
+// property: member records from the shared-substrate planner are
+// byte-identical to the dedicated-run planner's (tallies, delays,
+// strandings and replan bodies all agree); only the unit-reuse
+// accounting in the summary may differ between substrates.
+func TestSharedPlannerMatchesNavPlanner(t *testing.T) {
+	np, sp, members := testCohort(t, 16)
+	opts := Options{End: "Fall 2015", Horizon: 2, Baseline: true, Detail: true}
+
+	collect := func(p Planner) ([]MemberRecord, Summary) {
+		r := Runner{Planner: p, Opts: opts}
+		var recs []MemberRecord
+		sum, err := r.Run(context.Background(), members, func(rec MemberRecord) error {
+			recs = append(recs, rec)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return recs, sum
+	}
+	nRecs, nSum := collect(np)
+	sRecs, sSum := collect(sp)
+	if len(nRecs) != len(sRecs) {
+		t.Fatalf("record counts differ: %d vs %d", len(nRecs), len(sRecs))
+	}
+	for i := range nRecs {
+		nb, _ := json.Marshal(nRecs[i])
+		sb, _ := json.Marshal(sRecs[i])
+		if !bytes.Equal(nb, sb) {
+			t.Errorf("member %d diverged:\nnav:    %s\nshared: %s", i, nb, sb)
+		}
+	}
+	if nSum.Units != sSum.Units || nSum.Members != sSum.Members ||
+		nSum.Stranded != sSum.Stranded || nSum.Delayed != sSum.Delayed ||
+		nSum.Errors != sSum.Errors || nSum.Affected != sSum.Affected {
+		t.Errorf("summaries diverged: %+v vs %+v", nSum, sSum)
+	}
+	if st := sp.Stats(); st.Builds == 0 || st.Hits+st.DPReused == 0 {
+		t.Errorf("shared substrate saw no reuse across %d members: %+v", len(members), st)
+	}
+}
+
+// TestAdmitPoolRefusal: when every extra-worker probe is refused the
+// run falls back to the serial pipeline (stopping at the first refusal)
+// and still completes.
+func TestAdmitPoolRefusal(t *testing.T) {
+	_, sp, members := testCohort(t, 6)
+	probes := 0
+	r := Runner{
+		Planner: sp,
+		Opts:    Options{End: "Fall 2015", Workers: 8},
+		AdmitWorker: func(context.Context) (func(), bool) {
+			probes++
+			return nil, false
+		},
+	}
+	n := 0
+	sum, err := r.Run(context.Background(), members, func(MemberRecord) error { n++; return nil })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != len(members) || sum.Members != len(members) {
+		t.Fatalf("emitted %d of %d members", n, len(members))
+	}
+	if probes != 1 {
+		t.Errorf("admit probes = %d, want 1 (stop at first refusal)", probes)
+	}
+}

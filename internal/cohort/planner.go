@@ -4,7 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro"
 )
@@ -14,7 +17,9 @@ import (
 // memoised by (variant, position, deadline), so members sharing a
 // canonical sub-request reuse each other's results just like the
 // server's result cache would (CountResult.Reused reports it). The
-// planner is not safe for concurrent use.
+// planner is safe for concurrent use: the memo and goal tables are
+// mutex-guarded, and the underlying façade calls are read-only against
+// their catalogs.
 type NavPlanner struct {
 	// Base, Scenario and Samples are the catalog variants; Scenario may
 	// equal Base for an empty scenario.
@@ -27,7 +32,9 @@ type NavPlanner struct {
 	// MaxPerTerm bounds elections per semester in every unit.
 	MaxPerTerm int
 
+	mu    sync.Mutex
 	memo  map[string]CountResult
+	memoH map[string]HorizonCounts
 	goals map[*coursenav.Navigator]coursenav.Goal
 }
 
@@ -47,6 +54,8 @@ func (p *NavPlanner) nav(v Variant) (*coursenav.Navigator, string, error) {
 }
 
 func (p *NavPlanner) goalFor(nav *coursenav.Navigator) (coursenav.Goal, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if g, ok := p.goals[nav]; ok {
 		return g, nil
 	}
@@ -61,14 +70,41 @@ func (p *NavPlanner) goalFor(nav *coursenav.Navigator) (coursenav.Goal, error) {
 	return g, nil
 }
 
+// completedKey renders a member's completed set for memo keys in the
+// same canonical form the server derives cache keys from: catalog
+// spellings, sorted, duplicates dropped. Permuted or duplicated inputs
+// describe the same position, so they must hit the same memo entry (a
+// plain strings.Join over the raw slice would miss).
+func completedKey(nav *coursenav.Navigator, completed []string) string {
+	ids := make([]string, len(completed))
+	for i, id := range completed {
+		if c, ok := nav.CanonicalCourse(id); ok {
+			ids[i] = c
+		} else {
+			ids[i] = id
+		}
+	}
+	sort.Strings(ids)
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
 // Count implements Planner on the façade's counting engine.
 func (p *NavPlanner) Count(ctx context.Context, m Member, end string, v Variant) (CountResult, error) {
 	nav, vid, err := p.nav(v)
 	if err != nil {
 		return CountResult{}, err
 	}
-	key := vid + "|" + end + "|" + m.Start + "|" + strings.Join(m.Completed, ",")
-	if c, ok := p.memo[key]; ok {
+	key := vid + "|" + end + "|" + m.Start + "|" + completedKey(nav, m.Completed)
+	p.mu.Lock()
+	c, ok := p.memo[key]
+	p.mu.Unlock()
+	if ok {
 		c.Reused = true
 		return c, nil
 	}
@@ -85,12 +121,54 @@ func (p *NavPlanner) Count(ctx context.Context, m Member, end string, v Variant)
 	if err != nil {
 		return CountResult{}, err
 	}
-	c := CountResult{GoalPaths: sum.GoalPaths, Stopped: sum.Stopped}
+	c = CountResult{GoalPaths: sum.GoalPaths, Stopped: sum.Stopped}
 	if c.Stopped == "" {
+		p.mu.Lock()
 		if p.memo == nil {
 			p.memo = map[string]CountResult{}
 		}
 		p.memo[key] = c
+		p.mu.Unlock()
+	}
+	return c, nil
+}
+
+// CountHorizons implements Planner on the façade's multi-deadline
+// counting query: one run answers every deadline in [end, end+horizon].
+func (p *NavPlanner) CountHorizons(ctx context.Context, m Member, end string, horizon int, v Variant) (HorizonCounts, error) {
+	nav, vid, err := p.nav(v)
+	if err != nil {
+		return HorizonCounts{}, err
+	}
+	key := "mh" + strconv.Itoa(horizon) + "|" + vid + "|" + end + "|" + m.Start + "|" + completedKey(nav, m.Completed)
+	p.mu.Lock()
+	c, ok := p.memoH[key]
+	p.mu.Unlock()
+	if ok {
+		c.Reused = true
+		return c, nil
+	}
+	goal, err := p.goalFor(nav)
+	if err != nil {
+		return HorizonCounts{}, err
+	}
+	gp, sum, err := nav.GoalPathsCountHorizonsCtx(ctx, coursenav.Query{
+		Completed:  m.Completed,
+		Start:      m.Start,
+		End:        end,
+		MaxPerTerm: p.MaxPerTerm,
+	}, goal, horizon)
+	if err != nil {
+		return HorizonCounts{}, err
+	}
+	c = HorizonCounts{GoalPaths: gp, Stopped: sum.Stopped}
+	if c.Stopped == "" {
+		p.mu.Lock()
+		if p.memoH == nil {
+			p.memoH = map[string]HorizonCounts{}
+		}
+		p.memoH[key] = c
+		p.mu.Unlock()
 	}
 	return c, nil
 }

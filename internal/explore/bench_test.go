@@ -110,3 +110,30 @@ func BenchmarkSelections(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMultiHorizonProbe measures the delay probe's engine cost: ONE
+// multi-deadline run answering every deadline in [end, end+4] — the unit
+// that replaces up to horizon+1 dedicated counting runs in the cohort
+// pipeline. Gated by bench-regress.
+func BenchmarkMultiHorizonProbe(b *testing.B) {
+	const horizon = 4
+	cat := brandeis.Catalog()
+	goal, err := brandeis.Major(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := status.New(cat, brandeis.StartForSemesters(4), bitset.New(cat.Len()))
+	opt := Options{MaxPerTerm: brandeis.MaxPerTerm}
+	pruners := PaperPruners(cat, goal, opt.MaxPerTerm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mr, err := GoalCountMulti(cat, start, brandeis.EndTerm(), horizon, goal, pruners, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mr.GoalPathsAt) != horizon+1 {
+			b.Fatal("short horizon vector")
+		}
+	}
+}

@@ -131,6 +131,13 @@ type dagBuilder struct {
 	// merged for that sweep.
 	paths, goalPaths int64
 	moreSlabs        []*nodeSlab
+
+	// multi additionally buckets counting-mode goal folds by the depth at
+	// which the goal was reached (goalByDepth[d] = goal paths whose final
+	// election lands on semester start+d). Prefix sums over the buckets
+	// answer every deadline ≤ e.end from the one DP (see goalPathsThrough).
+	multi       bool
+	goalByDepth []int64
 }
 
 func newDAGBuilder(e *engine, mode dagMode) *dagBuilder {
@@ -286,6 +293,9 @@ func (b *dagBuilder) expand(n *dagNode) {
 			if b.mode == dagCount {
 				b.paths += n.prefix
 				b.goalPaths += n.prefix
+				if b.multi {
+					b.bumpGoal(n.depth+1, n.prefix)
+				}
 			}
 			e.notePaths(1)
 			return nil
@@ -341,12 +351,25 @@ func (b *dagBuilder) sweep() {
 				case n.class == classGoal:
 					b.paths += n.prefix
 					b.goalPaths += n.prefix
+					if b.multi {
+						b.bumpGoal(n.depth, n.prefix)
+					}
 				case n.class == classDeadline, n.deadEnd:
 					b.paths += n.prefix
 				}
 			}
 		}
 	}
+}
+
+// bumpGoal buckets a goal fold by the depth the goal was reached at
+// (multi-deadline counting only). Worker builders bump their private
+// buckets; buildParallel merges them after the pool joins.
+func (b *dagBuilder) bumpGoal(depth int32, v int64) {
+	for int(depth) >= len(b.goalByDepth) {
+		b.goalByDepth = append(b.goalByDepth, 0)
+	}
+	b.goalByDepth[depth] += v
 }
 
 // tallyAll runs the bottom-up DP (edge mode). Edges go depth d → d+1, so
@@ -483,6 +506,58 @@ func (e *engine) unfoldDAG(n *dagNode) error {
 		}
 	}
 	return nil
+}
+
+// MultiResult is the multi-deadline counting result: one forward DP run
+// at the farthest deadline, read out at every intermediate deadline.
+type MultiResult struct {
+	// GoalPathsAt[i] is the number of goal-reaching maximal paths under
+	// deadline end+i semesters (i = 0..horizon); GoalPathsAt[horizon]
+	// equals Result.GoalPaths. The totals are exact, not bounds: the
+	// pruners are admissible for every deadline ≤ the farthest one, so a
+	// goal fold at depth d belongs to exactly the deadlines ≥ start+d.
+	GoalPathsAt []int64
+	Result
+}
+
+// runDAGMulti is the multi-deadline counting driver: one dagCount build
+// with the engine's deadline set to end+horizon and goal folds bucketed
+// by depth (dagBuilder.multi); prefix sums over the buckets give the
+// goal-path total for every deadline in [end, end+horizon]. Paths and
+// GoalPaths in the embedded Result are relative to the farthest deadline.
+// A stopped run's totals are lower bounds, as for any counting run.
+func runDAGMulti(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, horizon int, goal degree.Goal, pruners []Pruner, opt Options) (MultiResult, error) {
+	last := end.Add(horizon)
+	e := newEngine(cat, last, goal, pruners, opt)
+	e.ctl = newControl(ctx, opt.Budget)
+
+	began := time.Now()
+	b := newDAGBuilder(e, dagCount)
+	b.multi = true
+	b.add(start, 0)
+	if opt.Workers > 1 {
+		b.buildParallel(opt.Workers)
+	} else {
+		b.build()
+	}
+	e.res.DAG = true
+	b.sweep()
+	e.res.Paths, e.res.GoalPaths = b.paths, b.goalPaths
+	e.res.Elapsed = time.Since(began)
+	e.res.Stopped = e.ctl.reason()
+	e.res.Truncated = e.res.Stopped != ""
+
+	mr := MultiResult{Result: e.res, GoalPathsAt: make([]int64, horizon+1)}
+	base := end.Ordinal() - start.Term.Ordinal()
+	var run int64
+	idx := 0
+	for i := 0; i <= horizon; i++ {
+		for ; idx < len(b.goalByDepth) && idx <= base+i; idx++ {
+			run += b.goalByDepth[idx]
+		}
+		mr.GoalPathsAt[i] = run
+	}
+	return mr, nil
 }
 
 // runDAG is run's driver for SubstrateDAG: build the interned-status DAG

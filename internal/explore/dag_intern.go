@@ -14,30 +14,37 @@ import (
 // tree walk despite doing 15x less classification work. The substrate
 // therefore brings its own storage:
 //
-//   - nodeSlab: chunked, pointer-stable bulk allocation of dagNodes, so a
+//   - nodeSlabOf: chunked, pointer-stable bulk allocation of nodes, so a
 //     multi-million-node build costs thousands of allocations, not millions.
-//   - internTable: an open-addressed hash table with the 8-byte hashes in
+//   - internTableOf: an open-addressed hash table with the 8-byte hashes in
 //     their own probe array (8 slots per cache line) and the key/pointer
 //     payload touched only on a hash match, so a probe costs ~1 cache miss
 //     and a hit ~2 — versus several for a runtime map at this key size.
 //   - dagInternShards: 64 lock-striped internTables for the parallel
 //     builder, sharded by the hash's top bits (the probe uses the low
 //     bits, so shard choice and probe order stay independent).
+//
+// The slab and table are generic over the node payload: the one-shot DAG
+// builder stores dagNodes, the long-lived shared counter (dag_shared.go)
+// stores sharedNodes in the same layout.
 
-// dagChunk is the nodeSlab chunk size: big enough to amortise allocation,
+// dagChunk is the node slab chunk size: big enough to amortise allocation,
 // small enough that a modest DAG does not overshoot by much.
 const dagChunk = 1 << 13
 
-// nodeSlab bulk-allocates dagNodes in fixed-size chunks. Chunks are never
+// nodeSlabOf bulk-allocates nodes in fixed-size chunks. Chunks are never
 // reallocated, so node pointers stay valid for the life of the build, and
 // iterating the chunks visits every allocated node in creation order.
-type nodeSlab struct {
-	chunks [][]dagNode
+type nodeSlabOf[T any] struct {
+	chunks [][]T
 }
 
-func (s *nodeSlab) alloc() *dagNode {
+// nodeSlab is the one-shot DAG builder's slab.
+type nodeSlab = nodeSlabOf[dagNode]
+
+func (s *nodeSlabOf[T]) alloc() *T {
 	if k := len(s.chunks); k == 0 || len(s.chunks[k-1]) == dagChunk {
-		s.chunks = append(s.chunks, make([]dagNode, 0, dagChunk))
+		s.chunks = append(s.chunks, make([]T, 0, dagChunk))
 	}
 	c := &s.chunks[len(s.chunks)-1]
 	*c = (*c)[:len(*c)+1]
@@ -54,29 +61,32 @@ func dagHash(k status.MapKey) uint64 {
 	return h
 }
 
-// internSlot is an internTable payload entry: the full key (verified on
-// hash match, so a 64-bit hash collision can never merge two distinct
+// internSlotOf is an internTableOf payload entry: the full key (verified
+// on hash match, so a 64-bit hash collision can never merge two distinct
 // statuses) and the interned node.
-type internSlot struct {
+type internSlotOf[T any] struct {
 	key status.MapKey
-	n   *dagNode
+	n   *T
 }
 
-// internTable is the open-addressed status interner: linear probing over
+// internTableOf is the open-addressed status interner: linear probing over
 // the hashes array, payload verified only on a hash match. Entries are
 // never deleted, so no tombstones are needed. The zero value is an empty
 // table ready for use.
-type internTable struct {
+type internTableOf[T any] struct {
 	mask   uint64
 	hashes []uint64 // probe array; 0 = empty slot
-	slots  []internSlot
+	slots  []internSlotOf[T]
 	n      int
 }
+
+// internTable is the one-shot DAG builder's interner.
+type internTable = internTableOf[dagNode]
 
 const internMinSize = 1 << 10
 
 // lookup returns the node interned under (h, k), or nil.
-func (t *internTable) lookup(h uint64, k status.MapKey) *dagNode {
+func (t *internTableOf[T]) lookup(h uint64, k status.MapKey) *T {
 	if t.n == 0 {
 		return nil
 	}
@@ -94,7 +104,7 @@ func (t *internTable) lookup(h uint64, k status.MapKey) *dagNode {
 
 // insert adds (h, k) → n. The key must not already be present (callers
 // always lookup first); growth keeps the load factor under 3/4.
-func (t *internTable) insert(h uint64, k status.MapKey, n *dagNode) {
+func (t *internTableOf[T]) insert(h uint64, k status.MapKey, n *T) {
 	if (t.n+1)*4 > len(t.hashes)*3 {
 		t.grow()
 	}
@@ -103,18 +113,18 @@ func (t *internTable) insert(h uint64, k status.MapKey, n *dagNode) {
 		i = (i + 1) & t.mask
 	}
 	t.hashes[i] = h
-	t.slots[i] = internSlot{key: k, n: n}
+	t.slots[i] = internSlotOf[T]{key: k, n: n}
 	t.n++
 }
 
-func (t *internTable) grow() {
+func (t *internTableOf[T]) grow() {
 	size := internMinSize
 	if len(t.hashes) > 0 {
 		size = len(t.hashes) * 2
 	}
 	oldH, oldS := t.hashes, t.slots
 	t.hashes = make([]uint64, size)
-	t.slots = make([]internSlot, size)
+	t.slots = make([]internSlotOf[T], size)
 	t.mask = uint64(size - 1)
 	for j, h := range oldH {
 		if h == 0 {
@@ -130,7 +140,7 @@ func (t *internTable) grow() {
 }
 
 // each calls fn for every entry, in table order.
-func (t *internTable) each(fn func(h uint64, k status.MapKey, n *dagNode)) {
+func (t *internTableOf[T]) each(fn func(h uint64, k status.MapKey, n *T)) {
 	for j, h := range t.hashes {
 		if h != 0 {
 			fn(h, t.slots[j].key, t.slots[j].n)

@@ -42,7 +42,7 @@ func (b *dagBuilder) buildParallel(workers int) {
 		sub.memo = nil
 		sub.ctl = e.ctl // one control spans the whole pool
 		w := newDAGBuilder(sub, b.mode)
-		w.shared, w.par = shared, true
+		w.shared, w.par, w.multi = shared, true, b.multi
 		ws[i] = w
 	}
 
@@ -78,6 +78,11 @@ func (b *dagBuilder) buildParallel(workers int) {
 		b.moreSlabs = append(b.moreSlabs, &w.slab)
 		b.paths += w.paths
 		b.goalPaths += w.goalPaths
+		for d, v := range w.goalByDepth {
+			if v != 0 {
+				b.bumpGoal(int32(d), v)
+			}
+		}
 		for d, ns := range w.byDepth {
 			for d >= len(b.byDepth) {
 				b.byDepth = append(b.byDepth, nil)

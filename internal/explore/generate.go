@@ -68,6 +68,31 @@ func GoalCountCtx(ctx context.Context, cat *catalog.Catalog, start status.Status
 	return run(ctx, cat, start, end, goal, pruners, opt, false, nil)
 }
 
+// GoalCountMulti is GoalCountMultiCtx with a background context.
+func GoalCountMulti(cat *catalog.Catalog, start status.Status, end term.Term, horizon int, goal degree.Goal, pruners []Pruner, opt Options) (MultiResult, error) {
+	return GoalCountMultiCtx(context.Background(), cat, start, end, horizon, goal, pruners, opt)
+}
+
+// GoalCountMultiCtx counts goal paths for every deadline in
+// [end, end+horizon] from one DAG run: the forward prefix DP already
+// passes through the extended semesters, so bucketing goal folds by
+// depth answers all horizon+1 deadlines for the cost of one run at the
+// farthest (see MultiResult). It always runs on the DAG substrate —
+// Options.Substrate is ignored — and requires a goal. horizon == 0
+// degenerates to GoalCountCtx on SubstrateDAG.
+func GoalCountMultiCtx(ctx context.Context, cat *catalog.Catalog, start status.Status, end term.Term, horizon int, goal degree.Goal, pruners []Pruner, opt Options) (MultiResult, error) {
+	if goal == nil {
+		return MultiResult{}, fmt.Errorf("explore: GoalCountMulti requires a goal")
+	}
+	if horizon < 0 {
+		return MultiResult{}, fmt.Errorf("explore: negative horizon %d", horizon)
+	}
+	if err := validate(cat, start, end, opt); err != nil {
+		return MultiResult{}, err
+	}
+	return runDAGMulti(ctx, cat, start, end, horizon, goal, pruners, opt)
+}
+
 // Stream runs a deadline-driven (goal == nil) or goal-driven exploration
 // in streaming mode: every expanded edge, completed path and periodic
 // progress tally is delivered to sink while the search runs, and no graph

@@ -146,3 +146,48 @@ func BenchmarkExploreCoalesced(b *testing.B) {
 		}
 	}
 }
+
+// benchCohortSharedBody is a counting-heavy cohort: 300 synthesized
+// members, delay probe on, no detail replans — the profile the shared
+// DAG substrate (cross-member reuse + one-pass multi-horizon probe +
+// parallel member pipeline) targets.
+const benchCohortSharedBody = `{"scenario":{"cancel":[{"course":"COSI 21A","terms":["Spring 2014","Fall 2014"]}]},` +
+	`"synthesize":{"n":300,"seed":2},` +
+	`"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3},` +
+	`"goal":{"expr":"COSI 21A and COSI 29A"},"baseline":true,"horizon":2}`
+
+func benchCohortShared(b *testing.B, s *Server) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/cohort", strings.NewReader(benchCohortSharedBody))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkCohortSharedCold measures a counting-heavy cohort job with an
+// empty result cache each iteration: every member's tallies come off the
+// job's shared substrate, built across members inside the iteration.
+func BenchmarkCohortSharedCold(b *testing.B) {
+	s := newBenchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cache.Invalidate(0)
+		benchCohortShared(b, s)
+	}
+}
+
+// BenchmarkCohortSharedWarm measures the same job answered from the
+// primed result cache (the substrate is per-job; the cache spans jobs).
+func BenchmarkCohortSharedWarm(b *testing.B) {
+	s := newBenchServer(b)
+	benchCohortShared(b, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchCohortShared(b, s)
+	}
+}

@@ -25,7 +25,10 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/catalog"
@@ -45,7 +48,14 @@ const (
 	maxCohortMembers = 100_000
 	maxCohortSamples = 64
 	maxCohortHorizon = 16
+	maxCohortWorkers = 16
 )
+
+// DefaultCohortWorkers is the member-pipeline width when neither the
+// request nor Server.CohortWorkers says otherwise. Workers are admitted
+// individually (and never hold exploration slots between units), so the
+// default adds concurrency without bypassing admission control.
+const DefaultCohortWorkers = 4
 
 // synthesizeSpec asks the server to synthesise the cohort from seeds:
 // n goal-reaching students generated over [query.start, query.end] and
@@ -79,6 +89,11 @@ type cohortRequest struct {
 	Budget *BudgetSpec `json:"budget,omitempty"`
 	// Horizon bounds the delay probe (semesters past end; default 4).
 	Horizon int `json:"horizon,omitempty"`
+	// Workers sets the member-pipeline width: how many members replan
+	// concurrently (each unit still individually admitted). 0 means the
+	// server default; 1 forces the serial pipeline. Output is identical
+	// at any width.
+	Workers int `json:"workers,omitempty"`
 	// Baseline adds an unmodified-catalog count per member.
 	Baseline bool `json:"baseline,omitempty"`
 	// Detail embeds each member's what-if replan body in their record.
@@ -139,6 +154,11 @@ func (s *Server) handleCohort(t *tenantState, w http.ResponseWriter, r *http.Req
 	if req.Horizon < 0 || req.Horizon > maxCohortHorizon {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest,
 			"horizon must be in [0, %d]", maxCohortHorizon)
+		return
+	}
+	if req.Workers < 0 || req.Workers > maxCohortWorkers {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			"workers must be in [0, %d]", maxCohortWorkers)
 		return
 	}
 	if req.Scenario.Samples < 0 || req.Scenario.Samples > maxCohortSamples {
@@ -207,8 +227,32 @@ func (s *Server) handleCohort(t *tenantState, w http.ResponseWriter, r *http.Req
 		template: req.Query,
 		budget:   req.Budget,
 	}
+	// The job's counting units run on a shared substrate — one interned
+	// DAG + tally memo per catalog variant, built across members — with
+	// each execution still threaded through runUnit, so per-unit pricing,
+	// budgets and the result cache behave exactly as the dedicated path.
+	// Replans (path-shaped) stay on the dedicated path.
+	shared := &cohort.SharedPlanner{
+		Inner:    pl,
+		Base:     nav,
+		Scenario: scenNav,
+		Samples:  sampleNavs,
+		MakeGoal: func(nv *coursenav.Navigator) (coursenav.Goal, error) {
+			return buildGoal(nv, *req.Goal)
+		},
+		Query:       s.query(req.Query, req.Budget),
+		Unit:        pl.sharedUnit,
+		HorizonUnit: pl.sharedHorizonUnit,
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.CohortWorkers
+	}
+	if workers <= 0 {
+		workers = DefaultCohortWorkers
+	}
 	runner := cohort.Runner{
-		Planner: pl,
+		Planner: shared,
 		Opts: cohort.Options{
 			End:      req.Query.End,
 			Horizon:  req.Horizon,
@@ -216,6 +260,23 @@ func (s *Server) handleCohort(t *tenantState, w http.ResponseWriter, r *http.Req
 			Detail:   req.Detail,
 			Samples:  req.Scenario.Samples,
 			Calendar: cat.Calendar(),
+			Workers:  workers,
+		},
+		// Extra pipeline workers are admitted by probing the tenant quota
+		// and the global pool (and releasing immediately — units acquire
+		// their own slots inside runUnit): a saturated server runs the job
+		// serially instead of amplifying the overload.
+		AdmitWorker: func(ctx context.Context) (func(), bool) {
+			relT, ok := t.acquireQuota()
+			if !ok {
+				return nil, false
+			}
+			relG, ok := s.acquire()
+			if !ok {
+				relT()
+				return nil, false
+			}
+			return func() { relG(); relT() }, true
 		},
 	}
 	// The job runs under the client connection's context: mid-stream
@@ -231,6 +292,9 @@ func (s *Server) handleCohort(t *tenantState, w http.ResponseWriter, r *http.Req
 		rec.cohort = true
 		rec.cohortMembers = int64(sum.Members)
 		rec.cohortCoalesced = sum.Coalesced
+		sst := shared.Stats()
+		rec.cohortSharedHits = sst.Hits
+		rec.cohortDPReused = sst.DPReused
 		rec.cohortCancelled = runErr != nil &&
 			(errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) || sw.err != nil)
 		rec.window = req.Query.Start + " → " + req.Query.End
@@ -314,6 +378,7 @@ type serverPlanner struct {
 	template   QuerySpec
 	budget     *BudgetSpec
 
+	mu    sync.Mutex // guards goals: the parallel pipeline shares the planner
 	goals map[*coursenav.Navigator]coursenav.Goal
 }
 
@@ -338,6 +403,8 @@ func (p *serverPlanner) variant(v cohort.Variant, kind string) (*coursenav.Navig
 }
 
 func (p *serverPlanner) goalFor(nav *coursenav.Navigator) (coursenav.Goal, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if g, ok := p.goals[nav]; ok {
 		return g, nil
 	}
@@ -402,6 +469,136 @@ func (p *serverPlanner) Count(ctx context.Context, m cohort.Member, end string, 
 		return cohort.CountResult{}, err
 	}
 	return cohort.CountResult{GoalPaths: ent.Paths, Stopped: stopped, Reused: how != "miss"}, nil
+}
+
+// horizonBody is the cached body of a multi-deadline counting unit —
+// a cohort-internal key space ("goalmh<h>"), never shared with an
+// interactive endpoint, so the shape is the unit's own.
+type horizonBody struct {
+	GoalPaths []int64 `json:"goalPaths"`
+	Stopped   string  `json:"stopped,omitempty"`
+}
+
+// CountHorizons implements cohort.Planner on the dedicated engine: one
+// multi-deadline counting run through runUnit, cached under the
+// variant's "goalmh<h>" key space. The shared-substrate path
+// (SharedPlanner) supersedes this for cohort jobs; it remains the
+// complete fallback for direct serverPlanner use.
+func (p *serverPlanner) CountHorizons(ctx context.Context, m cohort.Member, end string, horizon int, v cohort.Variant) (cohort.HorizonCounts, error) {
+	nav, endpoint, err := p.variant(v, "goalmh"+strconv.Itoa(horizon))
+	if err != nil {
+		return cohort.HorizonCounts{}, err
+	}
+	req := p.unitReq(m, end, true)
+	ent, how, err := p.s.runUnit(ctx, p.t, p.gen, endpoint, req, func(ctx context.Context) (*resultcache.Entry, bool, error) {
+		ctx, cancel := p.s.unitCtx(ctx, req.Budget)
+		defer cancel()
+		goal, err := p.goalFor(nav)
+		if err != nil {
+			return nil, false, err
+		}
+		gp, sum, err := nav.GoalPathsCountHorizonsCtx(ctx, p.s.query(req.Query, req.Budget), goal, horizon)
+		if err != nil {
+			return nil, false, err
+		}
+		blob, err := json.Marshal(horizonBody{GoalPaths: gp, Stopped: sum.Stopped})
+		if err != nil {
+			return nil, false, err
+		}
+		ent := &resultcache.Entry{
+			Body:   append(blob, '\n'),
+			Paths:  sum.GoalPaths,
+			Window: req.Query.Start + " → " + req.Query.End,
+		}
+		return ent, sum.Stopped == "" && len(ent.Body) <= maxCacheEntryBytes, nil
+	})
+	if err != nil {
+		return cohort.HorizonCounts{}, err
+	}
+	var hb horizonBody
+	if err := json.Unmarshal(ent.Body, &hb); err != nil {
+		return cohort.HorizonCounts{}, err
+	}
+	return cohort.HorizonCounts{GoalPaths: hb.GoalPaths, Stopped: hb.Stopped, Reused: how != "miss"}, nil
+}
+
+// sharedUnit threads one shared-substrate counting execution through
+// runUnit: the unit keeps the dedicated path's key space (so cache
+// entries flow between cohort jobs and interactive countOnly traffic in
+// both directions), its admission pricing and its per-unit budgets —
+// only the engine underneath changed.
+func (p *serverPlanner) sharedUnit(ctx context.Context, m cohort.Member, end string, v cohort.Variant, exec cohort.CountExec) (cohort.CountResult, error) {
+	_, endpoint, err := p.variant(v, "goal")
+	if err != nil {
+		return cohort.CountResult{}, err
+	}
+	req := p.unitReq(m, end, true)
+	ent, how, err := p.s.runUnit(ctx, p.t, p.gen, endpoint, req, func(ctx context.Context) (*resultcache.Entry, bool, error) {
+		ctx, cancel := p.s.unitCtx(ctx, req.Budget)
+		defer cancel()
+		began := time.Now()
+		sc, err := exec(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		sum := coursenav.Summary{
+			Paths:     sc.Paths,
+			GoalPaths: sc.GoalPaths,
+			Nodes:     sc.Nodes,
+			Elapsed:   time.Since(began),
+			DAG:       true,
+		}
+		var buf bytes.Buffer
+		if err := p.s.renderExploreBody(&buf, sum, nil); err != nil {
+			return nil, false, err
+		}
+		ent := &resultcache.Entry{
+			Body:   buf.Bytes(),
+			Paths:  sum.GoalPaths,
+			Window: req.Query.Start + " → " + req.Query.End,
+		}
+		return ent, buf.Len() <= maxCacheEntryBytes, nil
+	})
+	if err != nil {
+		return cohort.CountResult{}, err
+	}
+	return cohort.CountResult{GoalPaths: ent.Paths, Reused: how != "miss"}, nil
+}
+
+// sharedHorizonUnit is sharedUnit's multi-deadline counterpart, keyed
+// like CountHorizons' dedicated units.
+func (p *serverPlanner) sharedHorizonUnit(ctx context.Context, m cohort.Member, end string, horizon int, v cohort.Variant, exec cohort.HorizonExec) (cohort.HorizonCounts, error) {
+	_, endpoint, err := p.variant(v, "goalmh"+strconv.Itoa(horizon))
+	if err != nil {
+		return cohort.HorizonCounts{}, err
+	}
+	req := p.unitReq(m, end, true)
+	ent, how, err := p.s.runUnit(ctx, p.t, p.gen, endpoint, req, func(ctx context.Context) (*resultcache.Entry, bool, error) {
+		ctx, cancel := p.s.unitCtx(ctx, req.Budget)
+		defer cancel()
+		sc, err := exec(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		blob, err := json.Marshal(horizonBody{GoalPaths: sc.GoalPaths})
+		if err != nil {
+			return nil, false, err
+		}
+		ent := &resultcache.Entry{
+			Body:   append(blob, '\n'),
+			Paths:  sc.GoalPaths[0],
+			Window: req.Query.Start + " → " + req.Query.End,
+		}
+		return ent, len(ent.Body) <= maxCacheEntryBytes, nil
+	})
+	if err != nil {
+		return cohort.HorizonCounts{}, err
+	}
+	var hb horizonBody
+	if err := json.Unmarshal(ent.Body, &hb); err != nil {
+		return cohort.HorizonCounts{}, err
+	}
+	return cohort.HorizonCounts{GoalPaths: hb.GoalPaths, Reused: how != "miss"}, nil
 }
 
 // Replan implements cohort.Planner: the member's what-if unit against

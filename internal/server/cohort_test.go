@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -266,6 +267,9 @@ func TestCohortBadRequests(t *testing.T) {
 		{"horizon out of range",
 			`{"members":[{"student":"S1","start":"Fall 2014"}],"query":{"end":"Fall 2015"},"goal":{"courses":["COSI 11A"]},"horizon":99}`,
 			CodeBadRequest},
+		{"workers out of range",
+			`{"members":[{"student":"S1","start":"Fall 2014"}],"query":{"end":"Fall 2015"},"goal":{"courses":["COSI 11A"]},"workers":99}`,
+			CodeBadRequest},
 		{"samples out of range",
 			`{"members":[{"student":"S1","start":"Fall 2014"}],"scenario":{"samples":9999},"query":{"end":"Fall 2015"},"goal":{"courses":["COSI 11A"]}}`,
 			CodeBadRequest},
@@ -314,6 +318,62 @@ func TestCohortSampledReliability(t *testing.T) {
 	if *m1[0].Reliability != *m2[0].Reliability {
 		t.Errorf("equal scenario seeds produced different reliabilities: %v vs %v",
 			*m1[0].Reliability, *m2[0].Reliability)
+	}
+}
+
+// The parallel-pipeline guard at the HTTP surface: the same cohort job
+// at workers:8 answers byte-identically to workers:1 — records in
+// member order, identical tallies, identical summary (the reorder
+// window plus order-independent coalescing accounting make the stream
+// deterministic). Fresh servers per run so cache state is equal.
+func TestCohortWorkersByteIdentical(t *testing.T) {
+	const tpl = `{
+		"synthesize":{"n":30,"seed":9},
+		"scenario":{"cancel":[{"course":"COSI 21A","terms":["Spring 2014","Fall 2014"]}]},
+		"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3},
+		"goal":{"courses":["COSI 21A","COSI 29A"]},
+		"baseline":true,"detail":true,"horizon":2,"workers":%d
+	}`
+	run := func(workers int) []byte {
+		_, ts := newV1Server(t)
+		resp, body := post(t, ts, "/api/v1/cohort", fmt.Sprintf(tpl, workers))
+		if resp.StatusCode != 200 {
+			t.Fatalf("cohort workers=%d: %d %s", workers, resp.StatusCode, body)
+		}
+		return body
+	}
+	serial, parallel := run(1), run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("workers=8 stream diverged from workers=1:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	if members, sum := cohortLines(t, serial); len(members) != 30 || sum.Errors != 0 {
+		t.Fatalf("run shape: %d members, %d errors", len(members), sum.Errors)
+	}
+}
+
+// The shared-substrate counters surface in /api/v1/stats after a cohort
+// job: cross-member DP reuse is observable, not just fast.
+func TestCohortSharedSubstrateStats(t *testing.T) {
+	_, ts := newV1Server(t)
+	const body = `{
+		"synthesize":{"n":12,"seed":4},
+		"query":{"start":"Fall 2013","end":"Fall 2015","maxPerTerm":3},
+		"goal":{"courses":["COSI 21A","COSI 29A"]}
+	}`
+	resp, respBody := post(t, ts, "/api/v1/cohort", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("cohort: %d %s", resp.StatusCode, respBody)
+	}
+	var st struct {
+		CohortSharedHits int64 `json:"cohortSharedHits"`
+		CohortDPReused   int64 `json:"cohortDPReused"`
+	}
+	_, stats := get(t, ts, "/api/v1/stats")
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CohortSharedHits+st.CohortDPReused == 0 {
+		t.Errorf("stats report no shared-substrate reuse after a 12-member job: %s", stats)
 	}
 }
 

@@ -268,7 +268,7 @@ func TestStatsOverloadCountersAlwaysPresent(t *testing.T) {
 		`"queued":0`, `"shedCostly":0`, `"shedQueueFull":0`,
 		`"queueTimeouts":0`, `"staleServed":0`, `"breakerOpen":0`,
 		`"cohortJobs":0`, `"cohortMembers":0`, `"cohortCancelled":0`,
-		`"cohortCoalesced":0`,
+		`"cohortCoalesced":0`, `"cohortSharedHits":0`, `"cohortDPReused":0`,
 		`"health":"ok"`, `"admission":{`,
 	} {
 		if !strings.Contains(string(body), key) {

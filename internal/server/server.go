@@ -179,6 +179,11 @@ type Server struct {
 	ReloadRetries int
 	ReloadBackoff time.Duration
 	LoaderTimeout time.Duration
+	// CohortWorkers is the default member-pipeline width for cohort jobs
+	// when the request leaves workers unset (0 means
+	// DefaultCohortWorkers; 1 forces serial). Requests may pick their own
+	// width within [1, maxCohortWorkers].
+	CohortWorkers int
 	// TenantMaxConcurrent caps each tenant's in-flight explorations
 	// (429 tenant_overloaded) unless the tenant's manifest entry sets its
 	// own. 0 (the default) leaves tenants bounded only by the global
@@ -327,28 +332,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		s.Usage.Record(usage.Event{
-			When:            time.Now(),
-			Endpoint:        r.Method + " " + canonicalPath(r.URL.Path),
-			Tenant:          rec.tenant,
-			Window:          rec.window,
-			Paths:           rec.paths,
-			Stopped:         rec.stopped,
-			Reload:          rec.reload,
-			Streamed:        rec.streamed,
-			StreamedPaths:   rec.streamedPaths,
-			WriteAborted:    rec.writeErr != nil,
-			Cache:           rec.cache,
-			DAG:             rec.dag,
-			DAGNodes:        rec.dagNodes,
-			Admission:       rec.admission,
-			Breaker:         rec.breaker,
-			Degraded:        rec.degraded,
-			Cohort:          rec.cohort,
-			CohortMembers:   rec.cohortMembers,
-			CohortCoalesced: rec.cohortCoalesced,
-			CohortCancelled: rec.cohortCancelled,
-			Duration:        time.Since(began),
-			Status:          rec.status,
+			When:             time.Now(),
+			Endpoint:         r.Method + " " + canonicalPath(r.URL.Path),
+			Tenant:           rec.tenant,
+			Window:           rec.window,
+			Paths:            rec.paths,
+			Stopped:          rec.stopped,
+			Reload:           rec.reload,
+			Streamed:         rec.streamed,
+			StreamedPaths:    rec.streamedPaths,
+			WriteAborted:     rec.writeErr != nil,
+			Cache:            rec.cache,
+			DAG:              rec.dag,
+			DAGNodes:         rec.dagNodes,
+			Admission:        rec.admission,
+			Breaker:          rec.breaker,
+			Degraded:         rec.degraded,
+			Cohort:           rec.cohort,
+			CohortMembers:    rec.cohortMembers,
+			CohortCoalesced:  rec.cohortCoalesced,
+			CohortCancelled:  rec.cohortCancelled,
+			CohortSharedHits: rec.cohortSharedHits,
+			CohortDPReused:   rec.cohortDPReused,
+			Duration:         time.Since(began),
+			Status:           rec.status,
 		})
 	}()
 	// The handler-entry chaos seam: an injected error answers 503 before
@@ -428,6 +435,11 @@ type statusRecorder struct {
 	cohortMembers   int64
 	cohortCoalesced int64
 	cohortCancelled bool
+	// Shared-substrate tallies (cohort jobs): units answered by a pure
+	// substrate root lookup, and statuses whose DP results were reused
+	// across member builds.
+	cohortSharedHits int64
+	cohortDPReused   int64
 }
 
 func (r *statusRecorder) setExplore(window string, paths int64, stopped string) {

@@ -81,6 +81,12 @@ type Event struct {
 	CohortMembers   int64 `json:"cohortMembers,omitempty"`
 	CohortCoalesced int64 `json:"cohortCoalesced,omitempty"`
 	CohortCancelled bool  `json:"cohortCancelled,omitempty"`
+	// CohortSharedHits counts the job's counting units answered by a
+	// pure shared-substrate root lookup; CohortDPReused the statuses
+	// whose DP results were reused across member builds — together the
+	// measure of cross-member amortisation beyond the result cache.
+	CohortSharedHits int64 `json:"cohortSharedHits,omitempty"`
+	CohortDPReused   int64 `json:"cohortDPReused,omitempty"`
 	// Duration is the handling latency.
 	Duration time.Duration `json:"durationNs"`
 	// Status is the HTTP status code returned.
@@ -214,6 +220,11 @@ type Stats struct {
 	CohortMembers   int64 `json:"cohortMembers"`
 	CohortCancelled int   `json:"cohortCancelled"`
 	CohortCoalesced int64 `json:"cohortCoalesced"`
+	// CohortSharedHits / CohortDPReused aggregate the shared-substrate
+	// tallies (see Event); like the other cohort counters they are never
+	// omitted, so dashboards can alert on them going flat.
+	CohortSharedHits int64 `json:"cohortSharedHits"`
+	CohortDPReused   int64 `json:"cohortDPReused"`
 	// Cache is the live result-cache snapshot (counters since process
 	// start, unbounded by the ring), injected by the server when caching
 	// is enabled.
@@ -340,6 +351,8 @@ func aggregate(events []Event) Stats {
 			st.CohortJobs++
 			st.CohortMembers += e.CohortMembers
 			st.CohortCoalesced += e.CohortCoalesced
+			st.CohortSharedHits += e.CohortSharedHits
+			st.CohortDPReused += e.CohortDPReused
 			if e.CohortCancelled {
 				st.CohortCancelled++
 			}
